@@ -1,0 +1,143 @@
+// A1: per-column compression — encoding ratio and speed per data shape,
+// and the sampling analyzer's automatic choice (the paper's "dusty
+// knob": "we automatically pick compression types based on data
+// sampling", §1; tradeoffs per Abadi et al. [2]).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "compress/analyzer.h"
+#include "compress/codec.h"
+
+namespace {
+
+using sdw::ColumnEncoding;
+using sdw::ColumnVector;
+using sdw::TypeId;
+
+struct ShapeSpec {
+  const char* name;
+  TypeId type;
+  std::function<void(sdw::Rng*, ColumnVector*)> append;
+};
+
+std::vector<ShapeSpec> Shapes() {
+  return {
+      {"sorted_timestamps", TypeId::kInt64,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         static thread_local int64_t ts = 1400000000;
+         v->AppendInt(ts += static_cast<int64_t>(rng->Uniform(5)));
+       }},
+      {"small_ints(+/-100)", TypeId::kInt64,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         v->AppendInt(rng->UniformRange(-100, 100));
+       }},
+      {"uniform_ints", TypeId::kInt64,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         v->AppendInt(static_cast<int64_t>(rng->Next()));
+       }},
+      {"long_runs", TypeId::kInt64,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         static thread_local int i = 0;
+         v->AppendInt(i++ / 200);
+       }},
+      {"low_card_strings", TypeId::kString,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         v->AppendString("region-" + std::to_string(rng->Uniform(12)));
+       }},
+      {"url_paths", TypeId::kString,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         v->AppendString("/products/category-" +
+                         std::to_string(rng->Zipf(500, 1.0)) + "/item");
+       }},
+      {"wordy_text", TypeId::kString,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         static const char* kWords[] = {"add",  "to",   "cart", "view",
+                                        "page", "user", "clicked", "buy"};
+         std::string s;
+         for (int w = 0; w < 6; ++w) {
+           if (w) s += ' ';
+           s += kWords[rng->Uniform(8)];
+         }
+         v->AppendString(s);
+       }},
+      {"gaussian_doubles", TypeId::kDouble,
+       [](sdw::Rng* rng, ColumnVector* v) {
+         v->AppendDouble(rng->Normal(250.0, 40.0));
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("A1", "per-column compression + automatic COMPUPDATE",
+                    "analyzer picks a near-best encoding per column shape "
+                    "without customer input");
+
+  const size_t kRows = 100000;
+  bool analyzer_near_best = true;
+  bool analyzer_beats_raw_when_possible = true;
+
+  for (const auto& shape : Shapes()) {
+    sdw::Rng rng(99);
+    ColumnVector column(shape.type);
+    column.Reserve(kRows);
+    for (size_t i = 0; i < kRows; ++i) shape.append(&rng, &column);
+
+    sdw::Bytes raw;
+    (void)sdw::compress::EncodeColumn(ColumnEncoding::kRaw, column, &raw);
+
+    std::printf("\n%s (%zu rows, raw %.1f KiB):\n", shape.name, kRows,
+                raw.size() / 1024.0);
+    std::printf("  %-10s  %8s  %12s  %12s\n", "encoding", "ratio",
+                "enc MB/s", "dec MB/s");
+    size_t best_bytes = raw.size();
+    for (ColumnEncoding enc : sdw::compress::CandidateEncodings(shape.type)) {
+      sdw::Bytes encoded;
+      double enc_seconds = benchutil::TimeIt([&] {
+        encoded.clear();
+        (void)sdw::compress::EncodeColumn(enc, column, &encoded);
+      });
+      if (encoded.empty()) continue;
+      double dec_seconds = benchutil::TimeIt([&] {
+        auto decoded = sdw::compress::DecodeColumn(enc, shape.type, encoded);
+        if (!decoded.ok()) std::abort();
+      });
+      best_bytes = std::min(best_bytes, encoded.size());
+      std::printf("  %-10s  %7.2fx  %12.0f  %12.0f\n",
+                  sdw::ColumnEncodingName(enc),
+                  static_cast<double>(raw.size()) / encoded.size(),
+                  raw.size() / 1e6 / enc_seconds,
+                  raw.size() / 1e6 / dec_seconds);
+    }
+
+    auto analysis = sdw::compress::AnalyzeColumn(column);
+    if (!analysis.ok()) return 1;
+    std::printf("  analyzer picked: %-10s (sample ratio %.2fx)\n",
+                sdw::ColumnEncodingName(analysis->encoding),
+                analysis->ratio());
+    // Validate the pick against the best candidate on the full column.
+    sdw::Bytes picked;
+    (void)sdw::compress::EncodeColumn(analysis->encoding, column, &picked);
+    if (picked.size() > best_bytes * 1.35 + 1024) {
+      analyzer_near_best = false;
+      std::printf("  !! pick is %.0f%% larger than best\n",
+                  100.0 * picked.size() / best_bytes - 100);
+    }
+    if (best_bytes < raw.size() / 2 &&
+        analysis->encoding == ColumnEncoding::kRaw) {
+      analyzer_beats_raw_when_possible = false;
+    }
+  }
+
+  std::printf("\n");
+  benchutil::Check(analyzer_near_best,
+                   "analyzer within 35% of the best encoding on every shape");
+  benchutil::Check(analyzer_beats_raw_when_possible,
+                   "analyzer never stays RAW when 2x+ compression exists");
+  return 0;
+}

@@ -1,0 +1,176 @@
+// A4: distribution styles and co-located joins (§2.1). DISTKEY joins
+// avoid redistribution entirely; DISTSTYLE ALL trades load-time copies
+// for join-time locality; EVEN forces a broadcast or shuffle. Also
+// shows near-linear scale-out of the same join as slices are added.
+
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "cluster/cluster.h"
+#include "cluster/executor.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "plan/planner.h"
+
+namespace {
+
+using sdw::cluster::Cluster;
+using sdw::cluster::ClusterConfig;
+using sdw::cluster::QueryExecutor;
+
+constexpr size_t kFactRows = 300000;
+constexpr size_t kDimRows = 20000;
+
+struct Setup {
+  std::unique_ptr<Cluster> cluster;
+};
+
+Setup Build(int nodes, int slices, sdw::DistStyle fact_style,
+            sdw::DistStyle dim_style) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.slices_per_node = slices;
+  config.storage.max_rows_per_block = 8192;
+  Setup setup;
+  setup.cluster = std::make_unique<Cluster>(config);
+
+  sdw::TableSchema fact("fact", {{"k", sdw::TypeId::kInt64},
+                                 {"v", sdw::TypeId::kInt64}});
+  if (fact_style == sdw::DistStyle::kKey) {
+    SDW_CHECK_OK(fact.SetDistKey("k"));
+  } else {
+    fact.SetDistStyle(fact_style);
+  }
+  SDW_CHECK_OK(setup.cluster->CreateTable(fact));
+
+  sdw::TableSchema dim("dim", {{"id", sdw::TypeId::kInt64},
+                               {"grp", sdw::TypeId::kInt64}});
+  if (dim_style == sdw::DistStyle::kKey) {
+    SDW_CHECK_OK(dim.SetDistKey("id"));
+  } else {
+    dim.SetDistStyle(dim_style);
+  }
+  SDW_CHECK_OK(setup.cluster->CreateTable(dim));
+
+  sdw::Rng rng(23);
+  {
+    sdw::ColumnVector k(sdw::TypeId::kInt64), v(sdw::TypeId::kInt64);
+    for (size_t i = 0; i < kFactRows; ++i) {
+      k.AppendInt(static_cast<int64_t>(rng.Uniform(kDimRows)));
+      v.AppendInt(rng.UniformRange(0, 100));
+    }
+    std::vector<sdw::ColumnVector> cols;
+    cols.push_back(std::move(k));
+    cols.push_back(std::move(v));
+    SDW_CHECK_OK(setup.cluster->InsertRows("fact", cols));
+  }
+  {
+    sdw::ColumnVector id(sdw::TypeId::kInt64), grp(sdw::TypeId::kInt64);
+    for (size_t i = 0; i < kDimRows; ++i) {
+      id.AppendInt(static_cast<int64_t>(i));
+      grp.AppendInt(static_cast<int64_t>(i % 50));
+    }
+    std::vector<sdw::ColumnVector> cols;
+    cols.push_back(std::move(id));
+    cols.push_back(std::move(grp));
+    SDW_CHECK_OK(setup.cluster->InsertRows("dim", cols));
+  }
+  SDW_CHECK_OK(setup.cluster->Analyze("fact"));
+  SDW_CHECK_OK(setup.cluster->Analyze("dim"));
+  return setup;
+}
+
+sdw::plan::LogicalQuery JoinQuery() {
+  sdw::plan::LogicalQuery q;
+  q.from_table = "fact";
+  q.join_table = "dim";
+  q.join_left = {"fact", "k"};
+  q.join_right = {"dim", "id"};
+  q.select = {{sdw::plan::LogicalAggFn::kNone, {"dim", "grp"}, ""},
+              {sdw::plan::LogicalAggFn::kCountStar, {}, "n"},
+              {sdw::plan::LogicalAggFn::kSum, {"fact", "v"}, "s"}};
+  q.group_by = {{"dim", "grp"}};
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("A4", "distribution styles and co-located joins",
+                    "KEY/KEY and ALL joins move ~no data; EVEN must "
+                    "broadcast or shuffle; work scales out with slices");
+
+  struct Variant {
+    const char* name;
+    sdw::DistStyle fact, dim;
+    sdw::plan::PlannerOptions planner;
+  };
+  std::vector<Variant> variants = {
+      {"KEY/KEY (co-located)", sdw::DistStyle::kKey, sdw::DistStyle::kKey, {}},
+      {"EVEN + dim ALL", sdw::DistStyle::kEven, sdw::DistStyle::kAll, {}},
+      {"EVEN (broadcast dim)", sdw::DistStyle::kEven, sdw::DistStyle::kEven,
+       {}},
+      {"EVEN (forced shuffle)", sdw::DistStyle::kEven, sdw::DistStyle::kEven,
+       {.broadcast_row_threshold = 1}},
+  };
+
+  std::printf("\nJoin of %zu-row fact with %zu-row dim on a 2x2 cluster:\n",
+              kFactRows, kDimRows);
+  std::printf("\n%-22s  %-11s  %12s  %12s  %12s\n", "variant", "strategy",
+              "network", "max_slice", "leader");
+  uint64_t colocated_net = 0, broadcast_net = 0, shuffle_net = 0;
+  for (const auto& variant : variants) {
+    Setup setup = Build(2, 2, variant.fact, variant.dim);
+    sdw::plan::Planner planner(setup.cluster->catalog(), variant.planner);
+    auto physical = planner.Plan(JoinQuery());
+    SDW_CHECK(physical.ok());
+    QueryExecutor executor(setup.cluster.get());
+    auto result = executor.Execute(*physical);
+    SDW_CHECK(result.ok()) << result.status();
+    std::printf("%-22s  %-11s  %12s  %12s  %12s\n", variant.name,
+                sdw::plan::JoinStrategyName(physical->join->strategy),
+                sdw::FormatBytes(result->stats.network_bytes).c_str(),
+                sdw::FormatDuration(result->stats.MaxSliceSeconds()).c_str(),
+                sdw::FormatDuration(result->stats.leader_seconds).c_str());
+    if (variant.fact == sdw::DistStyle::kKey) {
+      colocated_net = result->stats.network_bytes;
+    } else if (variant.planner.broadcast_row_threshold == 1) {
+      shuffle_net = result->stats.network_bytes;
+    } else if (variant.dim == sdw::DistStyle::kEven) {
+      broadcast_net = result->stats.network_bytes;
+    }
+  }
+
+  // Scale-out: the co-located join across cluster sizes.
+  std::printf("\nScale-out of the co-located join (total slices -> slowest "
+              "slice):\n\n");
+  std::printf("%8s  %8s  %14s  %16s\n", "nodes", "slices", "max_slice",
+              "total_slice_cpu");
+  double t1 = 0, t8 = 0;
+  for (int nodes : {1, 2, 4, 8}) {
+    Setup setup = Build(nodes, 2, sdw::DistStyle::kKey, sdw::DistStyle::kKey);
+    sdw::plan::Planner planner(setup.cluster->catalog());
+    auto physical = planner.Plan(JoinQuery());
+    QueryExecutor executor(setup.cluster.get());
+    auto result = executor.Execute(*physical);
+    SDW_CHECK(result.ok());
+    std::printf("%8d  %8d  %14s  %16s\n", nodes, nodes * 2,
+                sdw::FormatDuration(result->stats.MaxSliceSeconds()).c_str(),
+                sdw::FormatDuration(result->stats.TotalSliceSeconds()).c_str());
+    if (nodes == 1) t1 = result->stats.MaxSliceSeconds();
+    if (nodes == 8) t8 = result->stats.MaxSliceSeconds();
+  }
+
+  std::printf("\n");
+  benchutil::Check(colocated_net * 5 < broadcast_net,
+                   "co-located join moves >5x less data than broadcast");
+  benchutil::Check(colocated_net * 5 < shuffle_net,
+                   "co-located join moves >5x less data than shuffle");
+  benchutil::Check(t8 * 2 < t1,
+                   "8x the slices cut the slowest-slice time >2x");
+  return 0;
+}

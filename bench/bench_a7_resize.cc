@@ -1,0 +1,99 @@
+// A7: elastic resize (§3.1) — "customers can resize their clusters up
+// or down ... we provision a new cluster, put the original cluster in
+// read-only mode, and run a parallel node-to-node copy ... the source
+// cluster is available for reads until the operation completes."
+
+#include <cstdio>
+
+#include <algorithm>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "cluster/cluster.h"
+#include "cluster/executor.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "plan/planner.h"
+
+namespace {
+
+std::unique_ptr<sdw::cluster::Cluster> Build(int nodes, size_t rows) {
+  sdw::cluster::ClusterConfig config;
+  config.num_nodes = nodes;
+  config.slices_per_node = 2;
+  config.storage.max_rows_per_block = 8192;
+  auto cluster = std::make_unique<sdw::cluster::Cluster>(config);
+  sdw::TableSchema schema("t", {{"k", sdw::TypeId::kInt64},
+                                {"v", sdw::TypeId::kInt64}});
+  SDW_CHECK_OK(schema.SetDistKey("k"));
+  SDW_CHECK_OK(cluster->CreateTable(schema));
+  sdw::Rng rng(3);
+  sdw::ColumnVector k(sdw::TypeId::kInt64), v(sdw::TypeId::kInt64);
+  for (size_t i = 0; i < rows; ++i) {
+    k.AppendInt(static_cast<int64_t>(rng.Next() % 100000));
+    v.AppendInt(rng.UniformRange(0, 100));
+  }
+  std::vector<sdw::ColumnVector> cols;
+  cols.push_back(std::move(k));
+  cols.push_back(std::move(v));
+  SDW_CHECK_OK(cluster->InsertRows("t", cols));
+  return cluster;
+}
+
+int64_t CountRows(sdw::cluster::Cluster* cluster) {
+  sdw::plan::LogicalQuery q;
+  q.from_table = "t";
+  q.select = {{sdw::plan::LogicalAggFn::kCountStar, {}, "n"}};
+  sdw::plan::Planner planner(cluster->catalog());
+  auto physical = planner.Plan(q);
+  SDW_CHECK(physical.ok());
+  sdw::cluster::QueryExecutor executor(cluster);
+  auto result = executor.Execute(*physical);
+  SDW_CHECK(result.ok());
+  return result->rows.columns[0].IntAt(0);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("A7", "elastic resize via parallel node-to-node copy",
+                    "source stays readable; copy time scales with data and "
+                    "shrinks with parallelism; no up-front sizing needed");
+
+  const size_t kRows = 400000;
+  std::printf("\nResize of a %zu-row warehouse:\n", kRows);
+  std::printf("\n%10s  %12s  %14s  %18s  %16s\n", "resize", "bytes_moved",
+              "modeled_copy", "source_readable", "rows_after");
+
+  double copy_2_to_4 = 0, copy_8_to_16 = 0;
+  bool always_readable = true;
+  bool rows_preserved = true;
+  for (auto [from, to] : {std::pair{2, 4}, {4, 2}, {2, 16}, {8, 16}}) {
+    auto cluster = Build(from, kRows);
+    const int64_t before = CountRows(cluster.get());
+    sdw::cluster::Cluster::ResizeStats stats;
+    auto target = cluster->Resize(to, &stats);
+    SDW_CHECK(target.ok());
+    // Source keeps answering reads mid-flight (read-only mode).
+    const bool readable = CountRows(cluster.get()) == before &&
+                          cluster->read_only();
+    const int64_t after = CountRows(target->get());
+    std::printf("%7d->%-2d  %12s  %14s  %18s  %16lld\n", from, to,
+                sdw::FormatBytes(stats.bytes_moved).c_str(),
+                sdw::FormatDuration(stats.modeled_seconds).c_str(),
+                readable ? "yes" : "NO", static_cast<long long>(after));
+    always_readable = always_readable && readable;
+    rows_preserved = rows_preserved && after == before;
+    if (from == 2 && to == 4) copy_2_to_4 = stats.modeled_seconds;
+    if (from == 8 && to == 16) copy_8_to_16 = stats.modeled_seconds;
+  }
+
+  std::printf("\n");
+  benchutil::Check(always_readable,
+                   "the source cluster serves reads during every resize");
+  benchutil::Check(rows_preserved, "resize never loses a row");
+  benchutil::Check(copy_8_to_16 < copy_2_to_4,
+                   "more sender nodes -> faster parallel copy");
+  return 0;
+}

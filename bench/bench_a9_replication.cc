@@ -1,0 +1,118 @@
+// A9: replication and cohorting (§2.1) — "cohorting is used to limit
+// the number of slices impacted by an individual disk or node failure.
+// Here, we attempt to balance the resource impact of re-replication
+// against the increased probability of correlated failures". This
+// bench sweeps cohort width on a 16-node fleet: blast radius,
+// re-replication fan-out, and Monte-Carlo double-fault durability.
+
+#include <cstdio>
+#include <memory>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "replication/replication.h"
+
+namespace {
+
+constexpr int kNodes = 16;
+constexpr int kBlocksPerNode = 200;
+
+struct Fleet {
+  std::vector<std::unique_ptr<sdw::storage::BlockStore>> stores;
+  std::unique_ptr<sdw::replication::ReplicationManager> mgr;
+  std::vector<sdw::storage::BlockId> blocks;
+};
+
+Fleet BuildFleet(int cohort_size, uint64_t seed) {
+  Fleet fleet;
+  std::vector<sdw::storage::BlockStore*> raw;
+  for (int n = 0; n < kNodes; ++n) {
+    fleet.stores.push_back(std::make_unique<sdw::storage::BlockStore>());
+    raw.push_back(fleet.stores.back().get());
+  }
+  fleet.mgr = std::make_unique<sdw::replication::ReplicationManager>(
+      raw, sdw::replication::ReplicationConfig{cohort_size}, seed);
+  sdw::Rng rng(seed);
+  for (int n = 0; n < kNodes; ++n) {
+    for (int b = 0; b < kBlocksPerNode; ++b) {
+      sdw::Bytes data(256);
+      for (auto& byte : data) byte = static_cast<uint8_t>(rng.Next());
+      auto id = fleet.mgr->Write(n, std::move(data));
+      SDW_CHECK(id.ok());
+      fleet.blocks.push_back(*id);
+    }
+  }
+  return fleet;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("A9", "replication cohorts: blast radius vs durability",
+                    "narrow cohorts bound failure impact; wide cohorts "
+                    "spread re-replication load but correlate failures");
+
+  std::printf("\n16 nodes x %d blocks, 2-way replication:\n", kBlocksPerNode);
+  std::printf("\n%12s  %14s  %18s  %22s\n", "cohort_size", "blast_radius",
+              "rereplicated_ok", "double_fault_loss");
+
+  double loss_narrow = 0, loss_wide = 0;
+  int radius_narrow = 0, radius_wide = 0;
+  for (int cohort : {2, 4, 8, 16}) {
+    // Blast radius + re-replication success after one node failure.
+    Fleet fleet = BuildFleet(cohort, 100 + cohort);
+    const int radius =
+        static_cast<int>(fleet.mgr->BlastRadius(3).size());
+    fleet.mgr->FailNode(3);
+    auto restored = fleet.mgr->ReReplicate();
+    SDW_CHECK(restored.ok());
+    int healthy = 0;
+    for (auto id : fleet.blocks) {
+      if (fleet.mgr->ReplicaCount(id) == 2) ++healthy;
+    }
+
+    // Monte-Carlo: two simultaneous node failures (before any
+    // re-replication): fraction of trials that lose at least one block.
+    sdw::Rng rng(7);
+    const int kTrials = 60;
+    int lossy_trials = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      Fleet trial = BuildFleet(cohort, 1000 + t);
+      int a = static_cast<int>(rng.Uniform(kNodes));
+      int b = static_cast<int>(rng.Uniform(kNodes));
+      while (b == a) b = static_cast<int>(rng.Uniform(kNodes));
+      trial.mgr->FailNode(a);
+      trial.mgr->FailNode(b);
+      for (auto id : trial.blocks) {
+        if (!trial.mgr->IsReadable(id)) {
+          ++lossy_trials;
+          break;
+        }
+      }
+    }
+    const double loss = static_cast<double>(lossy_trials) / kTrials;
+    std::printf("%12d  %11d nodes  %15d/%d  %20.0f%%\n", cohort, radius,
+                healthy, static_cast<int>(fleet.blocks.size()),
+                loss * 100);
+    if (cohort == 2) {
+      loss_narrow = loss;
+      radius_narrow = radius;
+    }
+    if (cohort == 16) {
+      loss_wide = loss;
+      radius_wide = radius;
+    }
+  }
+
+  std::printf("\n(with 2-wide cohorts only the paired node's loss is fatal "
+              "— 1/15 of double faults — while 16-wide cohorts spread "
+              "copies everywhere, so ANY double fault hits some block)\n\n");
+  benchutil::Check(radius_narrow < radius_wide,
+                   "narrow cohorts bound the re-replication blast radius");
+  benchutil::Check(loss_narrow < loss_wide,
+                   "narrow cohorts survive more double faults");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#ifndef SDW_BENCH_BENCH_UTIL_H_
+#define SDW_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace benchutil {
+
+/// Prints the experiment banner: which paper artifact this bench
+/// regenerates and what shape it checks.
+inline void Banner(const char* id, const char* artifact, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, artifact);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Wall-clock seconds of fn().
+inline double TimeIt(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Prints a PASS/FAIL shape-check line (benches exit 0 either way so the
+/// full suite always produces its tables; EXPERIMENTS.md records these).
+inline bool Check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-FAIL", what);
+  return ok;
+}
+
+}  // namespace benchutil
+
+#endif  // SDW_BENCH_BENCH_UTIL_H_

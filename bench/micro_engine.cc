@@ -1,0 +1,199 @@
+// Micro-benchmarks (google-benchmark) for the hot engine primitives:
+// codecs, expression kernels, join probe, aggregation, sketches and
+// checksums. These are the constants behind the cost model the scale
+// benches (T1) extrapolate with.
+
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "compress/codec.h"
+#include "exec/expr.h"
+#include "exec/hll.h"
+#include "exec/operators.h"
+
+namespace {
+
+using sdw::ColumnEncoding;
+using sdw::ColumnVector;
+using sdw::Datum;
+using sdw::Rng;
+using sdw::TypeId;
+
+ColumnVector SortedInts(size_t n) {
+  Rng rng(1);
+  ColumnVector v(TypeId::kInt64);
+  int64_t ts = 1400000000;
+  for (size_t i = 0; i < n; ++i) {
+    v.AppendInt(ts += static_cast<int64_t>(rng.Uniform(4)));
+  }
+  return v;
+}
+
+ColumnVector LowCardStrings(size_t n) {
+  Rng rng(2);
+  ColumnVector v(TypeId::kString);
+  for (size_t i = 0; i < n; ++i) {
+    v.AppendString("region-" + std::to_string(rng.Uniform(16)));
+  }
+  return v;
+}
+
+void BM_EncodeDelta(benchmark::State& state) {
+  ColumnVector v = SortedInts(65536);
+  for (auto _ : state) {
+    sdw::Bytes out;
+    SDW_CHECK_OK(sdw::compress::EncodeColumn(ColumnEncoding::kDelta, v, &out));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * 65536 * 8);
+}
+BENCHMARK(BM_EncodeDelta);
+
+void BM_DecodeDelta(benchmark::State& state) {
+  ColumnVector v = SortedInts(65536);
+  sdw::Bytes encoded;
+  SDW_CHECK_OK(
+      sdw::compress::EncodeColumn(ColumnEncoding::kDelta, v, &encoded));
+  for (auto _ : state) {
+    auto decoded =
+        sdw::compress::DecodeColumn(ColumnEncoding::kDelta, TypeId::kInt64,
+                                    encoded);
+    SDW_CHECK(decoded.ok());
+    benchmark::DoNotOptimize(*decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * 65536 * 8);
+}
+BENCHMARK(BM_DecodeDelta);
+
+void BM_EncodeBytedict(benchmark::State& state) {
+  ColumnVector v = LowCardStrings(65536);
+  for (auto _ : state) {
+    sdw::Bytes out;
+    SDW_CHECK_OK(
+        sdw::compress::EncodeColumn(ColumnEncoding::kBytedict, v, &out));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_EncodeBytedict);
+
+void BM_Lz77RoundTrip(benchmark::State& state) {
+  ColumnVector v = LowCardStrings(65536);
+  for (auto _ : state) {
+    sdw::Bytes out;
+    SDW_CHECK_OK(sdw::compress::EncodeColumn(ColumnEncoding::kLz, v, &out));
+    auto back =
+        sdw::compress::DecodeColumn(ColumnEncoding::kLz, TypeId::kString, out);
+    SDW_CHECK(back.ok());
+    benchmark::DoNotOptimize(*back);
+  }
+}
+BENCHMARK(BM_Lz77RoundTrip);
+
+void BM_CompareKernelSpecialized(benchmark::State& state) {
+  // column < literal over a null-free int lane (the fused fast path).
+  sdw::exec::Batch batch;
+  Rng rng(3);
+  ColumnVector v(TypeId::kInt64);
+  for (int i = 0; i < 65536; ++i) v.AppendInt(rng.UniformRange(0, 100));
+  batch.columns.push_back(std::move(v));
+  auto expr = sdw::exec::Cmp(sdw::exec::CmpOp::kLt,
+                             sdw::exec::Col(0, TypeId::kInt64),
+                             sdw::exec::Lit(Datum::Int64(50)));
+  for (auto _ : state) {
+    auto mask = expr->EvalBatch(batch);
+    SDW_CHECK(mask.ok());
+    benchmark::DoNotOptimize(*mask);
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_CompareKernelSpecialized);
+
+void BM_CompareKernelRowAtATime(benchmark::State& state) {
+  // The same predicate evaluated the interpreted way: one Datum-boxed
+  // virtual-dispatch evaluation per row.
+  sdw::exec::Batch batch;
+  Rng rng(3);
+  ColumnVector v(TypeId::kInt64);
+  for (int i = 0; i < 65536; ++i) v.AppendInt(rng.UniformRange(0, 100));
+  batch.columns.push_back(std::move(v));
+  auto expr = sdw::exec::Cmp(sdw::exec::CmpOp::kLt,
+                             sdw::exec::Col(0, TypeId::kInt64),
+                             sdw::exec::Lit(Datum::Int64(50)));
+  for (auto _ : state) {
+    int64_t kept = 0;
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      auto r = expr->EvalRow(batch.RowAt(i));
+      SDW_CHECK(r.ok());
+      kept += (!r->is_null() && r->int_value()) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_CompareKernelRowAtATime);
+
+void BM_HashAggregateFastPath(benchmark::State& state) {
+  Rng rng(5);
+  sdw::exec::Batch source;
+  ColumnVector key(TypeId::kInt64), val(TypeId::kInt64);
+  for (int i = 0; i < 65536; ++i) {
+    key.AppendInt(rng.UniformRange(0, 63));
+    val.AppendInt(rng.UniformRange(0, 100));
+  }
+  source.columns.push_back(std::move(key));
+  source.columns.push_back(std::move(val));
+  auto types = source.Types();
+  for (auto _ : state) {
+    state.PauseTiming();
+    sdw::exec::Batch copy = sdw::exec::MakeBatch(types);
+    for (size_t c = 0; c < 2; ++c) {
+      SDW_CHECK_OK(copy.columns[c].AppendRange(source.columns[c], 0, 65536));
+    }
+    std::vector<sdw::exec::Batch> batches;
+    batches.push_back(std::move(copy));
+    state.ResumeTiming();
+    auto agg = sdw::exec::HashAggregate(
+        sdw::exec::MemoryScan(types, std::move(batches)), {0},
+        {{sdw::exec::AggFn::kCount, -1}, {sdw::exec::AggFn::kSum, 1}});
+    auto out = sdw::exec::Collect(agg.get());
+    SDW_CHECK(out.ok());
+    benchmark::DoNotOptimize(*out);
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_HashAggregateFastPath);
+
+void BM_HllAdd(benchmark::State& state) {
+  sdw::exec::HyperLogLog hll;
+  Rng rng(7);
+  for (auto _ : state) {
+    hll.Add(rng.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HllAdd);
+
+void BM_Crc32c(benchmark::State& state) {
+  sdw::Bytes block(1 << 20);
+  Rng rng(9);
+  for (auto& b : block) b = static_cast<uint8_t>(rng.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdw::Crc32c(block.data(), block.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * block.size());
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_DatumHashString(benchmark::State& state) {
+  Datum d = Datum::String("a-plausible-url-path/of/typical/length");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.Hash());
+  }
+}
+BENCHMARK(BM_DatumHashString);
+
+}  // namespace
+
+BENCHMARK_MAIN();

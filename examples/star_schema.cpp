@@ -1,0 +1,170 @@
+// Star-schema analytics: a Star Schema Benchmark-flavored workload
+// (lineorder fact + date/customer/part dimensions) demonstrating the
+// paper's whole physical-design story in one place: DISTKEY the fact on
+// its biggest join key, DISTSTYLE ALL the small dimensions, SORTKEY the
+// date column — then run the same queries against a naive design (all
+// EVEN, no sort keys) and print the difference the two knobs make.
+//
+// Run: ./build/examples/star_schema
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+using sdw::warehouse::Warehouse;
+using sdw::warehouse::WarehouseOptions;
+
+constexpr int kLineorders = 150000;
+constexpr int kCustomers = 3000;
+constexpr int kParts = 2000;
+constexpr int kDays = 365;
+
+void Must(const sdw::Result<sdw::warehouse::StatementResult>& r,
+          const char* what) {
+  if (!r.ok()) {
+    std::cerr << what << ": " << r.status() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Builds the star schema with or without the tuned physical design.
+std::unique_ptr<Warehouse> BuildWarehouse(bool tuned) {
+  WarehouseOptions options;
+  options.cluster.num_nodes = 2;
+  options.cluster.slices_per_node = 2;
+  auto wh = std::make_unique<Warehouse>(options);
+
+  const char* fact_ddl =
+      tuned ? "CREATE TABLE lineorder (orderdate BIGINT, custkey BIGINT, "
+              "partkey BIGINT, quantity BIGINT, revenue DOUBLE PRECISION) "
+              "DISTKEY(custkey) SORTKEY(orderdate)"
+            : "CREATE TABLE lineorder (orderdate BIGINT, custkey BIGINT, "
+              "partkey BIGINT, quantity BIGINT, revenue DOUBLE PRECISION)";
+  Must(wh->Execute(fact_ddl), "create lineorder");
+  Must(wh->Execute(tuned ? "CREATE TABLE customer (custkey BIGINT, region "
+                           "VARCHAR, segment VARCHAR) DISTKEY(custkey)"
+                         : "CREATE TABLE customer (custkey BIGINT, region "
+                           "VARCHAR, segment VARCHAR)"),
+       "create customer");
+  Must(wh->Execute(tuned ? "CREATE TABLE part (partkey BIGINT, category "
+                           "VARCHAR, brand VARCHAR) DISTSTYLE ALL"
+                         : "CREATE TABLE part (partkey BIGINT, category "
+                           "VARCHAR, brand VARCHAR)"),
+       "create part");
+
+  sdw::Rng rng(2015);
+  const char* regions[] = {"AMERICA", "EUROPE", "ASIA", "AFRICA", "MEA"};
+  const char* segments[] = {"AUTOMOBILE", "BUILDING", "MACHINERY"};
+  {
+    std::string csv;
+    for (int c = 0; c < kCustomers; ++c) {
+      csv += std::to_string(c) + "," + regions[rng.Uniform(5)] + "," +
+             segments[rng.Uniform(3)] + "\n";
+    }
+    (void)wh->s3()->region("us-east-1")->PutObject(
+        "ssb/customer/part-0", sdw::Bytes(csv.begin(), csv.end()));
+    Must(wh->Execute("COPY customer FROM 's3://ssb/customer/'"),
+         "copy customer");
+  }
+  {
+    std::string csv;
+    for (int p = 0; p < kParts; ++p) {
+      csv += std::to_string(p) + ",MFGR#" + std::to_string(1 + p % 5) +
+             ",Brand#" + std::to_string(1 + p % 40) + "\n";
+    }
+    (void)wh->s3()->region("us-east-1")->PutObject(
+        "ssb/part/part-0", sdw::Bytes(csv.begin(), csv.end()));
+    Must(wh->Execute("COPY part FROM 's3://ssb/part/'"), "copy part");
+  }
+  // Fact loads arrive as 12 "monthly" COPYs.
+  for (int month = 0; month < 12; ++month) {
+    std::string csv;
+    for (int i = 0; i < kLineorders / 12; ++i) {
+      const int day = month * (kDays / 12) + static_cast<int>(rng.Uniform(30));
+      csv += std::to_string(day) + "," +
+             std::to_string(rng.Zipf(kCustomers, 0.5)) + "," +
+             std::to_string(rng.Uniform(kParts)) + "," +
+             std::to_string(1 + rng.Uniform(50)) + "," +
+             std::to_string(10.0 + rng.NextDouble() * 990.0) + "\n";
+    }
+    const std::string key = "ssb/lineorder/month-" + std::to_string(month);
+    (void)wh->s3()->region("us-east-1")->PutObject(
+        key, sdw::Bytes(csv.begin(), csv.end()));
+    Must(wh->Execute("COPY lineorder FROM 's3://" + key + "'"),
+         "copy lineorder");
+  }
+  // Merge the 12 sorted runs (nightly maintenance).
+  Must(wh->Execute("VACUUM lineorder"), "vacuum");
+  Must(wh->Execute("ANALYZE lineorder"), "analyze");
+  Must(wh->Execute("ANALYZE customer"), "analyze");
+  Must(wh->Execute("ANALYZE part"), "analyze");
+  return wh;
+}
+
+struct QueryCost {
+  double slice_seconds = 0;
+  uint64_t network = 0;
+  uint64_t blocks = 0;
+};
+
+QueryCost Run(Warehouse* wh, const std::string& sql, bool print) {
+  auto r = wh->Execute(sql);
+  Must(r, sql.c_str());
+  if (print) std::cout << r->ToTable(8) << "\n";
+  return {r->exec_stats.MaxSliceSeconds(), r->exec_stats.network_bytes,
+          r->exec_stats.blocks_decoded};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Star-schema analytics (SSB-flavored) ==\n\n";
+  auto tuned = BuildWarehouse(/*tuned=*/true);
+  auto naive = BuildWarehouse(/*tuned=*/false);
+
+  const std::vector<std::pair<const char*, std::string>> queries = {
+      {"Q1: monthly revenue, one quarter (sort-key range scan)",
+       "SELECT orderdate, SUM(revenue) AS rev FROM lineorder "
+       "WHERE orderdate BETWEEN 90 AND 179 GROUP BY orderdate "
+       "ORDER BY rev DESC LIMIT 5"},
+      {"Q2: revenue by region (co-located customer join)",
+       "SELECT region, COUNT(*) AS orders, SUM(revenue) AS rev "
+       "FROM lineorder JOIN customer ON lineorder.custkey = "
+       "customer.custkey GROUP BY region ORDER BY rev DESC"},
+      {"Q3: brand drill-down (replicated part join + range)",
+       "SELECT category, AVG(revenue) AS avg_rev FROM lineorder "
+       "JOIN part ON lineorder.partkey = part.partkey "
+       "WHERE orderdate BETWEEN 0 AND 89 GROUP BY category ORDER BY "
+       "avg_rev DESC"},
+      {"Q4: distinct buyers per segment (HLL sketches)",
+       "SELECT segment, APPROXIMATE COUNT(DISTINCT lineorder.custkey) AS "
+       "buyers FROM lineorder JOIN customer ON lineorder.custkey = "
+       "customer.custkey GROUP BY segment ORDER BY buyers DESC"},
+  };
+
+  std::printf("%-55s  %12s  %12s  %10s\n", "", "tuned", "naive", "blocks");
+  for (const auto& [label, sql] : queries) {
+    std::cout << "\n" << label << ":\n";
+    QueryCost tuned_cost = Run(tuned.get(), sql, true);
+    QueryCost naive_cost = Run(naive.get(), sql, false);
+    std::printf("  slice time  %12s  vs  %12s\n",
+                sdw::FormatDuration(tuned_cost.slice_seconds).c_str(),
+                sdw::FormatDuration(naive_cost.slice_seconds).c_str());
+    std::printf("  network     %12s  vs  %12s\n",
+                sdw::FormatBytes(tuned_cost.network).c_str(),
+                sdw::FormatBytes(naive_cost.network).c_str());
+    std::printf("  blocks      %12llu  vs  %12llu\n",
+                static_cast<unsigned long long>(tuned_cost.blocks),
+                static_cast<unsigned long long>(naive_cost.blocks));
+  }
+
+  std::cout << "\nThe whole physical design surface is two table "
+               "attributes — DISTKEY/DISTSTYLE and SORTKEY — and both "
+               "degrade gracefully when wrong (§3.3).\n";
+  return 0;
+}

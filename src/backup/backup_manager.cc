@@ -1,0 +1,217 @@
+#include "backup/backup_manager.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sdw::backup {
+
+BackupManager::BackupManager(S3* s3, std::string region,
+                             std::string cluster_id,
+                             cluster::CostModel cost_model)
+    : s3_(s3),
+      region_(std::move(region)),
+      cluster_id_(std::move(cluster_id)),
+      cost_model_(cost_model) {}
+
+std::string BackupManager::BlockKey(storage::BlockId id) const {
+  return cluster_id_ + "/blocks/" + std::to_string(id);
+}
+
+std::string BackupManager::ManifestKey(uint64_t snapshot_id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012llu",
+                static_cast<unsigned long long>(snapshot_id));
+  return cluster_id_ + "/manifests/" + buf;
+}
+
+Result<BackupManager::BackupStats> BackupManager::Backup(
+    cluster::Cluster* cluster, bool user_initiated) {
+  S3Region* region = s3_->region(region_);
+  SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, CaptureManifest(cluster));
+  manifest.snapshot_id = next_snapshot_id_++;
+  manifest.user_initiated = user_initiated;
+
+  BackupStats stats;
+  stats.snapshot_id = manifest.snapshot_id;
+  std::vector<uint64_t> per_node_bytes(cluster->num_nodes(), 0);
+
+  // Upload blocks that are not already backed up (incremental; user
+  // backups "leverage the blocks already backed up in system backups").
+  for (const TableManifest& table : manifest.tables) {
+    for (const ShardManifest& shard : table.shards) {
+      cluster::ComputeNode* node = cluster->NodeOfSlice(shard.global_slice);
+      for (const auto& chain : shard.chains) {
+        for (const storage::BlockMeta& meta : chain) {
+          const std::string key = BlockKey(meta.id);
+          if (region->HasObject(key)) {
+            ++stats.blocks_skipped;
+            continue;
+          }
+          SDW_ASSIGN_OR_RETURN(Bytes data, node->store()->GetRaw(meta.id));
+          stats.bytes_uploaded += data.size();
+          per_node_bytes[node->node_id()] += data.size();
+          SDW_RETURN_IF_ERROR(region->PutObject(key, std::move(data)));
+          ++stats.blocks_uploaded;
+        }
+      }
+    }
+  }
+
+  Bytes manifest_bytes;
+  SerializeManifest(manifest, &manifest_bytes);
+  SDW_RETURN_IF_ERROR(
+      region->PutObject(ManifestKey(manifest.snapshot_id),
+                        std::move(manifest_bytes)));
+
+  // Nodes upload in parallel: the busiest node bounds wall clock.
+  uint64_t max_node_bytes = 0;
+  for (uint64_t b : per_node_bytes) max_node_bytes = std::max(max_node_bytes, b);
+  stats.modeled_seconds = cost_model_.S3Seconds(max_node_bytes, 1);
+  return stats;
+}
+
+std::vector<uint64_t> BackupManager::ListSnapshots() {
+  std::vector<uint64_t> ids;
+  const std::string prefix = cluster_id_ + "/manifests/";
+  for (const std::string& key : s3_->region(region_)->ListPrefix(prefix)) {
+    ids.push_back(std::stoull(key.substr(prefix.size())));
+  }
+  return ids;
+}
+
+Result<SnapshotManifest> BackupManager::GetManifest(uint64_t snapshot_id) {
+  SDW_ASSIGN_OR_RETURN(Bytes data, s3_->region(region_)->GetObject(
+                                       ManifestKey(snapshot_id)));
+  return DeserializeManifest(data);
+}
+
+Status BackupManager::DeleteSnapshot(uint64_t snapshot_id) {
+  return s3_->region(region_)->DeleteObject(ManifestKey(snapshot_id));
+}
+
+Result<int> BackupManager::AgeSystemBackups(int keep_latest) {
+  std::vector<uint64_t> ids = ListSnapshots();
+  // Partition into system/user; ids ascend (oldest first).
+  std::vector<uint64_t> system_ids;
+  for (uint64_t id : ids) {
+    SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, GetManifest(id));
+    if (!manifest.user_initiated) system_ids.push_back(id);
+  }
+  int removed = 0;
+  if (static_cast<int>(system_ids.size()) > keep_latest) {
+    const size_t to_remove = system_ids.size() - keep_latest;
+    for (size_t i = 0; i < to_remove; ++i) {
+      SDW_RETURN_IF_ERROR(DeleteSnapshot(system_ids[i]));
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+Result<uint64_t> BackupManager::CollectGarbage() {
+  S3Region* region = s3_->region(region_);
+  std::set<std::string> referenced;
+  for (uint64_t id : ListSnapshots()) {
+    SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, GetManifest(id));
+    for (storage::BlockId block : manifest.ReferencedBlocks()) {
+      referenced.insert(BlockKey(block));
+    }
+  }
+  uint64_t reclaimed = 0;
+  for (const std::string& key :
+       region->ListPrefix(cluster_id_ + "/blocks/")) {
+    if (referenced.count(key)) continue;
+    SDW_ASSIGN_OR_RETURN(Bytes data, region->GetObject(key));
+    reclaimed += data.size();
+    SDW_RETURN_IF_ERROR(region->DeleteObject(key));
+  }
+  return reclaimed;
+}
+
+Result<std::unique_ptr<cluster::Cluster>> BackupManager::RestoreInternal(
+    S3Region* source, uint64_t snapshot_id, RestoreStats* stats) {
+  SDW_ASSIGN_OR_RETURN(Bytes manifest_bytes,
+                       source->GetObject(ManifestKey(snapshot_id)));
+  SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest,
+                       DeserializeManifest(manifest_bytes));
+
+  auto cluster = std::make_unique<cluster::Cluster>(manifest.config);
+  // Wire page-faulting: any read of a missing block fetches it from the
+  // object store and caches it locally (§2.3 streaming restore).
+  for (int n = 0; n < cluster->num_nodes(); ++n) {
+    cluster->node(n)->store()->set_fault_handler(
+        [source, this](storage::BlockId id) -> Result<Bytes> {
+          return source->GetObject(BlockKey(id));
+        });
+  }
+
+  uint64_t total_blocks = 0;
+  uint64_t total_bytes = 0;
+  uint64_t manifest_bytes_size = manifest_bytes.size();
+  for (const TableManifest& table : manifest.tables) {
+    SDW_RETURN_IF_ERROR(cluster->CreateTable(table.schema));
+    TableStats table_stats;
+    table_stats.row_count = table.stats_row_count;
+    table_stats.columns.resize(table.schema.num_columns());
+    cluster->catalog()->UpdateStats(table.schema.name(), table_stats);
+    for (const ShardManifest& shard : table.shards) {
+      SDW_ASSIGN_OR_RETURN(
+          storage::TableShard * target,
+          cluster->shard(shard.global_slice, table.schema.name()));
+      for (const auto& chain : shard.chains) {
+        total_blocks += chain.size();
+        for (const auto& meta : chain) total_bytes += meta.encoded_bytes;
+      }
+      SDW_RETURN_IF_ERROR(target->LoadChains(shard.chains));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->total_blocks = total_blocks;
+    stats->total_bytes = total_bytes;
+    // First query needs only the manifest/catalog (tiny); full restore
+    // streams every block through the per-node S3 pipes.
+    stats->time_to_first_query_seconds =
+        cost_model_.S3Seconds(manifest_bytes_size, 1);
+    stats->full_restore_seconds =
+        cost_model_.S3Seconds(total_bytes, cluster->num_nodes());
+  }
+  return cluster;
+}
+
+Result<std::unique_ptr<cluster::Cluster>> BackupManager::StreamingRestore(
+    uint64_t snapshot_id, RestoreStats* stats) {
+  return RestoreInternal(s3_->region(region_), snapshot_id, stats);
+}
+
+Result<std::unique_ptr<cluster::Cluster>>
+BackupManager::StreamingRestoreFromRegion(const std::string& region,
+                                          uint64_t snapshot_id,
+                                          RestoreStats* stats) {
+  return RestoreInternal(s3_->region(region), snapshot_id, stats);
+}
+
+Result<uint64_t> BackupManager::FinishRestore(cluster::Cluster* cluster,
+                                              uint64_t snapshot_id) {
+  SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, GetManifest(snapshot_id));
+  uint64_t bytes = 0;
+  for (const TableManifest& table : manifest.tables) {
+    for (const ShardManifest& shard : table.shards) {
+      cluster::ComputeNode* node = cluster->NodeOfSlice(shard.global_slice);
+      for (const auto& chain : shard.chains) {
+        for (const storage::BlockMeta& meta : chain) {
+          SDW_ASSIGN_OR_RETURN(Bytes data, node->store()->GetRaw(meta.id));
+          bytes += data.size();
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+Result<uint64_t> BackupManager::ReplicateToRegion(
+    const std::string& dst_region) {
+  return s3_->CopyPrefix(region_, cluster_id_ + "/", dst_region);
+}
+
+}  // namespace sdw::backup

@@ -1,0 +1,314 @@
+#include "backup/manifest.h"
+
+#include <set>
+
+namespace sdw::backup {
+
+namespace {
+constexpr uint8_t kDatumNull = 0;
+constexpr uint8_t kDatumValue = 1;
+}  // namespace
+
+void SerializeDatum(const Datum& value, Bytes* out) {
+  out->push_back(static_cast<uint8_t>(value.type()));
+  if (value.is_null()) {
+    out->push_back(kDatumNull);
+    return;
+  }
+  out->push_back(kDatumValue);
+  switch (value.type()) {
+    case TypeId::kString:
+      PutLengthPrefixed(out, value.string_value());
+      break;
+    case TypeId::kDouble: {
+      uint64_t bits;
+      double d = value.double_value();
+      __builtin_memcpy(&bits, &d, 8);
+      PutFixed64(out, bits);
+      break;
+    }
+    default:
+      PutVarint64(out, ZigZagEncode(value.int_value()));
+      break;
+  }
+}
+
+Result<Datum> DeserializeDatum(const Bytes& data, size_t* pos) {
+  if (*pos + 2 > data.size()) return Status::Corruption("datum truncated");
+  const TypeId type = static_cast<TypeId>(data[(*pos)++]);
+  const uint8_t flag = data[(*pos)++];
+  if (flag == kDatumNull) return Datum::Null();
+  switch (type) {
+    case TypeId::kString: {
+      std::string s;
+      if (!GetLengthPrefixed(data, pos, &s)) {
+        return Status::Corruption("datum string truncated");
+      }
+      return Datum::String(std::move(s));
+    }
+    case TypeId::kDouble: {
+      if (*pos + 8 > data.size()) {
+        return Status::Corruption("datum double truncated");
+      }
+      uint64_t bits = GetFixed64(data.data() + *pos);
+      *pos += 8;
+      double d;
+      __builtin_memcpy(&d, &bits, 8);
+      return Datum::Double(d);
+    }
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate: {
+      uint64_t raw = 0;
+      if (!GetVarint64(data, pos, &raw)) {
+        return Status::Corruption("datum int truncated");
+      }
+      int64_t v = ZigZagDecode(raw);
+      switch (type) {
+        case TypeId::kBool:
+          return Datum::Bool(v != 0);
+        case TypeId::kInt32:
+          return Datum::Int32(static_cast<int32_t>(v));
+        case TypeId::kDate:
+          return Datum::Date(static_cast<int32_t>(v));
+        default:
+          return Datum::Int64(v);
+      }
+    }
+  }
+  return Status::Corruption("datum has unknown type");
+}
+
+namespace {
+
+void SerializeSchema(const TableSchema& schema, Bytes* out) {
+  PutLengthPrefixed(out, schema.name());
+  PutVarint64(out, schema.num_columns());
+  for (const ColumnDef& col : schema.columns()) {
+    PutLengthPrefixed(out, col.name);
+    out->push_back(static_cast<uint8_t>(col.type));
+    out->push_back(static_cast<uint8_t>(col.encoding));
+    out->push_back(col.nullable ? 1 : 0);
+  }
+  out->push_back(static_cast<uint8_t>(schema.dist_style()));
+  PutVarint64(out, ZigZagEncode(schema.dist_key()));
+  out->push_back(static_cast<uint8_t>(schema.sort_style()));
+  PutVarint64(out, schema.sort_keys().size());
+  for (int k : schema.sort_keys()) PutVarint64(out, ZigZagEncode(k));
+}
+
+Result<TableSchema> DeserializeSchema(const Bytes& data, size_t* pos) {
+  std::string name;
+  if (!GetLengthPrefixed(data, pos, &name)) {
+    return Status::Corruption("schema name truncated");
+  }
+  uint64_t ncols = 0;
+  if (!GetVarint64(data, pos, &ncols)) {
+    return Status::Corruption("schema truncated");
+  }
+  std::vector<ColumnDef> cols;
+  for (uint64_t c = 0; c < ncols; ++c) {
+    ColumnDef col;
+    if (!GetLengthPrefixed(data, pos, &col.name) ||
+        *pos + 3 > data.size()) {
+      return Status::Corruption("column def truncated");
+    }
+    col.type = static_cast<TypeId>(data[(*pos)++]);
+    col.encoding = static_cast<ColumnEncoding>(data[(*pos)++]);
+    col.nullable = data[(*pos)++] != 0;
+    cols.push_back(std::move(col));
+  }
+  TableSchema schema(name, cols);
+  if (*pos >= data.size()) return Status::Corruption("schema truncated");
+  const DistStyle dist = static_cast<DistStyle>(data[(*pos)++]);
+  uint64_t raw = 0;
+  if (!GetVarint64(data, pos, &raw)) {
+    return Status::Corruption("schema truncated");
+  }
+  const int dist_key = static_cast<int>(ZigZagDecode(raw));
+  if (dist == DistStyle::kKey && dist_key >= 0) {
+    SDW_RETURN_IF_ERROR(schema.SetDistKey(cols[dist_key].name));
+  } else {
+    schema.SetDistStyle(dist);
+  }
+  if (*pos >= data.size()) return Status::Corruption("schema truncated");
+  const SortStyle sort = static_cast<SortStyle>(data[(*pos)++]);
+  uint64_t nkeys = 0;
+  if (!GetVarint64(data, pos, &nkeys)) {
+    return Status::Corruption("schema truncated");
+  }
+  std::vector<std::string> sort_names;
+  for (uint64_t k = 0; k < nkeys; ++k) {
+    uint64_t kraw = 0;
+    if (!GetVarint64(data, pos, &kraw)) {
+      return Status::Corruption("schema truncated");
+    }
+    sort_names.push_back(cols[ZigZagDecode(kraw)].name);
+  }
+  if (sort != SortStyle::kNone) {
+    SDW_RETURN_IF_ERROR(schema.SetSortKey(sort, sort_names));
+  }
+  return schema;
+}
+
+void SerializeBlockMeta(const storage::BlockMeta& meta, Bytes* out) {
+  PutVarint64(out, meta.id);
+  PutVarint64(out, meta.first_row);
+  PutVarint64(out, meta.row_count);
+  out->push_back(static_cast<uint8_t>(meta.encoding));
+  PutVarint64(out, meta.encoded_bytes);
+  out->push_back(meta.zone.has_values() ? 1 : 0);
+  out->push_back(meta.zone.has_nulls() ? 1 : 0);
+  if (meta.zone.has_values()) {
+    SerializeDatum(meta.zone.min(), out);
+    SerializeDatum(meta.zone.max(), out);
+  }
+}
+
+Result<storage::BlockMeta> DeserializeBlockMeta(const Bytes& data,
+                                                size_t* pos) {
+  storage::BlockMeta meta;
+  uint64_t id = 0, first = 0, rows = 0, bytes = 0;
+  if (!GetVarint64(data, pos, &id) || !GetVarint64(data, pos, &first) ||
+      !GetVarint64(data, pos, &rows) || *pos >= data.size()) {
+    return Status::Corruption("block meta truncated");
+  }
+  meta.id = id;
+  meta.first_row = first;
+  meta.row_count = rows;
+  meta.encoding = static_cast<ColumnEncoding>(data[(*pos)++]);
+  if (!GetVarint64(data, pos, &bytes) || *pos + 2 > data.size()) {
+    return Status::Corruption("block meta truncated");
+  }
+  meta.encoded_bytes = bytes;
+  const bool has_values = data[(*pos)++] != 0;
+  const bool has_nulls = data[(*pos)++] != 0;
+  if (has_nulls) meta.zone.Update(Datum::Null());
+  if (has_values) {
+    SDW_ASSIGN_OR_RETURN(Datum lo, DeserializeDatum(data, pos));
+    SDW_ASSIGN_OR_RETURN(Datum hi, DeserializeDatum(data, pos));
+    meta.zone.Update(lo);
+    meta.zone.Update(hi);
+  }
+  return meta;
+}
+
+}  // namespace
+
+std::vector<storage::BlockId> SnapshotManifest::ReferencedBlocks() const {
+  std::set<storage::BlockId> ids;
+  for (const TableManifest& table : tables) {
+    for (const ShardManifest& shard : table.shards) {
+      for (const auto& chain : shard.chains) {
+        for (const auto& meta : chain) ids.insert(meta.id);
+      }
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
+void SerializeManifest(const SnapshotManifest& manifest, Bytes* out) {
+  PutVarint64(out, manifest.snapshot_id);
+  out->push_back(manifest.user_initiated ? 1 : 0);
+  PutVarint64(out, manifest.config.num_nodes);
+  PutVarint64(out, manifest.config.slices_per_node);
+  PutVarint64(out, manifest.config.storage.block_bytes);
+  PutVarint64(out, manifest.config.storage.max_rows_per_block);
+  PutVarint64(out, manifest.tables.size());
+  for (const TableManifest& table : manifest.tables) {
+    SerializeSchema(table.schema, out);
+    PutVarint64(out, table.stats_row_count);
+    PutVarint64(out, table.shards.size());
+    for (const ShardManifest& shard : table.shards) {
+      PutVarint64(out, shard.global_slice);
+      PutVarint64(out, shard.chains.size());
+      for (const auto& chain : shard.chains) {
+        PutVarint64(out, chain.size());
+        for (const auto& meta : chain) SerializeBlockMeta(meta, out);
+      }
+    }
+  }
+}
+
+Result<SnapshotManifest> DeserializeManifest(const Bytes& data) {
+  SnapshotManifest manifest;
+  size_t pos = 0;
+  uint64_t v = 0;
+  if (!GetVarint64(data, &pos, &v)) return Status::Corruption("manifest");
+  manifest.snapshot_id = v;
+  if (pos >= data.size()) return Status::Corruption("manifest");
+  manifest.user_initiated = data[pos++] != 0;
+  uint64_t nodes = 0, slices = 0, block_bytes = 0, max_rows = 0, ntables = 0;
+  if (!GetVarint64(data, &pos, &nodes) || !GetVarint64(data, &pos, &slices) ||
+      !GetVarint64(data, &pos, &block_bytes) ||
+      !GetVarint64(data, &pos, &max_rows) ||
+      !GetVarint64(data, &pos, &ntables)) {
+    return Status::Corruption("manifest header truncated");
+  }
+  manifest.config.num_nodes = static_cast<int>(nodes);
+  manifest.config.slices_per_node = static_cast<int>(slices);
+  manifest.config.storage.block_bytes = block_bytes;
+  manifest.config.storage.max_rows_per_block = max_rows;
+  for (uint64_t t = 0; t < ntables; ++t) {
+    TableManifest table;
+    SDW_ASSIGN_OR_RETURN(table.schema, DeserializeSchema(data, &pos));
+    uint64_t stats_rows = 0, nshards = 0;
+    if (!GetVarint64(data, &pos, &stats_rows) ||
+        !GetVarint64(data, &pos, &nshards)) {
+      return Status::Corruption("table manifest truncated");
+    }
+    table.stats_row_count = stats_rows;
+    for (uint64_t s = 0; s < nshards; ++s) {
+      ShardManifest shard;
+      uint64_t slice = 0, nchains = 0;
+      if (!GetVarint64(data, &pos, &slice) ||
+          !GetVarint64(data, &pos, &nchains)) {
+        return Status::Corruption("shard manifest truncated");
+      }
+      shard.global_slice = static_cast<int>(slice);
+      for (uint64_t c = 0; c < nchains; ++c) {
+        uint64_t nblocks = 0;
+        if (!GetVarint64(data, &pos, &nblocks)) {
+          return Status::Corruption("chain truncated");
+        }
+        std::vector<storage::BlockMeta> chain;
+        for (uint64_t b = 0; b < nblocks; ++b) {
+          SDW_ASSIGN_OR_RETURN(storage::BlockMeta meta,
+                               DeserializeBlockMeta(data, &pos));
+          chain.push_back(std::move(meta));
+        }
+        shard.chains.push_back(std::move(chain));
+      }
+      table.shards.push_back(std::move(shard));
+    }
+    manifest.tables.push_back(std::move(table));
+  }
+  return manifest;
+}
+
+Result<SnapshotManifest> CaptureManifest(cluster::Cluster* cluster) {
+  SnapshotManifest manifest;
+  manifest.config = cluster->config();
+  manifest.config.num_nodes = cluster->num_nodes();
+  for (const std::string& name : cluster->catalog()->TableNames()) {
+    SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                         cluster->catalog()->GetTable(name));
+    TableManifest table;
+    table.schema = schema;
+    table.stats_row_count = cluster->catalog()->GetStats(name).row_count;
+    for (int s = 0; s < cluster->total_slices(); ++s) {
+      SDW_ASSIGN_OR_RETURN(storage::TableShard * shard, cluster->shard(s, name));
+      ShardManifest sm;
+      sm.global_slice = s;
+      for (size_t c = 0; c < shard->num_columns(); ++c) {
+        sm.chains.push_back(shard->chain(c));
+      }
+      table.shards.push_back(std::move(sm));
+    }
+    manifest.tables.push_back(std::move(table));
+  }
+  return manifest;
+}
+
+}  // namespace sdw::backup

@@ -1,0 +1,54 @@
+#ifndef SDW_BACKUP_MANIFEST_H_
+#define SDW_BACKUP_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "cluster/cluster.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "storage/table_shard.h"
+
+namespace sdw::backup {
+
+/// One slice's chains for one table, as captured at snapshot time.
+struct ShardManifest {
+  int global_slice = 0;
+  /// chains[column] = block metadata in chain order.
+  std::vector<std::vector<storage::BlockMeta>> chains;
+};
+
+struct TableManifest {
+  TableSchema schema;
+  uint64_t stats_row_count = 0;
+  std::vector<ShardManifest> shards;
+};
+
+/// A full point-in-time description of a cluster: topology, catalog and
+/// every block chain. Restoring the manifest is all that is needed to
+/// open the database for SQL — data blocks stream in afterwards (§2.3).
+struct SnapshotManifest {
+  uint64_t snapshot_id = 0;
+  bool user_initiated = false;  // user backups are kept until deleted
+  cluster::ClusterConfig config;
+  std::vector<TableManifest> tables;
+
+  /// Every block id referenced by this snapshot.
+  std::vector<storage::BlockId> ReferencedBlocks() const;
+};
+
+/// Wire form round-trip (stored as the S3 manifest object).
+void SerializeManifest(const SnapshotManifest& manifest, Bytes* out);
+Result<SnapshotManifest> DeserializeManifest(const Bytes& data);
+
+/// Datum wire helpers, shared with tests.
+void SerializeDatum(const Datum& value, Bytes* out);
+Result<Datum> DeserializeDatum(const Bytes& data, size_t* pos);
+
+/// Captures the manifest of a live cluster.
+Result<SnapshotManifest> CaptureManifest(cluster::Cluster* cluster);
+
+}  // namespace sdw::backup
+
+#endif  // SDW_BACKUP_MANIFEST_H_

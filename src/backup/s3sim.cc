@@ -1,0 +1,72 @@
+#include "backup/s3sim.h"
+
+namespace sdw::backup {
+
+Status S3Region::PutObject(const std::string& key, Bytes data) {
+  if (!available_) return Status::Unavailable("region " + name_ + " is down");
+  ++puts_;
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    total_bytes_ -= it->second.size();
+  }
+  total_bytes_ += data.size();
+  objects_[key] = std::move(data);
+  return Status::OK();
+}
+
+Result<Bytes> S3Region::GetObject(const std::string& key) const {
+  if (!available_) return Status::Unavailable("region " + name_ + " is down");
+  ++gets_;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object '" + key + "' in " + name_);
+  }
+  return it->second;
+}
+
+Status S3Region::DeleteObject(const std::string& key) {
+  if (!available_) return Status::Unavailable("region " + name_ + " is down");
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object '" + key + "'");
+  total_bytes_ -= it->second.size();
+  objects_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> S3Region::ListPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+S3Region* S3::region(const std::string& name) {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    it = regions_.emplace(name, S3Region(name)).first;
+  }
+  return &it->second;
+}
+
+Status S3::CopyObject(const std::string& src_region, const std::string& key,
+                      const std::string& dst_region) {
+  SDW_ASSIGN_OR_RETURN(Bytes data, region(src_region)->GetObject(key));
+  return region(dst_region)->PutObject(key, std::move(data));
+}
+
+Result<uint64_t> S3::CopyPrefix(const std::string& src_region,
+                                const std::string& prefix,
+                                const std::string& dst_region) {
+  uint64_t bytes = 0;
+  for (const std::string& key : region(src_region)->ListPrefix(prefix)) {
+    SDW_ASSIGN_OR_RETURN(Bytes data, region(src_region)->GetObject(key));
+    bytes += data.size();
+    SDW_RETURN_IF_ERROR(region(dst_region)->PutObject(key, std::move(data)));
+  }
+  return bytes;
+}
+
+}  // namespace sdw::backup

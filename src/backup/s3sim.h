@@ -1,0 +1,74 @@
+#ifndef SDW_BACKUP_S3SIM_H_
+#define SDW_BACKUP_S3SIM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sdw::backup {
+
+/// One region of the simulated object store: a durable, highly
+/// available key->bytes namespace (the Amazon S3 stand-in). Region
+/// availability can be faulted to exercise the "escalators, not
+/// elevators" degradation paths (§5).
+class S3Region {
+ public:
+  explicit S3Region(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Status PutObject(const std::string& key, Bytes data);
+  Result<Bytes> GetObject(const std::string& key) const;
+  Status DeleteObject(const std::string& key);
+  bool HasObject(const std::string& key) const {
+    return objects_.count(key) > 0;
+  }
+
+  /// Keys with the given prefix, ascending.
+  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+
+  /// Fault injection: an unavailable region fails every call with
+  /// kUnavailable (durability is preserved — objects return when the
+  /// region heals).
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t num_objects() const { return objects_.size(); }
+  uint64_t put_count() const { return puts_; }
+  uint64_t get_count() const { return gets_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, Bytes> objects_;
+  bool available_ = true;
+  uint64_t total_bytes_ = 0;
+  mutable uint64_t puts_ = 0;
+  mutable uint64_t gets_ = 0;
+};
+
+/// The multi-region object store.
+class S3 {
+ public:
+  /// Gets (creating on first use) a region by name.
+  S3Region* region(const std::string& name);
+
+  /// Server-side copy of one object across regions.
+  Status CopyObject(const std::string& src_region, const std::string& key,
+                    const std::string& dst_region);
+
+  /// Server-side copy of every object under a prefix (the DR path).
+  Result<uint64_t> CopyPrefix(const std::string& src_region,
+                              const std::string& prefix,
+                              const std::string& dst_region);
+
+ private:
+  std::map<std::string, S3Region> regions_;
+};
+
+}  // namespace sdw::backup
+
+#endif  // SDW_BACKUP_S3SIM_H_

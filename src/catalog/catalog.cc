@@ -1,0 +1,62 @@
+#include "catalog/catalog.h"
+
+namespace sdw {
+
+Status Catalog::CreateTable(const TableSchema& schema) {
+  if (schema.name().empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  if (tables_.count(schema.name())) {
+    return Status::AlreadyExists("table '" + schema.name() + "' exists");
+  }
+  tables_[schema.name()] = schema;
+  TableStats stats;
+  stats.columns.resize(schema.num_columns());
+  stats_[schema.name()] = stats;
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (!tables_.erase(name)) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  stats_.erase(name);
+  return Status::OK();
+}
+
+Result<TableSchema> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+Result<TableSchema*> Catalog::GetTableMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return &it->second;
+}
+
+const TableStats& Catalog::GetStats(const std::string& name) const {
+  auto it = stats_.find(name);
+  return it == stats_.end() ? empty_stats_ : it->second;
+}
+
+void Catalog::UpdateStats(const std::string& name, const TableStats& stats) {
+  stats_[name] = stats;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sdw

@@ -1,0 +1,50 @@
+#ifndef SDW_CATALOG_CATALOG_H_
+#define SDW_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace sdw {
+
+/// The leader node's catalog: named tables, their schemas and stats.
+/// (Restore streams the catalog first so SQL can be accepted while data
+/// blocks page-fault in — see backup/streaming restore.)
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a new table. Fails if the name exists.
+  Status CreateTable(const TableSchema& schema);
+
+  /// Removes a table and its stats.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Result<TableSchema> GetTable(const std::string& name) const;
+
+  /// Mutable schema access (e.g., analyzer assigns encodings on first load).
+  Result<TableSchema*> GetTableMutable(const std::string& name);
+
+  const TableStats& GetStats(const std::string& name) const;
+  void UpdateStats(const std::string& name, const TableStats& stats);
+
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+  std::map<std::string, TableStats> stats_;
+  TableStats empty_stats_;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_CATALOG_CATALOG_H_

@@ -1,0 +1,119 @@
+#include "catalog/schema.h"
+
+namespace sdw {
+
+const char* DistStyleName(DistStyle s) {
+  switch (s) {
+    case DistStyle::kEven:
+      return "EVEN";
+    case DistStyle::kKey:
+      return "KEY";
+    case DistStyle::kAll:
+      return "ALL";
+  }
+  return "?";
+}
+
+const char* SortStyleName(SortStyle s) {
+  switch (s) {
+    case SortStyle::kNone:
+      return "NONE";
+    case SortStyle::kCompound:
+      return "COMPOUND";
+    case SortStyle::kInterleaved:
+      return "INTERLEAVED";
+  }
+  return "?";
+}
+
+const char* ColumnEncodingName(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kAuto:
+      return "AUTO";
+    case ColumnEncoding::kRaw:
+      return "RAW";
+    case ColumnEncoding::kRunLength:
+      return "RUNLENGTH";
+    case ColumnEncoding::kDelta:
+      return "DELTA";
+    case ColumnEncoding::kBytedict:
+      return "BYTEDICT";
+    case ColumnEncoding::kMostly8:
+      return "MOSTLY8";
+    case ColumnEncoding::kMostly16:
+      return "MOSTLY16";
+    case ColumnEncoding::kMostly32:
+      return "MOSTLY32";
+    case ColumnEncoding::kLz:
+      return "LZO";
+    case ColumnEncoding::kText255:
+      return "TEXT255";
+  }
+  return "?";
+}
+
+Result<size_t> TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "' in table '" + name_ + "'");
+}
+
+Status TableSchema::SetDistKey(const std::string& column_name) {
+  SDW_ASSIGN_OR_RETURN(size_t idx, FindColumn(column_name));
+  dist_style_ = DistStyle::kKey;
+  dist_key_ = static_cast<int>(idx);
+  return Status::OK();
+}
+
+Status TableSchema::SetSortKey(SortStyle style,
+                               const std::vector<std::string>& column_names) {
+  if (style == SortStyle::kNone) {
+    sort_style_ = SortStyle::kNone;
+    sort_keys_.clear();
+    return Status::OK();
+  }
+  if (column_names.empty()) {
+    return Status::InvalidArgument("sort key needs at least one column");
+  }
+  std::vector<int> keys;
+  for (const auto& name : column_names) {
+    SDW_ASSIGN_OR_RETURN(size_t idx, FindColumn(name));
+    keys.push_back(static_cast<int>(idx));
+  }
+  sort_style_ = style;
+  sort_keys_ = std::move(keys);
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = "CREATE TABLE " + name_ + " (";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+    if (columns_[i].encoding != ColumnEncoding::kAuto) {
+      out += " ENCODE ";
+      out += ColumnEncodingName(columns_[i].encoding);
+    }
+  }
+  out += ") DISTSTYLE ";
+  out += DistStyleName(dist_style_);
+  if (dist_style_ == DistStyle::kKey && dist_key_ >= 0) {
+    out += " DISTKEY(" + columns_[dist_key_].name + ")";
+  }
+  if (sort_style_ != SortStyle::kNone) {
+    out += " ";
+    out += SortStyleName(sort_style_);
+    out += " SORTKEY(";
+    for (size_t i = 0; i < sort_keys_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns_[sort_keys_[i]].name;
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace sdw

@@ -1,0 +1,122 @@
+#ifndef SDW_CATALOG_SCHEMA_H_
+#define SDW_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sdw {
+
+/// How a table's rows are spread across slices (paper §2.1): round-robin
+/// (EVEN), hashed on a distribution key (KEY, enables co-located joins),
+/// or fully replicated to every slice (ALL, for small dimensions).
+enum class DistStyle : uint8_t { kEven = 0, kKey = 1, kAll = 2 };
+
+const char* DistStyleName(DistStyle s);
+
+/// Physical sort organization of each slice's data. Compound sorts
+/// lexicographically on the sort columns (fast only when leading columns
+/// are constrained); interleaved uses a multi-dimensional z-curve
+/// (paper §3.3: degrades gracefully, no projections needed).
+enum class SortStyle : uint8_t { kNone = 0, kCompound = 1, kInterleaved = 2 };
+
+const char* SortStyleName(SortStyle s);
+
+/// Per-column storage encoding. kAuto means the COPY-time compression
+/// analyzer samples the data and picks one — the paper's flagship "dusty
+/// knob" (§1 design goal 5, §3.3).
+enum class ColumnEncoding : uint8_t {
+  kAuto = 0,
+  kRaw = 1,        // no encoding
+  kRunLength = 2,  // (value, count) runs
+  kDelta = 3,      // frame-of-reference deltas, varint-packed
+  kBytedict = 4,   // per-block dictionary, 1-byte codes
+  kMostly8 = 5,    // 64-bit lane stored as 8-bit with exception list
+  kMostly16 = 6,
+  kMostly32 = 7,
+  kLz = 8,         // LZ77 over the raw bytes
+  kText255 = 9,    // word-level dictionary for text
+};
+
+const char* ColumnEncodingName(ColumnEncoding e);
+
+/// A column definition as written in CREATE TABLE.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  ColumnEncoding encoding = ColumnEncoding::kAuto;
+  bool nullable = true;
+};
+
+/// A table schema: columns plus the only physical-design knobs the
+/// paper leaves with the customer (§3.3): distribution style/key and
+/// sort style/keys.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Index of a column by name, or error.
+  Result<size_t> FindColumn(const std::string& name) const;
+
+  DistStyle dist_style() const { return dist_style_; }
+  int dist_key() const { return dist_key_; }
+  SortStyle sort_style() const { return sort_style_; }
+  const std::vector<int>& sort_keys() const { return sort_keys_; }
+
+  /// Sets DISTSTYLE KEY on the named column.
+  Status SetDistKey(const std::string& column_name);
+  void SetDistStyle(DistStyle style) {
+    dist_style_ = style;
+    if (style != DistStyle::kKey) dist_key_ = -1;
+  }
+
+  /// Sets a compound or interleaved sort key over the named columns.
+  Status SetSortKey(SortStyle style,
+                    const std::vector<std::string>& column_names);
+
+  void SetColumnEncoding(size_t i, ColumnEncoding e) {
+    columns_[i].encoding = e;
+  }
+
+  /// DDL-ish rendering for logs and examples.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  DistStyle dist_style_ = DistStyle::kEven;
+  int dist_key_ = -1;
+  SortStyle sort_style_ = SortStyle::kNone;
+  std::vector<int> sort_keys_;
+};
+
+/// Per-column statistics maintained by ANALYZE / COPY (paper: "optimizer
+/// statistics are updated with load").
+struct ColumnStats {
+  Datum min;
+  Datum max;
+  uint64_t null_count = 0;
+  uint64_t distinct_estimate = 0;
+};
+
+/// Table-level statistics for the planner's cost model.
+struct TableStats {
+  uint64_t row_count = 0;
+  uint64_t total_bytes = 0;
+  std::vector<ColumnStats> columns;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_CATALOG_SCHEMA_H_

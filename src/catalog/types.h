@@ -1,0 +1,165 @@
+#ifndef SDW_CATALOG_TYPES_H_
+#define SDW_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sdw {
+
+/// SQL value types supported by the engine. Dates are stored as int32
+/// days since epoch; booleans as 0/1. All integer-like types share the
+/// int64 storage lane inside Datum/ColumnVector.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kDate = 4,
+  kString = 5,
+};
+
+/// "BIGINT", "VARCHAR", ... SQL-ish display name.
+const char* TypeName(TypeId type);
+
+/// True for types whose values live in the int64 lane.
+inline bool IsIntegerLike(TypeId t) {
+  return t == TypeId::kBool || t == TypeId::kInt32 || t == TypeId::kInt64 ||
+         t == TypeId::kDate;
+}
+
+/// A single (possibly NULL) typed value. Datum is a value type used at
+/// the API boundary (rows in/out, literals, stats); bulk execution uses
+/// ColumnVector lanes directly.
+class Datum {
+ public:
+  /// NULL of unspecified type (binds to any column).
+  Datum() : type_(TypeId::kInt64), is_null_(true) {}
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) { return Datum(TypeId::kBool, v ? 1 : 0); }
+  static Datum Int32(int32_t v) { return Datum(TypeId::kInt32, v); }
+  static Datum Int64(int64_t v) { return Datum(TypeId::kInt64, v); }
+  static Datum Date(int32_t days) { return Datum(TypeId::kDate, days); }
+  static Datum Double(double v) {
+    Datum d(TypeId::kDouble, 0);
+    d.double_ = v;
+    return d;
+  }
+  static Datum String(std::string v) {
+    Datum d(TypeId::kString, 0);
+    d.string_ = std::move(v);
+    return d;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return is_null_; }
+
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  const std::string& string_value() const { return string_; }
+
+  /// Numeric view: int lanes widened, doubles as-is. Not valid for strings.
+  double AsDouble() const {
+    return type_ == TypeId::kDouble ? double_ : static_cast<double>(int_);
+  }
+
+  /// Total order: NULLs first, then by value. Comparing across
+  /// incompatible types is a programming error checked in debug.
+  int Compare(const Datum& other) const;
+
+  bool operator==(const Datum& other) const { return Compare(other) == 0; }
+  bool operator<(const Datum& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (used for hash distribution/joins).
+  uint64_t Hash() const;
+
+  /// SQL-ish rendering ("NULL", "42", "'abc'", "3.14").
+  std::string ToString() const;
+
+ private:
+  Datum(TypeId type, int64_t v) : type_(type), is_null_(false), int_(v) {}
+
+  TypeId type_;
+  bool is_null_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+/// A row at the API boundary.
+using Row = std::vector<Datum>;
+
+/// A typed column of values with a null bitmap, the unit of vectorized
+/// execution and of block encoding. Integer-like types share the int64
+/// lane; doubles and strings have their own lanes.
+class ColumnVector {
+ public:
+  explicit ColumnVector(TypeId type) : type_(type) {}
+
+  /// Wraps an already-built null-free lane without copying (codec
+  /// decode fast paths).
+  static ColumnVector TakeInts(TypeId type, std::vector<int64_t> lane);
+  static ColumnVector TakeDoubles(std::vector<double> lane);
+  static ColumnVector TakeStrings(std::vector<std::string> lane);
+
+  TypeId type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+  bool has_nulls() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+
+  void Reserve(size_t n);
+
+  void AppendInt(int64_t v) {
+    ints_.push_back(v);
+    nulls_.push_back(0);
+  }
+  void AppendDouble(double v) {
+    doubles_.push_back(v);
+    nulls_.push_back(0);
+  }
+  void AppendString(std::string v) {
+    strings_.push_back(std::move(v));
+    nulls_.push_back(0);
+  }
+  void AppendNull();
+
+  /// Appends a Datum, checking type compatibility.
+  Status AppendDatum(const Datum& d);
+
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  const std::string& StringAt(size_t i) const { return strings_[i]; }
+
+  /// Value at i as a Datum (NULL-aware).
+  Datum DatumAt(size_t i) const;
+
+  /// Direct lane access for tight loops and encoders.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+
+  /// Appends rows [begin, end) of other (same type) to this vector.
+  Status AppendRange(const ColumnVector& other, size_t begin, size_t end);
+
+  /// Appends the selected rows of other (same type) in index order —
+  /// the tight lane-wise copy the vectorized Filter relies on.
+  Status AppendSelected(const ColumnVector& other,
+                        const std::vector<uint32_t>& indices);
+
+ private:
+  TypeId type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> nulls_;
+  size_t null_count_ = 0;
+};
+
+}  // namespace sdw
+
+#endif  // SDW_CATALOG_TYPES_H_

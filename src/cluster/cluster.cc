@@ -1,0 +1,393 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "zorder/zorder.h"
+
+namespace sdw::cluster {
+
+uint64_t EstimateBytes(const std::vector<ColumnVector>& columns) {
+  uint64_t total = 0;
+  for (const auto& col : columns) {
+    if (col.type() == TypeId::kString) {
+      for (const auto& s : col.strings()) total += s.size() + 4;
+    } else {
+      total += col.size() * 8;
+    }
+  }
+  return total;
+}
+
+ComputeNode::ComputeNode(int node_id, int num_slices,
+                         storage::StorageOptions options)
+    : node_id_(node_id), options_(options), slices_(num_slices) {}
+
+Status ComputeNode::CreateShards(const TableSchema& schema) {
+  for (auto& slice : slices_) {
+    if (slice.count(schema.name())) {
+      return Status::AlreadyExists("shard exists for " + schema.name());
+    }
+    slice[schema.name()] =
+        std::make_unique<storage::TableShard>(schema, options_, &store_);
+  }
+  return Status::OK();
+}
+
+Status ComputeNode::DropShards(const std::string& table) {
+  for (auto& slice : slices_) {
+    auto it = slice.find(table);
+    if (it == slice.end()) continue;
+    // Release the table's blocks from the device.
+    for (storage::BlockId id : it->second->AllBlockIds()) {
+      (void)store_.Delete(id);
+    }
+    slice.erase(it);
+  }
+  return Status::OK();
+}
+
+Status ComputeNode::ReplaceShard(
+    int slice, const std::string& table,
+    std::unique_ptr<storage::TableShard> replacement) {
+  if (slice < 0 || static_cast<size_t>(slice) >= slices_.size()) {
+    return Status::InvalidArgument("bad slice index");
+  }
+  auto it = slices_[slice].find(table);
+  if (it == slices_[slice].end()) {
+    return Status::NotFound("no shard for table '" + table + "'");
+  }
+  it->second = std::move(replacement);
+  return Status::OK();
+}
+
+Result<storage::TableShard*> ComputeNode::shard(int slice,
+                                                const std::string& table) {
+  if (slice < 0 || static_cast<size_t>(slice) >= slices_.size()) {
+    return Status::InvalidArgument("bad slice index");
+  }
+  auto it = slices_[slice].find(table);
+  if (it == slices_[slice].end()) {
+    return Status::NotFound("no shard for table '" + table + "'");
+  }
+  return it->second.get();
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {
+  SDW_CHECK(config.num_nodes >= 1);
+  SDW_CHECK(config.slices_per_node >= 1);
+  for (int n = 0; n < config.num_nodes; ++n) {
+    nodes_.push_back(std::make_unique<ComputeNode>(
+        n, config.slices_per_node, config.storage));
+  }
+}
+
+Result<storage::TableShard*> Cluster::shard(int global_slice,
+                                            const std::string& table) {
+  if (global_slice < 0 || global_slice >= total_slices()) {
+    return Status::InvalidArgument("bad global slice");
+  }
+  return NodeOfSlice(global_slice)->shard(LocalSlice(global_slice), table);
+}
+
+Status Cluster::CreateTable(const TableSchema& schema) {
+  SDW_RETURN_IF_ERROR(catalog_.CreateTable(schema));
+  for (auto& node : nodes_) {
+    SDW_RETURN_IF_ERROR(node->CreateShards(schema));
+  }
+  return Status::OK();
+}
+
+Status Cluster::DropTable(const std::string& table) {
+  SDW_RETURN_IF_ERROR(catalog_.DropTable(table));
+  for (auto& node : nodes_) {
+    SDW_RETURN_IF_ERROR(node->DropShards(table));
+  }
+  return Status::OK();
+}
+
+int Cluster::SliceForKey(const Datum& key) const {
+  return static_cast<int>(key.Hash() % static_cast<uint64_t>(
+                              num_nodes() * config_.slices_per_node));
+}
+
+namespace {
+
+/// Applies a row permutation/selection to a set of parallel columns.
+Result<std::vector<ColumnVector>> TakeRows(
+    const std::vector<ColumnVector>& columns,
+    const std::vector<uint64_t>& indices) {
+  std::vector<ColumnVector> out;
+  out.reserve(columns.size());
+  for (const auto& col : columns) {
+    ColumnVector taken(col.type());
+    taken.Reserve(indices.size());
+    for (uint64_t i : indices) {
+      SDW_RETURN_IF_ERROR(taken.AppendRange(col, i, i + 1));
+    }
+    out.push_back(std::move(taken));
+  }
+  return out;
+}
+
+/// Sorts the slice-local run per the table's sort organization and
+/// returns the row order. Compound keys sort lexicographically;
+/// interleaved keys sort by the z-curve (§3.3).
+Result<std::vector<uint64_t>> SortOrder(
+    const TableSchema& schema, const std::vector<ColumnVector>& columns) {
+  const size_t n = columns.empty() ? 0 : columns[0].size();
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (schema.sort_style() == SortStyle::kNone || n == 0) return order;
+
+  if (schema.sort_style() == SortStyle::kCompound) {
+    std::stable_sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+      for (int key : schema.sort_keys()) {
+        int cmp = columns[key].DatumAt(a).Compare(columns[key].DatumAt(b));
+        if (cmp != 0) return cmp < 0;
+      }
+      return false;
+    });
+    return order;
+  }
+
+  // Interleaved: z-curve over the sort-key columns, calibrated from
+  // this run's value ranges.
+  std::vector<const ColumnVector*> key_columns;
+  for (int key : schema.sort_keys()) key_columns.push_back(&columns[key]);
+  SDW_ASSIGN_OR_RETURN(zorder::ZOrderMapper mapper,
+                       zorder::BuildMapperFromColumns(key_columns));
+  SDW_ASSIGN_OR_RETURN(std::vector<uint64_t> keys,
+                       mapper.MapColumns(key_columns));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint64_t a, uint64_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+}  // namespace
+
+Status Cluster::InsertRows(const std::string& table,
+                           const std::vector<ColumnVector>& columns) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "cluster is read-only (resize in progress)");
+  }
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, catalog_.GetTable(table));
+  if (columns.size() != schema.num_columns()) {
+    return Status::InvalidArgument("column count mismatch");
+  }
+  const size_t n = columns.empty() ? 0 : columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != n) return Status::InvalidArgument("ragged insert");
+  }
+  if (n == 0) return Status::OK();
+
+  const int slices = total_slices();
+  std::vector<std::vector<uint64_t>> per_slice(slices);
+
+  switch (schema.dist_style()) {
+    case DistStyle::kEven: {
+      uint64_t& rr = round_robin_[table];
+      for (size_t i = 0; i < n; ++i) {
+        per_slice[rr % slices].push_back(i);
+        ++rr;
+      }
+      break;
+    }
+    case DistStyle::kKey: {
+      const ColumnVector& key = columns[schema.dist_key()];
+      for (size_t i = 0; i < n; ++i) {
+        per_slice[SliceForKey(key.DatumAt(i))].push_back(i);
+      }
+      break;
+    }
+    case DistStyle::kAll: {
+      // Every slice receives the full run. Copies to other nodes cross
+      // the interconnect once per remote node.
+      std::vector<uint64_t> all(n);
+      std::iota(all.begin(), all.end(), 0);
+      for (int s = 0; s < slices; ++s) per_slice[s] = all;
+      AddNetworkBytes(EstimateBytes(columns) *
+                      static_cast<uint64_t>(num_nodes() - 1));
+      break;
+    }
+  }
+
+  if (schema.dist_style() != DistStyle::kAll) {
+    // Hash/round-robin distribution moves each row to its target node.
+    // Approximate: a uniform (nodes-1)/nodes share of bytes is remote.
+    if (num_nodes() > 1) {
+      AddNetworkBytes(EstimateBytes(columns) *
+                      static_cast<uint64_t>(num_nodes() - 1) /
+                      static_cast<uint64_t>(num_nodes()));
+    }
+  }
+
+  for (int s = 0; s < slices; ++s) {
+    if (per_slice[s].empty()) continue;
+    SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> slice_rows,
+                         TakeRows(columns, per_slice[s]));
+    SDW_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
+                         SortOrder(schema, slice_rows));
+    bool already_sorted = true;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] != i) {
+        already_sorted = false;
+        break;
+      }
+    }
+    if (!already_sorted) {
+      SDW_ASSIGN_OR_RETURN(slice_rows, TakeRows(slice_rows, order));
+    }
+    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
+    SDW_RETURN_IF_ERROR(shard_ptr->Append(slice_rows));
+  }
+  return Status::OK();
+}
+
+Status Cluster::Analyze(const std::string& table) {
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, catalog_.GetTable(table));
+  TableStats stats;
+  stats.columns.resize(schema.num_columns());
+  std::vector<std::set<uint64_t>> hashes(schema.num_columns());
+  const int slice_count =
+      schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
+  for (int s = 0; s < slice_count; ++s) {
+    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
+    stats.row_count += shard_ptr->row_count();
+    stats.total_bytes += shard_ptr->encoded_bytes();
+    std::vector<int> all_cols(schema.num_columns());
+    std::iota(all_cols.begin(), all_cols.end(), 0);
+    SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
+                         shard_ptr->ReadAll(all_cols));
+    for (size_t c = 0; c < data.size(); ++c) {
+      ColumnStats& cs = stats.columns[c];
+      for (size_t i = 0; i < data[c].size(); ++i) {
+        Datum v = data[c].DatumAt(i);
+        if (v.is_null()) {
+          ++cs.null_count;
+          continue;
+        }
+        if (cs.min.is_null() || v < cs.min) cs.min = v;
+        if (cs.max.is_null() || cs.max < v) cs.max = v;
+        // NDV estimate via a capped hash set (sampled sketch).
+        if (hashes[c].size() < 100000) hashes[c].insert(v.Hash());
+      }
+    }
+  }
+  for (size_t c = 0; c < hashes.size(); ++c) {
+    stats.columns[c].distinct_estimate = hashes[c].size();
+  }
+  catalog_.UpdateStats(table, stats);
+  return Status::OK();
+}
+
+Result<uint64_t> Cluster::Vacuum(const std::string& table) {
+  if (read_only_) {
+    return Status::FailedPrecondition("cluster is read-only");
+  }
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, catalog_.GetTable(table));
+  std::vector<int> all_cols(schema.num_columns());
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  uint64_t blocks_rewritten = 0;
+  for (int s = 0; s < total_slices(); ++s) {
+    SDW_ASSIGN_OR_RETURN(storage::TableShard * old_shard, shard(s, table));
+    if (old_shard->row_count() == 0) continue;
+    // Read everything, re-sort as one run, rewrite the shard.
+    SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
+                         old_shard->ReadAll(all_cols));
+    SDW_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
+                         SortOrder(old_shard->schema(), data));
+    SDW_ASSIGN_OR_RETURN(data, TakeRows(data, order));
+    ComputeNode* node = NodeOfSlice(s);
+    // Drop the old blocks, then rebuild through a fresh shard (keeping
+    // any analyzer-assigned encodings).
+    TableSchema shard_schema = old_shard->schema();
+    for (storage::BlockId id : old_shard->AllBlockIds()) {
+      (void)node->store()->Delete(id);
+      ++blocks_rewritten;
+    }
+    auto fresh = std::make_unique<storage::TableShard>(
+        shard_schema, config_.storage, node->store());
+    SDW_RETURN_IF_ERROR(fresh->Append(data));
+    SDW_RETURN_IF_ERROR(node->ReplaceShard(LocalSlice(s), table,
+                                           std::move(fresh)));
+  }
+  return blocks_rewritten;
+}
+
+Result<uint64_t> Cluster::TotalRows(const std::string& table) {
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, catalog_.GetTable(table));
+  uint64_t total = 0;
+  const int slice_count =
+      schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
+  for (int s = 0; s < slice_count; ++s) {
+    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
+    total += shard_ptr->row_count();
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalStoredBytes() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    total += const_cast<ComputeNode&>(*node).store()->total_bytes();
+  }
+  return total;
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::Resize(
+    int new_num_nodes, ResizeStats* stats,
+    const std::function<void(Cluster*)>& on_target_created) {
+  if (new_num_nodes < 1) {
+    return Status::InvalidArgument("resize target must have >= 1 node");
+  }
+  // 1. Provision the target cluster.
+  ClusterConfig target_config = config_;
+  target_config.num_nodes = new_num_nodes;
+  auto target = std::make_unique<Cluster>(target_config);
+  if (on_target_created) on_target_created(target.get());
+
+  // 2. Source goes read-only; reads keep working (§3.1).
+  set_read_only(true);
+
+  // 3. Parallel node-to-node copy: every table's rows stream from
+  //    source shards to the target's distribution.
+  uint64_t bytes_moved = 0;
+  for (const std::string& table : catalog_.TableNames()) {
+    SDW_ASSIGN_OR_RETURN(TableSchema schema, catalog_.GetTable(table));
+    SDW_RETURN_IF_ERROR(target->CreateTable(schema));
+    std::vector<int> all_cols(schema.num_columns());
+    std::iota(all_cols.begin(), all_cols.end(), 0);
+    const int slice_count =
+        schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
+    for (int s = 0; s < slice_count; ++s) {
+      SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
+      if (shard_ptr->row_count() == 0) continue;
+      SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
+                           shard_ptr->ReadAll(all_cols));
+      bytes_moved += EstimateBytes(data);
+      SDW_RETURN_IF_ERROR(target->InsertRows(table, data));
+    }
+    catalog_.UpdateStats(table, catalog_.GetStats(table));
+    target->catalog_.UpdateStats(table, catalog_.GetStats(table));
+  }
+
+  if (stats != nullptr) {
+    stats->bytes_moved = bytes_moved;
+    // The copy is node-parallel on both ends; the slower side bounds it.
+    CostModel model;
+    const int senders = num_nodes();
+    const int receivers = new_num_nodes;
+    stats->modeled_seconds =
+        model.NetworkSeconds(bytes_moved, std::min(senders, receivers));
+  }
+  // 4. The control plane moves the SQL endpoint and decommissions the
+  //    source; data-plane-side we just hand the target back.
+  return target;
+}
+
+}  // namespace sdw::cluster

@@ -1,0 +1,157 @@
+#ifndef SDW_CLUSTER_CLUSTER_H_
+#define SDW_CLUSTER_CLUSTER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cluster/cost_model.h"
+#include "common/result.h"
+#include "storage/block_store.h"
+#include "storage/table_shard.h"
+
+namespace sdw::cluster {
+
+/// Cluster topology and storage knobs.
+struct ClusterConfig {
+  int num_nodes = 2;
+  /// One slice per core of the node's processor (§2.1).
+  int slices_per_node = 2;
+  storage::StorageOptions storage;
+};
+
+/// A compute node: one block device shared by its slices, one table
+/// shard per (slice, table).
+class ComputeNode {
+ public:
+  ComputeNode(int node_id, int num_slices, storage::StorageOptions options);
+  ComputeNode(const ComputeNode&) = delete;
+  ComputeNode& operator=(const ComputeNode&) = delete;
+
+  int node_id() const { return node_id_; }
+  int num_slices() const { return static_cast<int>(slices_.size()); }
+  storage::BlockStore* store() { return &store_; }
+
+  /// Creates the per-slice shards for a new table.
+  Status CreateShards(const TableSchema& schema);
+  Status DropShards(const std::string& table);
+
+  /// The shard of `table` on local slice `slice`.
+  Result<storage::TableShard*> shard(int slice, const std::string& table);
+
+  /// Swaps in a rebuilt shard (VACUUM's atomic switch-over).
+  Status ReplaceShard(int slice, const std::string& table,
+                      std::unique_ptr<storage::TableShard> replacement);
+
+ private:
+  int node_id_;
+  storage::StorageOptions options_;
+  storage::BlockStore store_;
+  std::vector<std::map<std::string, std::unique_ptr<storage::TableShard>>>
+      slices_;
+};
+
+/// The data plane of one warehouse: a leader-side catalog plus compute
+/// nodes partitioned into slices (§2.1, Figure 3). Rows are distributed
+/// EVEN / KEY / ALL across slices on insert and sorted per slice by the
+/// table's sort style. Query execution lives in QueryExecutor.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int total_slices() const {
+    return num_nodes() * config_.slices_per_node;
+  }
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+  ComputeNode* node(int i) { return nodes_[i].get(); }
+
+  /// Maps a global slice index to its (node, local slice).
+  ComputeNode* NodeOfSlice(int global_slice) {
+    return nodes_[global_slice / config_.slices_per_node].get();
+  }
+  int LocalSlice(int global_slice) const {
+    return global_slice % config_.slices_per_node;
+  }
+
+  /// The shard of `table` on global slice `slice`.
+  Result<storage::TableShard*> shard(int global_slice,
+                                     const std::string& table);
+
+  /// DDL.
+  Status CreateTable(const TableSchema& schema);
+  Status DropTable(const std::string& table);
+
+  /// Distributes one run of rows across slices per the table's
+  /// DISTSTYLE, sorts each slice's portion per its SORTKEY, and appends.
+  /// Rejected while the cluster is read-only (resize source, §3.1).
+  Status InsertRows(const std::string& table,
+                    const std::vector<ColumnVector>& columns);
+
+  /// Recomputes table statistics (row count, min/max, NDV estimate)
+  /// from the stored data — the ANALYZE that COPY runs implicitly.
+  Status Analyze(const std::string& table);
+
+  /// Re-sorts and rewrites every slice's shard. Each COPY sorts its own
+  /// run, so a table loaded in many increments accumulates overlapping
+  /// sorted runs whose zone maps prune poorly; VACUUM merges them back
+  /// into one fully-sorted region (the paper's §3.2 future work makes
+  /// this self-triggering; here it is the classic user-initiated op).
+  /// Returns the number of blocks rewritten.
+  Result<uint64_t> Vacuum(const std::string& table);
+
+  /// Total rows of a table across all slices.
+  Result<uint64_t> TotalRows(const std::string& table);
+
+  /// Resize (§3.1): provisions a target cluster, puts this cluster in
+  /// read-only mode, runs a parallel node-to-node copy, and returns the
+  /// target. The source remains readable throughout.
+  struct ResizeStats {
+    uint64_t bytes_moved = 0;
+    /// Modeled wall-clock of the parallel copy.
+    double modeled_seconds = 0;
+  };
+  /// `on_target_created` (optional) runs on the freshly provisioned
+  /// target before any data copies — the hook encryption uses to
+  /// install its at-rest transforms.
+  Result<std::unique_ptr<Cluster>> Resize(
+      int new_num_nodes, ResizeStats* stats,
+      const std::function<void(Cluster*)>& on_target_created = nullptr);
+
+  bool read_only() const { return read_only_; }
+  void set_read_only(bool ro) { read_only_ = ro; }
+
+  /// Interconnect accounting (bytes that crossed node boundaries).
+  void AddNetworkBytes(uint64_t bytes) { network_bytes_ += bytes; }
+  uint64_t network_bytes() const { return network_bytes_; }
+  void ResetNetworkBytes() { network_bytes_ = 0; }
+
+  /// Total encoded bytes stored across the cluster.
+  uint64_t TotalStoredBytes() const;
+
+ private:
+  /// Chooses the target global slice for row i of a KEY-distributed
+  /// table.
+  int SliceForKey(const Datum& key) const;
+
+  ClusterConfig config_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<ComputeNode>> nodes_;
+  std::map<std::string, uint64_t> round_robin_;
+  bool read_only_ = false;
+  uint64_t network_bytes_ = 0;
+};
+
+/// Estimated wire size of a batch's columns (used for network
+/// accounting of shuffles, broadcasts and leader returns).
+uint64_t EstimateBytes(const std::vector<ColumnVector>& columns);
+
+}  // namespace sdw::cluster
+
+#endif  // SDW_CLUSTER_CLUSTER_H_

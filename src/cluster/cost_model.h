@@ -1,0 +1,51 @@
+#ifndef SDW_CLUSTER_COST_MODEL_H_
+#define SDW_CLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace sdw::cluster {
+
+/// Analytical cost model used to extrapolate laptop-scale measurements
+/// to the paper's cluster scales (the T1/EDW case-study bench) and to
+/// time simulated admin operations. Defaults approximate a 2013-era
+/// dense-storage node (DW1.8XL-ish): the *shapes* of the results, not
+/// the absolute numbers, are what the reproduction checks.
+struct CostModel {
+  /// Per-slice scan+decode+filter throughput over compressed data.
+  double slice_scan_bytes_per_sec = 250e6;
+  /// Per-slice COPY ingest throughput (parse + distribute + sort +
+  /// encode) over raw input bytes.
+  double slice_ingest_bytes_per_sec = 60e6;
+  /// Per-node effective network bandwidth (10 GbE duplex, protocol
+  /// overhead included).
+  double node_network_bytes_per_sec = 1.0e9;
+  /// Per-node aggregate local disk bandwidth.
+  double node_disk_bytes_per_sec = 2.0e9;
+  /// Per-node S3 backup/restore throughput (paper: backups are
+  /// parallelized per node).
+  double node_s3_bytes_per_sec = 300e6;
+  /// Fixed per-query cost of generating + compiling the query binary at
+  /// the leader (§2.1: "a fixed overhead per query").
+  double query_compile_seconds = 2.0;
+  /// Per-row leader-side result handling cost.
+  double leader_row_seconds = 2e-8;
+
+  /// Seconds to move `bytes` across the interconnect when `nodes` nodes
+  /// send in parallel.
+  double NetworkSeconds(uint64_t bytes, int nodes) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) /
+           (node_network_bytes_per_sec * (nodes < 1 ? 1 : nodes));
+  }
+
+  /// Seconds for `nodes` nodes to push `bytes` to/from S3 in parallel.
+  double S3Seconds(uint64_t bytes, int nodes) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) /
+           (node_s3_bytes_per_sec * (nodes < 1 ? 1 : nodes));
+  }
+};
+
+}  // namespace sdw::cluster
+
+#endif  // SDW_CLUSTER_COST_MODEL_H_

@@ -1,0 +1,349 @@
+#include "cluster/executor.h"
+
+#include <chrono>
+#include <numeric>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "exec/operators.h"
+#include "exec/row_executor.h"
+
+namespace sdw::cluster {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Key hash of one row over the given columns (must match across the
+/// two sides of a shuffle).
+uint64_t RowKeyHash(const exec::Batch& batch, const std::vector<int>& keys,
+                    size_t row) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (int k : keys) {
+    h = HashCombine(h, batch.columns[k].DatumAt(row).Hash());
+  }
+  return h;
+}
+
+/// Builds the scan (+ residual filter) operator for one slice.
+Result<exec::OperatorPtr> BuildScan(Cluster* cluster, int slice,
+                                    const plan::ScanSpec& spec) {
+  SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
+                       cluster->shard(slice, spec.table));
+  exec::OperatorPtr op = exec::ShardScan(shard, spec.columns, spec.predicates);
+  if (spec.filter) {
+    op = exec::Filter(std::move(op), spec.filter);
+  }
+  return op;
+}
+
+/// Number of slices that scan `table` (ALL tables are scanned on a
+/// single slice to avoid duplicating rows).
+Result<int> ScanSliceCount(Cluster* cluster, const std::string& table) {
+  SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                       cluster->catalog()->GetTable(table));
+  return schema.dist_style() == DistStyle::kAll ? 1
+                                                : cluster->total_slices();
+}
+
+uint64_t SumBlocksDecoded(Cluster* cluster) {
+  uint64_t total = 0;
+  for (const std::string& table : cluster->catalog()->TableNames()) {
+    for (int s = 0; s < cluster->total_slices(); ++s) {
+      auto shard = cluster->shard(s, table);
+      if (shard.ok()) total += (*shard)->blocks_decoded();
+    }
+  }
+  return total;
+}
+
+void ResetBlockCounters(Cluster* cluster) {
+  for (const std::string& table : cluster->catalog()->TableNames()) {
+    for (int s = 0; s < cluster->total_slices(); ++s) {
+      auto shard = cluster->shard(s, table);
+      if (shard.ok()) (*shard)->ResetCounters();
+    }
+  }
+}
+
+/// Deep-copies a batch (broadcast copies per slice).
+exec::Batch CopyBatch(const exec::Batch& batch) {
+  exec::Batch out = exec::MakeBatch(batch.Types());
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    SDW_CHECK_OK(
+        out.columns[c].AppendRange(batch.columns[c], 0, batch.columns[c].size()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
+    const plan::PhysicalQuery& query, ExecStats* stats) {
+  const int slices = cluster_->total_slices();
+  SDW_ASSIGN_OR_RETURN(int probe_slices,
+                       ScanSliceCount(cluster_, query.scan.table));
+  stats->slice_seconds.assign(slices, 0.0);
+
+  // --- Pre-passes for join strategies that move data. ---
+  exec::Batch broadcast_build;
+  std::vector<TypeId> build_types;
+  std::vector<exec::Batch> probe_buckets;  // kShuffle: per target slice
+  std::vector<exec::Batch> build_buckets;
+  bool use_buckets = false;
+
+  if (query.join.has_value()) {
+    const plan::JoinSpec& join = *query.join;
+    if (join.strategy == plan::JoinStrategy::kBroadcastBuild) {
+      // Collect the (filtered) build side from its slices once.
+      SDW_ASSIGN_OR_RETURN(int build_slices,
+                           ScanSliceCount(cluster_, join.build.table));
+      exec::Batch collected;
+      bool first = true;
+      for (int s = 0; s < build_slices; ++s) {
+        auto start = std::chrono::steady_clock::now();
+        SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
+                             BuildScan(cluster_, s, join.build));
+        if (first) {
+          collected = exec::MakeBatch(op->OutputTypes());
+          first = false;
+        }
+        SDW_ASSIGN_OR_RETURN(exec::Batch part, exec::Collect(op.get()));
+        for (size_t c = 0; c < collected.columns.size(); ++c) {
+          SDW_RETURN_IF_ERROR(collected.columns[c].AppendRange(
+              part.columns[c], 0, part.columns[c].size()));
+        }
+        stats->slice_seconds[s] += Seconds(start);
+      }
+      // Broadcast: one copy to every other node.
+      const uint64_t bytes = EstimateBytes(collected.columns);
+      stats->network_bytes +=
+          bytes * static_cast<uint64_t>(cluster_->num_nodes() - 1);
+      build_types = collected.Types();
+      broadcast_build = std::move(collected);
+    } else if (join.strategy == plan::JoinStrategy::kShuffle) {
+      // Re-hash both sides on the join key across all slices.
+      use_buckets = true;
+      auto shuffle = [&](const plan::ScanSpec& spec,
+                         const std::vector<int>& keys,
+                         std::vector<exec::Batch>* buckets) -> Status {
+        SDW_ASSIGN_OR_RETURN(int side_slices,
+                             ScanSliceCount(cluster_, spec.table));
+        bool types_ready = false;
+        for (int s = 0; s < side_slices; ++s) {
+          auto start = std::chrono::steady_clock::now();
+          SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
+                               BuildScan(cluster_, s, spec));
+          if (!types_ready) {
+            buckets->clear();
+            for (int t = 0; t < slices; ++t) {
+              buckets->push_back(exec::MakeBatch(op->OutputTypes()));
+            }
+            types_ready = true;
+          }
+          while (true) {
+            SDW_ASSIGN_OR_RETURN(std::optional<exec::Batch> batch, op->Next());
+            if (!batch.has_value()) break;
+            const size_t n = batch->num_rows();
+            for (size_t i = 0; i < n; ++i) {
+              const int target = static_cast<int>(
+                  RowKeyHash(*batch, keys, i) % static_cast<uint64_t>(slices));
+              SDW_RETURN_IF_ERROR(
+                  exec::AppendRow(*batch, i, &(*buckets)[target]));
+              // Cross-node moves hit the interconnect.
+              if (cluster_->NodeOfSlice(target)->node_id() !=
+                  cluster_->NodeOfSlice(s)->node_id()) {
+                stats->network_bytes += 8 * batch->num_columns();
+              }
+            }
+          }
+          stats->slice_seconds[s] += Seconds(start);
+        }
+        return Status::OK();
+      };
+      SDW_RETURN_IF_ERROR(
+          shuffle(query.scan, query.join->probe_keys, &probe_buckets));
+      SDW_RETURN_IF_ERROR(
+          shuffle(query.join->build, query.join->build_keys, &build_buckets));
+    }
+  }
+
+  // --- Per-slice pipelines. ---
+  std::vector<exec::Batch> outputs;
+  const int pipeline_slices = use_buckets ? slices : probe_slices;
+  for (int s = 0; s < pipeline_slices; ++s) {
+    auto start = std::chrono::steady_clock::now();
+    exec::OperatorPtr pipeline;
+    if (use_buckets) {
+      auto probe_types = probe_buckets[s].Types();
+      std::vector<exec::Batch> one;
+      one.push_back(std::move(probe_buckets[s]));
+      exec::OperatorPtr probe = exec::MemoryScan(probe_types, std::move(one));
+      auto bt = build_buckets[s].Types();
+      std::vector<exec::Batch> bone;
+      bone.push_back(std::move(build_buckets[s]));
+      exec::OperatorPtr build = exec::MemoryScan(bt, std::move(bone));
+      pipeline = exec::HashJoin(std::move(probe), std::move(build),
+                                query.join->probe_keys,
+                                query.join->build_keys);
+    } else {
+      SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(cluster_, s, query.scan));
+      if (query.join.has_value()) {
+        const plan::JoinSpec& join = *query.join;
+        exec::OperatorPtr build;
+        if (join.strategy == plan::JoinStrategy::kBroadcastBuild) {
+          std::vector<exec::Batch> one;
+          one.push_back(CopyBatch(broadcast_build));
+          build = exec::MemoryScan(build_types, std::move(one));
+        } else {  // co-located
+          SDW_ASSIGN_OR_RETURN(build, BuildScan(cluster_, s, join.build));
+        }
+        pipeline = exec::HashJoin(std::move(pipeline), std::move(build),
+                                  join.probe_keys, join.build_keys);
+      }
+    }
+    if (query.agg.has_value()) {
+      pipeline = exec::HashAggregate(std::move(pipeline),
+                                     query.agg->group_by, query.agg->aggs,
+                                     exec::AggMode::kPartial);
+    }
+    SDW_ASSIGN_OR_RETURN(exec::Batch out, exec::Collect(pipeline.get()));
+    stats->slice_seconds[s] += Seconds(start);
+    // Intermediate results stream back to the leader over the network.
+    stats->network_bytes += EstimateBytes(out.columns);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
+    const plan::PhysicalQuery& query, ExecStats* stats) {
+  if (query.join.has_value()) {
+    return Status::NotSupported(
+        "interpreted mode supports scan/filter/aggregate pipelines");
+  }
+  if (query.agg.has_value()) {
+    for (const exec::AggSpec& spec : query.agg->aggs) {
+      if (spec.fn == exec::AggFn::kApproxDistinct) {
+        return Status::NotSupported(
+            "APPROXIMATE aggregates require the compiled engine (sketch "
+            "partials are not mergeable row-at-a-time)");
+      }
+    }
+  }
+  SDW_ASSIGN_OR_RETURN(int probe_slices,
+                       ScanSliceCount(cluster_, query.scan.table));
+  stats->slice_seconds.assign(cluster_->total_slices(), 0.0);
+  SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                       cluster_->catalog()->GetTable(query.scan.table));
+  // Pipeline output types (must match the compiled path's layout).
+  std::vector<TypeId> scan_types;
+  for (int c : query.scan.columns) scan_types.push_back(schema.column(c).type);
+  std::vector<TypeId> out_types;
+  if (query.agg.has_value()) {
+    for (int g : query.agg->group_by) out_types.push_back(scan_types[g]);
+    for (const exec::AggSpec& a : query.agg->aggs) {
+      switch (a.fn) {
+        case exec::AggFn::kCount:
+          out_types.push_back(TypeId::kInt64);
+          break;
+        case exec::AggFn::kSum:
+          out_types.push_back(a.column >= 0 &&
+                                      scan_types[a.column] == TypeId::kDouble
+                                  ? TypeId::kDouble
+                                  : TypeId::kInt64);
+          break;
+        case exec::AggFn::kMin:
+        case exec::AggFn::kMax:
+          out_types.push_back(scan_types[a.column]);
+          break;
+        case exec::AggFn::kApproxDistinct:
+          out_types.push_back(TypeId::kInt64);  // unreachable: guarded above
+          break;
+      }
+    }
+  } else {
+    out_types = scan_types;
+  }
+
+  std::vector<exec::Batch> outputs;
+  for (int s = 0; s < probe_slices; ++s) {
+    auto start = std::chrono::steady_clock::now();
+    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
+                         cluster_->shard(s, query.scan.table));
+    exec::RowOperatorPtr pipe = exec::RowScan(shard, query.scan.columns);
+    if (query.scan.filter) {
+      pipe = exec::RowFilter(std::move(pipe), query.scan.filter);
+    }
+    if (query.agg.has_value()) {
+      pipe = exec::RowAggregate(std::move(pipe), query.agg->group_by,
+                                query.agg->aggs);
+    }
+    SDW_ASSIGN_OR_RETURN(exec::Batch out,
+                         exec::CollectRows(pipe.get(), out_types));
+    stats->slice_seconds[s] += Seconds(start);
+    stats->network_bytes += EstimateBytes(out.columns);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
+  QueryResult result;
+  ExecStats& stats = result.stats;
+  ResetBlockCounters(cluster_);
+  if (options_.mode == ExecutionMode::kCompiled) {
+    stats.compile_seconds = options_.compile_seconds;
+  }
+
+  std::vector<exec::Batch> slice_outputs;
+  if (options_.mode == ExecutionMode::kCompiled) {
+    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlices(query, &stats));
+  } else {
+    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlicesInterpreted(query, &stats));
+  }
+
+  // --- Leader finalization. ---
+  auto leader_start = std::chrono::steady_clock::now();
+  std::vector<TypeId> types;
+  for (const auto& b : slice_outputs) {
+    if (b.num_columns() > 0) {
+      types = b.Types();
+      break;
+    }
+  }
+  if (types.empty() && !slice_outputs.empty()) {
+    types = slice_outputs[0].Types();
+  }
+  exec::OperatorPtr leader =
+      exec::MemoryScan(types, std::move(slice_outputs));
+  if (query.agg.has_value()) {
+    // Final aggregation: group columns are the leading partial columns.
+    std::vector<int> final_groups(query.agg->group_by.size());
+    std::iota(final_groups.begin(), final_groups.end(), 0);
+    leader = exec::HashAggregate(std::move(leader), final_groups,
+                                 query.agg->aggs, exec::AggMode::kFinal);
+  }
+  if (!query.project.empty()) {
+    leader = exec::Project(std::move(leader), query.project);
+  }
+  if (!query.order_by.empty()) {
+    leader = exec::Sort(std::move(leader), query.order_by);
+  }
+  if (query.limit.has_value()) {
+    leader = exec::Limit(std::move(leader), *query.limit);
+  }
+  SDW_ASSIGN_OR_RETURN(result.rows, exec::Collect(leader.get()));
+  stats.leader_seconds = Seconds(leader_start);
+  stats.result_rows = result.rows.num_rows();
+  stats.blocks_decoded = SumBlocksDecoded(cluster_);
+  cluster_->AddNetworkBytes(stats.network_bytes);
+  result.column_names = query.output_names;
+  return result;
+}
+
+}  // namespace sdw::cluster

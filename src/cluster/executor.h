@@ -1,0 +1,99 @@
+#ifndef SDW_CLUSTER_EXECUTOR_H_
+#define SDW_CLUSTER_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "exec/batch.h"
+#include "plan/physical.h"
+
+namespace sdw::cluster {
+
+/// Which engine runs the per-slice pipelines (the A5 experiment's two
+/// arms). kCompiled is the production path: type-specialized vectorized
+/// segments, paying a fixed per-query "compilation" latency. kInterpreted
+/// is the tuple-at-a-time general-purpose executor.
+enum class ExecutionMode { kCompiled, kInterpreted };
+
+struct ExecOptions {
+  ExecutionMode mode = ExecutionMode::kCompiled;
+  /// Modeled fixed cost of plan->C++->binary compilation at the leader
+  /// (only charged in kCompiled mode). Defaults to 0 so tests measure
+  /// pure execution; benches set it from the CostModel.
+  double compile_seconds = 0.0;
+};
+
+/// Per-query execution telemetry.
+struct ExecStats {
+  /// Measured CPU seconds per slice (in a real cluster each slice runs
+  /// on its own core, so modeled wall clock takes the max).
+  std::vector<double> slice_seconds;
+  /// Measured leader-side seconds (final agg, sort, limit).
+  double leader_seconds = 0;
+  /// Bytes that crossed node boundaries for this query.
+  uint64_t network_bytes = 0;
+  /// Blocks decoded across all shards (zone-map effectiveness).
+  uint64_t blocks_decoded = 0;
+  /// Rows returned to the client.
+  uint64_t result_rows = 0;
+  /// Fixed compile overhead charged (kCompiled only).
+  double compile_seconds = 0;
+
+  double MaxSliceSeconds() const {
+    double m = 0;
+    for (double s : slice_seconds) m = std::max(m, s);
+    return m;
+  }
+
+  /// Modeled parallel wall-clock: compile + slowest slice + network +
+  /// leader.
+  double ModeledSeconds(const CostModel& model) const {
+    return compile_seconds + MaxSliceSeconds() +
+           model.NetworkSeconds(network_bytes, 1) + leader_seconds;
+  }
+
+  /// Sum of slice CPU (what a single-node system would have to spend).
+  double TotalSliceSeconds() const {
+    double t = 0;
+    for (double s : slice_seconds) t += s;
+    return t;
+  }
+};
+
+/// A completed query: rows, names, stats.
+struct QueryResult {
+  exec::Batch rows;
+  std::vector<std::string> column_names;
+  ExecStats stats;
+};
+
+/// Executes PhysicalQuery plans against a Cluster: per-slice pipelines
+/// (scan [+ join] [+ partial agg]) then leader finalization — the §2.1
+/// flow ("the executable and plan parameters are sent to each compute
+/// node participating in the query ... intermediate results are sent
+/// back to the leader node for final aggregation").
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(Cluster* cluster, ExecOptions options = {})
+      : cluster_(cluster), options_(options) {}
+
+  Result<QueryResult> Execute(const plan::PhysicalQuery& query);
+
+ private:
+  /// Builds the per-slice pipeline output batches for every slice.
+  Result<std::vector<exec::Batch>> RunSlices(const plan::PhysicalQuery& query,
+                                             ExecStats* stats);
+
+  /// kInterpreted per-slice pipeline (scan/filter/agg only).
+  Result<std::vector<exec::Batch>> RunSlicesInterpreted(
+      const plan::PhysicalQuery& query, ExecStats* stats);
+
+  Cluster* cluster_;
+  ExecOptions options_;
+};
+
+}  // namespace sdw::cluster
+
+#endif  // SDW_CLUSTER_EXECUTOR_H_

@@ -1,0 +1,70 @@
+#ifndef SDW_CLUSTER_WLM_H_
+#define SDW_CLUSTER_WLM_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/engine.h"
+
+namespace sdw::cluster {
+
+/// Workload-management knobs. The slot count is the one genuinely
+/// "dusty" engine knob the paper's philosophy leaves in place: a
+/// default that works (5 concurrent queries), adjustable by the rare
+/// customer who needs it (§4: resources must be "distributed across
+/// many concurrent queries").
+struct WlmConfig {
+  /// Queries executing concurrently; the rest queue FIFO.
+  int concurrency_slots = 5;
+  /// Memory divides evenly across slots, so more slots slow each query
+  /// down: effective service time = base * (1 + penalty * (slots - 1)).
+  /// This models the spill/partition cost of smaller per-slot memory.
+  double per_slot_memory_penalty = 0.04;
+};
+
+/// Admission control for concurrent queries, simulated on the
+/// discrete-event engine. Used by tests and the WLM ablation bench to
+/// show the throughput/latency tradeoff behind the default.
+class WorkloadManager {
+ public:
+  WorkloadManager(sim::Engine* engine, WlmConfig config);
+
+  struct QueryReport {
+    double submitted_at = 0;
+    double queued_seconds = 0;
+    double exec_seconds = 0;
+    double finished_at = 0;
+  };
+
+  /// Submits a query whose un-contended execution takes `service_seconds`.
+  /// `done` fires (on the sim clock) when it completes.
+  void Submit(double service_seconds,
+              std::function<void(const QueryReport&)> done = nullptr);
+
+  /// Queries currently executing / waiting.
+  int running() const { return running_; }
+  size_t queued() const { return queue_.size(); }
+
+  /// All completed-query reports, in completion order.
+  const std::vector<QueryReport>& reports() const { return reports_; }
+
+ private:
+  void Admit();
+
+  struct Pending {
+    double service_seconds = 0;
+    double submitted_at = 0;
+    std::function<void(const QueryReport&)> done;
+  };
+
+  sim::Engine* engine_;
+  WlmConfig config_;
+  int running_ = 0;
+  std::vector<Pending> queue_;
+  std::vector<QueryReport> reports_;
+};
+
+}  // namespace sdw::cluster
+
+#endif  // SDW_CLUSTER_WLM_H_

@@ -1,0 +1,63 @@
+#ifndef SDW_COMMON_LOGGING_H_
+#define SDW_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sdw {
+
+/// Log severity, ordered; messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the process-wide minimum severity that is emitted (default kWarning,
+/// so tests and benches stay quiet unless something is wrong).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction, aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define SDW_LOG(level)                                                     \
+  ::sdw::internal_logging::LogMessage(::sdw::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// Invariant check: always on (benchmark correctness depends on it), aborts
+/// with a location message on failure.
+#define SDW_CHECK(cond)                                             \
+  if (!(cond))                                                      \
+  ::sdw::internal_logging::LogMessage(::sdw::LogLevel::kFatal,      \
+                                      __FILE__, __LINE__)           \
+          .stream()                                                 \
+      << "Check failed: " #cond " "
+
+#define SDW_CHECK_OK(expr)                                          \
+  do {                                                              \
+    ::sdw::Status _st_check = (expr);                               \
+    SDW_CHECK(_st_check.ok()) << _st_check.ToString();              \
+  } while (0)
+
+#define SDW_DCHECK(cond) SDW_CHECK(cond)
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_LOGGING_H_

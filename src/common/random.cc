@@ -1,0 +1,92 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace sdw {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 1e-300;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Approximate inverse-CDF sampling of a Zipf(theta) over [1, n]:
+  // the CDF of the continuous analogue x^(1-theta) is invertible in
+  // closed form; this keeps sampling O(1) without a precomputed table.
+  const double alpha = 1.0 - theta;
+  if (std::abs(alpha) < 1e-9) {
+    // theta == 1: density 1/x, CDF log(x)/log(n).
+    double u = NextDouble();
+    double x = std::exp(u * std::log(static_cast<double>(n)));
+    uint64_t v = static_cast<uint64_t>(x);
+    return v >= n ? n - 1 : v;
+  }
+  double u = NextDouble();
+  double x = std::pow(
+      u * (std::pow(static_cast<double>(n), alpha) - 1.0) + 1.0, 1.0 / alpha);
+  uint64_t v = static_cast<uint64_t>(x) - 1;
+  return v >= n ? n - 1 : v;
+}
+
+double Rng::Pareto(double scale, double alpha) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-300;
+  return scale * (std::pow(u, -1.0 / alpha) - 1.0);
+}
+
+std::string Rng::NextString(size_t length) {
+  std::string s(length, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+  return s;
+}
+
+}  // namespace sdw

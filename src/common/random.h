@@ -1,0 +1,64 @@
+#ifndef SDW_COMMON_RANDOM_H_
+#define SDW_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdw {
+
+/// Deterministic, fast PRNG (xoshiro256** core seeded via splitmix64).
+/// Used everywhere so that simulations, data generators and tests are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5d357ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Zipf-distributed value in [0, n) with exponent theta (0 = uniform,
+  /// larger = more skew). Uses the classic rejection-free approximation.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Pareto-distributed (Lomax) value with scale and shape alpha; the
+  /// heavy-tail distribution the paper's operational-defect model uses.
+  double Pareto(double scale, double alpha);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// Shuffles a vector in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_RANDOM_H_

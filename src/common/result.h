@@ -1,0 +1,78 @@
+#ifndef SDW_COMMON_RESULT_H_
+#define SDW_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sdw {
+
+/// Result<T> holds either a value of type T or a non-OK Status,
+/// mirroring arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result aborts the process (we do not use exceptions).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so call sites read naturally:
+  ///   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the contained status; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status out of the enclosing function.
+#define SDW_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  SDW_ASSIGN_OR_RETURN_IMPL_(                                 \
+      SDW_RESULT_CONCAT_(_sdw_result_, __LINE__), lhs, rexpr)
+
+#define SDW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SDW_RESULT_CONCAT_(a, b) SDW_RESULT_CONCAT_2_(a, b)
+#define SDW_RESULT_CONCAT_2_(a, b) a##b
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_RESULT_H_

@@ -1,0 +1,47 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace sdw {
+
+namespace {
+std::string FormatWithUnit(double value, const char* unit) {
+  char buf[64];
+  if (value >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else if (value >= 10) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  double b = static_cast<double>(bytes);
+  if (bytes >= kTiB) return FormatWithUnit(b / kTiB, "TiB");
+  if (bytes >= kGiB) return FormatWithUnit(b / kGiB, "GiB");
+  if (bytes >= kMiB) return FormatWithUnit(b / kMiB, "MiB");
+  if (bytes >= kKiB) return FormatWithUnit(b / kKiB, "KiB");
+  return FormatWithUnit(b, "B");
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds >= kDay) return FormatWithUnit(seconds / kDay, "d");
+  if (seconds >= kHour) return FormatWithUnit(seconds / kHour, "h");
+  if (seconds >= kMinute) return FormatWithUnit(seconds / kMinute, "min");
+  if (seconds >= 1.0) return FormatWithUnit(seconds, "s");
+  if (seconds >= 1e-3) return FormatWithUnit(seconds * 1e3, "ms");
+  return FormatWithUnit(seconds * 1e6, "us");
+}
+
+std::string FormatCount(double count) {
+  if (count >= 1e12) return FormatWithUnit(count / 1e12, "T");
+  if (count >= 1e9) return FormatWithUnit(count / 1e9, "B");
+  if (count >= 1e6) return FormatWithUnit(count / 1e6, "M");
+  if (count >= 1e3) return FormatWithUnit(count / 1e3, "k");
+  return FormatWithUnit(count, "");
+}
+
+}  // namespace sdw

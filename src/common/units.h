@@ -1,0 +1,33 @@
+#ifndef SDW_COMMON_UNITS_H_
+#define SDW_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sdw {
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// Simulated time is kept in double seconds throughout the sim/control
+/// plane; these constants make call sites read like the paper's units.
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 86400.0;
+inline constexpr double kWeek = 7 * kDay;
+
+/// "1.5 GiB", "312 MiB" -- human-readable byte counts for bench output.
+std::string FormatBytes(uint64_t bytes);
+
+/// "9.75 h", "14.2 min", "830 ms" -- human-readable durations (seconds in).
+std::string FormatDuration(double seconds);
+
+/// "5.0 B", "150 M", "12.3 k" -- human-readable row counts.
+std::string FormatCount(double count);
+
+}  // namespace sdw
+
+#endif  // SDW_COMMON_UNITS_H_

@@ -1,0 +1,57 @@
+#include "compress/analyzer.h"
+
+#include "compress/codec.h"
+
+namespace sdw::compress {
+
+std::vector<ColumnEncoding> CandidateEncodings(TypeId type) {
+  if (IsIntegerLike(type)) {
+    return {ColumnEncoding::kRunLength, ColumnEncoding::kDelta,
+            ColumnEncoding::kBytedict, ColumnEncoding::kMostly8,
+            ColumnEncoding::kMostly16, ColumnEncoding::kMostly32,
+            ColumnEncoding::kLz};
+  }
+  if (type == TypeId::kDouble) {
+    return {ColumnEncoding::kRunLength, ColumnEncoding::kBytedict,
+            ColumnEncoding::kLz};
+  }
+  // VARCHAR.
+  return {ColumnEncoding::kRunLength, ColumnEncoding::kBytedict,
+          ColumnEncoding::kText255, ColumnEncoding::kLz};
+}
+
+Result<AnalysisResult> AnalyzeColumn(const ColumnVector& sample,
+                                     const AnalyzerOptions& options) {
+  if (sample.size() == 0) {
+    return Status::InvalidArgument("cannot analyze an empty sample");
+  }
+  // Trim the sample to the configured size.
+  const ColumnVector* data = &sample;
+  ColumnVector trimmed(sample.type());
+  if (sample.size() > options.sample_rows) {
+    SDW_RETURN_IF_ERROR(trimmed.AppendRange(sample, 0, options.sample_rows));
+    data = &trimmed;
+  }
+
+  AnalysisResult result;
+  Bytes raw;
+  SDW_RETURN_IF_ERROR(EncodeColumn(ColumnEncoding::kRaw, *data, &raw));
+  result.raw_bytes = raw.size();
+  result.encoding = ColumnEncoding::kRaw;
+  result.encoded_bytes = raw.size();
+
+  for (ColumnEncoding candidate : CandidateEncodings(data->type())) {
+    Bytes encoded;
+    Status st = EncodeColumn(candidate, *data, &encoded);
+    if (!st.ok()) continue;  // codec/type mismatch: skip candidate
+    if (encoded.size() < result.encoded_bytes &&
+        static_cast<double>(result.raw_bytes) / encoded.size() >=
+            options.min_gain) {
+      result.encoding = candidate;
+      result.encoded_bytes = encoded.size();
+    }
+  }
+  return result;
+}
+
+}  // namespace sdw::compress

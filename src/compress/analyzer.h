@@ -1,0 +1,48 @@
+#ifndef SDW_COMPRESS_ANALYZER_H_
+#define SDW_COMPRESS_ANALYZER_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "common/result.h"
+
+namespace sdw::compress {
+
+/// Outcome of analyzing one column sample.
+struct AnalysisResult {
+  ColumnEncoding encoding = ColumnEncoding::kRaw;
+  /// Encoded size of the sample under the chosen encoding.
+  size_t encoded_bytes = 0;
+  /// Encoded size of the sample under RAW, for the compression ratio.
+  size_t raw_bytes = 0;
+
+  double ratio() const {
+    return encoded_bytes == 0
+               ? 1.0
+               : static_cast<double>(raw_bytes) / encoded_bytes;
+  }
+};
+
+/// Options for the sampling analyzer.
+struct AnalyzerOptions {
+  /// Values sampled per column (the paper: "we automatically pick
+  /// compression types based on data sampling").
+  size_t sample_rows = 4096;
+  /// A candidate must beat RAW by at least this factor to displace it;
+  /// avoids paying decode cost for negligible savings.
+  double min_gain = 1.05;
+};
+
+/// Picks the best encoding for a column by trial-encoding a sample under
+/// every applicable codec and choosing the smallest output. This is the
+/// automatic COMPUPDATE path run by COPY on first load.
+Result<AnalysisResult> AnalyzeColumn(const ColumnVector& sample,
+                                     const AnalyzerOptions& options = {});
+
+/// Candidate encodings the analyzer tries for a type, in trial order.
+std::vector<ColumnEncoding> CandidateEncodings(TypeId type);
+
+}  // namespace sdw::compress
+
+#endif  // SDW_COMPRESS_ANALYZER_H_

@@ -1,0 +1,45 @@
+#ifndef SDW_COMPRESS_CODEC_H_
+#define SDW_COMPRESS_CODEC_H_
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sdw::compress {
+
+/// A block codec: encodes one column vector (one block's worth of values,
+/// nulls included) to bytes and back. Implementations are stateless and
+/// shared; get one from GetCodec().
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// The encoding this codec implements.
+  virtual ColumnEncoding encoding() const = 0;
+
+  /// True if this codec can encode the given type.
+  virtual bool Supports(TypeId type) const = 0;
+
+  /// Encodes `values` (including its null bitmap) into `out` (appended).
+  virtual Status Encode(const ColumnVector& values, Bytes* out) const = 0;
+
+  /// Decodes a buffer produced by Encode back into a column vector.
+  virtual Result<ColumnVector> Decode(const Bytes& data, TypeId type) const = 0;
+};
+
+/// Returns the shared codec for an encoding. kAuto has no codec (the
+/// analyzer resolves it before storage ever sees it).
+const Codec* GetCodec(ColumnEncoding encoding);
+
+/// Convenience wrappers used by the block writer/reader.
+Status EncodeColumn(ColumnEncoding encoding, const ColumnVector& values,
+                    Bytes* out);
+Result<ColumnVector> DecodeColumn(ColumnEncoding encoding, TypeId type,
+                                  const Bytes& data);
+
+}  // namespace sdw::compress
+
+#endif  // SDW_COMPRESS_CODEC_H_

@@ -1,0 +1,735 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/lz77.h"
+#include "common/logging.h"
+
+namespace sdw::compress {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared header: row count, null count, optional packed null bitmap.
+// Value payloads always cover all n positions (nulls hold placeholders),
+// which keeps every codec oblivious to nullability.
+// ---------------------------------------------------------------------------
+
+void EncodeHeader(const ColumnVector& values, Bytes* out) {
+  const size_t n = values.size();
+  PutVarint64(out, n);
+  PutVarint64(out, values.null_count());
+  if (values.null_count() > 0) {
+    Bytes bitmap((n + 7) / 8, 0);
+    for (size_t i = 0; i < n; ++i) {
+      if (values.IsNull(i)) bitmap[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+    }
+    out->insert(out->end(), bitmap.begin(), bitmap.end());
+  }
+}
+
+struct Header {
+  size_t n = 0;
+  size_t null_count = 0;
+  Bytes bitmap;  // empty when null_count == 0
+
+  bool IsNull(size_t i) const {
+    if (null_count == 0) return false;
+    return (bitmap[i / 8] >> (i % 8)) & 1;
+  }
+};
+
+Status DecodeHeader(const Bytes& data, size_t* pos, Header* h) {
+  uint64_t n = 0;
+  uint64_t nulls = 0;
+  if (!GetVarint64(data, pos, &n) || !GetVarint64(data, pos, &nulls)) {
+    return Status::Corruption("block header truncated");
+  }
+  h->n = n;
+  h->null_count = nulls;
+  if (nulls > 0) {
+    size_t bitmap_bytes = (n + 7) / 8;
+    if (*pos + bitmap_bytes > data.size()) {
+      return Status::Corruption("null bitmap truncated");
+    }
+    h->bitmap.assign(data.begin() + *pos, data.begin() + *pos + bitmap_bytes);
+    *pos += bitmap_bytes;
+  }
+  return Status::OK();
+}
+
+// Rebuilds a ColumnVector from decoded lanes + the null bitmap.
+template <typename AppendValue>
+ColumnVector Assemble(TypeId type, const Header& h, AppendValue&& append) {
+  ColumnVector out(type);
+  out.Reserve(h.n);
+  for (size_t i = 0; i < h.n; ++i) {
+    if (h.IsNull(i)) {
+      out.AppendNull();
+    } else {
+      append(&out, i);
+    }
+  }
+  return out;
+}
+
+// Lane-moving fast paths for the common null-free case.
+ColumnVector AssembleInts(TypeId type, const Header& h,
+                          std::vector<int64_t> lane) {
+  if (h.null_count == 0) {
+    return ColumnVector::TakeInts(type, std::move(lane));
+  }
+  return Assemble(type, h, [&](ColumnVector* out, size_t i) {
+    out->AppendInt(lane[i]);
+  });
+}
+
+ColumnVector AssembleDoubles(const Header& h, std::vector<double> lane) {
+  if (h.null_count == 0) {
+    return ColumnVector::TakeDoubles(std::move(lane));
+  }
+  return Assemble(TypeId::kDouble, h, [&](ColumnVector* out, size_t i) {
+    out->AppendDouble(lane[i]);
+  });
+}
+
+ColumnVector AssembleStrings(const Header& h,
+                             std::vector<std::string> lane) {
+  if (h.null_count == 0) {
+    return ColumnVector::TakeStrings(std::move(lane));
+  }
+  return Assemble(TypeId::kString, h, [&](ColumnVector* out, size_t i) {
+    out->AppendString(std::move(lane[i]));
+  });
+}
+
+inline uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+inline double BitsDouble(uint64_t bits) {
+  double d;
+  __builtin_memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// RAW: fixed-width ints/doubles, length-prefixed strings.
+// ---------------------------------------------------------------------------
+
+class RawCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override { return ColumnEncoding::kRaw; }
+  bool Supports(TypeId type) const override { return true; }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    EncodeHeader(values, out);
+    switch (values.type()) {
+      case TypeId::kDouble:
+        for (double d : values.doubles()) PutFixed64(out, DoubleBits(d));
+        break;
+      case TypeId::kString:
+        for (const auto& s : values.strings()) PutLengthPrefixed(out, s);
+        break;
+      default:
+        for (int64_t v : values.ints()) {
+          PutFixed64(out, static_cast<uint64_t>(v));
+        }
+        break;
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    if (type == TypeId::kString) {
+      std::vector<std::string> lane(h.n);
+      for (size_t i = 0; i < h.n; ++i) {
+        if (!GetLengthPrefixed(data, &pos, &lane[i])) {
+          return Status::Corruption("raw string truncated");
+        }
+      }
+      return AssembleStrings(h, std::move(lane));
+    }
+    if (pos + 8 * h.n > data.size()) {
+      return Status::Corruption("raw payload truncated");
+    }
+    if (type == TypeId::kDouble) {
+      std::vector<double> lane(h.n);
+      for (size_t i = 0; i < h.n; ++i) {
+        lane[i] = BitsDouble(GetFixed64(data.data() + pos + 8 * i));
+      }
+      return AssembleDoubles(h, std::move(lane));
+    }
+    std::vector<int64_t> lane(h.n);
+    for (size_t i = 0; i < h.n; ++i) {
+      lane[i] = static_cast<int64_t>(GetFixed64(data.data() + pos + 8 * i));
+    }
+    return AssembleInts(type, h, std::move(lane));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RUNLENGTH: (value, run length) pairs; works for every type.
+// ---------------------------------------------------------------------------
+
+class RunLengthCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override {
+    return ColumnEncoding::kRunLength;
+  }
+  bool Supports(TypeId type) const override { return true; }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    EncodeHeader(values, out);
+    const size_t n = values.size();
+    size_t i = 0;
+    while (i < n) {
+      size_t run = 1;
+      while (i + run < n && SameValue(values, i, i + run)) ++run;
+      PutVarint64(out, run);
+      PutValue(values, i, out);
+      i += run;
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    // Decode runs into full lanes first (runs may span null positions'
+    // placeholders), then assemble.
+    std::vector<int64_t> int_lane;
+    std::vector<double> dbl_lane;
+    std::vector<std::string> str_lane;
+    size_t produced = 0;
+    while (produced < h.n) {
+      uint64_t run = 0;
+      if (!GetVarint64(data, &pos, &run) || run == 0 ||
+          produced + run > h.n) {
+        return Status::Corruption("rle run truncated");
+      }
+      if (type == TypeId::kString) {
+        std::string s;
+        if (!GetLengthPrefixed(data, &pos, &s)) {
+          return Status::Corruption("rle string truncated");
+        }
+        str_lane.insert(str_lane.end(), run, s);
+      } else {
+        uint64_t raw = 0;
+        if (!GetVarint64(data, &pos, &raw)) {
+          return Status::Corruption("rle value truncated");
+        }
+        if (type == TypeId::kDouble) {
+          dbl_lane.insert(dbl_lane.end(), run, BitsDouble(raw));
+        } else {
+          int_lane.insert(int_lane.end(), run, ZigZagDecode(raw));
+        }
+      }
+      produced += run;
+    }
+    if (type == TypeId::kString) {
+      return AssembleStrings(h, std::move(str_lane));
+    }
+    if (type == TypeId::kDouble) {
+      return AssembleDoubles(h, std::move(dbl_lane));
+    }
+    return AssembleInts(type, h, std::move(int_lane));
+  }
+
+ private:
+  static bool SameValue(const ColumnVector& v, size_t a, size_t b) {
+    switch (v.type()) {
+      case TypeId::kDouble:
+        return DoubleBits(v.doubles()[a]) == DoubleBits(v.doubles()[b]);
+      case TypeId::kString:
+        return v.strings()[a] == v.strings()[b];
+      default:
+        return v.ints()[a] == v.ints()[b];
+    }
+  }
+  static void PutValue(const ColumnVector& v, size_t i, Bytes* out) {
+    switch (v.type()) {
+      case TypeId::kDouble:
+        PutVarint64(out, DoubleBits(v.doubles()[i]));
+        break;
+      case TypeId::kString:
+        PutLengthPrefixed(out, v.strings()[i]);
+        break;
+      default:
+        PutVarint64(out, ZigZagEncode(v.ints()[i]));
+        break;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DELTA: first value + zigzag varint deltas. Integer-like lanes only;
+// excellent for timestamps and monotonically assigned ids.
+// ---------------------------------------------------------------------------
+
+class DeltaCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override { return ColumnEncoding::kDelta; }
+  bool Supports(TypeId type) const override { return IsIntegerLike(type); }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    if (!Supports(values.type())) {
+      return Status::NotSupported("delta requires an integer-like column");
+    }
+    EncodeHeader(values, out);
+    int64_t prev = 0;
+    for (int64_t v : values.ints()) {
+      // Differences wrap in unsigned space so INT64_MIN/MAX round-trip
+      // without signed overflow.
+      const uint64_t delta =
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(prev);
+      PutVarint64(out, ZigZagEncode(static_cast<int64_t>(delta)));
+      prev = v;
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    std::vector<int64_t> lane(h.n);
+    int64_t prev = 0;
+    for (size_t i = 0; i < h.n; ++i) {
+      uint64_t raw = 0;
+      if (!GetVarint64(data, &pos, &raw)) {
+        return Status::Corruption("delta truncated");
+      }
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                  static_cast<uint64_t>(ZigZagDecode(raw)));
+      lane[i] = prev;
+    }
+    return AssembleInts(type, h, std::move(lane));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BYTEDICT: per-block dictionary of up to 255 distinct values, 1-byte
+// codes, escape byte 0xFF followed by an inline value for overflow.
+// ---------------------------------------------------------------------------
+
+class BytedictCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override {
+    return ColumnEncoding::kBytedict;
+  }
+  bool Supports(TypeId type) const override { return true; }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    EncodeHeader(values, out);
+    const size_t n = values.size();
+    // Build dictionary in first-appearance order, capped at 255 entries.
+    std::map<std::string, uint8_t> dict;
+    std::vector<std::string> dict_order;
+    std::vector<uint8_t> codes(n);
+    std::vector<size_t> escapes;
+    for (size_t i = 0; i < n; ++i) {
+      std::string key = KeyAt(values, i);
+      auto it = dict.find(key);
+      if (it != dict.end()) {
+        codes[i] = it->second;
+      } else if (dict.size() < 255) {
+        uint8_t code = static_cast<uint8_t>(dict.size());
+        dict[key] = code;
+        dict_order.push_back(key);
+        codes[i] = code;
+      } else {
+        codes[i] = 0xFF;
+        escapes.push_back(i);
+      }
+    }
+    PutVarint64(out, dict_order.size());
+    for (const auto& key : dict_order) {
+      PutVarint64(out, key.size());
+      out->insert(out->end(), key.begin(), key.end());
+    }
+    out->insert(out->end(), codes.begin(), codes.end());
+    for (size_t idx : escapes) {
+      std::string key = KeyAt(values, idx);
+      PutVarint64(out, key.size());
+      out->insert(out->end(), key.begin(), key.end());
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    uint64_t dict_size = 0;
+    if (!GetVarint64(data, &pos, &dict_size) || dict_size > 255) {
+      return Status::Corruption("bytedict: bad dictionary size");
+    }
+    std::vector<std::string> dict(dict_size);
+    for (auto& entry : dict) {
+      if (!ReadKey(data, &pos, &entry)) {
+        return Status::Corruption("bytedict: dictionary truncated");
+      }
+    }
+    if (pos + h.n > data.size()) {
+      return Status::Corruption("bytedict: codes truncated");
+    }
+    const uint8_t* codes = data.data() + pos;
+    pos += h.n;
+    std::vector<std::string> lane(h.n);
+    for (size_t i = 0; i < h.n; ++i) {
+      if (codes[i] == 0xFF) {
+        if (!ReadKey(data, &pos, &lane[i])) {
+          return Status::Corruption("bytedict: escape truncated");
+        }
+      } else {
+        if (codes[i] >= dict.size()) {
+          return Status::Corruption("bytedict: code out of range");
+        }
+        lane[i] = dict[codes[i]];
+      }
+    }
+    return Assemble(type, h, [&](ColumnVector* out, size_t i) {
+      AppendKey(out, type, lane[i]);
+    });
+  }
+
+ private:
+  // Values are keyed by their wire form: 8 raw bytes for numerics, the
+  // string itself for VARCHAR.
+  static std::string KeyAt(const ColumnVector& v, size_t i) {
+    switch (v.type()) {
+      case TypeId::kString:
+        return v.strings()[i];
+      case TypeId::kDouble: {
+        uint64_t bits = DoubleBits(v.doubles()[i]);
+        return std::string(reinterpret_cast<const char*>(&bits), 8);
+      }
+      default: {
+        int64_t x = v.ints()[i];
+        return std::string(reinterpret_cast<const char*>(&x), 8);
+      }
+    }
+  }
+  static bool ReadKey(const Bytes& data, size_t* pos, std::string* out) {
+    uint64_t len = 0;
+    if (!GetVarint64(data, pos, &len) || *pos + len > data.size()) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data.data()) + *pos, len);
+    *pos += len;
+    return true;
+  }
+  static void AppendKey(ColumnVector* out, TypeId type,
+                        const std::string& key) {
+    if (type == TypeId::kString) {
+      out->AppendString(key);
+    } else if (type == TypeId::kDouble) {
+      uint64_t bits;
+      __builtin_memcpy(&bits, key.data(), 8);
+      out->AppendDouble(BitsDouble(bits));
+    } else {
+      int64_t v;
+      __builtin_memcpy(&v, key.data(), 8);
+      out->AppendInt(v);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MOSTLY8/16/32: frame-of-reference narrow storage with an exception
+// list for out-of-range values. Integer-like lanes only.
+// ---------------------------------------------------------------------------
+
+template <int kWidthBytes>
+class MostlyCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override {
+    if constexpr (kWidthBytes == 1) return ColumnEncoding::kMostly8;
+    if constexpr (kWidthBytes == 2) return ColumnEncoding::kMostly16;
+    return ColumnEncoding::kMostly32;
+  }
+  bool Supports(TypeId type) const override { return IsIntegerLike(type); }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    if (!Supports(values.type())) {
+      return Status::NotSupported("mostlyN requires an integer-like column");
+    }
+    EncodeHeader(values, out);
+    constexpr int64_t kLo = Min();
+    constexpr int64_t kHi = Max();
+    Bytes narrow;
+    narrow.reserve(values.size() * kWidthBytes);
+    std::vector<std::pair<size_t, int64_t>> exceptions;
+    const auto& lane = values.ints();
+    for (size_t i = 0; i < lane.size(); ++i) {
+      int64_t v = lane[i];
+      // kLo itself is the in-band exception marker.
+      if (v > kLo && v <= kHi) {
+        AppendNarrow(&narrow, v);
+      } else {
+        AppendNarrow(&narrow, kLo);
+        exceptions.emplace_back(i, v);
+      }
+    }
+    out->insert(out->end(), narrow.begin(), narrow.end());
+    PutVarint64(out, exceptions.size());
+    for (const auto& [idx, v] : exceptions) {
+      PutVarint64(out, idx);
+      PutVarint64(out, ZigZagEncode(v));
+    }
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    if (pos + h.n * kWidthBytes > data.size()) {
+      return Status::Corruption("mostlyN narrow lane truncated");
+    }
+    std::vector<int64_t> lane(h.n);
+    for (size_t i = 0; i < h.n; ++i) {
+      lane[i] = ReadNarrow(data.data() + pos + i * kWidthBytes);
+    }
+    pos += h.n * kWidthBytes;
+    uint64_t num_exceptions = 0;
+    if (!GetVarint64(data, &pos, &num_exceptions)) {
+      return Status::Corruption("mostlyN exception count truncated");
+    }
+    for (uint64_t e = 0; e < num_exceptions; ++e) {
+      uint64_t idx = 0;
+      uint64_t raw = 0;
+      if (!GetVarint64(data, &pos, &idx) || !GetVarint64(data, &pos, &raw) ||
+          idx >= h.n) {
+        return Status::Corruption("mostlyN exception truncated");
+      }
+      lane[idx] = ZigZagDecode(raw);
+    }
+    return AssembleInts(type, h, std::move(lane));
+  }
+
+ private:
+  static constexpr int64_t Min() {
+    return -(int64_t{1} << (8 * kWidthBytes - 1));
+  }
+  static constexpr int64_t Max() {
+    return (int64_t{1} << (8 * kWidthBytes - 1)) - 1;
+  }
+  static void AppendNarrow(Bytes* out, int64_t v) {
+    uint64_t u = static_cast<uint64_t>(v);
+    for (int b = 0; b < kWidthBytes; ++b) {
+      out->push_back(static_cast<uint8_t>(u >> (8 * b)));
+    }
+  }
+  static int64_t ReadNarrow(const uint8_t* p) {
+    uint64_t u = 0;
+    for (int b = 0; b < kWidthBytes; ++b) {
+      u |= static_cast<uint64_t>(p[b]) << (8 * b);
+    }
+    // Sign-extend from kWidthBytes.
+    const int shift = 64 - 8 * kWidthBytes;
+    return static_cast<int64_t>(u << shift) >> shift;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// LZ: generic byte compressor applied to the RAW wire form.
+// ---------------------------------------------------------------------------
+
+class LzCodec : public Codec {
+ public:
+  ColumnEncoding encoding() const override { return ColumnEncoding::kLz; }
+  bool Supports(TypeId type) const override { return true; }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    Bytes raw;
+    SDW_RETURN_IF_ERROR(GetCodec(ColumnEncoding::kRaw)->Encode(values, &raw));
+    Lz77Compress(raw, out);
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    auto raw = Lz77Decompress(data);
+    if (!raw.ok()) return raw.status();
+    return GetCodec(ColumnEncoding::kRaw)->Decode(*raw, type);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TEXT255: word-level dictionary for VARCHAR. Each string becomes a
+// sequence of word codes; up to 255 dictionary words per block, escape
+// 0xFF + literal word for overflow.
+// ---------------------------------------------------------------------------
+
+class Text255Codec : public Codec {
+ public:
+  ColumnEncoding encoding() const override { return ColumnEncoding::kText255; }
+  bool Supports(TypeId type) const override { return type == TypeId::kString; }
+
+  Status Encode(const ColumnVector& values, Bytes* out) const override {
+    if (values.type() != TypeId::kString) {
+      return Status::NotSupported("text255 requires a VARCHAR column");
+    }
+    EncodeHeader(values, out);
+    std::map<std::string, uint8_t> dict;
+    std::vector<std::string> dict_order;
+    Bytes body;
+    for (const auto& s : values.strings()) {
+      std::vector<std::string> words = SplitWords(s);
+      PutVarint64(&body, words.size());
+      for (const auto& w : words) {
+        auto it = dict.find(w);
+        if (it != dict.end()) {
+          body.push_back(it->second);
+        } else if (dict.size() < 255) {
+          uint8_t code = static_cast<uint8_t>(dict.size());
+          dict[w] = code;
+          dict_order.push_back(w);
+          body.push_back(code);
+        } else {
+          body.push_back(0xFF);
+          PutLengthPrefixed(&body, w);
+        }
+      }
+    }
+    PutVarint64(out, dict_order.size());
+    for (const auto& w : dict_order) PutLengthPrefixed(out, w);
+    out->insert(out->end(), body.begin(), body.end());
+    return Status::OK();
+  }
+
+  Result<ColumnVector> Decode(const Bytes& data, TypeId type) const override {
+    size_t pos = 0;
+    Header h;
+    SDW_RETURN_IF_ERROR(DecodeHeader(data, &pos, &h));
+    uint64_t dict_size = 0;
+    if (!GetVarint64(data, &pos, &dict_size) || dict_size > 255) {
+      return Status::Corruption("text255: bad dictionary size");
+    }
+    std::vector<std::string> dict(dict_size);
+    for (auto& w : dict) {
+      if (!GetLengthPrefixed(data, &pos, &w)) {
+        return Status::Corruption("text255: dictionary truncated");
+      }
+    }
+    std::vector<std::string> lane(h.n);
+    for (size_t i = 0; i < h.n; ++i) {
+      uint64_t word_count = 0;
+      if (!GetVarint64(data, &pos, &word_count)) {
+        return Status::Corruption("text255: word count truncated");
+      }
+      std::string s;
+      for (uint64_t w = 0; w < word_count; ++w) {
+        if (pos >= data.size()) {
+          return Status::Corruption("text255: codes truncated");
+        }
+        uint8_t code = data[pos++];
+        if (w > 0) s += ' ';
+        if (code == 0xFF) {
+          std::string literal;
+          if (!GetLengthPrefixed(data, &pos, &literal)) {
+            return Status::Corruption("text255: escape truncated");
+          }
+          s += literal;
+        } else {
+          if (code >= dict.size()) {
+            return Status::Corruption("text255: code out of range");
+          }
+          s += dict[code];
+        }
+      }
+      lane[i] = std::move(s);
+    }
+    return Assemble(type, h, [&](ColumnVector* out, size_t i) {
+      out->AppendString(std::move(lane[i]));
+    });
+  }
+
+ private:
+  static std::vector<std::string> SplitWords(const std::string& s) {
+    std::vector<std::string> words;
+    size_t start = 0;
+    while (start <= s.size()) {
+      size_t space = s.find(' ', start);
+      if (space == std::string::npos) {
+        words.push_back(s.substr(start));
+        break;
+      }
+      words.push_back(s.substr(start, space - start));
+      start = space + 1;
+    }
+    // A single empty word means the empty string: encode as zero words.
+    if (words.size() == 1 && words[0].empty()) words.clear();
+    return words;
+  }
+};
+
+}  // namespace
+
+const Codec* GetCodec(ColumnEncoding encoding) {
+  static const RawCodec& raw = *new RawCodec();
+  static const RunLengthCodec& rle = *new RunLengthCodec();
+  static const DeltaCodec& delta = *new DeltaCodec();
+  static const BytedictCodec& bytedict = *new BytedictCodec();
+  static const MostlyCodec<1>& mostly8 = *new MostlyCodec<1>();
+  static const MostlyCodec<2>& mostly16 = *new MostlyCodec<2>();
+  static const MostlyCodec<4>& mostly32 = *new MostlyCodec<4>();
+  static const LzCodec& lz = *new LzCodec();
+  static const Text255Codec& text255 = *new Text255Codec();
+  switch (encoding) {
+    case ColumnEncoding::kRaw:
+      return &raw;
+    case ColumnEncoding::kRunLength:
+      return &rle;
+    case ColumnEncoding::kDelta:
+      return &delta;
+    case ColumnEncoding::kBytedict:
+      return &bytedict;
+    case ColumnEncoding::kMostly8:
+      return &mostly8;
+    case ColumnEncoding::kMostly16:
+      return &mostly16;
+    case ColumnEncoding::kMostly32:
+      return &mostly32;
+    case ColumnEncoding::kLz:
+      return &lz;
+    case ColumnEncoding::kText255:
+      return &text255;
+    case ColumnEncoding::kAuto:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Status EncodeColumn(ColumnEncoding encoding, const ColumnVector& values,
+                    Bytes* out) {
+  const Codec* codec = GetCodec(encoding);
+  if (codec == nullptr) {
+    return Status::InvalidArgument("no codec for encoding");
+  }
+  if (!codec->Supports(values.type())) {
+    return Status::NotSupported(std::string(ColumnEncodingName(encoding)) +
+                                " does not support " +
+                                TypeName(values.type()));
+  }
+  return codec->Encode(values, out);
+}
+
+Result<ColumnVector> DecodeColumn(ColumnEncoding encoding, TypeId type,
+                                  const Bytes& data) {
+  const Codec* codec = GetCodec(encoding);
+  if (codec == nullptr) {
+    return Status::InvalidArgument("no codec for encoding");
+  }
+  return codec->Decode(data, type);
+}
+
+}  // namespace sdw::compress

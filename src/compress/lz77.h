@@ -1,0 +1,20 @@
+#ifndef SDW_COMPRESS_LZ77_H_
+#define SDW_COMPRESS_LZ77_H_
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace sdw::compress {
+
+/// Greedy LZ77 with a hash-chain match finder over a 64 KiB window —
+/// the stand-in for the LZO codec the paper's engine ships. Token
+/// stream: varint literal-run length, literals, then varint match
+/// length (0 = none) and varint distance, repeated.
+void Lz77Compress(const Bytes& input, Bytes* out);
+
+/// Inverse of Lz77Compress. Fails on malformed streams.
+Result<Bytes> Lz77Decompress(const Bytes& input);
+
+}  // namespace sdw::compress
+
+#endif  // SDW_COMPRESS_LZ77_H_

@@ -1,0 +1,54 @@
+#ifndef SDW_EXEC_BATCH_H_
+#define SDW_EXEC_BATCH_H_
+
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/result.h"
+
+namespace sdw::exec {
+
+/// The unit of vectorized execution: a set of equal-length column
+/// vectors.
+struct Batch {
+  std::vector<ColumnVector> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  std::vector<TypeId> Types() const {
+    std::vector<TypeId> types;
+    types.reserve(columns.size());
+    for (const auto& c : columns) types.push_back(c.type());
+    return types;
+  }
+
+  /// One row as datums (API-boundary use only).
+  Row RowAt(size_t i) const {
+    Row row;
+    row.reserve(columns.size());
+    for (const auto& c : columns) row.push_back(c.DatumAt(i));
+    return row;
+  }
+};
+
+/// Builds an empty batch with the given column types.
+inline Batch MakeBatch(const std::vector<TypeId>& types) {
+  Batch b;
+  b.columns.reserve(types.size());
+  for (TypeId t : types) b.columns.emplace_back(t);
+  return b;
+}
+
+/// Appends row i of `src` to `dst` (columns must line up).
+inline Status AppendRow(const Batch& src, size_t i, Batch* dst) {
+  for (size_t c = 0; c < src.columns.size(); ++c) {
+    SDW_RETURN_IF_ERROR(
+        dst->columns[c].AppendRange(src.columns[c], i, i + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace sdw::exec
+
+#endif  // SDW_EXEC_BATCH_H_

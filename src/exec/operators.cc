@@ -1,0 +1,768 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "exec/hll.h"
+#include "common/logging.h"
+
+namespace sdw::exec {
+
+Result<Batch> Collect(Operator* op) {
+  Batch out = MakeBatch(op->OutputTypes());
+  while (true) {
+    SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, op->Next());
+    if (!batch.has_value()) break;
+    for (size_t c = 0; c < out.columns.size(); ++c) {
+      SDW_RETURN_IF_ERROR(out.columns[c].AppendRange(
+          batch->columns[c], 0, batch->columns[c].size()));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Serializes a set of key datums into a hashable string (type-erased,
+// length-delimited so distinct tuples never collide).
+std::string SerializeKey(const Batch& batch, const std::vector<int>& keys,
+                         size_t row) {
+  std::string out;
+  for (int k : keys) {
+    const ColumnVector& col = batch.columns[k];
+    if (col.IsNull(row)) {
+      out.push_back('\x00');
+      continue;
+    }
+    out.push_back('\x01');
+    switch (col.type()) {
+      case TypeId::kString: {
+        const std::string& s = col.StringAt(row);
+        uint32_t len = static_cast<uint32_t>(s.size());
+        out.append(reinterpret_cast<const char*>(&len), 4);
+        out.append(s);
+        break;
+      }
+      case TypeId::kDouble: {
+        double d = col.DoubleAt(row);
+        if (d == 0.0) d = 0.0;  // normalize -0.0
+        out.append(reinterpret_cast<const char*>(&d), 8);
+        break;
+      }
+      default: {
+        int64_t v = col.IntAt(row);
+        out.append(reinterpret_cast<const char*>(&v), 8);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MemoryScan
+// ---------------------------------------------------------------------------
+
+class MemoryScanOp : public Operator {
+ public:
+  MemoryScanOp(std::vector<TypeId> types, std::vector<Batch> batches)
+      : types_(std::move(types)), batches_(std::move(batches)) {}
+
+  std::vector<TypeId> OutputTypes() const override { return types_; }
+
+  Result<std::optional<Batch>> Next() override {
+    if (next_ >= batches_.size()) return std::optional<Batch>();
+    return std::optional<Batch>(std::move(batches_[next_++]));
+  }
+
+ private:
+  std::vector<TypeId> types_;
+  std::vector<Batch> batches_;
+  size_t next_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ShardScan
+// ---------------------------------------------------------------------------
+
+class ShardScanOp : public Operator {
+ public:
+  ShardScanOp(storage::TableShard* shard, std::vector<int> columns,
+              std::vector<storage::RangePredicate> predicates,
+              ScanOptions options)
+      : shard_(shard),
+        columns_(std::move(columns)),
+        options_(options),
+        ranges_(shard->CandidateRanges(predicates)) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    std::vector<TypeId> types;
+    types.reserve(columns_.size());
+    for (int c : columns_) types.push_back(shard_->schema().column(c).type);
+    return types;
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    while (range_index_ < ranges_.size()) {
+      const storage::RowRange& range = ranges_[range_index_];
+      if (offset_ >= range.size()) {
+        ++range_index_;
+        offset_ = 0;
+        continue;
+      }
+      const uint64_t begin = range.begin + offset_;
+      const uint64_t end =
+          std::min<uint64_t>(range.end, begin + options_.batch_rows);
+      offset_ += end - begin;
+      SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> cols,
+                           shard_->ReadRange(columns_, {begin, end}));
+      Batch batch;
+      batch.columns = std::move(cols);
+      return std::optional<Batch>(std::move(batch));
+    }
+    return std::optional<Batch>();
+  }
+
+ private:
+  storage::TableShard* shard_;
+  std::vector<int> columns_;
+  ScanOptions options_;
+  std::vector<storage::RowRange> ranges_;
+  size_t range_index_ = 0;
+  uint64_t offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr input, ExprPtr predicate)
+      : input_(std::move(input)), predicate_(std::move(predicate)) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    return input_->OutputTypes();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    while (true) {
+      SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, input_->Next());
+      if (!batch.has_value()) return std::optional<Batch>();
+      SDW_ASSIGN_OR_RETURN(ColumnVector mask, predicate_->EvalBatch(*batch));
+      // Selection-vector filtering: one index list, then lane-wise
+      // copies (the compiled engine's tight inner loop).
+      std::vector<uint32_t> selected;
+      selected.reserve(mask.size());
+      const auto& bits = mask.ints();
+      if (mask.has_nulls()) {
+        for (size_t i = 0; i < mask.size(); ++i) {
+          if (!mask.IsNull(i) && bits[i] != 0) {
+            selected.push_back(static_cast<uint32_t>(i));
+          }
+        }
+      } else {
+        for (size_t i = 0; i < bits.size(); ++i) {
+          if (bits[i] != 0) selected.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      if (selected.size() == batch->num_rows()) {
+        return batch;  // nothing filtered: pass the batch through
+      }
+      Batch out = MakeBatch(batch->Types());
+      for (size_t c = 0; c < batch->columns.size(); ++c) {
+        SDW_RETURN_IF_ERROR(
+            out.columns[c].AppendSelected(batch->columns[c], selected));
+      }
+      if (out.num_rows() > 0) return std::optional<Batch>(std::move(out));
+      // All rows filtered: pull the next batch rather than emitting
+      // empties.
+    }
+  }
+
+ private:
+  OperatorPtr input_;
+  ExprPtr predicate_;
+};
+
+// ---------------------------------------------------------------------------
+// Project
+// ---------------------------------------------------------------------------
+
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr input, std::vector<ExprPtr> exprs)
+      : input_(std::move(input)), exprs_(std::move(exprs)) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    std::vector<TypeId> types;
+    types.reserve(exprs_.size());
+    for (const auto& e : exprs_) types.push_back(e->type());
+    return types;
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, input_->Next());
+    if (!batch.has_value()) return std::optional<Batch>();
+    Batch out;
+    out.columns.reserve(exprs_.size());
+    for (const auto& e : exprs_) {
+      SDW_ASSIGN_OR_RETURN(ColumnVector col, e->EvalBatch(*batch));
+      out.columns.push_back(std::move(col));
+    }
+    return std::optional<Batch>(std::move(out));
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<ExprPtr> exprs_;
+};
+
+// ---------------------------------------------------------------------------
+// HashJoin
+// ---------------------------------------------------------------------------
+
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr probe, OperatorPtr build, std::vector<int> probe_keys,
+             std::vector<int> build_keys)
+      : probe_(std::move(probe)),
+        build_(std::move(build)),
+        probe_keys_(std::move(probe_keys)),
+        build_keys_(std::move(build_keys)) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    std::vector<TypeId> types = probe_->OutputTypes();
+    for (TypeId t : build_->OutputTypes()) types.push_back(t);
+    return types;
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (!built_) {
+      SDW_RETURN_IF_ERROR(Build());
+      built_ = true;
+    }
+    while (true) {
+      SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, probe_->Next());
+      if (!batch.has_value()) return std::optional<Batch>();
+      Batch out = MakeBatch(OutputTypes());
+      const size_t n = batch->num_rows();
+      const size_t probe_width = batch->num_columns();
+      for (size_t i = 0; i < n; ++i) {
+        // NULL keys never join.
+        bool null_key = false;
+        for (int k : probe_keys_) {
+          if (batch->columns[k].IsNull(i)) {
+            null_key = true;
+            break;
+          }
+        }
+        if (null_key) continue;
+        std::string key = SerializeKey(*batch, probe_keys_, i);
+        auto [lo, hi] = table_.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          SDW_RETURN_IF_ERROR(AppendRow(*batch, i, &out));
+          // Append matching build row into the trailing columns.
+          for (size_t c = 0; c < build_data_.num_columns(); ++c) {
+            SDW_RETURN_IF_ERROR(out.columns[probe_width + c].AppendRange(
+                build_data_.columns[c], it->second, it->second + 1));
+          }
+        }
+      }
+      if (out.num_rows() > 0) return std::optional<Batch>(std::move(out));
+    }
+  }
+
+ private:
+  Status Build() {
+    SDW_ASSIGN_OR_RETURN(build_data_, Collect(build_.get()));
+    const size_t n = build_data_.num_rows();
+    table_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      bool null_key = false;
+      for (int k : build_keys_) {
+        if (build_data_.columns[k].IsNull(i)) {
+          null_key = true;
+          break;
+        }
+      }
+      if (null_key) continue;
+      table_.emplace(SerializeKey(build_data_, build_keys_, i), i);
+    }
+    return Status::OK();
+  }
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  std::vector<int> probe_keys_;
+  std::vector<int> build_keys_;
+  bool built_ = false;
+  Batch build_data_;
+  std::unordered_multimap<std::string, size_t> table_;
+};
+
+// ---------------------------------------------------------------------------
+// HashAggregate
+// ---------------------------------------------------------------------------
+
+struct AggState {
+  int64_t count = 0;
+  int64_t sum_int = 0;
+  double sum_double = 0;
+  bool has_value = false;
+  Datum min;
+  Datum max;
+  /// Allocated lazily for kApproxDistinct.
+  std::unique_ptr<HyperLogLog> hll;
+
+  HyperLogLog* Sketch() {
+    if (!hll) hll = std::make_unique<HyperLogLog>();
+    return hll.get();
+  }
+};
+
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr input, std::vector<int> group_by,
+                  std::vector<AggSpec> aggs, AggMode mode)
+      : input_(std::move(input)),
+        group_by_(std::move(group_by)),
+        aggs_(std::move(aggs)),
+        mode_(mode),
+        input_types_(input_->OutputTypes()) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    std::vector<TypeId> types;
+    for (int g : group_by_) types.push_back(input_types_[g]);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      types.push_back(AggOutputType(a));
+    }
+    return types;
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (done_) return std::optional<Batch>();
+    done_ = true;
+    SDW_RETURN_IF_ERROR(Accumulate());
+    return std::optional<Batch>(Emit());
+  }
+
+ private:
+  struct Group;
+
+  TypeId AggInputType(size_t a) const {
+    // In kFinal mode the agg inputs are the partial-output columns,
+    // laid out right after the group columns.
+    if (mode_ == AggMode::kFinal) {
+      return input_types_[group_by_.size() + a];
+    }
+    return aggs_[a].column < 0 ? TypeId::kInt64
+                               : input_types_[aggs_[a].column];
+  }
+
+  TypeId AggOutputType(size_t a) const {
+    switch (aggs_[a].fn) {
+      case AggFn::kCount:
+        return TypeId::kInt64;
+      case AggFn::kSum:
+        return AggInputType(a) == TypeId::kDouble ? TypeId::kDouble
+                                                  : TypeId::kInt64;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        return AggInputType(a);
+      case AggFn::kApproxDistinct:
+        // Partials ship the serialized sketch; single/final emit the
+        // cardinality estimate.
+        return mode_ == AggMode::kPartial ? TypeId::kString : TypeId::kInt64;
+    }
+    return TypeId::kInt64;
+  }
+
+  /// True if this batch can go through the type-specialized kernel:
+  /// single null-free integer group key and count/sum aggregates only.
+  /// This is the "tighter execution" a compiled plan buys (§2.1).
+  bool CanFastPath(const Batch& batch) const {
+    if (mode_ == AggMode::kFinal) return false;
+    if (group_by_.size() != 1) return false;
+    const ColumnVector& key = batch.columns[group_by_[0]];
+    if (key.type() == TypeId::kString || key.type() == TypeId::kDouble ||
+        key.has_nulls()) {
+      return false;
+    }
+    for (const AggSpec& spec : aggs_) {
+      if (spec.fn == AggFn::kMin || spec.fn == AggFn::kMax ||
+          spec.fn == AggFn::kApproxDistinct) {
+        return false;
+      }
+      if (spec.column >= 0 &&
+          batch.columns[spec.column].type() == TypeId::kString) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Status FastAccumulate(const Batch& batch) {
+    const auto& keys = batch.columns[group_by_[0]].ints();
+    const size_t n = keys.size();
+    // Pre-resolve lane pointers per aggregate.
+    struct Lane {
+      AggFn fn;
+      const int64_t* ints = nullptr;
+      const double* doubles = nullptr;
+      const uint8_t* nulls = nullptr;  // null when the column has no NULLs
+    };
+    std::vector<Lane> lanes;
+    lanes.reserve(aggs_.size());
+    for (const AggSpec& spec : aggs_) {
+      Lane lane;
+      lane.fn = spec.fn;
+      if (spec.column >= 0) {
+        const ColumnVector& col = batch.columns[spec.column];
+        if (col.type() == TypeId::kDouble) {
+          lane.doubles = col.doubles().data();
+        } else {
+          lane.ints = col.ints().data();
+        }
+        if (col.has_nulls()) lane.nulls = col.nulls().data();
+      }
+      lanes.push_back(lane);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t key = keys[i];
+      auto [it, inserted] = fast_groups_.try_emplace(key, nullptr);
+      if (inserted) {
+        // Materialize the group through the generic path once so the
+        // string-keyed map and emit order stay consistent.
+        std::string skey = SerializeKey(batch, group_by_, i);
+        auto [git, gnew] = groups_.try_emplace(std::move(skey));
+        if (gnew) {
+          Group& g = git->second;
+          g.keys.push_back(batch.columns[group_by_[0]].DatumAt(i));
+          g.states.resize(aggs_.size());
+          group_order_.push_back(&*git);
+        }
+        it->second = &git->second;
+      }
+      Group& g = *it->second;
+      for (size_t a = 0; a < lanes.size(); ++a) {
+        const Lane& lane = lanes[a];
+        AggState& s = g.states[a];
+        switch (lane.fn) {
+          case AggFn::kCount:
+            if (lane.ints == nullptr && lane.doubles == nullptr) {
+              ++s.count;  // COUNT(*)
+            } else if (lane.nulls == nullptr || lane.nulls[i] == 0) {
+              ++s.count;
+            }
+            break;
+          case AggFn::kSum:
+            if (lane.nulls != nullptr && lane.nulls[i] != 0) break;
+            if (lane.doubles != nullptr) {
+              s.sum_double += lane.doubles[i];
+            } else {
+              s.sum_int += lane.ints[i];
+              s.sum_double += static_cast<double>(lane.ints[i]);
+            }
+            s.has_value = true;
+            break;
+          case AggFn::kMin:
+          case AggFn::kMax:
+          case AggFn::kApproxDistinct:
+            break;  // excluded by CanFastPath
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Accumulate() {
+    while (true) {
+      SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, input_->Next());
+      if (!batch.has_value()) break;
+      if (CanFastPath(*batch)) {
+        SDW_RETURN_IF_ERROR(FastAccumulate(*batch));
+        continue;
+      }
+      const size_t n = batch->num_rows();
+      for (size_t i = 0; i < n; ++i) {
+        std::string key = SerializeKey(*batch, group_by_, i);
+        auto it = groups_.find(key);
+        if (it == groups_.end()) {
+          Group g;
+          g.keys.reserve(group_by_.size());
+          for (int k : group_by_) {
+            g.keys.push_back(batch->columns[k].DatumAt(i));
+          }
+          g.states.resize(aggs_.size());
+          it = groups_.emplace(std::move(key), std::move(g)).first;
+          group_order_.push_back(&*it);
+        }
+        SDW_RETURN_IF_ERROR(Update(&it->second, *batch, i));
+      }
+    }
+    // A global aggregate (no GROUP BY) over zero rows still emits one
+    // row of empty aggregates in kSingle/kFinal mode.
+    if (group_by_.empty() && groups_.empty()) {
+      Group g;
+      g.states.resize(aggs_.size());
+      auto it = groups_.emplace("", std::move(g)).first;
+      group_order_.push_back(&*it);
+    }
+    return Status::OK();
+  }
+
+  Status Update(Group* g, const Batch& batch, size_t row);
+
+  Batch Emit() {
+    Batch out = MakeBatch(OutputTypes());
+    for (auto* entry : group_order_) {
+      Group& g = entry->second;
+      for (size_t k = 0; k < group_by_.size(); ++k) {
+        SDW_CHECK_OK(out.columns[k].AppendDatum(g.keys[k]));
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        ColumnVector& col = out.columns[group_by_.size() + a];
+        const AggState& s = g.states[a];
+        switch (aggs_[a].fn) {
+          case AggFn::kCount:
+            col.AppendInt(s.count);
+            break;
+          case AggFn::kSum:
+            if (!s.has_value) {
+              col.AppendNull();
+            } else if (col.type() == TypeId::kDouble) {
+              col.AppendDouble(s.sum_double);
+            } else {
+              col.AppendInt(s.sum_int);
+            }
+            break;
+          case AggFn::kMin:
+            SDW_CHECK_OK(col.AppendDatum(s.has_value ? s.min : Datum::Null()));
+            break;
+          case AggFn::kMax:
+            SDW_CHECK_OK(col.AppendDatum(s.has_value ? s.max : Datum::Null()));
+            break;
+          case AggFn::kApproxDistinct:
+            if (mode_ == AggMode::kPartial) {
+              col.AppendString(g.states[a].Sketch()->Serialize());
+            } else {
+              col.AppendInt(s.hll == nullptr
+                                ? 0
+                                : static_cast<int64_t>(s.hll->Estimate()));
+            }
+            break;
+        }
+      }
+    }
+    return out;
+  }
+
+  struct Group {
+    std::vector<Datum> keys;
+    std::vector<AggState> states;
+  };
+
+  OperatorPtr input_;
+  std::vector<int> group_by_;
+  std::vector<AggSpec> aggs_;
+  AggMode mode_;
+  std::vector<TypeId> input_types_;
+  bool done_ = false;
+  std::unordered_map<std::string, Group> groups_;
+  std::vector<std::pair<const std::string, Group>*> group_order_;
+  /// Fast-path index: integer group key -> group (pointers are stable
+  /// because unordered_map is node-based).
+  std::unordered_map<int64_t, Group*> fast_groups_;
+};
+
+Status HashAggregateOp::Update(Group* g, const Batch& batch, size_t row) {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    AggState& s = g->states[a];
+    const AggSpec& spec = aggs_[a];
+    // Input column for this agg.
+    int col_idx;
+    if (mode_ == AggMode::kFinal) {
+      col_idx = static_cast<int>(group_by_.size() + a);
+    } else {
+      col_idx = spec.column;
+    }
+    if (spec.fn == AggFn::kCount) {
+      if (mode_ == AggMode::kFinal) {
+        // Merging partial counts: sum them.
+        const ColumnVector& col = batch.columns[col_idx];
+        if (!col.IsNull(row)) s.count += col.IntAt(row);
+      } else if (col_idx < 0) {
+        ++s.count;  // COUNT(*)
+      } else {
+        if (!batch.columns[col_idx].IsNull(row)) ++s.count;
+      }
+      continue;
+    }
+    const ColumnVector& col = batch.columns[col_idx];
+    if (col.IsNull(row)) continue;
+    if (spec.fn == AggFn::kApproxDistinct) {
+      if (mode_ == AggMode::kFinal) {
+        // Partials arrive as serialized sketches: merge them.
+        SDW_ASSIGN_OR_RETURN(HyperLogLog partial,
+                             HyperLogLog::Deserialize(col.StringAt(row)));
+        SDW_RETURN_IF_ERROR(s.Sketch()->Merge(partial));
+      } else {
+        s.Sketch()->Add(col.DatumAt(row).Hash());
+      }
+      continue;
+    }
+    switch (spec.fn) {
+      case AggFn::kSum:
+        if (col.type() == TypeId::kDouble) {
+          s.sum_double += col.DoubleAt(row);
+        } else {
+          s.sum_int += col.IntAt(row);
+          s.sum_double += static_cast<double>(col.IntAt(row));
+        }
+        s.has_value = true;
+        break;
+      case AggFn::kMin: {
+        Datum v = col.DatumAt(row);
+        if (!s.has_value || v < s.min) s.min = v;
+        if (!s.has_value || s.max < v) s.max = v;
+        s.has_value = true;
+        break;
+      }
+      case AggFn::kMax: {
+        Datum v = col.DatumAt(row);
+        if (!s.has_value || v < s.min) s.min = v;
+        if (!s.has_value || s.max < v) s.max = v;
+        s.has_value = true;
+        break;
+      }
+      case AggFn::kCount:
+        break;  // handled above
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr input, std::vector<SortKey> keys)
+      : input_(std::move(input)), keys_(std::move(keys)) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    return input_->OutputTypes();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (done_) return std::optional<Batch>();
+    done_ = true;
+    SDW_ASSIGN_OR_RETURN(Batch all, Collect(input_.get()));
+    const size_t n = all.num_rows();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (const SortKey& key : keys_) {
+        const ColumnVector& col = all.columns[key.column];
+        int cmp = col.DatumAt(a).Compare(col.DatumAt(b));
+        if (cmp != 0) return key.descending ? cmp > 0 : cmp < 0;
+      }
+      return false;
+    });
+    Batch out = MakeBatch(all.Types());
+    for (size_t i : order) {
+      SDW_RETURN_IF_ERROR(AppendRow(all, i, &out));
+    }
+    return std::optional<Batch>(std::move(out));
+  }
+
+ private:
+  OperatorPtr input_;
+  std::vector<SortKey> keys_;
+  bool done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Limit
+// ---------------------------------------------------------------------------
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr input, uint64_t limit)
+      : input_(std::move(input)), remaining_(limit) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    return input_->OutputTypes();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    if (remaining_ == 0) return std::optional<Batch>();
+    SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, input_->Next());
+    if (!batch.has_value()) return std::optional<Batch>();
+    if (batch->num_rows() <= remaining_) {
+      remaining_ -= batch->num_rows();
+      return batch;
+    }
+    Batch out = MakeBatch(batch->Types());
+    for (size_t i = 0; i < remaining_; ++i) {
+      SDW_RETURN_IF_ERROR(AppendRow(*batch, i, &out));
+    }
+    remaining_ = 0;
+    return std::optional<Batch>(std::move(out));
+  }
+
+ private:
+  OperatorPtr input_;
+  uint64_t remaining_;
+};
+
+}  // namespace
+
+OperatorPtr MemoryScan(std::vector<TypeId> types, std::vector<Batch> batches) {
+  return std::make_unique<MemoryScanOp>(std::move(types), std::move(batches));
+}
+
+OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
+                      std::vector<storage::RangePredicate> predicates,
+                      ScanOptions options) {
+  return std::make_unique<ShardScanOp>(shard, std::move(columns),
+                                       std::move(predicates), options);
+}
+
+OperatorPtr Filter(OperatorPtr input, ExprPtr predicate) {
+  return std::make_unique<FilterOp>(std::move(input), std::move(predicate));
+}
+
+OperatorPtr Project(OperatorPtr input, std::vector<ExprPtr> exprs) {
+  return std::make_unique<ProjectOp>(std::move(input), std::move(exprs));
+}
+
+OperatorPtr HashJoin(OperatorPtr probe, OperatorPtr build,
+                     std::vector<int> probe_keys,
+                     std::vector<int> build_keys) {
+  return std::make_unique<HashJoinOp>(std::move(probe), std::move(build),
+                                      std::move(probe_keys),
+                                      std::move(build_keys));
+}
+
+OperatorPtr HashAggregate(OperatorPtr input, std::vector<int> group_by,
+                          std::vector<AggSpec> aggs, AggMode mode) {
+  return std::make_unique<HashAggregateOp>(std::move(input),
+                                           std::move(group_by),
+                                           std::move(aggs), mode);
+}
+
+OperatorPtr Sort(OperatorPtr input, std::vector<SortKey> keys) {
+  return std::make_unique<SortOp>(std::move(input), std::move(keys));
+}
+
+OperatorPtr Limit(OperatorPtr input, uint64_t limit) {
+  return std::make_unique<LimitOp>(std::move(input), limit);
+}
+
+}  // namespace sdw::exec

@@ -1,0 +1,98 @@
+#ifndef SDW_EXEC_OPERATORS_H_
+#define SDW_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/expr.h"
+#include "storage/table_shard.h"
+
+namespace sdw::exec {
+
+/// A pull-based batch operator (vectorized Volcano). Next() yields
+/// batches until std::nullopt.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Column types this operator produces.
+  virtual std::vector<TypeId> OutputTypes() const = 0;
+
+  /// Produces the next batch, or nullopt at end of stream.
+  virtual Result<std::optional<Batch>> Next() = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Drains an operator into one materialized batch.
+Result<Batch> Collect(Operator* op);
+
+/// Yields pre-materialized batches (test inputs, exchange receive
+/// queues, ALL-distributed dimension tables).
+OperatorPtr MemoryScan(std::vector<TypeId> types, std::vector<Batch> batches);
+
+/// Scans a table shard: zone-map pruning from the range predicates,
+/// then batch-wise decode of the surviving row ranges. `columns` picks
+/// and orders the projected columns.
+struct ScanOptions {
+  size_t batch_rows = 4096;
+};
+OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
+                      std::vector<storage::RangePredicate> predicates = {},
+                      ScanOptions options = {});
+
+/// Keeps rows where `predicate` evaluates to TRUE (NULL drops).
+OperatorPtr Filter(OperatorPtr input, ExprPtr predicate);
+
+/// Computes one output column per expression.
+OperatorPtr Project(OperatorPtr input, std::vector<ExprPtr> exprs);
+
+/// Inner hash join: materializes and hashes `build`, streams `probe`.
+/// Output columns: probe columns then build columns. Keys are column
+/// indices into each side's output.
+OperatorPtr HashJoin(OperatorPtr probe, OperatorPtr build,
+                     std::vector<int> probe_keys, std::vector<int> build_keys);
+
+/// Aggregate functions. AVG is planned as SUM/COUNT upstream so that
+/// partial aggregates merge associatively across slices.
+/// kApproxDistinct implements APPROXIMATE COUNT(DISTINCT) via
+/// HyperLogLog sketches: slices emit serialized sketches as their
+/// partials (a string column) and the leader merges them — the paper's
+/// "distributed approximate equivalents for ... non-linear exact
+/// operations" (§4).
+enum class AggFn { kCount, kSum, kMin, kMax, kApproxDistinct };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  /// Input column; -1 for COUNT(*).
+  int column = -1;
+};
+
+/// How the aggregate participates in distributed execution: kSingle
+/// computes the whole aggregate; kPartial emits per-slice partial
+/// states; kFinal merges partials at the leader (paper §2.1: "performs
+/// final aggregation of results").
+enum class AggMode { kSingle, kPartial, kFinal };
+
+/// Hash aggregation grouped by `group_by` columns. Output: group
+/// columns, then one column per agg. In kFinal mode the input must have
+/// the kPartial output layout.
+OperatorPtr HashAggregate(OperatorPtr input, std::vector<int> group_by,
+                          std::vector<AggSpec> aggs,
+                          AggMode mode = AggMode::kSingle);
+
+/// Materializing sort. `descending[i]` flips key i.
+struct SortKey {
+  int column = 0;
+  bool descending = false;
+};
+OperatorPtr Sort(OperatorPtr input, std::vector<SortKey> keys);
+
+/// Emits at most `limit` rows.
+OperatorPtr Limit(OperatorPtr input, uint64_t limit);
+
+}  // namespace sdw::exec
+
+#endif  // SDW_EXEC_OPERATORS_H_

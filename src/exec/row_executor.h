@@ -1,0 +1,50 @@
+#ifndef SDW_EXEC_ROW_EXECUTOR_H_
+#define SDW_EXEC_ROW_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "storage/table_shard.h"
+
+namespace sdw::exec {
+
+/// Tuple-at-a-time Volcano operator: the "execution in a general-purpose
+/// set of executor functions" the paper contrasts with compiled
+/// execution (§2.1). Every value passes through virtual dispatch and a
+/// Datum box — deliberately, so bench A5 can measure the gap against the
+/// vectorized/type-specialized engine, net of the compilation step's
+/// fixed overhead.
+class RowOperator {
+ public:
+  virtual ~RowOperator() = default;
+
+  /// Produces the next row, or nullopt at end of stream.
+  virtual Result<std::optional<Row>> Next() = 0;
+};
+
+using RowOperatorPtr = std::unique_ptr<RowOperator>;
+
+/// Scans a shard row by row (blocks are still decoded in bulk — the
+/// interpretation overhead under test is operator/expression dispatch,
+/// not storage access).
+RowOperatorPtr RowScan(storage::TableShard* shard, std::vector<int> columns);
+
+/// Keeps rows where the predicate evaluates to TRUE.
+RowOperatorPtr RowFilter(RowOperatorPtr input, ExprPtr predicate);
+
+/// Computes one output value per expression per row.
+RowOperatorPtr RowProject(RowOperatorPtr input, std::vector<ExprPtr> exprs);
+
+/// Hash aggregation, datum-at-a-time.
+RowOperatorPtr RowAggregate(RowOperatorPtr input, std::vector<int> group_by,
+                            std::vector<AggSpec> aggs);
+
+/// Drains a row pipeline into a materialized batch with the given types.
+Result<Batch> CollectRows(RowOperator* op, const std::vector<TypeId>& types);
+
+}  // namespace sdw::exec
+
+#endif  // SDW_EXEC_ROW_EXECUTOR_H_

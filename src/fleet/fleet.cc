@@ -1,0 +1,94 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdw::fleet {
+
+std::vector<GrowthPoint> AnalysisGapSeries(const GrowthConfig& config) {
+  std::vector<GrowthPoint> series;
+  double enterprise = 1.0;
+  double warehouse = 1.0;
+  for (int year = config.start_year; year <= config.end_year; ++year) {
+    series.push_back({year, enterprise, warehouse});
+    enterprise *= 1.0 + config.enterprise_cagr;
+    warehouse *= 1.0 + config.warehouse_cagr;
+  }
+  return series;
+}
+
+ReleaseTrain::Summary ReleaseTrain::Run(Rng* rng) const {
+  Summary summary;
+  double backlog = 0;       // features built but not yet shipped
+  double deployed = 0;
+  int deploys = 0;
+  int failed = 0;
+  for (int week = 1; week <= config_.weeks; ++week) {
+    backlog += config_.features_per_week;
+    if (week % config_.deploy_interval_weeks == 0 && backlog > 0) {
+      ++deploys;
+      // Bigger patches fail more often: independent per-feature risk.
+      const double p_ok =
+          std::pow(1.0 - config_.failure_prob_per_feature, backlog);
+      if (rng->Bernoulli(1.0 - p_ok)) {
+        ++failed;  // rolled back automatically; retry next cycle
+      } else {
+        deployed += backlog;
+        backlog = 0;
+      }
+    }
+    summary.series.push_back({week, deployed, failed, deploys});
+  }
+  summary.failed_deploy_fraction =
+      deploys == 0 ? 0 : static_cast<double>(failed) / deploys;
+  return summary;
+}
+
+std::vector<FleetSimulator::WeekStat> FleetSimulator::Run(Rng* rng) const {
+  // Latent defect pool with Pareto-distributed ticket rates.
+  std::vector<double> defects;
+  defects.reserve(config_.initial_defects);
+  for (int d = 0; d < config_.initial_defects; ++d) {
+    defects.push_back(rng->Pareto(config_.rate_scale, config_.pareto_alpha));
+  }
+
+  std::vector<WeekStat> series;
+  double clusters = config_.initial_clusters;
+  double deploy_accum = 0;
+  for (int week = 1; week <= config_.weeks; ++week) {
+    // Tickets this week: each defect fires proportionally to fleet size.
+    double expected = 0;
+    for (double rate : defects) expected += rate * clusters / 1000.0;
+    // Observation noise.
+    double tickets = std::max(0.0, rng->Normal(expected, 0.05 * expected));
+
+    WeekStat stat;
+    stat.week = week;
+    stat.clusters = clusters;
+    stat.tickets = tickets;
+    stat.tickets_per_cluster = clusters > 0 ? tickets / clusters : 0;
+    stat.live_defects = static_cast<int>(defects.size());
+    series.push_back(stat);
+
+    // Pareto scheduling: extinguish the top causes.
+    std::sort(defects.begin(), defects.end(), std::greater<double>());
+    for (int e = 0; e < config_.extinguished_per_week && !defects.empty();
+         ++e) {
+      defects.erase(defects.begin());
+    }
+    // Biweekly deploys introduce new, smaller defects.
+    if (week % 2 == 0) {
+      deploy_accum += config_.new_defects_per_deploy;
+      while (deploy_accum >= 1.0) {
+        defects.push_back(rng->Pareto(
+            config_.rate_scale * config_.new_defect_scale,
+            config_.pareto_alpha));
+        deploy_accum -= 1.0;
+      }
+    }
+    clusters *= 1.0 + config_.weekly_cluster_growth;
+  }
+  return series;
+}
+
+}  // namespace sdw::fleet

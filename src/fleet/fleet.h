@@ -1,0 +1,109 @@
+#ifndef SDW_FLEET_FLEET_H_
+#define SDW_FLEET_FLEET_H_
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace sdw::fleet {
+
+/// One point of the Figure-1 "analysis gap" model: enterprise data
+/// compounds at 30-60% CAGR while warehouse capacity compounds at the
+/// data-warehouse market's 8-11% — the gap is the dark data the paper
+/// targets.
+struct GrowthPoint {
+  int year = 0;
+  double enterprise_data = 0;   // normalized to 1.0 at start_year
+  double warehouse_data = 0;
+};
+
+struct GrowthConfig {
+  int start_year = 1990;
+  int end_year = 2020;
+  double enterprise_cagr = 0.40;
+  double warehouse_cagr = 0.10;
+};
+
+std::vector<GrowthPoint> AnalysisGapSeries(const GrowthConfig& config);
+
+/// The Figure-4 release train: features are developed continuously and
+/// shipped on a fixed cadence; each deploy can fail (probability grows
+/// with its size) and be rolled back to retry next cycle. The paper's
+/// lesson: slowing from 2-week to 4-week trains "meaningfully increased
+/// the probability of a failed patch".
+class ReleaseTrain {
+ public:
+  struct Config {
+    int weeks = 104;
+    double features_per_week = 1.15;
+    int deploy_interval_weeks = 2;
+    /// Chance one feature's change breaks the patch.
+    double failure_prob_per_feature = 0.03;
+  };
+
+  struct WeekStat {
+    int week = 0;
+    double cumulative_deployed = 0;
+    int failed_deploys_to_date = 0;
+    int deploys_to_date = 0;
+  };
+
+  struct Summary {
+    std::vector<WeekStat> series;
+    double failed_deploy_fraction = 0;
+  };
+
+  explicit ReleaseTrain(Config config) : config_(config) {}
+
+  Summary Run(Rng* rng) const;
+
+ private:
+  Config config_;
+};
+
+/// The Figure-5 fleet model: the cluster fleet grows every week; a pool
+/// of latent defects (Pareto-distributed rates — a few causes dominate)
+/// generates Sev2 tickets proportional to fleet size; the team
+/// extinguishes the top-N causes each week while deploys introduce a
+/// few new (smaller) ones. Output: total tickets correlate with fleet
+/// growth while tickets *per cluster* decline (§5).
+class FleetSimulator {
+ public:
+  struct Config {
+    int weeks = 104;
+    double initial_clusters = 200;
+    double weekly_cluster_growth = 0.035;
+    int initial_defects = 150;
+    /// Pareto shape of per-defect ticket rates; smaller = heavier tail.
+    double pareto_alpha = 1.1;
+    /// Scale of per-defect rate (tickets per 1000 clusters per week).
+    double rate_scale = 0.08;
+    /// Causes extinguished per week ("extinguishing one of the top ten
+    /// causes of error each week").
+    int extinguished_per_week = 1;
+    /// New defects introduced per deploy (deploys are biweekly).
+    double new_defects_per_deploy = 1.5;
+    /// New defects are introduced at a fraction of the original scale
+    /// (the worst bugs get caught pre-release as the process matures).
+    double new_defect_scale = 0.4;
+  };
+
+  struct WeekStat {
+    int week = 0;
+    double clusters = 0;
+    double tickets = 0;
+    double tickets_per_cluster = 0;
+    int live_defects = 0;
+  };
+
+  explicit FleetSimulator(Config config) : config_(config) {}
+
+  std::vector<WeekStat> Run(Rng* rng) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sdw::fleet
+
+#endif  // SDW_FLEET_FLEET_H_

@@ -1,0 +1,104 @@
+#include "load/copy.h"
+
+#include "compress/analyzer.h"
+#include "load/formats.h"
+
+namespace sdw::load {
+
+namespace {
+
+/// Splits "s3://bucket/prefix" into (bucket-as-region-key, prefix).
+/// The simulator treats the bucket name as the object-store namespace
+/// within the executor's default region.
+Result<std::pair<std::string, std::string>> ParseS3Uri(
+    const std::string& uri) {
+  const std::string scheme = "s3://";
+  if (uri.compare(0, scheme.size(), scheme) != 0) {
+    return Status::InvalidArgument("COPY source must be an s3:// URI");
+  }
+  const std::string rest = uri.substr(scheme.size());
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("s3 URI needs a bucket and prefix");
+  }
+  return std::make_pair(rest.substr(0, slash), rest.substr(slash + 1));
+}
+
+}  // namespace
+
+Status CopyExecutor::MaybeRunAnalyzer(const std::string& table,
+                                      const std::vector<ColumnVector>& sample,
+                                      CopyStats* stats) {
+  SDW_ASSIGN_OR_RETURN(uint64_t existing, cluster_->TotalRows(table));
+  if (existing > 0) return Status::OK();  // first load only
+  SDW_ASSIGN_OR_RETURN(TableSchema* schema,
+                       cluster_->catalog()->GetTableMutable(table));
+  for (size_t c = 0; c < schema->num_columns(); ++c) {
+    if (schema->column(c).encoding != ColumnEncoding::kAuto) continue;
+    if (sample[c].size() == 0) continue;
+    SDW_ASSIGN_OR_RETURN(compress::AnalysisResult analysis,
+                         compress::AnalyzeColumn(sample[c]));
+    schema->SetColumnEncoding(c, analysis.encoding);
+    stats->chosen_encodings[schema->column(c).name] = analysis.encoding;
+    // Propagate to every shard so appended blocks use the encoding.
+    for (int s = 0; s < cluster_->total_slices(); ++s) {
+      SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
+                           cluster_->shard(s, table));
+      shard->SetColumnEncoding(c, analysis.encoding);
+    }
+  }
+  return Status::OK();
+}
+
+Result<CopyStats> CopyExecutor::CopyFromPayloads(
+    const std::string& table, const std::vector<std::string>& payloads,
+    const CopyOptions& options) {
+  CopyStats stats;
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, cluster_->catalog()->GetTable(table));
+  bool analyzer_ran = false;
+  for (const std::string& payload : payloads) {
+    ++stats.files;
+    stats.input_bytes += payload.size();
+    Result<std::vector<ColumnVector>> parsed =
+        options.format == CopyFormat::kCsv ? ParseCsv(payload, schema)
+                                           : ParseJsonLines(payload, schema);
+    if (!parsed.ok()) return parsed.status();
+    const std::vector<ColumnVector>& columns = *parsed;
+    if (columns.empty() || columns[0].size() == 0) continue;
+    if (options.compupdate && !analyzer_ran) {
+      SDW_RETURN_IF_ERROR(MaybeRunAnalyzer(table, columns, &stats));
+      analyzer_ran = true;
+    }
+    SDW_RETURN_IF_ERROR(cluster_->InsertRows(table, columns));
+    stats.rows_loaded += columns[0].size();
+  }
+  if (options.statupdate && stats.rows_loaded > 0) {
+    SDW_RETURN_IF_ERROR(cluster_->Analyze(table));
+  }
+  // Slice-parallel ingest: every slice chews its share of the input.
+  stats.modeled_seconds =
+      static_cast<double>(stats.input_bytes) /
+      (cost_model_.slice_ingest_bytes_per_sec * cluster_->total_slices());
+  return stats;
+}
+
+Result<CopyStats> CopyExecutor::CopyFromUri(const std::string& table,
+                                            const std::string& uri,
+                                            const CopyOptions& options) {
+  SDW_ASSIGN_OR_RETURN(auto bucket_prefix, ParseS3Uri(uri));
+  backup::S3Region* region = s3_->region(default_region_);
+  const std::string full_prefix = bucket_prefix.first + "/" +
+                                  bucket_prefix.second;
+  std::vector<std::string> payloads;
+  for (const std::string& key : region->ListPrefix(full_prefix)) {
+    SDW_ASSIGN_OR_RETURN(Bytes data, region->GetObject(key));
+    payloads.emplace_back(reinterpret_cast<const char*>(data.data()),
+                          data.size());
+  }
+  if (payloads.empty()) {
+    return Status::NotFound("no objects under '" + uri + "'");
+  }
+  return CopyFromPayloads(table, payloads, options);
+}
+
+}  // namespace sdw::load

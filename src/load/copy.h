@@ -1,0 +1,79 @@
+#ifndef SDW_LOAD_COPY_H_
+#define SDW_LOAD_COPY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "backup/s3sim.h"
+#include "catalog/schema.h"
+#include "cluster/cluster.h"
+#include "cluster/cost_model.h"
+#include "common/result.h"
+
+namespace sdw::load {
+
+/// COPY input format.
+enum class CopyFormat { kCsv, kJson };
+
+struct CopyOptions {
+  CopyFormat format = CopyFormat::kCsv;
+  /// Run the sampling compression analyzer on first load and update the
+  /// optimizer statistics afterwards ("by default, compression scheme
+  /// and optimizer statistics are updated with load", §2.1).
+  bool compupdate = true;
+  bool statupdate = true;
+};
+
+struct CopyStats {
+  uint64_t rows_loaded = 0;
+  uint64_t input_bytes = 0;
+  int files = 0;
+  /// Encodings the analyzer chose, by column name (empty if compupdate
+  /// was off or the table already had data).
+  std::map<std::string, ColumnEncoding> chosen_encodings;
+  /// Modeled wall clock: files parse slice-parallel (§2.1: "COPY is
+  /// parallelized across slices, with each slice reading data in
+  /// parallel, distributing as needed, and sorting locally").
+  double modeled_seconds = 0;
+};
+
+/// Executes the Redshift-style COPY: reads objects from the simulated
+/// object store (or inline payloads), parses, auto-assigns column
+/// encodings on first load, distributes rows across slices and sorts
+/// each slice's run, then refreshes statistics.
+class CopyExecutor {
+ public:
+  CopyExecutor(cluster::Cluster* cluster, backup::S3* s3,
+               std::string default_region = "us-east-1",
+               cluster::CostModel cost_model = {})
+      : cluster_(cluster),
+        s3_(s3),
+        default_region_(std::move(default_region)),
+        cost_model_(cost_model) {}
+
+  /// COPY table FROM 's3://bucket/prefix': every object under the
+  /// prefix is one input file.
+  Result<CopyStats> CopyFromUri(const std::string& table,
+                                const std::string& uri,
+                                const CopyOptions& options = {});
+
+  /// COPY from in-memory payloads (the SSH/EMR-style source).
+  Result<CopyStats> CopyFromPayloads(const std::string& table,
+                                     const std::vector<std::string>& payloads,
+                                     const CopyOptions& options = {});
+
+ private:
+  Status MaybeRunAnalyzer(const std::string& table,
+                          const std::vector<ColumnVector>& sample,
+                          CopyStats* stats);
+
+  cluster::Cluster* cluster_;
+  backup::S3* s3_;
+  std::string default_region_;
+  cluster::CostModel cost_model_;
+};
+
+}  // namespace sdw::load
+
+#endif  // SDW_LOAD_COPY_H_

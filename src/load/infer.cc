@@ -1,0 +1,107 @@
+#include "load/infer.h"
+
+#include <map>
+
+#include "load/formats.h"
+
+namespace sdw::load {
+
+namespace {
+
+/// Lattice of observed types; Widen folds one more observation in.
+struct FieldProfile {
+  bool saw_int = false;
+  bool saw_double = false;
+  bool saw_string = false;
+  bool saw_bool = false;
+
+  void Observe(const Datum& value) {
+    if (value.is_null()) return;
+    switch (value.type()) {
+      case TypeId::kString:
+        saw_string = true;
+        break;
+      case TypeId::kDouble:
+        saw_double = true;
+        break;
+      case TypeId::kBool:
+        saw_bool = true;
+        break;
+      default:
+        saw_int = true;
+        break;
+    }
+  }
+
+  TypeId Resolve() const {
+    if (saw_string) return TypeId::kString;
+    if (saw_bool && !saw_int && !saw_double) return TypeId::kBool;
+    if (saw_double) return TypeId::kDouble;
+    if (saw_int || saw_bool) return TypeId::kInt64;
+    return TypeId::kString;  // all NULLs: the permissive default
+  }
+};
+
+}  // namespace
+
+Result<TableSchema> InferJsonSchema(const std::string& table_name,
+                                    const std::string& sample_payload,
+                                    const InferenceOptions& options) {
+  std::vector<std::string> field_order;
+  std::map<std::string, FieldProfile> profiles;
+
+  size_t start = 0;
+  size_t lines = 0;
+  while (start < sample_payload.size() && lines < options.sample_lines) {
+    size_t end = sample_payload.find('\n', start);
+    if (end == std::string::npos) end = sample_payload.size();
+    std::string line = sample_payload.substr(start, end - start);
+    start = end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    SDW_ASSIGN_OR_RETURN(auto fields, ParseJsonObject(line));
+    for (auto& [key, value] : fields) {
+      auto it = profiles.find(key);
+      if (it == profiles.end()) {
+        it = profiles.emplace(key, FieldProfile{}).first;
+        field_order.push_back(key);
+      }
+      it->second.Observe(value);
+    }
+    ++lines;
+  }
+  if (field_order.empty()) {
+    return Status::InvalidArgument(
+        "no JSON objects with fields found in the sample");
+  }
+  std::vector<ColumnDef> columns;
+  columns.reserve(field_order.size());
+  for (const std::string& name : field_order) {
+    ColumnDef col;
+    col.name = name;
+    col.type = profiles[name].Resolve();
+    columns.push_back(std::move(col));
+  }
+  return TableSchema(table_name, std::move(columns));
+}
+
+Result<TableSchema> InferJsonSchemaFromUri(backup::S3Region* region,
+                                           const std::string& table_name,
+                                           const std::string& uri,
+                                           const InferenceOptions& options) {
+  const std::string scheme = "s3://";
+  if (uri.compare(0, scheme.size(), scheme) != 0) {
+    return Status::InvalidArgument("inference source must be an s3:// URI");
+  }
+  const std::string prefix = uri.substr(scheme.size());
+  auto keys = region->ListPrefix(prefix);
+  if (keys.empty()) {
+    return Status::NotFound("no objects under '" + uri + "'");
+  }
+  SDW_ASSIGN_OR_RETURN(Bytes data, region->GetObject(keys.front()));
+  return InferJsonSchema(
+      table_name,
+      std::string(reinterpret_cast<const char*>(data.data()), data.size()),
+      options);
+}
+
+}  // namespace sdw::load

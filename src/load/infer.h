@@ -1,0 +1,39 @@
+#ifndef SDW_LOAD_INFER_H_
+#define SDW_LOAD_INFER_H_
+
+#include <string>
+
+#include "backup/s3sim.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace sdw::load {
+
+struct InferenceOptions {
+  /// Lines sampled from the payload (schema drift beyond the sample
+  /// surfaces as NULLs at COPY time, matching COPY's semantics).
+  size_t sample_lines = 1000;
+};
+
+/// Infers a relational schema from newline-delimited JSON — the §4
+/// future-work item: "we could support transient data warehouses on a
+/// source 'data lake' or automatically 'relationalizing' source
+/// semi-structured data into tables for efficient query execution."
+///
+/// Type widening: integers seen alongside doubles widen to DOUBLE;
+/// any field that ever holds a string becomes VARCHAR; booleans stay
+/// BOOLEAN unless mixed with anything else; all-NULL fields default to
+/// VARCHAR. Columns appear in first-appearance order.
+Result<TableSchema> InferJsonSchema(const std::string& table_name,
+                                    const std::string& sample_payload,
+                                    const InferenceOptions& options = {});
+
+/// Same, sampling the first object under an s3://bucket/prefix URI.
+Result<TableSchema> InferJsonSchemaFromUri(backup::S3Region* region,
+                                           const std::string& table_name,
+                                           const std::string& uri,
+                                           const InferenceOptions& options = {});
+
+}  // namespace sdw::load
+
+#endif  // SDW_LOAD_INFER_H_

@@ -1,0 +1,86 @@
+#ifndef SDW_PLAN_LOGICAL_H_
+#define SDW_PLAN_LOGICAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+
+namespace sdw::plan {
+
+/// A column reference by name, optionally table-qualified ("t.c").
+struct ColumnName {
+  std::string table;  // empty = unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// Comparison in a WHERE conjunct: <column> <op> <literal>.
+enum class LogicalCmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One WHERE conjunct. Beyond simple comparisons, three sugar forms are
+/// supported (each still zone-map prunable): BETWEEN lo AND hi,
+/// IN (v, ...), and the LIKE 'prefix%' fast path.
+struct Selection {
+  enum class Kind { kCompare, kBetween, kIn, kLikePrefix };
+
+  // The common {column, op, literal} triple initializes a kCompare
+  // conjunct by aggregate init; set `kind` for the sugar forms.
+  ColumnName column;
+  LogicalCmp op = LogicalCmp::kEq;
+  Datum literal;                 // kCompare value / kBetween lower bound
+  Kind kind = Kind::kCompare;
+  Datum literal2;                // kBetween upper bound
+  std::vector<Datum> in_list;    // kIn values
+  std::string like_prefix;       // kLikePrefix prefix
+};
+
+/// SELECT-list item: either a plain column or an aggregate over one.
+/// kApproxCountDistinct is APPROXIMATE COUNT(DISTINCT col): a
+/// HyperLogLog sketch merged across slices (§4 "approximate functions").
+enum class LogicalAggFn {
+  kNone,
+  kCount,
+  kCountStar,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kApproxCountDistinct,
+};
+
+struct SelectItem {
+  LogicalAggFn agg = LogicalAggFn::kNone;
+  ColumnName column;  // ignored for kCountStar
+  std::string alias;  // output name; defaulted when empty
+};
+
+struct OrderItem {
+  /// Position into the select list (0-based).
+  int select_index = 0;
+  bool descending = false;
+};
+
+/// A declarative single-block query: SELECT items FROM table
+/// [JOIN table2 ON a = b] [WHERE conjuncts] [GROUP BY cols]
+/// [ORDER BY ...] [LIMIT n]. The planner turns this into a
+/// PhysicalQuery; the SQL front end produces it from text.
+struct LogicalQuery {
+  std::string from_table;
+  std::optional<std::string> join_table;
+  ColumnName join_left;   // column on from_table
+  ColumnName join_right;  // column on join_table
+  std::vector<Selection> where;
+  std::vector<SelectItem> select;
+  std::vector<ColumnName> group_by;
+  std::vector<OrderItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+}  // namespace sdw::plan
+
+#endif  // SDW_PLAN_LOGICAL_H_

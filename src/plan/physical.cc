@@ -1,0 +1,51 @@
+#include "plan/physical.h"
+
+namespace sdw::plan {
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kCoLocated:
+      return "CO-LOCATED";
+    case JoinStrategy::kBroadcastBuild:
+      return "BROADCAST";
+    case JoinStrategy::kShuffle:
+      return "SHUFFLE";
+  }
+  return "?";
+}
+
+std::string PhysicalQuery::ToString() const {
+  std::string out = "XN Scan " + scan.table + " (cols";
+  for (int c : scan.columns) out += " " + std::to_string(c);
+  out += ")";
+  if (!scan.predicates.empty()) {
+    out += " [" + std::to_string(scan.predicates.size()) + " zone preds]";
+  }
+  if (scan.filter) out += " filter " + scan.filter->ToString();
+  if (join.has_value()) {
+    out += "\n  -> " + std::string(JoinStrategyName(join->strategy)) +
+           " Hash Join with " + join->build.table;
+    if (join->build.filter) {
+      out += " (build filter " + join->build.filter->ToString() + ")";
+    }
+  }
+  if (agg.has_value()) {
+    out += "\n  -> Partial HashAggregate (" +
+           std::to_string(agg->group_by.size()) + " keys, " +
+           std::to_string(agg->aggs.size()) + " aggs) per slice";
+    out += "\n  -> Final HashAggregate at leader";
+  }
+  if (!project.empty()) {
+    out += "\n  -> Project";
+    for (const auto& e : project) out += " " + e->ToString();
+  }
+  if (!order_by.empty()) {
+    out += "\n  -> Sort at leader";
+  }
+  if (limit.has_value()) {
+    out += "\n  -> Limit " + std::to_string(*limit);
+  }
+  return out;
+}
+
+}  // namespace sdw::plan

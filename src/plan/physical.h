@@ -1,0 +1,78 @@
+#ifndef SDW_PLAN_PHYSICAL_H_
+#define SDW_PLAN_PHYSICAL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operators.h"
+#include "storage/table_shard.h"
+
+namespace sdw::plan {
+
+/// How the two sides of a distributed join meet on a slice (§2.1: using
+/// distribution keys "allows join processing on that key to be
+/// co-located on individual slices ... avoiding the redistribution of
+/// intermediate results").
+enum class JoinStrategy {
+  /// Both sides are already on the right slice (matching DISTKEYs, or
+  /// the build side is DISTSTYLE ALL). No network.
+  kCoLocated,
+  /// The build side is collected and copied to every slice.
+  kBroadcastBuild,
+  /// Both sides are re-hashed on the join key across slices.
+  kShuffle,
+};
+
+const char* JoinStrategyName(JoinStrategy s);
+
+/// One table scan: projected column indices (into the table schema),
+/// zone-map range predicates, and a residual filter over the projected
+/// columns.
+struct ScanSpec {
+  std::string table;
+  std::vector<int> columns;
+  std::vector<storage::RangePredicate> predicates;
+  /// Residual filter evaluated over the projected columns (column refs
+  /// index into `columns` positions). Null = none.
+  exec::ExprPtr filter;
+};
+
+/// Join details. Output layout: probe columns then build columns.
+struct JoinSpec {
+  ScanSpec build;
+  /// Key positions into the probe scan's output / build scan's output.
+  std::vector<int> probe_keys;
+  std::vector<int> build_keys;
+  JoinStrategy strategy = JoinStrategy::kCoLocated;
+};
+
+/// Aggregation run as slice-local partials merged by the leader.
+struct AggDetails {
+  std::vector<int> group_by;  // positions into the pipeline output
+  std::vector<exec::AggSpec> aggs;
+};
+
+/// A fully-resolved distributed query: per-slice pipeline (scan [+ join]
+/// [+ partial agg]) and leader-side finalization (final agg, projection,
+/// sort, limit).
+struct PhysicalQuery {
+  ScanSpec scan;
+  std::optional<JoinSpec> join;
+  std::optional<AggDetails> agg;
+  /// Leader-side projection over the (final-aggregated) pipeline output;
+  /// empty = identity.
+  std::vector<exec::ExprPtr> project;
+  std::vector<exec::SortKey> order_by;
+  std::optional<uint64_t> limit;
+  /// Names for the result columns.
+  std::vector<std::string> output_names;
+
+  /// EXPLAIN-style rendering.
+  std::string ToString() const;
+};
+
+}  // namespace sdw::plan
+
+#endif  // SDW_PLAN_PHYSICAL_H_

@@ -1,0 +1,37 @@
+#ifndef SDW_PLAN_PLANNER_H_
+#define SDW_PLAN_PLANNER_H_
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "plan/logical.h"
+#include "plan/physical.h"
+
+namespace sdw::plan {
+
+/// Planner tunables.
+struct PlannerOptions {
+  /// Build sides at or below this many rows (by stats) are broadcast
+  /// instead of shuffled when they are not co-locatable.
+  uint64_t broadcast_row_threshold = 100000;
+};
+
+/// Turns a declarative LogicalQuery into a distributed PhysicalQuery:
+/// binds names, derives zone-map predicates from WHERE conjuncts,
+/// rewrites AVG into SUM/COUNT so partial aggregates merge
+/// associatively, and picks the join strategy from distribution keys
+/// and table statistics (§2.1).
+class Planner {
+ public:
+  Planner(const Catalog* catalog, PlannerOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  Result<PhysicalQuery> Plan(const LogicalQuery& query) const;
+
+ private:
+  const Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+}  // namespace sdw::plan
+
+#endif  // SDW_PLAN_PLANNER_H_

@@ -1,0 +1,161 @@
+#include "replication/replication.h"
+
+#include "common/logging.h"
+
+namespace sdw::replication {
+
+ReplicationManager::ReplicationManager(
+    std::vector<storage::BlockStore*> node_stores, ReplicationConfig config,
+    uint64_t seed)
+    : stores_(std::move(node_stores)), config_(config), rng_(seed) {
+  SDW_CHECK(config_.cohort_size >= 2) << "cohorts need >= 2 nodes";
+  SDW_CHECK(stores_.size() >= 2) << "replication needs >= 2 nodes";
+  rr_counter_.assign(stores_.size(), 0);
+}
+
+std::vector<int> ReplicationManager::CohortPeers(int node) const {
+  std::vector<int> peers;
+  const int cohort = CohortOf(node);
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (n != node && CohortOf(n) == cohort) peers.push_back(n);
+  }
+  return peers;
+}
+
+int ReplicationManager::PickSecondary(int primary) {
+  std::vector<int> peers = CohortPeers(primary);
+  // A trailing partial cohort may be a singleton; fall back to any other
+  // node so the copy still lands off-node.
+  if (peers.empty()) {
+    int other = (primary + 1) % num_nodes();
+    return other;
+  }
+  return peers[rr_counter_[primary]++ % peers.size()];
+}
+
+Result<storage::BlockId> ReplicationManager::Write(int primary_node,
+                                                   Bytes data) {
+  if (primary_node < 0 || primary_node >= num_nodes()) {
+    return Status::InvalidArgument("bad primary node");
+  }
+  if (failed_nodes_.count(primary_node)) {
+    return Status::Unavailable("primary node is failed");
+  }
+  const storage::BlockId id = storage::BlockStore::Allocate();
+  const int secondary = PickSecondary(primary_node);
+  SDW_RETURN_IF_ERROR(stores_[primary_node]->Put(id, data));
+  SDW_RETURN_IF_ERROR(stores_[secondary]->Put(id, std::move(data)));
+  placements_[id] = {primary_node, secondary};
+  return id;
+}
+
+Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) {
+    return Status::NotFound("unknown block " + std::to_string(id));
+  }
+  const Placement& p = it->second;
+  if (p.primary >= 0 && !failed_nodes_.count(p.primary)) {
+    auto primary_read = stores_[p.primary]->Get(id);
+    if (primary_read.ok()) return primary_read;
+  }
+  if (p.secondary >= 0 && !failed_nodes_.count(p.secondary)) {
+    auto secondary_read = stores_[p.secondary]->Get(id);
+    if (secondary_read.ok()) return secondary_read;
+  }
+  return Status::Unavailable("all replicas of block " + std::to_string(id) +
+                             " are lost");
+}
+
+void ReplicationManager::FailNode(int node) {
+  failed_nodes_.insert(node);
+  for (storage::BlockId id : stores_[node]->ListIds()) {
+    stores_[node]->DropForTest(id);
+  }
+}
+
+Result<int> ReplicationManager::ReReplicate() {
+  int restored = 0;
+  for (auto& [id, placement] : placements_) {
+    const bool primary_ok =
+        placement.primary >= 0 && !failed_nodes_.count(placement.primary) &&
+        stores_[placement.primary]->Contains(id);
+    const bool secondary_ok =
+        placement.secondary >= 0 &&
+        !failed_nodes_.count(placement.secondary) &&
+        stores_[placement.secondary]->Contains(id);
+    if (primary_ok && secondary_ok) continue;
+    if (!primary_ok && !secondary_ok) continue;  // lost; backup's job now
+    const int survivor = primary_ok ? placement.primary : placement.secondary;
+    // New home: a healthy cohort peer of the survivor.
+    int target = -1;
+    for (int peer : CohortPeers(survivor)) {
+      if (!failed_nodes_.count(peer) && !stores_[peer]->Contains(id)) {
+        target = peer;
+        break;
+      }
+    }
+    if (target < 0) {
+      // Cohort exhausted: place anywhere healthy.
+      for (int n = 0; n < num_nodes(); ++n) {
+        if (n != survivor && !failed_nodes_.count(n) &&
+            !stores_[n]->Contains(id)) {
+          target = n;
+          break;
+        }
+      }
+    }
+    if (target < 0) continue;
+    SDW_ASSIGN_OR_RETURN(Bytes data, stores_[survivor]->Get(id));
+    SDW_RETURN_IF_ERROR(stores_[target]->Put(id, std::move(data)));
+    if (primary_ok) {
+      placement.secondary = target;
+    } else {
+      placement.primary = target;
+    }
+    ++restored;
+  }
+  return restored;
+}
+
+int ReplicationManager::ReplicaCount(storage::BlockId id) {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return 0;
+  int count = 0;
+  for (int node : {it->second.primary, it->second.secondary}) {
+    if (node >= 0 && !failed_nodes_.count(node) &&
+        stores_[node]->Contains(id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::set<int> ReplicationManager::BlastRadius(int failed_node) const {
+  std::set<int> impacted;
+  for (const auto& [id, placement] : placements_) {
+    if (placement.primary == failed_node && placement.secondary >= 0) {
+      impacted.insert(placement.secondary);
+    }
+    if (placement.secondary == failed_node && placement.primary >= 0) {
+      impacted.insert(placement.primary);
+    }
+  }
+  return impacted;
+}
+
+std::vector<storage::BlockId> ReplicationManager::AllBlocks() const {
+  std::vector<storage::BlockId> ids;
+  ids.reserve(placements_.size());
+  for (const auto& [id, _] : placements_) ids.push_back(id);
+  return ids;
+}
+
+Result<ReplicationManager::Placement> ReplicationManager::GetPlacement(
+    storage::BlockId id) const {
+  auto it = placements_.find(id);
+  if (it == placements_.end()) return Status::NotFound("unknown block");
+  return it->second;
+}
+
+}  // namespace sdw::replication

@@ -1,0 +1,92 @@
+#ifndef SDW_REPLICATION_REPLICATION_H_
+#define SDW_REPLICATION_REPLICATION_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/block_store.h"
+
+namespace sdw::replication {
+
+/// Replication knobs.
+struct ReplicationConfig {
+  /// Nodes are partitioned into cohorts of this many nodes; a block's
+  /// secondary lives on another node of its primary's cohort. Cohorting
+  /// "limit[s] the number of slices impacted by an individual disk or
+  /// node failure", trading re-replication fan-out against the
+  /// probability of correlated failures (§2.1).
+  int cohort_size = 2;
+};
+
+/// Synchronous two-copy block replication across node block devices
+/// with cohort-constrained placement, read-time failure masking and
+/// re-replication (§2.1: "each data block is synchronously written to
+/// both its primary slice as well as to at least one secondary on a
+/// separate node").
+class ReplicationManager {
+ public:
+  ReplicationManager(std::vector<storage::BlockStore*> node_stores,
+                     ReplicationConfig config = {}, uint64_t seed = 42);
+
+  int num_nodes() const { return static_cast<int>(stores_.size()); }
+
+  /// Cohort index of a node.
+  int CohortOf(int node) const { return node / config_.cohort_size; }
+
+  /// Nodes in the same cohort as `node` (excluding it).
+  std::vector<int> CohortPeers(int node) const;
+
+  /// Writes a block: primary copy on `primary_node`, secondary on a
+  /// cohort peer (round-robin). Synchronous — both copies or error.
+  Result<storage::BlockId> Write(int primary_node, Bytes data);
+
+  /// Reads a block, masking media failures: primary first, then the
+  /// secondary (the read path customers never notice, §2.1).
+  Result<Bytes> Read(storage::BlockId id);
+
+  /// Simulates whole-node media loss: all its blocks vanish.
+  void FailNode(int node);
+
+  /// Restores two-copy redundancy for every under-replicated block by
+  /// copying from the surviving replica to another cohort peer.
+  /// Returns the number of blocks re-replicated.
+  Result<int> ReReplicate();
+
+  /// Copies of a block currently readable.
+  int ReplicaCount(storage::BlockId id);
+
+  /// True if at least one copy survives.
+  bool IsReadable(storage::BlockId id) { return ReplicaCount(id) > 0; }
+
+  /// Nodes holding any replica that re-replication of `failed_node`
+  /// would read from — the failure's blast radius.
+  std::set<int> BlastRadius(int failed_node) const;
+
+  /// All tracked block ids.
+  std::vector<storage::BlockId> AllBlocks() const;
+
+  /// Which nodes hold block `id` per metadata (placement, not health).
+  struct Placement {
+    int primary = -1;
+    int secondary = -1;
+  };
+  Result<Placement> GetPlacement(storage::BlockId id) const;
+
+ private:
+  /// Picks the secondary node for a new block on `primary`.
+  int PickSecondary(int primary);
+
+  std::vector<storage::BlockStore*> stores_;
+  ReplicationConfig config_;
+  Rng rng_;
+  std::map<storage::BlockId, Placement> placements_;
+  std::vector<uint64_t> rr_counter_;
+  std::set<int> failed_nodes_;
+};
+
+}  // namespace sdw::replication
+
+#endif  // SDW_REPLICATION_REPLICATION_H_

@@ -1,0 +1,74 @@
+#include "security/chacha20.h"
+
+#include <cstring>
+
+namespace sdw::security {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d) {
+  *a += *b;
+  *d = Rotl32(*d ^ *a, 16);
+  *c += *d;
+  *b = Rotl32(*b ^ *c, 12);
+  *a += *b;
+  *d = Rotl32(*d ^ *a, 8);
+  *c += *d;
+  *b = Rotl32(*b ^ *c, 7);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20Block(const Key256& key, const Nonce96& nonce,
+                                      uint32_t counter) {
+  uint32_t state[16] = {
+      0x61707865u, 0x3320646eu, 0x79622d32u, 0x6b206574u,
+      Load32(key.data()),      Load32(key.data() + 4),
+      Load32(key.data() + 8),  Load32(key.data() + 12),
+      Load32(key.data() + 16), Load32(key.data() + 20),
+      Load32(key.data() + 24), Load32(key.data() + 28),
+      counter,                  Load32(nonce.data()),
+      Load32(nonce.data() + 4), Load32(nonce.data() + 8),
+  };
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(&working[0], &working[4], &working[8], &working[12]);
+    QuarterRound(&working[1], &working[5], &working[9], &working[13]);
+    QuarterRound(&working[2], &working[6], &working[10], &working[14]);
+    QuarterRound(&working[3], &working[7], &working[11], &working[15]);
+    QuarterRound(&working[0], &working[5], &working[10], &working[15]);
+    QuarterRound(&working[1], &working[6], &working[11], &working[12]);
+    QuarterRound(&working[2], &working[7], &working[8], &working[13]);
+    QuarterRound(&working[3], &working[4], &working[9], &working[14]);
+  }
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    uint32_t word = working[i] + state[i];
+    std::memcpy(out.data() + 4 * i, &word, 4);
+  }
+  return out;
+}
+
+void ChaCha20Xor(const Key256& key, const Nonce96& nonce, uint32_t counter,
+                 Bytes* data) {
+  size_t offset = 0;
+  while (offset < data->size()) {
+    std::array<uint8_t, 64> keystream = ChaCha20Block(key, nonce, counter++);
+    const size_t n = std::min<size_t>(64, data->size() - offset);
+    for (size_t i = 0; i < n; ++i) {
+      (*data)[offset + i] ^= keystream[i];
+    }
+    offset += n;
+  }
+}
+
+}  // namespace sdw::security

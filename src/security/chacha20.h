@@ -1,0 +1,26 @@
+#ifndef SDW_SECURITY_CHACHA20_H_
+#define SDW_SECURITY_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace sdw::security {
+
+/// 256-bit key and 96-bit nonce, RFC 8439 layout.
+using Key256 = std::array<uint8_t, 32>;
+using Nonce96 = std::array<uint8_t, 12>;
+
+/// XORs `data` in place with the ChaCha20 keystream for (key, nonce,
+/// initial counter). Encryption and decryption are the same operation.
+void ChaCha20Xor(const Key256& key, const Nonce96& nonce, uint32_t counter,
+                 Bytes* data);
+
+/// One 64-byte keystream block (exposed for the known-answer test).
+std::array<uint8_t, 64> ChaCha20Block(const Key256& key, const Nonce96& nonce,
+                                      uint32_t counter);
+
+}  // namespace sdw::security
+
+#endif  // SDW_SECURITY_CHACHA20_H_

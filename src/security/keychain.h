@@ -1,0 +1,107 @@
+#ifndef SDW_SECURITY_KEYCHAIN_H_
+#define SDW_SECURITY_KEYCHAIN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "security/chacha20.h"
+#include "storage/block_store.h"
+
+namespace sdw::security {
+
+/// Source of the master key: ours ("stored by us off-network") or the
+/// customer's HSM (§3.2).
+class MasterKeyProvider {
+ public:
+  virtual ~MasterKeyProvider() = default;
+  virtual Result<Key256> GetMasterKey() = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The service-managed master key.
+class ServiceKeyProvider : public MasterKeyProvider {
+ public:
+  explicit ServiceKeyProvider(uint64_t seed);
+  Result<Key256> GetMasterKey() override;
+  std::string name() const override { return "service-managed"; }
+
+  /// Rotating the service master (keeps a new key; old wraps must be
+  /// re-wrapped via KeyHierarchy::RotateMasterKey).
+  void Rotate(uint64_t seed);
+
+ private:
+  Key256 key_;
+};
+
+/// An HSM that can be taken offline (fault injection / repudiation).
+class HsmKeyProvider : public MasterKeyProvider {
+ public:
+  explicit HsmKeyProvider(uint64_t seed);
+  Result<Key256> GetMasterKey() override;
+  std::string name() const override { return "hsm"; }
+  void set_available(bool available) { available_ = available; }
+
+ private:
+  Key256 key_;
+  bool available_ = true;
+};
+
+/// The three-level key hierarchy of §3.2: per-block keys (prevent
+/// cross-block injection) wrapped by a cluster key (prevents
+/// cross-cluster injection) wrapped by the master key. Rotation
+/// re-encrypts keys, never data; repudiation = losing the keys.
+class KeyHierarchy {
+ public:
+  /// Creates a hierarchy with a fresh cluster key wrapped by the
+  /// provider's master key.
+  static Result<KeyHierarchy> Create(MasterKeyProvider* provider,
+                                     uint64_t seed = 1);
+
+  /// Encrypts a block: generates its block key, wraps it with the
+  /// cluster key, returns ciphertext (wrapped key is kept internally).
+  Result<Bytes> EncryptBlock(storage::BlockId id, Bytes plaintext);
+
+  /// Decrypts a block: unwraps its key via cluster+master keys.
+  Result<Bytes> DecryptBlock(storage::BlockId id, Bytes ciphertext);
+
+  /// Re-wraps every block key with a fresh cluster key. Cost is
+  /// proportional to the number of block keys, not data bytes.
+  Status RotateClusterKey();
+
+  /// Re-wraps the cluster key after the master key changed.
+  Status RotateMasterKey(MasterKeyProvider* new_provider);
+
+  /// Cryptographic erasure: drops the wrapped cluster key, making every
+  /// block permanently undecryptable.
+  void Repudiate();
+
+  size_t num_block_keys() const { return wrapped_block_keys_.size(); }
+  uint64_t rewrap_operations() const { return rewrap_operations_; }
+
+ private:
+  KeyHierarchy(MasterKeyProvider* provider, uint64_t seed);
+
+  Result<Key256> UnwrapClusterKey();
+  Key256 GenerateKey();
+
+  MasterKeyProvider* provider_;
+  Rng rng_;
+  bool repudiated_ = false;
+  /// Cluster key encrypted under the master key.
+  Bytes wrapped_cluster_key_;
+  Nonce96 cluster_key_nonce_;
+  /// Block keys encrypted under the cluster key.
+  struct WrappedKey {
+    Bytes wrapped;
+    Nonce96 nonce;
+  };
+  std::map<storage::BlockId, WrappedKey> wrapped_block_keys_;
+  uint64_t rewrap_operations_ = 0;
+};
+
+}  // namespace sdw::security
+
+#endif  // SDW_SECURITY_KEYCHAIN_H_

@@ -1,0 +1,88 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sdw::sim {
+
+void Engine::Schedule(double delay, std::function<void()> fn) {
+  SDW_CHECK(delay >= 0) << "negative delay " << delay;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Engine::ScheduleAt(double t, std::function<void()> fn) {
+  SDW_CHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move out via const_cast is unsafe,
+  // so copy the callback (events are small).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::Run() {
+  while (Step()) {
+  }
+}
+
+void Engine::RunUntil(double t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (t > now_) now_ = t;
+}
+
+JoinBarrier::JoinBarrier(int n, std::function<void()> done)
+    : remaining_(n), done_(std::move(done)) {
+  SDW_CHECK(n > 0);
+}
+
+void JoinBarrier::Arrive() {
+  SDW_CHECK(remaining_ > 0) << "barrier over-arrived";
+  if (--remaining_ == 0) done_();
+}
+
+Resource::Resource(Engine* engine, int capacity)
+    : engine_(engine), capacity_(capacity) {
+  SDW_CHECK(capacity > 0);
+}
+
+void Resource::Acquire(std::function<void()> fn) {
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    fn();
+  } else {
+    waiters_.push(std::move(fn));
+  }
+}
+
+void Resource::Release() {
+  SDW_CHECK(in_use_ > 0);
+  if (!waiters_.empty()) {
+    auto next = std::move(waiters_.front());
+    waiters_.pop();
+    // Hand the server directly to the next waiter.
+    next();
+  } else {
+    --in_use_;
+  }
+}
+
+void Resource::Use(double service_time, std::function<void()> done) {
+  Acquire([this, service_time, done = std::move(done)]() {
+    engine_->Schedule(service_time, [this, done]() {
+      Release();
+      done();
+    });
+  });
+}
+
+}  // namespace sdw::sim

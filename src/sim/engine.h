@@ -1,0 +1,107 @@
+#ifndef SDW_SIM_ENGINE_H_
+#define SDW_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sdw::sim {
+
+/// Discrete-event simulation engine. Time is double seconds. Events are
+/// callbacks scheduled at absolute times and executed in (time, FIFO)
+/// order. The whole control plane and fleet model run on this engine so
+/// that admin-operation latencies (Figure 2) and fleet telemetry
+/// (Figures 4-5) are deterministic functions of the workflow structure.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  double Now() const { return now_; }
+
+  /// Schedules fn to run `delay` seconds from now (delay >= 0).
+  void Schedule(double delay, std::function<void()> fn);
+
+  /// Schedules fn at absolute time t (>= Now()).
+  void ScheduleAt(double t, std::function<void()> fn);
+
+  /// Runs one event; returns false if the queue is empty.
+  bool Step();
+
+  /// Runs until the event queue is empty.
+  void Run();
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  void RunUntil(double t);
+
+  /// Number of events executed so far (for tests / sanity checks).
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Counts down `n` arrivals, then fires `done` once. Used to join
+/// data-parallel workflow steps (e.g., per-node backup uploads).
+class JoinBarrier {
+ public:
+  JoinBarrier(int n, std::function<void()> done);
+
+  /// Signals one arrival; fires the callback on the n-th.
+  void Arrive();
+
+  int remaining() const { return remaining_; }
+
+ private:
+  int remaining_;
+  std::function<void()> done_;
+};
+
+/// A FIFO resource with `capacity` identical servers (e.g., a disk with
+/// one channel, a provisioning pool with k workers). Acquire either
+/// grants immediately or queues the continuation.
+class Resource {
+ public:
+  Resource(Engine* engine, int capacity);
+
+  /// Runs fn as soon as a server is free; fn must eventually Release().
+  void Acquire(std::function<void()> fn);
+
+  /// Returns a server to the pool, admitting the next waiter if any.
+  void Release();
+
+  /// Convenience: acquire, hold a server for `service_time`, release,
+  /// then run `done`.
+  void Use(double service_time, std::function<void()> done);
+
+  int in_use() const { return in_use_; }
+  size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  int capacity_;
+  int in_use_ = 0;
+  std::queue<std::function<void()>> waiters_;
+};
+
+}  // namespace sdw::sim
+
+#endif  // SDW_SIM_ENGINE_H_

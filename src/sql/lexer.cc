@@ -1,0 +1,137 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace sdw::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>& keywords = *new std::set<std::string>{
+      "SELECT", "FROM",       "WHERE",    "GROUP",    "BY",       "ORDER",
+      "LIMIT",  "JOIN",       "ON",       "AND",      "AS",       "ASC",
+      "DESC",   "CREATE",     "TABLE",    "DROP",     "INSERT",   "INTO",
+      "VALUES", "COPY",       "FORMAT",   "CSV",      "JSON",     "COMPUPDATE",
+      "ON",     "OFF",        "DISTSTYLE", "EVEN",    "ALL",      "KEY",
+      "DISTKEY", "SORTKEY",   "COMPOUND", "INTERLEAVED", "ENCODE", "EXPLAIN",
+      "ANALYZE", "COUNT",     "SUM",      "MIN",      "MAX",      "AVG",
+      "APPROXIMATE", "DISTINCT", "BETWEEN", "IN", "LIKE",
+      "BEGIN", "COMMIT", "ROLLBACK",
+      "BIGINT", "INTEGER",    "INT",      "DOUBLE",   "PRECISION", "FLOAT",
+      "VARCHAR", "TEXT",      "DATE",     "BOOLEAN",  "BOOL",     "NULL",
+      "TRUE",   "FALSE",      "VACUUM",   "NOT",
+  };
+  return keywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;  // line comment
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper});
+      } else {
+        std::string lower = word;
+        std::transform(lower.begin(), lower.end(), lower.begin(), ::tolower);
+        tokens.push_back({TokenType::kIdent, lower});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_float = true;
+        ++i;
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start)});
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i++]);
+      }
+      if (!closed) return Status::InvalidArgument("unterminated string");
+      tokens.push_back({TokenType::kString, value});
+      continue;
+    }
+    // Multi-char operators.
+    if (c == '<') {
+      if (i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+        tokens.push_back({TokenType::kSymbol, sql.substr(i, 2)});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({TokenType::kSymbol, "<"});
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        tokens.push_back({TokenType::kSymbol, ">="});
+        i += 2;
+        continue;
+      }
+      tokens.push_back({TokenType::kSymbol, ">"});
+      ++i;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, "<>"});
+      i += 2;
+      continue;
+    }
+    if (std::string("(),.;*=").find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c)});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(std::string("unexpected character '") + c +
+                                   "' in SQL");
+  }
+  tokens.push_back({TokenType::kEnd, ""});
+  return tokens;
+}
+
+}  // namespace sdw::sql

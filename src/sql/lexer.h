@@ -1,0 +1,43 @@
+#ifndef SDW_SQL_LEXER_H_
+#define SDW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sdw::sql {
+
+enum class TokenType {
+  kKeyword,   // normalized to upper case
+  kIdent,     // normalized to lower case
+  kInteger,
+  kFloat,
+  kString,    // quoted literal, quotes stripped
+  kSymbol,    // ( ) , . ; * = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+
+  bool Is(TokenType t, const std::string& s) const {
+    return type == t && text == s;
+  }
+  bool IsKeyword(const std::string& s) const {
+    return Is(TokenType::kKeyword, s);
+  }
+  bool IsSymbol(const std::string& s) const {
+    return Is(TokenType::kSymbol, s);
+  }
+};
+
+/// Tokenizes one SQL statement. Keywords are recognized from a fixed
+/// list and upper-cased; other identifiers lower-cased (PostgreSQL
+/// folding). Fails on unterminated strings or stray characters.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace sdw::sql
+
+#endif  // SDW_SQL_LEXER_H_

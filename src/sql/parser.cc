@@ -1,0 +1,499 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "sql/lexer.h"
+
+namespace sdw::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> Parse() {
+    SDW_ASSIGN_OR_RETURN(Statement stmt, ParseTop());
+    // Optional trailing semicolon, then end.
+    (void)AcceptSymbol(";");
+    if (!Peek().Is(TokenType::kEnd, "")) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Error("expected " + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) return Error("expected '" + s + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().type == TokenType::kIdent) return Take().text;
+    // Non-reserved keywords double as identifiers (PostgreSQL-style), so
+    // customers can have columns named "key", "date", "count", ...
+    static const std::set<std::string>& non_reserved =
+        *new std::set<std::string>{
+            "KEY", "DATE", "TEXT", "COUNT", "SUM",    "MIN", "MAX",
+            "AVG", "EVEN", "ALL",  "CSV",   "JSON",   "FORMAT", "OFF",
+            "BOOL", "INT", "FLOAT"};
+    if (Peek().type == TokenType::kKeyword && non_reserved.count(Peek().text)) {
+      std::string text = Take().text;
+      std::transform(text.begin(), text.end(), text.begin(), ::tolower);
+      return text;
+    }
+    return Status::InvalidArgument("expected identifier near '" +
+                                   Peek().text + "'");
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " near '" + Peek().text + "'");
+  }
+
+  // --- grammar ---
+  Result<Statement> ParseTop() {
+    if (AcceptKeyword("CREATE")) return ParseCreateTable();
+    if (AcceptKeyword("DROP")) return ParseDropTable();
+    if (AcceptKeyword("COPY")) return ParseCopy();
+    if (AcceptKeyword("INSERT")) return ParseInsert();
+    if (AcceptKeyword("ANALYZE")) return ParseAnalyze();
+    if (AcceptKeyword("VACUUM")) return ParseVacuum();
+    if (AcceptKeyword("BEGIN")) {
+      return Statement(TxnStmt{TxnStmt::Kind::kBegin});
+    }
+    if (AcceptKeyword("COMMIT")) {
+      return Statement(TxnStmt{TxnStmt::Kind::kCommit});
+    }
+    if (AcceptKeyword("ROLLBACK")) {
+      return Statement(TxnStmt{TxnStmt::Kind::kRollback});
+    }
+    if (AcceptKeyword("EXPLAIN")) {
+      SDW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+      SDW_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+      stmt.explain = true;
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SELECT")) {
+      SDW_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
+      return Statement(std::move(stmt));
+    }
+    return Error("expected a statement");
+  }
+
+  Result<TypeId> ParseType() {
+    if (AcceptKeyword("BIGINT")) return TypeId::kInt64;
+    if (AcceptKeyword("INTEGER") || AcceptKeyword("INT")) {
+      return TypeId::kInt32;
+    }
+    if (AcceptKeyword("DOUBLE")) {
+      (void)AcceptKeyword("PRECISION");
+      return TypeId::kDouble;
+    }
+    if (AcceptKeyword("FLOAT")) return TypeId::kDouble;
+    if (AcceptKeyword("VARCHAR") || AcceptKeyword("TEXT")) {
+      // Optional length (VARCHAR(256)) accepted and ignored.
+      if (AcceptSymbol("(")) {
+        Take();
+        SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+      return TypeId::kString;
+    }
+    if (AcceptKeyword("DATE")) return TypeId::kDate;
+    if (AcceptKeyword("BOOLEAN") || AcceptKeyword("BOOL")) {
+      return TypeId::kBool;
+    }
+    return Status::InvalidArgument("expected a type near '" + Peek().text +
+                                   "'");
+  }
+
+  Result<ColumnEncoding> ParseEncoding() {
+    if (Peek().type != TokenType::kIdent) {
+      return Status::InvalidArgument("expected encoding name");
+    }
+    const std::string name = Take().text;
+    if (name == "raw") return ColumnEncoding::kRaw;
+    if (name == "runlength") return ColumnEncoding::kRunLength;
+    if (name == "delta") return ColumnEncoding::kDelta;
+    if (name == "bytedict") return ColumnEncoding::kBytedict;
+    if (name == "mostly8") return ColumnEncoding::kMostly8;
+    if (name == "mostly16") return ColumnEncoding::kMostly16;
+    if (name == "mostly32") return ColumnEncoding::kMostly32;
+    if (name == "lzo" || name == "lz") return ColumnEncoding::kLz;
+    if (name == "text255") return ColumnEncoding::kText255;
+    if (name == "auto") return ColumnEncoding::kAuto;
+    return Status::InvalidArgument("unknown encoding '" + name + "'");
+  }
+
+  Result<Statement> ParseCreateTable() {
+    SDW_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    SDW_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ColumnDef> columns;
+    while (true) {
+      ColumnDef col;
+      SDW_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+      SDW_ASSIGN_OR_RETURN(col.type, ParseType());
+      if (AcceptKeyword("ENCODE")) {
+        SDW_ASSIGN_OR_RETURN(col.encoding, ParseEncoding());
+      }
+      columns.push_back(std::move(col));
+      if (AcceptSymbol(",")) continue;
+      SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    TableSchema schema(name, std::move(columns));
+    // Table attributes in any order.
+    while (true) {
+      if (AcceptKeyword("DISTSTYLE")) {
+        if (AcceptKeyword("EVEN")) {
+          schema.SetDistStyle(DistStyle::kEven);
+        } else if (AcceptKeyword("ALL")) {
+          schema.SetDistStyle(DistStyle::kAll);
+        } else if (AcceptKeyword("KEY")) {
+          // DISTKEY(col) must follow.
+        } else {
+          return Error("expected EVEN, ALL or KEY");
+        }
+        continue;
+      }
+      if (AcceptKeyword("DISTKEY")) {
+        SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+        SDW_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+        SDW_RETURN_IF_ERROR(schema.SetDistKey(col));
+        continue;
+      }
+      if (Peek().IsKeyword("COMPOUND") || Peek().IsKeyword("INTERLEAVED") ||
+          Peek().IsKeyword("SORTKEY")) {
+        SortStyle style = SortStyle::kCompound;
+        if (AcceptKeyword("INTERLEAVED")) {
+          style = SortStyle::kInterleaved;
+        } else {
+          (void)AcceptKeyword("COMPOUND");
+        }
+        SDW_RETURN_IF_ERROR(ExpectKeyword("SORTKEY"));
+        SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+        std::vector<std::string> keys;
+        while (true) {
+          SDW_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          keys.push_back(col);
+          if (AcceptSymbol(",")) continue;
+          SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+          break;
+        }
+        SDW_RETURN_IF_ERROR(schema.SetSortKey(style, keys));
+        continue;
+      }
+      break;
+    }
+    return Statement(CreateTableStmt{std::move(schema)});
+  }
+
+  Result<Statement> ParseDropTable() {
+    SDW_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    SDW_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    return Statement(DropTableStmt{name});
+  }
+
+  Result<Statement> ParseCopy() {
+    CopyStmt stmt;
+    SDW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    SDW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kString) {
+      return Error("expected a quoted source URI");
+    }
+    stmt.source_uri = Take().text;
+    while (true) {
+      if (AcceptKeyword("FORMAT")) {
+        if (AcceptKeyword("CSV")) {
+          stmt.format = CopyStmt::Format::kCsv;
+        } else if (AcceptKeyword("JSON")) {
+          stmt.format = CopyStmt::Format::kJson;
+        } else {
+          return Error("expected CSV or JSON");
+        }
+        continue;
+      }
+      if (AcceptKeyword("COMPUPDATE")) {
+        if (AcceptKeyword("ON")) {
+          stmt.compupdate = true;
+        } else if (AcceptKeyword("OFF")) {
+          stmt.compupdate = false;
+        } else {
+          return Error("expected ON or OFF");
+        }
+        continue;
+      }
+      break;
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Datum> ParseLiteral() {
+    if (Peek().type == TokenType::kInteger) {
+      return Datum::Int64(std::strtoll(Take().text.c_str(), nullptr, 10));
+    }
+    if (Peek().type == TokenType::kFloat) {
+      return Datum::Double(std::strtod(Take().text.c_str(), nullptr));
+    }
+    if (Peek().type == TokenType::kString) {
+      return Datum::String(Take().text);
+    }
+    if (AcceptKeyword("NULL")) return Datum::Null();
+    if (AcceptKeyword("TRUE")) return Datum::Bool(true);
+    if (AcceptKeyword("FALSE")) return Datum::Bool(false);
+    return Status::InvalidArgument("expected a literal near '" + Peek().text +
+                                   "'");
+  }
+
+  Result<Statement> ParseInsert() {
+    SDW_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    SDW_ASSIGN_OR_RETURN(stmt.table, ExpectIdent());
+    SDW_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+      Row row;
+      while (true) {
+        SDW_ASSIGN_OR_RETURN(Datum value, ParseLiteral());
+        row.push_back(std::move(value));
+        if (AcceptSymbol(",")) continue;
+        SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+        break;
+      }
+      stmt.rows.push_back(std::move(row));
+      if (!AcceptSymbol(",")) break;
+    }
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseAnalyze() {
+    SDW_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    return Statement(AnalyzeStmt{table});
+  }
+
+  Result<Statement> ParseVacuum() {
+    SDW_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    return Statement(VacuumStmt{table});
+  }
+
+  Result<plan::ColumnName> ParseColumnName() {
+    SDW_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    if (AcceptSymbol(".")) {
+      SDW_ASSIGN_OR_RETURN(std::string second, ExpectIdent());
+      return plan::ColumnName{first, second};
+    }
+    return plan::ColumnName{"", first};
+  }
+
+  Result<plan::SelectItem> ParseSelectItem() {
+    plan::SelectItem item;
+    // APPROXIMATE COUNT(DISTINCT col) — the HyperLogLog path.
+    if (AcceptKeyword("APPROXIMATE")) {
+      SDW_RETURN_IF_ERROR(ExpectKeyword("COUNT"));
+      SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+      SDW_RETURN_IF_ERROR(ExpectKeyword("DISTINCT"));
+      item.agg = plan::LogicalAggFn::kApproxCountDistinct;
+      SDW_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+      SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (AcceptKeyword("AS")) {
+        SDW_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      }
+      return item;
+    }
+    auto agg_keyword = [&]() -> plan::LogicalAggFn {
+      if (AcceptKeyword("COUNT")) return plan::LogicalAggFn::kCount;
+      if (AcceptKeyword("SUM")) return plan::LogicalAggFn::kSum;
+      if (AcceptKeyword("MIN")) return plan::LogicalAggFn::kMin;
+      if (AcceptKeyword("MAX")) return plan::LogicalAggFn::kMax;
+      if (AcceptKeyword("AVG")) return plan::LogicalAggFn::kAvg;
+      return plan::LogicalAggFn::kNone;
+    };
+    const plan::LogicalAggFn agg = agg_keyword();
+    if (agg != plan::LogicalAggFn::kNone) {
+      SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().IsKeyword("DISTINCT")) {
+        return Status::NotSupported(
+            "exact COUNT(DISTINCT) is not implemented; use APPROXIMATE "
+            "COUNT(DISTINCT col)");
+      }
+      if (agg == plan::LogicalAggFn::kCount && AcceptSymbol("*")) {
+        item.agg = plan::LogicalAggFn::kCountStar;
+      } else {
+        item.agg = agg;
+        SDW_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+      }
+      SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      SDW_ASSIGN_OR_RETURN(item.column, ParseColumnName());
+    }
+    if (AcceptKeyword("AS")) {
+      SDW_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+    }
+    return item;
+  }
+
+  Result<plan::LogicalCmp> ParseCmpOp() {
+    if (AcceptSymbol("=")) return plan::LogicalCmp::kEq;
+    if (AcceptSymbol("<>")) return plan::LogicalCmp::kNe;
+    if (AcceptSymbol("<=")) return plan::LogicalCmp::kLe;
+    if (AcceptSymbol("<")) return plan::LogicalCmp::kLt;
+    if (AcceptSymbol(">=")) return plan::LogicalCmp::kGe;
+    if (AcceptSymbol(">")) return plan::LogicalCmp::kGt;
+    return Status::InvalidArgument("expected a comparison near '" +
+                                   Peek().text + "'");
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    plan::LogicalQuery& q = stmt.query;
+    while (true) {
+      SDW_ASSIGN_OR_RETURN(plan::SelectItem item, ParseSelectItem());
+      q.select.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    SDW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SDW_ASSIGN_OR_RETURN(q.from_table, ExpectIdent());
+    if (AcceptKeyword("JOIN")) {
+      SDW_ASSIGN_OR_RETURN(std::string join_table, ExpectIdent());
+      q.join_table = join_table;
+      SDW_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      SDW_ASSIGN_OR_RETURN(q.join_left, ParseColumnName());
+      SDW_RETURN_IF_ERROR(ExpectSymbol("="));
+      SDW_ASSIGN_OR_RETURN(q.join_right, ParseColumnName());
+    }
+    if (AcceptKeyword("WHERE")) {
+      while (true) {
+        plan::Selection sel;
+        SDW_ASSIGN_OR_RETURN(sel.column, ParseColumnName());
+        if (AcceptKeyword("BETWEEN")) {
+          sel.kind = plan::Selection::Kind::kBetween;
+          SDW_ASSIGN_OR_RETURN(sel.literal, ParseLiteral());
+          SDW_RETURN_IF_ERROR(ExpectKeyword("AND"));
+          SDW_ASSIGN_OR_RETURN(sel.literal2, ParseLiteral());
+        } else if (AcceptKeyword("IN")) {
+          sel.kind = plan::Selection::Kind::kIn;
+          SDW_RETURN_IF_ERROR(ExpectSymbol("("));
+          while (true) {
+            SDW_ASSIGN_OR_RETURN(Datum v, ParseLiteral());
+            sel.in_list.push_back(std::move(v));
+            if (AcceptSymbol(",")) continue;
+            SDW_RETURN_IF_ERROR(ExpectSymbol(")"));
+            break;
+          }
+        } else if (AcceptKeyword("LIKE")) {
+          if (Peek().type != TokenType::kString) {
+            return Error("expected a pattern string after LIKE");
+          }
+          std::string pattern = Take().text;
+          // Only the prefix fast path ('abc%') is supported: a single
+          // trailing '%', no other wildcards.
+          if (pattern.empty() || pattern.back() != '%' ||
+              pattern.find_first_of("%_") != pattern.size() - 1) {
+            return Status::NotSupported(
+                "only prefix patterns ('abc%') are supported for LIKE");
+          }
+          sel.kind = plan::Selection::Kind::kLikePrefix;
+          sel.like_prefix = pattern.substr(0, pattern.size() - 1);
+        } else {
+          SDW_ASSIGN_OR_RETURN(sel.op, ParseCmpOp());
+          SDW_ASSIGN_OR_RETURN(sel.literal, ParseLiteral());
+        }
+        q.where.push_back(std::move(sel));
+        if (!AcceptKeyword("AND")) break;
+      }
+    }
+    if (AcceptKeyword("GROUP")) {
+      SDW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SDW_ASSIGN_OR_RETURN(plan::ColumnName col, ParseColumnName());
+        q.group_by.push_back(std::move(col));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      SDW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        plan::OrderItem order;
+        if (Peek().type == TokenType::kInteger) {
+          // 1-based select position.
+          order.select_index =
+              static_cast<int>(std::strtoll(Take().text.c_str(), nullptr, 10)) -
+              1;
+        } else {
+          SDW_ASSIGN_OR_RETURN(plan::ColumnName col, ParseColumnName());
+          // Match by alias first, then by column name.
+          int index = -1;
+          for (size_t i = 0; i < q.select.size(); ++i) {
+            if ((!q.select[i].alias.empty() &&
+                 q.select[i].alias == col.column) ||
+                (q.select[i].column.column == col.column &&
+                 (col.table.empty() ||
+                  q.select[i].column.table == col.table))) {
+              index = static_cast<int>(i);
+              break;
+            }
+          }
+          if (index < 0) {
+            return Status::InvalidArgument(
+                "ORDER BY column '" + col.ToString() +
+                "' is not in the select list");
+          }
+          order.select_index = index;
+        }
+        if (AcceptKeyword("DESC")) {
+          order.descending = true;
+        } else {
+          (void)AcceptKeyword("ASC");
+        }
+        q.order_by.push_back(order);
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected a row count after LIMIT");
+      }
+      q.limit = std::strtoull(Take().text.c_str(), nullptr, 10);
+    }
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  SDW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sdw::sql

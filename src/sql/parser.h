@@ -1,0 +1,68 @@
+#ifndef SDW_SQL_PARSER_H_
+#define SDW_SQL_PARSER_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "plan/logical.h"
+
+namespace sdw::sql {
+
+/// CREATE TABLE name (cols...) [DISTSTYLE ...] [DISTKEY(c)]
+/// [[COMPOUND|INTERLEAVED] SORTKEY(c, ...)]
+struct CreateTableStmt {
+  TableSchema schema;
+};
+
+struct DropTableStmt {
+  std::string table;
+};
+
+/// COPY table FROM 'uri' [FORMAT CSV|JSON] [COMPUPDATE ON|OFF]
+struct CopyStmt {
+  std::string table;
+  std::string source_uri;
+  enum class Format { kCsv, kJson } format = Format::kCsv;
+  bool compupdate = true;
+};
+
+/// INSERT INTO table VALUES (...), (...)
+struct InsertStmt {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+/// SELECT ... (optionally EXPLAIN'd)
+struct SelectStmt {
+  plan::LogicalQuery query;
+  bool explain = false;
+};
+
+struct AnalyzeStmt {
+  std::string table;
+};
+
+/// VACUUM table — merges per-COPY sorted runs back into one region.
+struct VacuumStmt {
+  std::string table;
+};
+
+/// BEGIN / COMMIT / ROLLBACK (single-session transactions: the leader
+/// "coordinates serialization and state of transactions", §2.1).
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback } kind = Kind::kBegin;
+};
+
+using Statement = std::variant<CreateTableStmt, DropTableStmt, CopyStmt,
+                               InsertStmt, SelectStmt, AnalyzeStmt,
+                               VacuumStmt, TxnStmt>;
+
+/// Parses exactly one SQL statement (a trailing ';' is allowed).
+Result<Statement> ParseStatement(const std::string& sql);
+
+}  // namespace sdw::sql
+
+#endif  // SDW_SQL_PARSER_H_

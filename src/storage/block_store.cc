@@ -1,0 +1,94 @@
+#include "storage/block_store.h"
+
+#include "common/hash.h"
+
+namespace sdw::storage {
+
+BlockId BlockStore::Allocate() {
+  static uint64_t next_id = 1;
+  return next_id++;
+}
+
+Status BlockStore::Put(BlockId id, Bytes data) {
+  if (blocks_.count(id)) {
+    return Status::AlreadyExists("block " + std::to_string(id) +
+                                 " already stored (blocks are immutable)");
+  }
+  if (write_transform_) {
+    SDW_ASSIGN_OR_RETURN(data, write_transform_(id, std::move(data)));
+  }
+  Stored stored;
+  stored.crc = Crc32c(data.data(), data.size());
+  total_bytes_ += data.size();
+  stored.data = std::move(data);
+  blocks_[id] = std::move(stored);
+  return Status::OK();
+}
+
+Result<Bytes> BlockStore::GetRaw(BlockId id) {
+  ++reads_;
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    if (fault_handler_) {
+      ++faults_;
+      auto fetched = fault_handler_(id);
+      if (!fetched.ok()) return fetched.status();
+      Bytes data = std::move(fetched).ValueOrDie();
+      read_bytes_ += data.size();
+      // Page the block back in (stored form) for future reads.
+      Stored stored;
+      stored.crc = Crc32c(data.data(), data.size());
+      total_bytes_ += data.size();
+      stored.data = data;
+      blocks_[id] = std::move(stored);
+      return data;
+    }
+    return Status::Unavailable("block " + std::to_string(id) +
+                               " not on local storage");
+  }
+  Stored& stored = it->second;
+  if (!stored.verified) {
+    if (Crc32c(stored.data.data(), stored.data.size()) != stored.crc) {
+      return Status::Corruption("block " + std::to_string(id) +
+                                " failed checksum");
+    }
+    stored.verified = true;
+  }
+  read_bytes_ += stored.data.size();
+  return stored.data;
+}
+
+Result<Bytes> BlockStore::Get(BlockId id) {
+  SDW_ASSIGN_OR_RETURN(Bytes data, GetRaw(id));
+  if (read_transform_) {
+    return read_transform_(id, std::move(data));
+  }
+  return data;
+}
+
+Status BlockStore::Delete(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::NotFound("block " + std::to_string(id));
+  }
+  total_bytes_ -= it->second.data.size();
+  blocks_.erase(it);
+  return Status::OK();
+}
+
+std::vector<BlockId> BlockStore::ListIds() const {
+  std::vector<BlockId> ids;
+  ids.reserve(blocks_.size());
+  for (const auto& [id, _] : blocks_) ids.push_back(id);
+  return ids;
+}
+
+void BlockStore::CorruptForTest(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it != blocks_.end() && !it->second.data.empty()) {
+    it->second.data[it->second.data.size() / 2] ^= 0x40;
+    it->second.verified = false;  // force re-verification on next read
+  }
+}
+
+}  // namespace sdw::storage

@@ -1,0 +1,220 @@
+#include "storage/table_shard.h"
+
+#include <algorithm>
+
+#include "compress/codec.h"
+
+namespace sdw::storage {
+
+TableShard::TableShard(TableSchema schema, StorageOptions options,
+                       BlockStore* store)
+    : schema_(std::move(schema)), options_(options), store_(store) {
+  chains_.resize(schema_.num_columns());
+}
+
+size_t TableShard::EstimateWidth(const ColumnVector& values) {
+  if (values.type() == TypeId::kString) {
+    if (values.size() == 0) return 16;
+    size_t total = 0;
+    const size_t sample = std::min<size_t>(values.size(), 256);
+    for (size_t i = 0; i < sample; ++i) total += values.StringAt(i).size() + 2;
+    return std::max<size_t>(1, total / sample);
+  }
+  return 8;
+}
+
+Status TableShard::Append(const std::vector<ColumnVector>& columns) {
+  if (columns.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("append column count != schema");
+  }
+  const size_t n = columns.empty() ? 0 : columns[0].size();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (columns[c].size() != n) {
+      return Status::InvalidArgument("ragged append run");
+    }
+    if (columns[c].type() != schema_.column(c).type) {
+      return Status::InvalidArgument("append type mismatch on column " +
+                                     schema_.column(c).name);
+    }
+  }
+  if (n == 0) return Status::OK();
+  const uint64_t first_row = row_count_;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    SDW_RETURN_IF_ERROR(AppendColumn(c, columns[c], first_row));
+  }
+  row_count_ += n;
+  return Status::OK();
+}
+
+Status TableShard::AppendColumn(size_t column, const ColumnVector& values,
+                                uint64_t first_row) {
+  ColumnEncoding encoding = schema_.column(column).encoding;
+  if (encoding == ColumnEncoding::kAuto) encoding = ColumnEncoding::kRaw;
+
+  const size_t width = EstimateWidth(values);
+  const size_t rows_per_block = std::max<size_t>(
+      1, std::min(options_.max_rows_per_block, options_.block_bytes / width));
+
+  size_t offset = 0;
+  while (offset < values.size()) {
+    const size_t count = std::min(rows_per_block, values.size() - offset);
+    ColumnVector chunk(values.type());
+    chunk.Reserve(count);
+    SDW_RETURN_IF_ERROR(chunk.AppendRange(values, offset, offset + count));
+
+    Bytes encoded;
+    SDW_RETURN_IF_ERROR(compress::EncodeColumn(encoding, chunk, &encoded));
+
+    BlockMeta meta;
+    meta.id = store_->Allocate();
+    meta.first_row = first_row + offset;
+    meta.row_count = count;
+    meta.encoding = encoding;
+    meta.encoded_bytes = encoded.size();
+    meta.zone.UpdateAll(chunk);
+    SDW_RETURN_IF_ERROR(store_->Put(meta.id, std::move(encoded)));
+
+    encoded_bytes_ += meta.encoded_bytes;
+    chains_[column].push_back(std::move(meta));
+    offset += count;
+  }
+  return Status::OK();
+}
+
+std::vector<RowRange> TableShard::CandidateRanges(
+    const std::vector<RangePredicate>& predicates) const {
+  std::vector<RowRange> candidates = {{0, row_count_}};
+  if (row_count_ == 0) return {};
+
+  for (const RangePredicate& pred : predicates) {
+    if (pred.column < 0 ||
+        static_cast<size_t>(pred.column) >= chains_.size()) {
+      continue;
+    }
+    // Row ranges of blocks in this column that may match.
+    std::vector<RowRange> passing;
+    for (const BlockMeta& block : chains_[pred.column]) {
+      if (!block.zone.MayOverlap(pred.lo, pred.hi)) continue;
+      if (!passing.empty() &&
+          passing.back().end == block.first_row) {
+        passing.back().end = block.first_row + block.row_count;
+      } else {
+        passing.push_back(
+            {block.first_row, block.first_row + block.row_count});
+      }
+    }
+    // Intersect the candidate list with the passing list (both sorted).
+    std::vector<RowRange> merged;
+    size_t i = 0;
+    size_t j = 0;
+    while (i < candidates.size() && j < passing.size()) {
+      uint64_t lo = std::max(candidates[i].begin, passing[j].begin);
+      uint64_t hi = std::min(candidates[i].end, passing[j].end);
+      if (lo < hi) merged.push_back({lo, hi});
+      if (candidates[i].end < passing[j].end) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    candidates = std::move(merged);
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+Result<std::vector<ColumnVector>> TableShard::ReadRange(
+    const std::vector<int>& columns, const RowRange& range) {
+  if (range.end > row_count_ || range.begin > range.end) {
+    return Status::OutOfRange("ReadRange outside shard");
+  }
+  std::vector<ColumnVector> out;
+  out.reserve(columns.size());
+  for (int c : columns) {
+    if (c < 0 || static_cast<size_t>(c) >= chains_.size()) {
+      return Status::InvalidArgument("bad column index");
+    }
+    ColumnVector result(schema_.column(c).type);
+    result.Reserve(range.size());
+    for (const BlockMeta& block : chains_[c]) {
+      const uint64_t block_end = block.first_row + block.row_count;
+      if (block_end <= range.begin || block.first_row >= range.end) continue;
+      SDW_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnVector> decoded,
+                           DecodeBlock(block, result.type()));
+      const uint64_t lo = std::max(range.begin, block.first_row);
+      const uint64_t hi = std::min(range.end, block_end);
+      SDW_RETURN_IF_ERROR(result.AppendRange(
+          *decoded, lo - block.first_row, hi - block.first_row));
+    }
+    if (result.size() != range.size()) {
+      return Status::Corruption("chain did not cover requested range");
+    }
+    out.push_back(std::move(result));
+  }
+  return out;
+}
+
+Result<std::vector<ColumnVector>> TableShard::ReadAll(
+    const std::vector<int>& columns) {
+  return ReadRange(columns, {0, row_count_});
+}
+
+Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
+    const BlockMeta& meta, TypeId type) {
+  auto it = decode_cache_.find(meta.id);
+  if (it != decode_cache_.end()) return it->second;
+  SDW_ASSIGN_OR_RETURN(Bytes data, store_->Get(meta.id));
+  SDW_ASSIGN_OR_RETURN(ColumnVector decoded,
+                       compress::DecodeColumn(meta.encoding, type, data));
+  ++blocks_decoded_;
+  auto shared = std::make_shared<const ColumnVector>(std::move(decoded));
+  // FIFO eviction keeps memory bounded even for huge scans.
+  constexpr size_t kCacheCapacity = 64;
+  if (cache_order_.size() >= kCacheCapacity) {
+    decode_cache_.erase(cache_order_.front());
+    cache_order_.erase(cache_order_.begin());
+  }
+  decode_cache_[meta.id] = shared;
+  cache_order_.push_back(meta.id);
+  return shared;
+}
+
+Status TableShard::LoadChains(std::vector<std::vector<BlockMeta>> chains) {
+  if (row_count_ != 0) {
+    return Status::FailedPrecondition("LoadChains on a non-empty shard");
+  }
+  if (chains.size() != chains_.size()) {
+    return Status::InvalidArgument("chain count != schema column count");
+  }
+  uint64_t rows = 0;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    uint64_t expected_row = 0;
+    uint64_t bytes = 0;
+    for (const BlockMeta& meta : chains[c]) {
+      if (meta.first_row != expected_row) {
+        return Status::Corruption("chain has a row-range gap");
+      }
+      expected_row += meta.row_count;
+      bytes += meta.encoded_bytes;
+    }
+    if (c == 0) {
+      rows = expected_row;
+    } else if (expected_row != rows) {
+      return Status::Corruption("chains disagree on row count");
+    }
+    encoded_bytes_ += bytes;
+  }
+  chains_ = std::move(chains);
+  row_count_ = rows;
+  return Status::OK();
+}
+
+std::vector<BlockId> TableShard::AllBlockIds() const {
+  std::vector<BlockId> ids;
+  for (const auto& chain : chains_) {
+    for (const auto& block : chain) ids.push_back(block.id);
+  }
+  return ids;
+}
+
+}  // namespace sdw::storage

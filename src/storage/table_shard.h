@@ -1,0 +1,147 @@
+#ifndef SDW_STORAGE_TABLE_SHARD_H_
+#define SDW_STORAGE_TABLE_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/types.h"
+#include "common/result.h"
+#include "storage/block_store.h"
+#include "storage/zone_map.h"
+
+namespace sdw::storage {
+
+/// Knobs for the block writer.
+struct StorageOptions {
+  /// Maximum estimated raw bytes per block (paper: fixed-size 1 MiB
+  /// blocks; kept configurable so benches can produce many blocks from
+  /// laptop-scale data).
+  size_t block_bytes = 1024 * 1024;
+  /// Hard cap on rows per block regardless of width.
+  size_t max_rows_per_block = 65536;
+};
+
+/// A contiguous half-open range of logical row offsets within a shard.
+struct RowRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+
+  uint64_t size() const { return end - begin; }
+  bool operator==(const RowRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// A single-column range predicate used for block skipping: NULL bounds
+/// are unbounded; both bounds inclusive.
+struct RangePredicate {
+  int column = 0;
+  Datum lo;
+  Datum hi;
+};
+
+/// Metadata for one block in a column chain. The linkage between the
+/// columns of a row is purely the logical row offset (paper §2.1), so
+/// each column chains its blocks independently.
+struct BlockMeta {
+  BlockId id = 0;
+  uint64_t first_row = 0;
+  uint64_t row_count = 0;
+  ColumnEncoding encoding = ColumnEncoding::kRaw;
+  size_t encoded_bytes = 0;
+  ZoneMap zone;
+};
+
+/// One slice's portion of one table: a chain of encoded blocks per
+/// column plus in-memory zone maps. Appends encode and write blocks;
+/// scans prune with zone maps and decode only surviving blocks.
+class TableShard {
+ public:
+  TableShard(TableSchema schema, StorageOptions options, BlockStore* store);
+
+  const TableSchema& schema() const { return schema_; }
+  uint64_t row_count() const { return row_count_; }
+
+  /// Changes the encoding used for future appends to a column (the
+  /// COPY-time compression analyzer calls this before the first load).
+  void SetColumnEncoding(size_t column, ColumnEncoding encoding) {
+    schema_.SetColumnEncoding(column, encoding);
+  }
+
+  /// Appends one run of rows (column vectors of equal length, one per
+  /// schema column). The caller has already sorted the run and resolved
+  /// kAuto encodings; kAuto falls back to RAW here.
+  Status Append(const std::vector<ColumnVector>& columns);
+
+  /// Row ranges that may satisfy all predicates, ascending and
+  /// non-overlapping. No predicates -> one full-range candidate.
+  std::vector<RowRange> CandidateRanges(
+      const std::vector<RangePredicate>& predicates) const;
+
+  /// Materializes the requested columns for a row range. Decodes every
+  /// block overlapping the range (per-column chains are block-aligned
+  /// independently).
+  Result<std::vector<ColumnVector>> ReadRange(const std::vector<int>& columns,
+                                              const RowRange& range);
+
+  /// Materializes whole columns.
+  Result<std::vector<ColumnVector>> ReadAll(const std::vector<int>& columns);
+
+  /// Chain metadata (backup/replication/benches walk this).
+  const std::vector<BlockMeta>& chain(size_t column) const {
+    return chains_[column];
+  }
+  size_t num_columns() const { return chains_.size(); }
+
+  /// Every block id owned by this shard.
+  std::vector<BlockId> AllBlockIds() const;
+
+  /// Rebuilds this (empty) shard from backed-up chain metadata. Blocks
+  /// need not be resident in the store yet — reads will page-fault them
+  /// in via the store's fault handler (streaming restore, §2.3).
+  Status LoadChains(std::vector<std::vector<BlockMeta>> chains);
+
+  /// Total encoded bytes across all chains.
+  uint64_t encoded_bytes() const { return encoded_bytes_; }
+
+  /// Blocks decoded by ReadRange since the last ResetCounters (the
+  /// block-skipping bench's measured quantity). Cached decodes do not
+  /// count; ResetCounters also drops the cache so measurements start
+  /// cold.
+  uint64_t blocks_decoded() const { return blocks_decoded_; }
+  void ResetCounters() {
+    blocks_decoded_ = 0;
+    decode_cache_.clear();
+    cache_order_.clear();
+  }
+
+ private:
+  /// Appends one column's run to its chain, splitting into blocks.
+  Status AppendColumn(size_t column, const ColumnVector& values,
+                      uint64_t first_row);
+
+  /// Reads + decodes one block, serving repeat reads from a small FIFO
+  /// cache (scans pull overlapping blocks once, not once per batch).
+  Result<std::shared_ptr<const ColumnVector>> DecodeBlock(
+      const BlockMeta& meta, TypeId type);
+
+  /// Estimated raw width of one value of the column, for block sizing.
+  static size_t EstimateWidth(const ColumnVector& values);
+
+  TableSchema schema_;
+  StorageOptions options_;
+  BlockStore* store_;
+  std::vector<std::vector<BlockMeta>> chains_;
+  uint64_t row_count_ = 0;
+  uint64_t encoded_bytes_ = 0;
+  uint64_t blocks_decoded_ = 0;
+  std::map<BlockId, std::shared_ptr<const ColumnVector>> decode_cache_;
+  std::vector<BlockId> cache_order_;
+};
+
+}  // namespace sdw::storage
+
+#endif  // SDW_STORAGE_TABLE_SHARD_H_

@@ -1,0 +1,299 @@
+#include "warehouse/warehouse.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace sdw::warehouse {
+
+namespace {
+
+/// Renders one datum for the text table.
+std::string Cell(const Datum& value) {
+  if (value.is_null()) return "NULL";
+  if (value.type() == TypeId::kString) return value.string_value();
+  return value.ToString();
+}
+
+}  // namespace
+
+std::string StatementResult::ToTable(size_t max_rows) const {
+  const size_t ncols = rows.num_columns();
+  if (ncols == 0) return message + "\n";
+  const size_t nrows = std::min<size_t>(rows.num_rows(), max_rows);
+  std::vector<std::vector<std::string>> cells(nrows + 1);
+  std::vector<size_t> widths(ncols, 0);
+  for (size_t c = 0; c < ncols; ++c) {
+    std::string name =
+        c < column_names.size() ? column_names[c] : "col" + std::to_string(c);
+    widths[c] = name.size();
+    cells[0].push_back(std::move(name));
+  }
+  for (size_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string cell = Cell(rows.columns[c].DatumAt(r));
+      widths[c] = std::max(widths[c], cell.size());
+      cells[r + 1].push_back(std::move(cell));
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < ncols; ++c) {
+      out += cells[r][c];
+      out.append(widths[c] - cells[r][c].size() + 2, ' ');
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < ncols; ++c) {
+        out.append(widths[c], '-');
+        out.append(2, ' ');
+      }
+      out += "\n";
+    }
+  }
+  if (rows.num_rows() > nrows) {
+    out += "... (" + std::to_string(rows.num_rows()) + " rows total)\n";
+  } else {
+    out += "(" + std::to_string(rows.num_rows()) + " rows)\n";
+  }
+  return out;
+}
+
+Warehouse::Warehouse(WarehouseOptions options)
+    : options_(options),
+      cluster_(std::make_unique<cluster::Cluster>(options.cluster)),
+      backups_(&s3_, options.region, options.cluster_id) {
+  if (options_.encrypted) {
+    master_provider_ = std::make_unique<security::ServiceKeyProvider>(
+        Hash64(std::string_view(options_.cluster_id)));
+    auto hierarchy = security::KeyHierarchy::Create(master_provider_.get());
+    SDW_CHECK(hierarchy.ok()) << hierarchy.status();
+    keys_ = std::make_unique<security::KeyHierarchy>(
+        std::move(hierarchy).ValueOrDie());
+    WireEncryption();
+  }
+}
+
+void Warehouse::WireEncryption() { WireEncryptionOn(cluster_.get()); }
+
+void Warehouse::WireEncryptionOn(cluster::Cluster* target) {
+  if (keys_ == nullptr) return;
+  security::KeyHierarchy* keys = keys_.get();
+  for (int n = 0; n < target->num_nodes(); ++n) {
+    storage::BlockStore* store = target->node(n)->store();
+    store->set_write_transform(
+        [keys](storage::BlockId id, Bytes data) -> Result<Bytes> {
+          return keys->EncryptBlock(id, std::move(data));
+        });
+    store->set_read_transform(
+        [keys](storage::BlockId id, Bytes data) -> Result<Bytes> {
+          return keys->DecryptBlock(id, std::move(data));
+        });
+  }
+}
+
+Status Warehouse::RotateKeys() {
+  if (keys_ == nullptr) {
+    return Status::FailedPrecondition("warehouse is not encrypted");
+  }
+  return keys_->RotateClusterKey();
+}
+
+Status Warehouse::Begin() {
+  if (in_txn_) {
+    return Status::FailedPrecondition("already in a transaction");
+  }
+  SDW_ASSIGN_OR_RETURN(txn_manifest_, backup::CaptureManifest(cluster_.get()));
+  in_txn_ = true;
+  return Status::OK();
+}
+
+Status Warehouse::Commit() {
+  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  in_txn_ = false;
+  txn_manifest_ = backup::SnapshotManifest{};
+  return Status::OK();
+}
+
+Status Warehouse::Rollback() {
+  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  // Tables created inside the transaction disappear entirely.
+  std::set<std::string> pre_txn;
+  for (const auto& table : txn_manifest_.tables) {
+    pre_txn.insert(table.schema.name());
+  }
+  for (const std::string& name : cluster_->catalog()->TableNames()) {
+    if (!pre_txn.count(name)) {
+      SDW_RETURN_IF_ERROR(cluster_->DropTable(name));
+    }
+  }
+  // Pre-existing tables snap back to their captured chains. Blocks are
+  // immutable and never deleted mid-transaction, so the old chains are
+  // fully intact; blocks appended during the transaction become
+  // garbage on the device (reclaimed by the next VACUUM).
+  for (const auto& table : txn_manifest_.tables) {
+    const std::string& name = table.schema.name();
+    SDW_ASSIGN_OR_RETURN(TableSchema * live,
+                         cluster_->catalog()->GetTableMutable(name));
+    *live = table.schema;  // undo analyzer-assigned encodings etc.
+    for (const auto& shard : table.shards) {
+      cluster::ComputeNode* node = cluster_->NodeOfSlice(shard.global_slice);
+      auto fresh = std::make_unique<storage::TableShard>(
+          table.schema, cluster_->config().storage, node->store());
+      SDW_RETURN_IF_ERROR(fresh->LoadChains(shard.chains));
+      SDW_RETURN_IF_ERROR(node->ReplaceShard(
+          cluster_->LocalSlice(shard.global_slice), name, std::move(fresh)));
+    }
+    TableStats stats;
+    stats.row_count = table.stats_row_count;
+    stats.columns.resize(table.schema.num_columns());
+    cluster_->catalog()->UpdateStats(name, stats);
+  }
+  in_txn_ = false;
+  txn_manifest_ = backup::SnapshotManifest{};
+  return Status::OK();
+}
+
+Result<StatementResult> Warehouse::Execute(const std::string& sql) {
+  SDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  StatementResult result;
+
+  if (auto* txn = std::get_if<sql::TxnStmt>(&stmt)) {
+    switch (txn->kind) {
+      case sql::TxnStmt::Kind::kBegin:
+        SDW_RETURN_IF_ERROR(Begin());
+        result.message = "BEGIN";
+        break;
+      case sql::TxnStmt::Kind::kCommit:
+        SDW_RETURN_IF_ERROR(Commit());
+        result.message = "COMMIT";
+        break;
+      case sql::TxnStmt::Kind::kRollback:
+        SDW_RETURN_IF_ERROR(Rollback());
+        result.message = "ROLLBACK";
+        break;
+    }
+    return result;
+  }
+  if (in_txn_ && (std::holds_alternative<sql::DropTableStmt>(stmt) ||
+                  std::holds_alternative<sql::VacuumStmt>(stmt))) {
+    return Status::NotSupported(
+        "DROP TABLE / VACUUM reclaim blocks eagerly and cannot run inside "
+        "a transaction");
+  }
+
+  if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    SDW_RETURN_IF_ERROR(cluster_->CreateTable(create->schema));
+    result.message = "CREATE TABLE " + create->schema.name();
+    return result;
+  }
+  if (auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
+    SDW_RETURN_IF_ERROR(cluster_->DropTable(drop->table));
+    result.message = "DROP TABLE " + drop->table;
+    return result;
+  }
+  if (auto* copy = std::get_if<sql::CopyStmt>(&stmt)) {
+    load::CopyExecutor executor(cluster_.get(), &s3_, options_.region);
+    load::CopyOptions copy_options;
+    copy_options.format = copy->format == sql::CopyStmt::Format::kCsv
+                              ? load::CopyFormat::kCsv
+                              : load::CopyFormat::kJson;
+    copy_options.compupdate = copy->compupdate;
+    SDW_ASSIGN_OR_RETURN(result.copy_stats,
+                         executor.CopyFromUri(copy->table, copy->source_uri,
+                                              copy_options));
+    result.message = "COPY " + std::to_string(result.copy_stats.rows_loaded) +
+                     " rows into " + copy->table;
+    return result;
+  }
+  if (auto* insert = std::get_if<sql::InsertStmt>(&stmt)) {
+    SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                         cluster_->catalog()->GetTable(insert->table));
+    std::vector<ColumnVector> columns;
+    for (const ColumnDef& col : schema.columns()) {
+      columns.emplace_back(col.type);
+    }
+    for (const Row& row : insert->rows) {
+      if (row.size() != schema.num_columns()) {
+        return Status::InvalidArgument("INSERT arity mismatch");
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        SDW_RETURN_IF_ERROR(columns[c].AppendDatum(row[c]));
+      }
+    }
+    SDW_RETURN_IF_ERROR(cluster_->InsertRows(insert->table, columns));
+    result.message =
+        "INSERT " + std::to_string(insert->rows.size()) + " rows";
+    return result;
+  }
+  if (auto* analyze = std::get_if<sql::AnalyzeStmt>(&stmt)) {
+    SDW_RETURN_IF_ERROR(cluster_->Analyze(analyze->table));
+    result.message = "ANALYZE " + analyze->table;
+    return result;
+  }
+  if (auto* vacuum = std::get_if<sql::VacuumStmt>(&stmt)) {
+    // Each COPY sorts its own run; VACUUM merges the accumulated runs
+    // back into one fully-sorted region per slice.
+    SDW_ASSIGN_OR_RETURN(uint64_t blocks, cluster_->Vacuum(vacuum->table));
+    result.message = "VACUUM " + vacuum->table + " (" +
+                     std::to_string(blocks) + " blocks rewritten)";
+    return result;
+  }
+  auto& select = std::get<sql::SelectStmt>(stmt);
+  plan::Planner planner(cluster_->catalog(), options_.planner);
+  SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery physical,
+                       planner.Plan(select.query));
+  if (select.explain) {
+    result.message = physical.ToString();
+    return result;
+  }
+  cluster::QueryExecutor executor(cluster_.get(), options_.exec);
+  SDW_ASSIGN_OR_RETURN(cluster::QueryResult query_result,
+                       executor.Execute(physical));
+  result.rows = std::move(query_result.rows);
+  result.column_names = std::move(query_result.column_names);
+  result.exec_stats = query_result.stats;
+  result.message = std::to_string(result.rows.num_rows()) + " rows";
+  return result;
+}
+
+Result<backup::BackupManager::BackupStats> Warehouse::Backup(
+    bool user_initiated) {
+  return backups_.Backup(cluster_.get(), user_initiated);
+}
+
+Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
+                                 backup::BackupManager::RestoreStats* stats) {
+  if (in_txn_) {
+    return Status::FailedPrecondition("cannot restore inside a transaction");
+  }
+  SDW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> restored,
+                       backups_.StreamingRestore(snapshot_id, stats));
+  cluster_ = std::move(restored);
+  // Page-faulted blocks arrive as stored (encrypted) bytes; reads must
+  // keep unwrapping them.
+  WireEncryption();
+  return Status::OK();
+}
+
+Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
+  if (in_txn_) {
+    return Status::FailedPrecondition("cannot resize inside a transaction");
+  }
+  cluster::Cluster::ResizeStats stats;
+  // The target must encrypt blocks as the parallel copy lands, so its
+  // stores get the at-rest transforms before any data moves.
+  SDW_ASSIGN_OR_RETURN(
+      std::unique_ptr<cluster::Cluster> target,
+      cluster_->Resize(new_num_nodes, &stats,
+                       [this](cluster::Cluster* fresh) {
+                         WireEncryptionOn(fresh);
+                       }));
+  // Move the SQL endpoint and decommission the source (§3.1).
+  cluster_ = std::move(target);
+  return stats;
+}
+
+}  // namespace sdw::warehouse

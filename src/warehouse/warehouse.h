@@ -1,0 +1,112 @@
+#ifndef SDW_WAREHOUSE_WAREHOUSE_H_
+#define SDW_WAREHOUSE_WAREHOUSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/backup_manager.h"
+#include "backup/s3sim.h"
+#include "cluster/cluster.h"
+#include "cluster/executor.h"
+#include "common/result.h"
+#include "load/copy.h"
+#include "plan/planner.h"
+#include "security/keychain.h"
+#include "sql/parser.h"
+
+namespace sdw::warehouse {
+
+/// Outcome of one SQL statement.
+struct StatementResult {
+  /// Result rows for SELECT; empty otherwise.
+  exec::Batch rows;
+  std::vector<std::string> column_names;
+  cluster::ExecStats exec_stats;
+  /// EXPLAIN output or a human-readable confirmation.
+  std::string message;
+  /// COPY telemetry when the statement was a COPY.
+  load::CopyStats copy_stats;
+
+  /// Renders the rows as an aligned text table (examples/demos).
+  std::string ToTable(size_t max_rows = 20) const;
+};
+
+struct WarehouseOptions {
+  cluster::ClusterConfig cluster;
+  plan::PlannerOptions planner;
+  cluster::ExecOptions exec;
+  std::string region = "us-east-1";
+  std::string cluster_id = "simpledw";
+  /// The §3.2 encryption checkbox: every block is ChaCha20-encrypted at
+  /// rest under a per-block key wrapped by the cluster key wrapped by
+  /// the master key. Backups upload the ciphertext.
+  bool encrypted = false;
+};
+
+/// The customer-facing endpoint: a SQL-speaking, fully-managed
+/// warehouse. Wraps the leader-node pieces (parser, planner, executor)
+/// plus COPY and backup/restore — the "easy to buy, easy to tune, easy
+/// to manage" surface the paper argues for.
+class Warehouse {
+ public:
+  explicit Warehouse(WarehouseOptions options = {});
+
+  /// Executes one SQL statement.
+  Result<StatementResult> Execute(const std::string& sql);
+
+  /// Direct-API access for tooling and benches.
+  cluster::Cluster* data_plane() { return cluster_.get(); }
+  backup::S3* s3() { return &s3_; }
+  backup::BackupManager* backups() { return &backups_; }
+
+  /// Takes a snapshot of the warehouse.
+  Result<backup::BackupManager::BackupStats> Backup(bool user_initiated = false);
+
+  /// Streaming-restores a snapshot and swaps the endpoint onto the
+  /// restored cluster (queries work immediately; blocks page in from
+  /// the object store on demand).
+  Status RestoreInPlace(uint64_t snapshot_id,
+                        backup::BackupManager::RestoreStats* stats = nullptr);
+
+  /// Resizes the data plane: the old cluster copies to a new one and
+  /// the endpoint swaps over (§3.1).
+  Result<cluster::Cluster::ResizeStats> Resize(int new_num_nodes);
+
+  /// Re-wraps every block key under a fresh cluster key (queries keep
+  /// working; no data is touched). Only valid when encrypted.
+  Status RotateKeys();
+
+  /// Single-session transactions (§2.1: the leader "coordinates
+  /// serialization and state of transactions"). BEGIN captures an
+  /// in-memory manifest of every block chain; ROLLBACK swaps the chains
+  /// back (blocks are immutable, so pre-transaction blocks are still on
+  /// the device). DROP TABLE / VACUUM / resize are rejected inside a
+  /// transaction because they reclaim blocks eagerly.
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return in_txn_; }
+
+  /// Key hierarchy (null when not encrypted).
+  security::KeyHierarchy* keys() { return keys_.get(); }
+
+ private:
+  /// Installs the encrypt/decrypt transforms on every node store of the
+  /// current cluster (called at creation, after resize and restore).
+  void WireEncryption();
+  void WireEncryptionOn(cluster::Cluster* target);
+
+  WarehouseOptions options_;
+  std::unique_ptr<security::ServiceKeyProvider> master_provider_;
+  std::unique_ptr<security::KeyHierarchy> keys_;
+  bool in_txn_ = false;
+  backup::SnapshotManifest txn_manifest_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  backup::S3 s3_;
+  backup::BackupManager backups_;
+};
+
+}  // namespace sdw::warehouse
+
+#endif  // SDW_WAREHOUSE_WAREHOUSE_H_

@@ -1,0 +1,132 @@
+#include "zorder/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sdw::zorder {
+
+uint64_t Interleave(const std::vector<uint32_t>& coords) {
+  const size_t ndims = coords.size();
+  SDW_CHECK(ndims >= 1 && ndims <= 8) << "z-order supports 1..8 dims";
+  const int bits = BitsPerDim(ndims);
+  uint64_t key = 0;
+  for (int j = 0; j < bits; ++j) {
+    for (size_t d = 0; d < ndims; ++d) {
+      uint64_t bit = (coords[d] >> j) & 1u;
+      key |= bit << (static_cast<size_t>(j) * ndims + d);
+    }
+  }
+  return key;
+}
+
+std::vector<uint32_t> Deinterleave(uint64_t key, size_t ndims) {
+  SDW_CHECK(ndims >= 1 && ndims <= 8);
+  const int bits = BitsPerDim(ndims);
+  std::vector<uint32_t> coords(ndims, 0);
+  for (int j = 0; j < bits; ++j) {
+    for (size_t d = 0; d < ndims; ++d) {
+      uint32_t bit =
+          static_cast<uint32_t>((key >> (static_cast<size_t>(j) * ndims + d)) & 1u);
+      coords[d] |= bit << j;
+    }
+  }
+  return coords;
+}
+
+ZOrderMapper::ZOrderMapper(std::vector<Dimension> dims)
+    : dims_(std::move(dims)), bits_per_dim_(BitsPerDim(dims_.size())) {}
+
+Result<ZOrderMapper> ZOrderMapper::Create(std::vector<Dimension> dims) {
+  if (dims.empty() || dims.size() > 8) {
+    return Status::InvalidArgument("z-order mapper needs 1..8 dimensions");
+  }
+  return ZOrderMapper(std::move(dims));
+}
+
+uint32_t ZOrderMapper::MapValue(size_t d, const Datum& value) const {
+  SDW_DCHECK(d < dims_.size());
+  const Dimension& dim = dims_[d];
+  const uint64_t max_coord =
+      bits_per_dim_ >= 32 ? 0xffffffffull : ((1ull << bits_per_dim_) - 1);
+  if (value.is_null()) return 0;  // NULLs sort first on every dimension
+  if (dim.type == TypeId::kString) {
+    // Big-endian ordinal of the first 4 bytes preserves lexicographic
+    // order at 4-byte granularity.
+    const std::string& s = value.string_value();
+    uint32_t ordinal = 0;
+    for (int b = 0; b < 4; ++b) {
+      ordinal = (ordinal << 8) |
+                (static_cast<size_t>(b) < s.size()
+                     ? static_cast<uint8_t>(s[b])
+                     : 0);
+    }
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(ordinal) * max_coord) >> 32);
+  }
+  double v = value.AsDouble();
+  if (dim.max <= dim.min) return 0;
+  double scaled = (v - dim.min) / (dim.max - dim.min);
+  scaled = std::clamp(scaled, 0.0, 1.0);
+  return static_cast<uint32_t>(scaled * static_cast<double>(max_coord));
+}
+
+uint64_t ZOrderMapper::MapRow(const std::vector<Datum>& values) const {
+  SDW_CHECK(values.size() == dims_.size());
+  std::vector<uint32_t> coords(dims_.size());
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    coords[d] = MapValue(d, values[d]);
+  }
+  return Interleave(coords);
+}
+
+Result<std::vector<uint64_t>> ZOrderMapper::MapColumns(
+    const std::vector<const ColumnVector*>& columns) const {
+  if (columns.size() != dims_.size()) {
+    return Status::InvalidArgument("column count != dimension count");
+  }
+  const size_t n = columns.empty() ? 0 : columns[0]->size();
+  for (const auto* c : columns) {
+    if (c->size() != n) {
+      return Status::InvalidArgument("ragged sort-key columns");
+    }
+  }
+  std::vector<uint64_t> keys(n);
+  std::vector<uint32_t> coords(dims_.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims_.size(); ++d) {
+      coords[d] = MapValue(d, columns[d]->DatumAt(i));
+    }
+    keys[i] = Interleave(coords);
+  }
+  return keys;
+}
+
+Result<ZOrderMapper> BuildMapperFromColumns(
+    const std::vector<const ColumnVector*>& columns) {
+  std::vector<ZOrderMapper::Dimension> dims;
+  for (const auto* c : columns) {
+    ZOrderMapper::Dimension dim;
+    dim.type = c->type();
+    if (c->type() != TypeId::kString) {
+      bool first = true;
+      for (size_t i = 0; i < c->size(); ++i) {
+        if (c->IsNull(i)) continue;
+        double v = c->DatumAt(i).AsDouble();
+        if (first) {
+          dim.min = dim.max = v;
+          first = false;
+        } else {
+          dim.min = std::min(dim.min, v);
+          dim.max = std::max(dim.max, v);
+        }
+      }
+    }
+    dims.push_back(dim);
+  }
+  return ZOrderMapper::Create(std::move(dims));
+}
+
+}  // namespace sdw::zorder

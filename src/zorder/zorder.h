@@ -1,0 +1,74 @@
+#ifndef SDW_ZORDER_ZORDER_H_
+#define SDW_ZORDER_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/result.h"
+
+namespace sdw::zorder {
+
+/// Interleaves the low `bits_per_dim` bits of each coordinate into a
+/// single Morton (z-curve) key: bit j of dimension d lands at position
+/// j * ndims + d. Up to 8 dimensions; bits_per_dim = 64 / ndims.
+uint64_t Interleave(const std::vector<uint32_t>& coords);
+
+/// Inverse of Interleave for `ndims` dimensions.
+std::vector<uint32_t> Deinterleave(uint64_t key, size_t ndims);
+
+/// Number of coordinate bits available per dimension for `ndims`
+/// (coordinates are 32-bit, so capped at 32).
+inline int BitsPerDim(size_t ndims) {
+  if (ndims == 0) return 0;
+  const int bits = static_cast<int>(64 / ndims);
+  return bits > 32 ? 32 : bits;
+}
+
+/// Maps column values onto the z-curve coordinate space. For numeric
+/// columns the [min, max] range observed at build time is scaled
+/// linearly onto [0, 2^bits); strings use their first bytes as a
+/// big-endian ordinal. This is what the paper means by interleaved sort
+/// keys "degrading gracefully": the mapping needs only coarse
+/// per-column ranges, not projections or index maintenance (§3.3).
+class ZOrderMapper {
+ public:
+  /// One dimension's calibration.
+  struct Dimension {
+    TypeId type = TypeId::kInt64;
+    // Numeric calibration (ints and doubles).
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Builds a mapper over the given dimensions; 1..8 dimensions.
+  static Result<ZOrderMapper> Create(std::vector<Dimension> dims);
+
+  size_t num_dims() const { return dims_.size(); }
+  int bits_per_dim() const { return bits_per_dim_; }
+
+  /// Maps one value of dimension d to its z-coordinate.
+  uint32_t MapValue(size_t d, const Datum& value) const;
+
+  /// Computes the z-key for a full row of sort-key values.
+  uint64_t MapRow(const std::vector<Datum>& values) const;
+
+  /// Vectorized keying: one key per row from parallel column vectors.
+  Result<std::vector<uint64_t>> MapColumns(
+      const std::vector<const ColumnVector*>& columns) const;
+
+ private:
+  explicit ZOrderMapper(std::vector<Dimension> dims);
+
+  std::vector<Dimension> dims_;
+  int bits_per_dim_ = 0;
+};
+
+/// Convenience: calibrates dimensions from the min/max of the given
+/// columns and returns the mapper.
+Result<ZOrderMapper> BuildMapperFromColumns(
+    const std::vector<const ColumnVector*>& columns);
+
+}  // namespace sdw::zorder
+
+#endif  // SDW_ZORDER_ZORDER_H_

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/analyzer.h"
+#include "compress/codec.h"
+#include "compress/lz77.h"
+
+namespace sdw::compress {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Data generators for the round-trip property sweep.
+// ---------------------------------------------------------------------------
+
+enum class Shape {
+  kSortedInts,
+  kUniformInts,
+  kSmallInts,
+  kSmallIntsWithOutliers,
+  kConstant,
+  kRuns,
+  kLowCardStrings,
+  kRandomStrings,
+  kWordyText,
+  kDoubles,
+  kWithNulls,
+  kAllNulls,
+  kEmptyStrings,
+};
+
+ColumnVector Generate(Shape shape, TypeId type, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ColumnVector v(type);
+  const std::vector<std::string> kWords = {"the",  "quick", "brown",
+                                           "fox",  "jumps", "over",
+                                           "lazy", "dog",   "warehouse"};
+  for (size_t i = 0; i < n; ++i) {
+    switch (shape) {
+      case Shape::kSortedInts:
+        v.AppendInt(static_cast<int64_t>(i) * 3 + static_cast<int64_t>(rng.Uniform(3)));
+        break;
+      case Shape::kUniformInts:
+        v.AppendInt(static_cast<int64_t>(rng.Next()));
+        break;
+      case Shape::kSmallInts:
+        v.AppendInt(rng.UniformRange(-100, 100));
+        break;
+      case Shape::kSmallIntsWithOutliers:
+        v.AppendInt(rng.Bernoulli(0.02) ? static_cast<int64_t>(rng.Next())
+                                        : rng.UniformRange(-100, 100));
+        break;
+      case Shape::kConstant:
+        if (type == TypeId::kString) {
+          v.AppendString("constant");
+        } else if (type == TypeId::kDouble) {
+          v.AppendDouble(3.25);
+        } else {
+          v.AppendInt(77);
+        }
+        break;
+      case Shape::kRuns:
+        v.AppendInt(static_cast<int64_t>(i / 50));
+        break;
+      case Shape::kLowCardStrings:
+        v.AppendString("region-" + std::to_string(rng.Uniform(8)));
+        break;
+      case Shape::kRandomStrings:
+        v.AppendString(rng.NextString(5 + rng.Uniform(20)));
+        break;
+      case Shape::kWordyText: {
+        std::string s;
+        size_t words = 1 + rng.Uniform(8);
+        for (size_t w = 0; w < words; ++w) {
+          if (w) s += ' ';
+          s += kWords[rng.Uniform(kWords.size())];
+        }
+        v.AppendString(s);
+        break;
+      }
+      case Shape::kDoubles:
+        v.AppendDouble(rng.Normal(100.0, 15.0));
+        break;
+      case Shape::kWithNulls:
+        if (rng.Bernoulli(0.2)) {
+          v.AppendNull();
+        } else if (type == TypeId::kString) {
+          v.AppendString(rng.NextString(6));
+        } else if (type == TypeId::kDouble) {
+          v.AppendDouble(rng.NextDouble());
+        } else {
+          v.AppendInt(rng.UniformRange(0, 1000));
+        }
+        break;
+      case Shape::kAllNulls:
+        v.AppendNull();
+        break;
+      case Shape::kEmptyStrings:
+        v.AppendString(rng.Bernoulli(0.5) ? "" : " leading and  double");
+        break;
+    }
+  }
+  return v;
+}
+
+void ExpectEqualVectors(const ColumnVector& a, const ColumnVector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.type(), b.type());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.IsNull(i), b.IsNull(i)) << "row " << i;
+    if (a.IsNull(i)) continue;
+    ASSERT_EQ(a.DatumAt(i).Compare(b.DatumAt(i)), 0)
+        << "row " << i << ": " << a.DatumAt(i).ToString() << " vs "
+        << b.DatumAt(i).ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized round-trip sweep: every (codec, compatible shape) pair.
+// ---------------------------------------------------------------------------
+
+using RoundTripCase = std::tuple<ColumnEncoding, Shape, TypeId>;
+
+class CodecRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(CodecRoundTripTest, EncodeDecodeIsIdentity) {
+  auto [encoding, shape, type] = GetParam();
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    ColumnVector input = Generate(shape, type, 2000, seed);
+    Bytes encoded;
+    ASSERT_TRUE(EncodeColumn(encoding, input, &encoded).ok());
+    auto decoded = DecodeColumn(encoding, type, encoded);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ExpectEqualVectors(input, *decoded);
+  }
+}
+
+std::vector<RoundTripCase> AllCases() {
+  std::vector<RoundTripCase> cases;
+  struct ShapeType {
+    Shape shape;
+    TypeId type;
+  };
+  const std::vector<ShapeType> int_shapes = {
+      {Shape::kSortedInts, TypeId::kInt64},
+      {Shape::kUniformInts, TypeId::kInt64},
+      {Shape::kSmallInts, TypeId::kInt32},
+      {Shape::kSmallIntsWithOutliers, TypeId::kInt64},
+      {Shape::kConstant, TypeId::kInt64},
+      {Shape::kRuns, TypeId::kDate},
+      {Shape::kWithNulls, TypeId::kInt64},
+      {Shape::kAllNulls, TypeId::kInt64},
+  };
+  const std::vector<ShapeType> string_shapes = {
+      {Shape::kLowCardStrings, TypeId::kString},
+      {Shape::kRandomStrings, TypeId::kString},
+      {Shape::kWordyText, TypeId::kString},
+      {Shape::kConstant, TypeId::kString},
+      {Shape::kWithNulls, TypeId::kString},
+      {Shape::kEmptyStrings, TypeId::kString},
+  };
+  const std::vector<ShapeType> double_shapes = {
+      {Shape::kDoubles, TypeId::kDouble},
+      {Shape::kConstant, TypeId::kDouble},
+      {Shape::kWithNulls, TypeId::kDouble},
+  };
+  auto add = [&](ColumnEncoding e, const std::vector<ShapeType>& shapes) {
+    for (const auto& st : shapes) cases.emplace_back(e, st.shape, st.type);
+  };
+  for (ColumnEncoding e :
+       {ColumnEncoding::kRaw, ColumnEncoding::kRunLength,
+        ColumnEncoding::kBytedict, ColumnEncoding::kLz}) {
+    add(e, int_shapes);
+    add(e, string_shapes);
+    add(e, double_shapes);
+  }
+  for (ColumnEncoding e :
+       {ColumnEncoding::kDelta, ColumnEncoding::kMostly8,
+        ColumnEncoding::kMostly16, ColumnEncoding::kMostly32}) {
+    add(e, int_shapes);
+  }
+  add(ColumnEncoding::kText255, string_shapes);
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<RoundTripCase>& info) {
+  auto [encoding, shape, type] = info.param;
+  return std::string(ColumnEncodingName(encoding)) + "_shape" +
+         std::to_string(static_cast<int>(shape)) + "_type" +
+         std::to_string(static_cast<int>(type));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundTripTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Codec-specific behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, EmptyVectorRoundTrips) {
+  for (ColumnEncoding e :
+       {ColumnEncoding::kRaw, ColumnEncoding::kRunLength,
+        ColumnEncoding::kDelta, ColumnEncoding::kBytedict,
+        ColumnEncoding::kMostly8, ColumnEncoding::kLz}) {
+    ColumnVector empty(TypeId::kInt64);
+    Bytes out;
+    ASSERT_TRUE(EncodeColumn(e, empty, &out).ok());
+    auto decoded = DecodeColumn(e, TypeId::kInt64, out);
+    ASSERT_TRUE(decoded.ok()) << ColumnEncodingName(e);
+    EXPECT_EQ(decoded->size(), 0u);
+  }
+}
+
+TEST(CodecTest, TypeMismatchRejected) {
+  ColumnVector strings(TypeId::kString);
+  strings.AppendString("x");
+  Bytes out;
+  EXPECT_FALSE(EncodeColumn(ColumnEncoding::kDelta, strings, &out).ok());
+  EXPECT_FALSE(EncodeColumn(ColumnEncoding::kMostly8, strings, &out).ok());
+  ColumnVector ints(TypeId::kInt64);
+  ints.AppendInt(1);
+  EXPECT_FALSE(EncodeColumn(ColumnEncoding::kText255, ints, &out).ok());
+}
+
+TEST(CodecTest, AutoHasNoCodec) {
+  EXPECT_EQ(GetCodec(ColumnEncoding::kAuto), nullptr);
+  ColumnVector ints(TypeId::kInt64);
+  ints.AppendInt(1);
+  Bytes out;
+  EXPECT_FALSE(EncodeColumn(ColumnEncoding::kAuto, ints, &out).ok());
+}
+
+TEST(CodecTest, BytedictOverflowUsesEscapes) {
+  // More than 255 distinct values still round-trips.
+  ColumnVector v(TypeId::kString);
+  for (int i = 0; i < 600; ++i) v.AppendString("val-" + std::to_string(i));
+  Bytes out;
+  ASSERT_TRUE(EncodeColumn(ColumnEncoding::kBytedict, v, &out).ok());
+  auto decoded = DecodeColumn(ColumnEncoding::kBytedict, TypeId::kString, out);
+  ASSERT_TRUE(decoded.ok());
+  ExpectEqualVectors(v, *decoded);
+}
+
+TEST(CodecTest, MostlyCodecsHandleExtremes) {
+  ColumnVector v(TypeId::kInt64);
+  v.AppendInt(INT64_MIN);
+  v.AppendInt(INT64_MAX);
+  v.AppendInt(-128);  // == Mostly8's in-band marker
+  v.AppendInt(127);
+  v.AppendInt(0);
+  for (ColumnEncoding e : {ColumnEncoding::kMostly8, ColumnEncoding::kMostly16,
+                           ColumnEncoding::kMostly32}) {
+    Bytes out;
+    ASSERT_TRUE(EncodeColumn(e, v, &out).ok());
+    auto decoded = DecodeColumn(e, TypeId::kInt64, out);
+    ASSERT_TRUE(decoded.ok()) << ColumnEncodingName(e);
+    ExpectEqualVectors(v, *decoded);
+  }
+}
+
+TEST(CodecTest, RunLengthCompressesRuns) {
+  ColumnVector runs = Generate(Shape::kRuns, TypeId::kInt64, 5000, 9);
+  Bytes raw, rle;
+  ASSERT_TRUE(EncodeColumn(ColumnEncoding::kRaw, runs, &raw).ok());
+  ASSERT_TRUE(EncodeColumn(ColumnEncoding::kRunLength, runs, &rle).ok());
+  EXPECT_LT(rle.size() * 10, raw.size());  // >10x on long runs
+}
+
+TEST(CodecTest, DeltaCompressesSorted) {
+  ColumnVector sorted = Generate(Shape::kSortedInts, TypeId::kInt64, 5000, 9);
+  Bytes raw, delta;
+  ASSERT_TRUE(EncodeColumn(ColumnEncoding::kRaw, sorted, &raw).ok());
+  ASSERT_TRUE(EncodeColumn(ColumnEncoding::kDelta, sorted, &delta).ok());
+  EXPECT_LT(delta.size() * 4, raw.size());
+}
+
+TEST(CodecTest, DecodeDetectsTruncation) {
+  ColumnVector v = Generate(Shape::kUniformInts, TypeId::kInt64, 100, 5);
+  for (ColumnEncoding e :
+       {ColumnEncoding::kRaw, ColumnEncoding::kRunLength,
+        ColumnEncoding::kDelta, ColumnEncoding::kBytedict,
+        ColumnEncoding::kMostly16, ColumnEncoding::kLz}) {
+    Bytes out;
+    ASSERT_TRUE(EncodeColumn(e, v, &out).ok());
+    Bytes truncated(out.begin(), out.begin() + out.size() / 2);
+    auto decoded = DecodeColumn(e, TypeId::kInt64, truncated);
+    EXPECT_FALSE(decoded.ok()) << ColumnEncodingName(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LZ77.
+// ---------------------------------------------------------------------------
+
+TEST(Lz77Test, RoundTripRandom) {
+  Rng rng(3);
+  for (size_t size : {0u, 1u, 3u, 100u, 10000u}) {
+    Bytes input(size);
+    for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+    Bytes compressed;
+    Lz77Compress(input, &compressed);
+    auto out = Lz77Decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, input);
+  }
+}
+
+TEST(Lz77Test, CompressesRepetitiveData) {
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) {
+    const char* phrase = "abcdefgh12345678";
+    input.insert(input.end(), phrase, phrase + 16);
+  }
+  Bytes compressed;
+  Lz77Compress(input, &compressed);
+  EXPECT_LT(compressed.size() * 20, input.size());
+  auto out = Lz77Decompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Lz77Test, OverlappingMatches) {
+  // "aaaa..." forces overlapping copy semantics.
+  Bytes input(5000, 'a');
+  Bytes compressed;
+  Lz77Compress(input, &compressed);
+  EXPECT_LT(compressed.size(), 200u);
+  auto out = Lz77Decompress(compressed);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, input);
+}
+
+TEST(Lz77Test, RejectsCorruptStream) {
+  Bytes input(1000, 'x');
+  Bytes compressed;
+  Lz77Compress(input, &compressed);
+  Bytes truncated(compressed.begin(), compressed.begin() + 3);
+  EXPECT_FALSE(Lz77Decompress(truncated).ok());
+  Bytes empty;
+  EXPECT_FALSE(Lz77Decompress(empty).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer: the automatic COMPUPDATE knob must pick sensible encodings.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerTest, ConstantColumnPicksRunLength) {
+  ColumnVector v = Generate(Shape::kConstant, TypeId::kInt64, 4000, 1);
+  auto r = AnalyzeColumn(v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->encoding, ColumnEncoding::kRunLength);
+  EXPECT_GT(r->ratio(), 100.0);
+}
+
+TEST(AnalyzerTest, SortedIntsPickDelta) {
+  ColumnVector v = Generate(Shape::kSortedInts, TypeId::kInt64, 4000, 1);
+  auto r = AnalyzeColumn(v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->encoding, ColumnEncoding::kDelta);
+}
+
+TEST(AnalyzerTest, SmallIntsPickNarrowStorage) {
+  ColumnVector v = Generate(Shape::kSmallInts, TypeId::kInt32, 4000, 1);
+  auto r = AnalyzeColumn(v);
+  ASSERT_TRUE(r.ok());
+  // Mostly8 and bytedict are both reasonable; either must beat raw by ~4x+.
+  EXPECT_GT(r->ratio(), 3.0);
+}
+
+TEST(AnalyzerTest, RandomIntsStayRaw) {
+  ColumnVector v = Generate(Shape::kUniformInts, TypeId::kInt64, 4000, 1);
+  auto r = AnalyzeColumn(v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->encoding, ColumnEncoding::kRaw);
+}
+
+TEST(AnalyzerTest, LowCardinalityStringsPickDictionary) {
+  ColumnVector v = Generate(Shape::kLowCardStrings, TypeId::kString, 4000, 1);
+  auto r = AnalyzeColumn(v);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->encoding == ColumnEncoding::kBytedict ||
+              r->encoding == ColumnEncoding::kText255 ||
+              r->encoding == ColumnEncoding::kLz);
+  EXPECT_GT(r->ratio(), 3.0);
+}
+
+TEST(AnalyzerTest, EmptySampleRejected) {
+  ColumnVector v(TypeId::kInt64);
+  EXPECT_FALSE(AnalyzeColumn(v).ok());
+}
+
+TEST(AnalyzerTest, SampleIsBounded) {
+  // A large column must not blow up analysis: only sample_rows are used.
+  ColumnVector v = Generate(Shape::kSortedInts, TypeId::kInt64, 100000, 1);
+  AnalyzerOptions opts;
+  opts.sample_rows = 512;
+  auto r = AnalyzeColumn(v, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->raw_bytes, 512u * 8 + 16);
+}
+
+TEST(AnalyzerTest, ChosenEncodingAlwaysRoundTrips) {
+  // Property: whatever the analyzer picks must decode to the input.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    for (Shape shape : {Shape::kSortedInts, Shape::kSmallIntsWithOutliers,
+                        Shape::kRuns, Shape::kWithNulls}) {
+      ColumnVector v = Generate(shape, TypeId::kInt64, 3000, seed);
+      auto r = AnalyzeColumn(v);
+      ASSERT_TRUE(r.ok());
+      Bytes out;
+      ASSERT_TRUE(EncodeColumn(r->encoding, v, &out).ok());
+      auto decoded = DecodeColumn(r->encoding, TypeId::kInt64, out);
+      ASSERT_TRUE(decoded.ok());
+      ExpectEqualVectors(v, *decoded);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdw::compress

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "controlplane/control_plane.h"
+
+namespace sdw::controlplane {
+namespace {
+
+TEST(WarmPoolTest, AcquireAndRefill) {
+  sim::Engine engine;
+  WarmPool pool(3, 60.0);
+  EXPECT_EQ(pool.Acquire(2), 2);
+  EXPECT_EQ(pool.available(), 1);
+  EXPECT_EQ(pool.Acquire(5), 1);  // partial grant when drained
+  EXPECT_EQ(pool.available(), 0);
+  pool.Refill(&engine);
+  engine.Run();
+  EXPECT_EQ(pool.available(), 3);  // refilled one at a time to capacity
+}
+
+TEST(WarmPoolTest, Ec2OutageStopsRefillButServes) {
+  sim::Engine engine;
+  WarmPool pool(2, 60.0);
+  pool.set_ec2_available(false);
+  EXPECT_EQ(pool.Acquire(1), 1);  // degrade: pool keeps serving
+  pool.Refill(&engine);
+  engine.Run();
+  EXPECT_EQ(pool.available(), 1);  // no refill during the interruption
+  pool.set_ec2_available(true);
+  pool.Refill(&engine);
+  engine.Run();
+  EXPECT_EQ(pool.available(), 2);
+}
+
+TEST(ControlPlaneTest, ProvisioningIsNodeParallel) {
+  // Cold-provisioning 2 vs 128 nodes should cost the same makespan:
+  // the Figure-2 flatness claim.
+  sim::Engine engine;
+  ControlPlane cp(&engine);
+  OpResult small = cp.ProvisionCluster(2);
+  OpResult large = cp.ProvisionCluster(128);
+  EXPECT_NEAR(small.seconds, large.seconds, 1e-9);
+  EXPECT_GT(small.click_seconds, 0.0);
+}
+
+TEST(ControlPlaneTest, WarmPoolCutsProvisioningTime) {
+  // The paper: preconfigured nodes cut creation from ~15 to ~3 minutes.
+  sim::Engine engine;
+  ControlPlane cold(&engine);
+  OpResult cold_result = cold.ProvisionCluster(4);
+
+  WarmPool pool(16, 60.0);
+  ControlPlane warm(&engine);
+  warm.set_warm_pool(&pool);
+  OpResult warm_result = warm.ProvisionCluster(4);
+  EXPECT_LT(warm_result.seconds * 2, cold_result.seconds);
+  // Cold path lands in the ~15 min regime, warm in the ~3 min regime.
+  EXPECT_GT(cold_result.seconds, 8 * 60);
+  EXPECT_LT(warm_result.seconds, 5 * 60);
+}
+
+TEST(ControlPlaneTest, DrainedWarmPoolFallsBackToCold) {
+  sim::Engine engine;
+  WarmPool pool(2, 1e9);  // effectively no refill
+  ControlPlane cp(&engine);
+  cp.set_warm_pool(&pool);
+  OpResult r = cp.ProvisionCluster(8);  // 2 warm + 6 cold
+  // The cold nodes dominate the makespan.
+  WorkflowTimings timings;
+  EXPECT_GE(r.seconds, timings.provision_cold_node);
+}
+
+TEST(ControlPlaneTest, BackupScalesWithChangedBytesNotClusterSize) {
+  sim::Engine engine;
+  ControlPlane cp(&engine);
+  // Same per-node delta: 2-node and 128-node backups take equal time.
+  OpResult small = cp.Backup(2, 3ull << 30);
+  OpResult large = cp.Backup(128, 3ull << 30);
+  EXPECT_NEAR(small.seconds, large.seconds, 1e-9);
+  // 10x the per-node delta costs ~10x the upload portion (the fixed
+  // initiation overhead is size-independent).
+  OpResult big_delta = cp.Backup(2, 30ull << 30);
+  EXPECT_GT(big_delta.seconds, small.seconds + 60);
+}
+
+TEST(ControlPlaneTest, StreamingRestoreIsNearlyFlat) {
+  sim::Engine engine;
+  ControlPlane cp(&engine);
+  OpResult small = cp.Restore(2);
+  OpResult large = cp.Restore(128);
+  EXPECT_NEAR(small.seconds, large.seconds, 1e-9);
+}
+
+TEST(ControlPlaneTest, ResizeBoundByCopyBandwidth) {
+  sim::Engine engine;
+  WorkflowTimings timings;
+  cluster::CostModel model;
+  ControlPlane cp(&engine, timings, model);
+  const uint64_t bytes = 100ull << 30;  // 100 GiB
+  OpResult up = cp.Resize(2, 16, bytes);
+  OpResult up_big = cp.Resize(16, 32, bytes);
+  // More sender nodes = faster copy.
+  EXPECT_GT(up.seconds, up_big.seconds);
+}
+
+TEST(ControlPlaneTest, PatchRollsBackOnDefect) {
+  sim::Engine engine;
+  ControlPlane cp(&engine);
+  Rng rng(5);
+  OpResult good = cp.Patch(16, 0.0, &rng);
+  EXPECT_FALSE(good.rolled_back);
+  OpResult bad = cp.Patch(16, 1.0, &rng);
+  EXPECT_TRUE(bad.rolled_back);
+  EXPECT_GT(bad.seconds, good.seconds);
+}
+
+TEST(ControlPlaneTest, NodeReplacementPrefersWarmPool) {
+  sim::Engine engine;
+  ControlPlane cold(&engine);
+  OpResult cold_replace = cold.ReplaceNode();
+  WarmPool pool(4, 60.0);
+  ControlPlane warm(&engine);
+  warm.set_warm_pool(&pool);
+  OpResult warm_replace = warm.ReplaceNode();
+  EXPECT_LT(warm_replace.seconds, cold_replace.seconds);
+}
+
+TEST(HostManagerTest, RestartsThenEscalates) {
+  HostManager hm(HostManager::Config{2, 30});
+  EXPECT_TRUE(hm.OnProcessCrash());
+  EXPECT_TRUE(hm.OnProcessCrash());
+  EXPECT_FALSE(hm.OnProcessCrash());  // third in a row escalates
+  EXPECT_EQ(hm.restarts(), 2);
+  EXPECT_EQ(hm.escalations(), 1);
+  // Heartbeats reset the window.
+  EXPECT_TRUE(hm.OnProcessCrash());
+  hm.OnHeartbeat();
+  EXPECT_TRUE(hm.OnProcessCrash());
+  EXPECT_TRUE(hm.OnProcessCrash());
+}
+
+}  // namespace
+}  // namespace sdw::controlplane

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "fleet/fleet.h"
+
+namespace sdw::fleet {
+namespace {
+
+TEST(AnalysisGapTest, GapWidensOverTime) {
+  GrowthConfig config;
+  auto series = AnalysisGapSeries(config);
+  ASSERT_EQ(series.size(), 31u);
+  EXPECT_EQ(series.front().year, 1990);
+  EXPECT_DOUBLE_EQ(series.front().enterprise_data, 1.0);
+  // The gap (dark data fraction) grows monotonically.
+  double prev_ratio = 1.0;
+  for (const auto& point : series) {
+    double ratio = point.warehouse_data / point.enterprise_data;
+    EXPECT_LE(ratio, prev_ratio + 1e-12);
+    prev_ratio = ratio;
+  }
+  // By 2020, the warehouse covers a tiny sliver of enterprise data.
+  EXPECT_LT(prev_ratio, 0.01);
+}
+
+TEST(ReleaseTrainTest, FeaturesAccumulateRoughlyLinearly) {
+  ReleaseTrain::Config config;
+  ReleaseTrain train(config);
+  Rng rng(1);
+  auto summary = train.Run(&rng);
+  ASSERT_EQ(summary.series.size(), 104u);
+  const double total = summary.series.back().cumulative_deployed;
+  // ~1 feature/week over two years (the paper's Figure 4 slope).
+  EXPECT_GT(total, 70);
+  EXPECT_LT(total, 130);
+  // Roughly linear: the halfway point has roughly half the features.
+  const double mid = summary.series[51].cumulative_deployed;
+  EXPECT_NEAR(mid, total / 2, total * 0.25);
+  // Monotone non-decreasing.
+  double prev = 0;
+  for (const auto& w : summary.series) {
+    EXPECT_GE(w.cumulative_deployed, prev);
+    prev = w.cumulative_deployed;
+  }
+}
+
+TEST(ReleaseTrainTest, SlowerCadenceFailsMoreOften) {
+  // §5: reducing the pace to every four weeks "meaningfully increased
+  // the probability of a failed patch". Average over seeds.
+  auto failure_rate = [](int interval_weeks) {
+    double total = 0;
+    for (uint64_t seed = 1; seed <= 30; ++seed) {
+      ReleaseTrain::Config config;
+      config.deploy_interval_weeks = interval_weeks;
+      Rng rng(seed);
+      total += ReleaseTrain(config).Run(&rng).failed_deploy_fraction;
+    }
+    return total / 30;
+  };
+  const double biweekly = failure_rate(2);
+  const double monthly = failure_rate(4);
+  EXPECT_GT(monthly, biweekly * 1.3);
+}
+
+TEST(FleetSimulatorTest, TicketsPerClusterDecline) {
+  FleetSimulator::Config config;
+  FleetSimulator fleet(config);
+  Rng rng(3);
+  auto series = fleet.Run(&rng);
+  ASSERT_EQ(series.size(), 104u);
+  // Fleet grows throughout.
+  EXPECT_GT(series.back().clusters, series.front().clusters * 10);
+  // Tickets/cluster declines strongly (compare first and last quarters).
+  double early = 0, late = 0;
+  for (int w = 0; w < 26; ++w) early += series[w].tickets_per_cluster;
+  for (int w = 78; w < 104; ++w) late += series[w].tickets_per_cluster;
+  EXPECT_LT(late, early / 3);
+}
+
+TEST(FleetSimulatorTest, AbsoluteTicketsTrackBusinessSuccess) {
+  // §5: "operational load roughly correlates to business success" —
+  // total weekly tickets must not collapse even as per-cluster rates do.
+  FleetSimulator::Config config;
+  FleetSimulator fleet(config);
+  Rng rng(7);
+  auto series = fleet.Run(&rng);
+  double early = 0, late = 0;
+  for (int w = 0; w < 13; ++w) early += series[w].tickets;
+  for (int w = 91; w < 104; ++w) late += series[w].tickets;
+  // Late total tickets are within an order of magnitude of early ones
+  // (fleet growth offsets defect extinguishing).
+  EXPECT_GT(late, early / 10);
+}
+
+TEST(FleetSimulatorTest, NoExtinguishingMeansNoImprovement) {
+  // Ablation: without Pareto-driven extinguishing, tickets/cluster
+  // stays roughly flat (or grows with new deploy defects).
+  FleetSimulator::Config with;
+  FleetSimulator::Config without = with;
+  without.extinguished_per_week = 0;
+  Rng rng1(11), rng2(11);
+  auto improved = FleetSimulator(with).Run(&rng1);
+  auto stagnant = FleetSimulator(without).Run(&rng2);
+  double improved_late = 0, stagnant_late = 0;
+  for (int w = 78; w < 104; ++w) {
+    improved_late += improved[w].tickets_per_cluster;
+    stagnant_late += stagnant[w].tickets_per_cluster;
+  }
+  EXPECT_LT(improved_late, stagnant_late / 2);
+}
+
+TEST(FleetSimulatorTest, DeterministicForSeed) {
+  FleetSimulator::Config config;
+  Rng a(5), b(5);
+  auto s1 = FleetSimulator(config).Run(&a);
+  auto s2 = FleetSimulator(config).Run(&b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(s1[i].tickets, s2[i].tickets);
+  }
+}
+
+}  // namespace
+}  // namespace sdw::fleet

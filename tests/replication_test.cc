@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "replication/replication.h"
+
+namespace sdw::replication {
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void MakeNodes(int n) {
+    owned_.clear();
+    stores_.clear();
+    for (int i = 0; i < n; ++i) {
+      owned_.push_back(std::make_unique<storage::BlockStore>());
+      stores_.push_back(owned_.back().get());
+    }
+  }
+
+  std::vector<std::unique_ptr<storage::BlockStore>> owned_;
+  std::vector<storage::BlockStore*> stores_;
+};
+
+Bytes Payload(int i) { return Bytes(100, static_cast<uint8_t>(i)); }
+
+TEST_F(ReplicationTest, WritesLandOnTwoNodes) {
+  MakeNodes(4);
+  ReplicationManager mgr(stores_, {2});
+  auto id = mgr.Write(0, Payload(1));
+  ASSERT_TRUE(id.ok());
+  auto placement = mgr.GetPlacement(*id);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->primary, 0);
+  EXPECT_NE(placement->secondary, 0);
+  EXPECT_EQ(mgr.ReplicaCount(*id), 2);
+  // Both copies really exist.
+  EXPECT_TRUE(stores_[placement->primary]->Contains(*id));
+  EXPECT_TRUE(stores_[placement->secondary]->Contains(*id));
+}
+
+TEST_F(ReplicationTest, SecondaryStaysInsideCohort) {
+  MakeNodes(8);
+  ReplicationManager mgr(stores_, {4});
+  for (int i = 0; i < 100; ++i) {
+    const int primary = i % 8;
+    auto id = mgr.Write(primary, Payload(i));
+    ASSERT_TRUE(id.ok());
+    auto placement = mgr.GetPlacement(*id);
+    EXPECT_EQ(mgr.CohortOf(placement->primary),
+              mgr.CohortOf(placement->secondary))
+        << "secondary escaped its cohort";
+  }
+}
+
+TEST_F(ReplicationTest, ReadMasksPrimaryFailure) {
+  MakeNodes(4);
+  ReplicationManager mgr(stores_, {2});
+  auto id = mgr.Write(1, Payload(7));
+  ASSERT_TRUE(id.ok());
+  mgr.FailNode(1);
+  auto read = mgr.Read(*id);
+  ASSERT_TRUE(read.ok()) << "secondary should mask the failure";
+  EXPECT_EQ(*read, Payload(7));
+  EXPECT_EQ(mgr.ReplicaCount(*id), 1);
+}
+
+TEST_F(ReplicationTest, ReadMasksCorruptPrimary) {
+  MakeNodes(2);
+  ReplicationManager mgr(stores_, {2});
+  auto id = mgr.Write(0, Payload(9));
+  ASSERT_TRUE(id.ok());
+  stores_[0]->CorruptForTest(*id);
+  auto read = mgr.Read(*id);
+  ASSERT_TRUE(read.ok()) << "checksum failure should fall through";
+  EXPECT_EQ(*read, Payload(9));
+}
+
+TEST_F(ReplicationTest, DoubleFaultLosesData) {
+  MakeNodes(2);
+  ReplicationManager mgr(stores_, {2});
+  auto id = mgr.Write(0, Payload(3));
+  ASSERT_TRUE(id.ok());
+  mgr.FailNode(0);
+  mgr.FailNode(1);
+  EXPECT_EQ(mgr.Read(*id).status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(mgr.IsReadable(*id));
+}
+
+TEST_F(ReplicationTest, ReReplicationRestoresRedundancy) {
+  MakeNodes(4);
+  ReplicationManager mgr(stores_, {4});
+  std::vector<storage::BlockId> ids;
+  for (int i = 0; i < 50; ++i) {
+    auto id = mgr.Write(i % 4, Payload(i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  mgr.FailNode(2);
+  int degraded = 0;
+  for (auto id : ids) {
+    if (mgr.ReplicaCount(id) == 1) ++degraded;
+  }
+  EXPECT_GT(degraded, 0);
+  auto restored = mgr.ReReplicate();
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, degraded);
+  for (auto id : ids) {
+    EXPECT_EQ(mgr.ReplicaCount(id), 2) << "block " << id;
+    auto read = mgr.Read(id);
+    ASSERT_TRUE(read.ok());
+  }
+}
+
+TEST_F(ReplicationTest, ReReplicateIsIdempotent) {
+  MakeNodes(4);
+  ReplicationManager mgr(stores_, {4});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(mgr.Write(i % 4, Payload(i)).ok());
+  }
+  mgr.FailNode(0);
+  ASSERT_TRUE(mgr.ReReplicate().ok());
+  auto second = mgr.ReReplicate();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 0);
+}
+
+TEST_F(ReplicationTest, CohortSizeBoundsBlastRadius) {
+  // With cohort_size=2 a node failure touches exactly 1 other node;
+  // with cohort_size=8 it can touch up to 7.
+  for (int cohort_size : {2, 4, 8}) {
+    MakeNodes(8);
+    ReplicationManager mgr(stores_, {cohort_size}, 7);
+    for (int i = 0; i < 400; ++i) {
+      ASSERT_TRUE(mgr.Write(i % 8, Payload(i)).ok());
+    }
+    auto radius = mgr.BlastRadius(0);
+    EXPECT_LE(static_cast<int>(radius.size()), cohort_size - 1)
+        << "cohort " << cohort_size;
+    if (cohort_size > 2) {
+      EXPECT_GT(static_cast<int>(radius.size()), 1);
+    }
+  }
+}
+
+TEST_F(ReplicationTest, WriteToFailedPrimaryRejected) {
+  MakeNodes(2);
+  ReplicationManager mgr(stores_, {2});
+  mgr.FailNode(0);
+  EXPECT_EQ(mgr.Write(0, Payload(1)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_FALSE(mgr.Write(-1, Payload(1)).ok());
+  EXPECT_FALSE(mgr.Write(9, Payload(1)).ok());
+}
+
+TEST_F(ReplicationTest, OddNodeCountFallsBackOffNode) {
+  MakeNodes(3);
+  ReplicationManager mgr(stores_, {2});
+  // Node 2 is a singleton cohort; its secondary must still be off-node.
+  auto id = mgr.Write(2, Payload(5));
+  ASSERT_TRUE(id.ok());
+  auto placement = mgr.GetPlacement(*id);
+  EXPECT_NE(placement->secondary, 2);
+}
+
+}  // namespace
+}  // namespace sdw::replication

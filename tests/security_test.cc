@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "security/chacha20.h"
+#include "security/keychain.h"
+
+namespace sdw::security {
+namespace {
+
+TEST(ChaCha20Test, Rfc8439KnownAnswer) {
+  // RFC 8439 §2.3.2 test vector.
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  Nonce96 nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = ChaCha20Block(key, nonce, 1);
+  // Verified against an independent RFC 8439 implementation.
+  const uint8_t expected_head[16] = {0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b,
+                                     0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f,
+                                     0xa3, 0x20, 0x71, 0xc4};
+  const uint8_t expected_tail[8] = {0xcb, 0xd0, 0x83, 0xe8,
+                                    0xa2, 0x50, 0x3c, 0x4e};
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(block[i], expected_head[i]);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(block[56 + i], expected_tail[i]);
+}
+
+TEST(ChaCha20Test, XorRoundTrips) {
+  Rng rng(1);
+  Key256 key;
+  for (auto& b : key) b = static_cast<uint8_t>(rng.Next());
+  Nonce96 nonce{};
+  for (size_t size : {0u, 1u, 63u, 64u, 65u, 1000u}) {
+    Bytes data(size);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    Bytes original = data;
+    ChaCha20Xor(key, nonce, 0, &data);
+    if (size > 8) EXPECT_NE(data, original);
+    ChaCha20Xor(key, nonce, 0, &data);
+    EXPECT_EQ(data, original);
+  }
+}
+
+TEST(ChaCha20Test, DifferentNoncesDiverge) {
+  Key256 key{};
+  Nonce96 n1{};
+  Nonce96 n2{};
+  n2[0] = 1;
+  Bytes a(64, 0);
+  Bytes b(64, 0);
+  ChaCha20Xor(key, n1, 0, &a);
+  ChaCha20Xor(key, n2, 0, &b);
+  EXPECT_NE(a, b);
+}
+
+TEST(KeychainTest, EncryptDecryptRoundTrip) {
+  ServiceKeyProvider provider(11);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  Bytes plaintext(500, 0xab);
+  auto encrypted = hierarchy->EncryptBlock(1, plaintext);
+  ASSERT_TRUE(encrypted.ok());
+  EXPECT_NE(*encrypted, plaintext);
+  auto decrypted = hierarchy->DecryptBlock(1, *encrypted);
+  ASSERT_TRUE(decrypted.ok());
+  EXPECT_EQ(*decrypted, plaintext);
+}
+
+TEST(KeychainTest, BlockKeysAreDistinct) {
+  // The same plaintext encrypts differently per block, blocking
+  // block-to-block injection (§3.2).
+  ServiceKeyProvider provider(11);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  Bytes plaintext(100, 0x55);
+  auto c1 = hierarchy->EncryptBlock(1, plaintext);
+  auto c2 = hierarchy->EncryptBlock(2, plaintext);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+  // Swapping ciphertexts across blocks fails to produce the plaintext.
+  auto cross = hierarchy->DecryptBlock(1, *c2);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_NE(*cross, plaintext);
+}
+
+TEST(KeychainTest, DuplicateBlockKeyRejected) {
+  ServiceKeyProvider provider(11);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  ASSERT_TRUE(hierarchy->EncryptBlock(1, Bytes(10)).ok());
+  EXPECT_EQ(hierarchy->EncryptBlock(1, Bytes(10)).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(hierarchy->DecryptBlock(99, Bytes(10)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(KeychainTest, ClusterKeyRotationPreservesData) {
+  ServiceKeyProvider provider(11);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  std::vector<Bytes> ciphertexts;
+  Bytes plaintext(200, 0x33);
+  for (storage::BlockId id = 1; id <= 50; ++id) {
+    auto c = hierarchy->EncryptBlock(id, plaintext);
+    ASSERT_TRUE(c.ok());
+    ciphertexts.push_back(*c);
+  }
+  const uint64_t before = hierarchy->rewrap_operations();
+  ASSERT_TRUE(hierarchy->RotateClusterKey().ok());
+  // Rotation rewraps keys only: 50 block keys + 1 cluster key.
+  EXPECT_EQ(hierarchy->rewrap_operations() - before, 51u);
+  // Old ciphertexts still decrypt (data untouched).
+  for (storage::BlockId id = 1; id <= 50; ++id) {
+    auto d = hierarchy->DecryptBlock(id, ciphertexts[id - 1]);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(*d, plaintext);
+  }
+}
+
+TEST(KeychainTest, MasterKeyRotationAcrossProviders) {
+  ServiceKeyProvider old_provider(11);
+  HsmKeyProvider new_provider(99);
+  auto hierarchy = KeyHierarchy::Create(&old_provider);
+  ASSERT_TRUE(hierarchy.ok());
+  Bytes plaintext(64, 0x77);
+  auto c = hierarchy->EncryptBlock(5, plaintext);
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(hierarchy->RotateMasterKey(&new_provider).ok());
+  auto d = hierarchy->DecryptBlock(5, *c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, plaintext);
+}
+
+TEST(KeychainTest, HsmOutageBlocksDecryption) {
+  HsmKeyProvider provider(42);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  auto c = hierarchy->EncryptBlock(1, Bytes(32, 1));
+  ASSERT_TRUE(c.ok());
+  provider.set_available(false);
+  EXPECT_EQ(hierarchy->DecryptBlock(1, *c).status().code(),
+            StatusCode::kUnavailable);
+  provider.set_available(true);
+  EXPECT_TRUE(hierarchy->DecryptBlock(1, *c).ok());
+}
+
+TEST(KeychainTest, RepudiationIsPermanent) {
+  ServiceKeyProvider provider(11);
+  auto hierarchy = KeyHierarchy::Create(&provider);
+  ASSERT_TRUE(hierarchy.ok());
+  auto c = hierarchy->EncryptBlock(1, Bytes(32, 1));
+  ASSERT_TRUE(c.ok());
+  hierarchy->Repudiate();
+  EXPECT_EQ(hierarchy->DecryptBlock(1, *c).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(hierarchy->EncryptBlock(2, Bytes(8)).ok());
+}
+
+}  // namespace
+}  // namespace sdw::security

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "warehouse/warehouse.h"
+
+namespace sdw::warehouse {
+namespace {
+
+WarehouseOptions SmallOptions() {
+  WarehouseOptions options;
+  options.cluster.num_nodes = 2;
+  options.cluster.slices_per_node = 2;
+  options.cluster.storage.max_rows_per_block = 256;
+  return options;
+}
+
+class WarehouseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { wh_ = std::make_unique<Warehouse>(SmallOptions()); }
+
+  StatementResult MustRun(const std::string& sql) {
+    auto r = wh_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(*r) : StatementResult{};
+  }
+
+  std::unique_ptr<Warehouse> wh_;
+};
+
+TEST_F(WarehouseTest, EndToEndSqlSession) {
+  MustRun(
+      "CREATE TABLE sales (day BIGINT, store BIGINT, amount DOUBLE "
+      "PRECISION) DISTKEY(store) SORTKEY(day)");
+  MustRun(
+      "CREATE TABLE stores (id BIGINT, city VARCHAR) DISTSTYLE ALL");
+  MustRun("INSERT INTO stores VALUES (1, 'seattle'), (2, 'portland')");
+  // Load sales through INSERT.
+  std::string insert = "INSERT INTO sales VALUES ";
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(i % 30) + ", " +
+              std::to_string(1 + (i % 2)) + ", " +
+              std::to_string(1.0 + rng.NextDouble()) + ")";
+  }
+  MustRun(insert);
+  MustRun("ANALYZE sales");
+
+  auto result = MustRun(
+      "SELECT city, COUNT(*) AS n, AVG(amount) AS avg_amount "
+      "FROM sales JOIN stores ON sales.store = stores.id "
+      "WHERE day >= 10 GROUP BY city ORDER BY city");
+  ASSERT_EQ(result.rows.num_rows(), 2u);
+  EXPECT_EQ(result.column_names,
+            (std::vector<std::string>{"city", "n", "avg_amount"}));
+  EXPECT_EQ(result.rows.columns[0].StringAt(0), "portland");
+  EXPECT_EQ(result.rows.columns[0].StringAt(1), "seattle");
+  // 300 rows, day >= 10 keeps 2/3, split evenly by store.
+  EXPECT_EQ(result.rows.columns[1].IntAt(0) + result.rows.columns[1].IntAt(1),
+            200);
+  EXPECT_GT(result.rows.columns[2].DoubleAt(0), 1.0);
+}
+
+TEST_F(WarehouseTest, ExplainShowsStrategy) {
+  MustRun("CREATE TABLE f (k BIGINT, v BIGINT) DISTKEY(k)");
+  MustRun("CREATE TABLE d (id BIGINT, name VARCHAR) DISTKEY(id)");
+  auto result = MustRun(
+      "EXPLAIN SELECT name, COUNT(*) FROM f JOIN d ON f.k = d.id GROUP BY "
+      "name");
+  EXPECT_NE(result.message.find("CO-LOCATED"), std::string::npos);
+  EXPECT_NE(result.message.find("Final HashAggregate"), std::string::npos);
+}
+
+TEST_F(WarehouseTest, CopyFromObjectStore) {
+  MustRun("CREATE TABLE logs (ts BIGINT, path VARCHAR) SORTKEY(ts)");
+  std::string csv;
+  for (int i = 0; i < 1000; ++i) {
+    csv += std::to_string(i) + ",/page" + std::to_string(i % 7) + "\n";
+  }
+  ASSERT_TRUE(wh_->s3()
+                  ->region("us-east-1")
+                  ->PutObject("bkt/logs/part-0", Bytes(csv.begin(), csv.end()))
+                  .ok());
+  auto result = MustRun("COPY logs FROM 's3://bkt/logs/' FORMAT CSV");
+  EXPECT_EQ(result.copy_stats.rows_loaded, 1000u);
+  auto count = MustRun("SELECT COUNT(*) AS n FROM logs");
+  EXPECT_EQ(count.rows.columns[0].IntAt(0), 1000);
+}
+
+TEST_F(WarehouseTest, BackupRestoreRoundTrip) {
+  MustRun("CREATE TABLE t (a BIGINT, b VARCHAR)");
+  MustRun("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')");
+  auto backup = wh_->Backup(/*user_initiated=*/true);
+  ASSERT_TRUE(backup.ok()) << backup.status();
+  // Mutate after the snapshot.
+  MustRun("INSERT INTO t VALUES (4, 'w')");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            4);
+  // Restore rolls back to snapshot state.
+  backup::BackupManager::RestoreStats stats;
+  ASSERT_TRUE(wh_->RestoreInPlace(backup->snapshot_id, &stats).ok());
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            3);
+}
+
+TEST_F(WarehouseTest, ResizeKeepsServing) {
+  MustRun("CREATE TABLE t (a BIGINT)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3), (4), (5)");
+  auto stats = wh_->Resize(4);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(wh_->data_plane()->num_nodes(), 4);
+  EXPECT_EQ(MustRun("SELECT SUM(a) AS s FROM t").rows.columns[0].IntAt(0),
+            15);
+  // Writes continue on the new cluster.
+  MustRun("INSERT INTO t VALUES (6)");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            6);
+}
+
+TEST_F(WarehouseTest, BetweenInAndLikePrefix) {
+  MustRun("CREATE TABLE logs (day BIGINT, path VARCHAR, code BIGINT) "
+          "SORTKEY(day)");
+  std::string sql = "INSERT INTO logs VALUES ";
+  for (int i = 0; i < 300; ++i) {
+    if (i) sql += ", ";
+    sql += "(" + std::to_string(i % 30) + ", '/" +
+           (i % 3 == 0 ? std::string("api/v") + std::to_string(i % 5)
+                       : std::string("static/img")) +
+           "', " + std::to_string(200 + 100 * (i % 4)) + ")";
+  }
+  MustRun(sql);
+
+  auto between = MustRun(
+      "SELECT COUNT(*) AS n FROM logs WHERE day BETWEEN 10 AND 19");
+  EXPECT_EQ(between.rows.columns[0].IntAt(0), 100);
+
+  auto in_list = MustRun(
+      "SELECT COUNT(*) AS n FROM logs WHERE code IN (200, 400)");
+  EXPECT_EQ(in_list.rows.columns[0].IntAt(0), 150);
+
+  auto like = MustRun(
+      "SELECT COUNT(*) AS n FROM logs WHERE path LIKE '/api/%'");
+  EXPECT_EQ(like.rows.columns[0].IntAt(0), 100);
+
+  // Combined conjuncts.
+  auto combo = MustRun(
+      "SELECT COUNT(*) AS n FROM logs WHERE day BETWEEN 0 AND 29 AND "
+      "path LIKE '/api/%' AND code IN (200, 300, 400, 500)");
+  EXPECT_EQ(combo.rows.columns[0].IntAt(0), 100);
+
+  // Unsupported LIKE patterns fail with guidance, not wrong answers.
+  auto bad = wh_->Execute("SELECT COUNT(*) FROM logs WHERE path LIKE '%x'");
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotSupported);
+  auto mid = wh_->Execute("SELECT COUNT(*) FROM logs WHERE path LIKE 'a%b'");
+  EXPECT_FALSE(mid.ok());
+}
+
+TEST_F(WarehouseTest, BetweenPrunesBlocks) {
+  MustRun("CREATE TABLE series (ts BIGINT, v BIGINT) SORTKEY(ts)");
+  std::string sql = "INSERT INTO series VALUES (0, 0)";
+  for (int i = 1; i < 4000; ++i) {
+    sql += ", (" + std::to_string(i) + ", " + std::to_string(i % 7) + ")";
+  }
+  MustRun(sql);
+  auto narrow =
+      MustRun("SELECT COUNT(*) AS n FROM series WHERE ts BETWEEN 100 AND 140");
+  EXPECT_EQ(narrow.rows.columns[0].IntAt(0), 41);
+  auto full = MustRun("SELECT COUNT(*) AS n FROM series");
+  EXPECT_LT(narrow.exec_stats.blocks_decoded * 3,
+            full.exec_stats.blocks_decoded)
+      << "BETWEEN must feed the zone maps";
+}
+
+TEST_F(WarehouseTest, VacuumAcceptedAndErrorsPropagate) {
+  MustRun("CREATE TABLE t (a BIGINT)");
+  auto vacuum = wh_->Execute("VACUUM t");
+  ASSERT_TRUE(vacuum.ok());
+  EXPECT_FALSE(wh_->Execute("SELECT a FROM missing").ok());
+  EXPECT_FALSE(wh_->Execute("CREATE TABLE t (a BIGINT)").ok());  // dup
+  EXPECT_FALSE(wh_->Execute("INSERT INTO t VALUES (1, 2)").ok());  // arity
+  EXPECT_FALSE(wh_->Execute("garbage statement").ok());
+}
+
+TEST_F(WarehouseTest, TransactionRollbackUndoesWrites) {
+  MustRun("CREATE TABLE t (a BIGINT) SORTKEY(a)");
+  MustRun("INSERT INTO t VALUES (1), (2), (3)");
+  MustRun("BEGIN");
+  MustRun("INSERT INTO t VALUES (4), (5)");
+  MustRun("CREATE TABLE scratch (x BIGINT)");
+  MustRun("INSERT INTO scratch VALUES (9)");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            5);
+  MustRun("ROLLBACK");
+  // Pre-transaction state restored; the scratch table is gone.
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            3);
+  EXPECT_FALSE(wh_->Execute("SELECT x FROM scratch").ok());
+  EXPECT_EQ(MustRun("SELECT SUM(a) AS s FROM t").rows.columns[0].IntAt(0),
+            6);
+  // Writes after rollback land normally.
+  MustRun("INSERT INTO t VALUES (10)");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            4);
+}
+
+TEST_F(WarehouseTest, TransactionCommitKeepsWrites) {
+  MustRun("CREATE TABLE t (a BIGINT)");
+  MustRun("BEGIN");
+  MustRun("INSERT INTO t VALUES (1), (2)");
+  MustRun("COMMIT");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM t").rows.columns[0].IntAt(0),
+            2);
+}
+
+TEST_F(WarehouseTest, TransactionGuards) {
+  MustRun("CREATE TABLE t (a BIGINT)");
+  // COMMIT/ROLLBACK without BEGIN.
+  EXPECT_EQ(wh_->Execute("COMMIT").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(wh_->Execute("ROLLBACK").status().code(),
+            StatusCode::kFailedPrecondition);
+  MustRun("BEGIN");
+  // Nested BEGIN rejected.
+  EXPECT_EQ(wh_->Execute("BEGIN").status().code(),
+            StatusCode::kFailedPrecondition);
+  // Block-reclaiming ops rejected inside a transaction.
+  EXPECT_EQ(wh_->Execute("DROP TABLE t").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(wh_->Execute("VACUUM t").status().code(),
+            StatusCode::kNotSupported);
+  EXPECT_EQ(wh_->Resize(4).status().code(), StatusCode::kFailedPrecondition);
+  MustRun("COMMIT");
+  // And allowed again afterwards.
+  MustRun("DROP TABLE t");
+}
+
+TEST_F(WarehouseTest, RollbackUndoesCopyAndEncodings) {
+  MustRun("CREATE TABLE logs (ts BIGINT, msg VARCHAR) SORTKEY(ts)");
+  MustRun("BEGIN");
+  std::string csv;
+  for (int i = 0; i < 500; ++i) {
+    csv += std::to_string(i) + ",message-" + std::to_string(i % 5) + "\n";
+  }
+  ASSERT_TRUE(wh_->s3()
+                  ->region("us-east-1")
+                  ->PutObject("bkt/roll/part-0", Bytes(csv.begin(), csv.end()))
+                  .ok());
+  MustRun("COPY logs FROM 's3://bkt/roll/'");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM logs").rows.columns[0].IntAt(0),
+            500);
+  // COPY's analyzer assigned encodings; rollback restores AUTO.
+  EXPECT_NE(wh_->data_plane()->catalog()->GetTable("logs")->column(0).encoding,
+            ColumnEncoding::kAuto);
+  MustRun("ROLLBACK");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM logs").rows.columns[0].IntAt(0),
+            0);
+  EXPECT_EQ(wh_->data_plane()->catalog()->GetTable("logs")->column(0).encoding,
+            ColumnEncoding::kAuto);
+  // The same COPY works again after rollback.
+  MustRun("COPY logs FROM 's3://bkt/roll/'");
+  EXPECT_EQ(MustRun("SELECT COUNT(*) AS n FROM logs").rows.columns[0].IntAt(0),
+            500);
+}
+
+TEST_F(WarehouseTest, ResultTableRendering) {
+  MustRun("CREATE TABLE t (a BIGINT, b VARCHAR)");
+  MustRun("INSERT INTO t VALUES (1, 'hello'), (2, NULL)");
+  auto result = MustRun("SELECT a, b FROM t ORDER BY a");
+  std::string table = result.ToTable();
+  EXPECT_NE(table.find("hello"), std::string::npos);
+  EXPECT_NE(table.find("NULL"), std::string::npos);
+  EXPECT_NE(table.find("(2 rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdw::warehouse

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/wlm.h"
+#include "common/random.h"
+
+namespace sdw::cluster {
+namespace {
+
+WlmConfig Slots(int n, double penalty = 0.0) {
+  WlmConfig config;
+  config.concurrency_slots = n;
+  config.per_slot_memory_penalty = penalty;
+  return config;
+}
+
+TEST(WlmTest, SlotsBoundConcurrency) {
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(2));
+  for (int i = 0; i < 6; ++i) wlm.Submit(10.0);
+  EXPECT_EQ(wlm.running(), 2);
+  EXPECT_EQ(wlm.queued(), 4u);
+  engine.RunUntil(15.0);
+  EXPECT_EQ(wlm.running(), 2);  // next wave admitted
+  engine.Run();
+  EXPECT_EQ(wlm.running(), 0);
+  EXPECT_EQ(wlm.reports().size(), 6u);
+  // Three waves of two: completions at 10, 20, 30.
+  EXPECT_DOUBLE_EQ(wlm.reports().back().finished_at, 30.0);
+}
+
+TEST(WlmTest, FifoAdmission) {
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(1));
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    wlm.Submit(1.0, [&order, i](const WorkloadManager::QueryReport&) {
+      order.push_back(i);
+    });
+  }
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WlmTest, QueueTimeAccounted) {
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(1));
+  wlm.Submit(5.0);
+  wlm.Submit(5.0);
+  engine.Run();
+  EXPECT_DOUBLE_EQ(wlm.reports()[0].queued_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(wlm.reports()[1].queued_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(wlm.reports()[1].exec_seconds, 5.0);
+}
+
+TEST(WlmTest, MemoryPenaltySlowsWideConfigs) {
+  // 10 slots with a 4% per-slot penalty run each query 1.36x slower.
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(10, 0.04));
+  wlm.Submit(10.0);
+  engine.Run();
+  EXPECT_NEAR(wlm.reports()[0].exec_seconds, 13.6, 1e-9);
+}
+
+TEST(WlmTest, TradeoffComponentsAreMonotone) {
+  // The two forces the slot count balances: queue wait falls with more
+  // slots; per-query execution rises with more slots (smaller memory
+  // share). The A11 bench shows the resulting sweet spot on a realistic
+  // arrival mix.
+  auto run = [](int slots) {
+    sim::Engine engine;
+    WorkloadManager wlm(&engine, Slots(slots, 0.04));
+    for (int i = 0; i < 40; ++i) wlm.Submit(1.0);
+    engine.Run();
+    double queue = 0, exec = 0;
+    for (const auto& r : wlm.reports()) {
+      queue += r.queued_seconds;
+      exec += r.exec_seconds;
+    }
+    return std::make_pair(queue / 40, exec / 40);
+  };
+  auto [q1, e1] = run(1);
+  auto [q5, e5] = run(5);
+  auto [q40, e40] = run(40);
+  EXPECT_GT(q1, q5);
+  EXPECT_GT(q5, q40);
+  EXPECT_LT(e1, e5);
+  EXPECT_LT(e5, e40);
+}
+
+TEST(WlmTest, LateSubmissionsAdmitImmediatelyWhenIdle) {
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(2));
+  wlm.Submit(1.0);
+  engine.Run();
+  ASSERT_EQ(wlm.reports().size(), 1u);
+  // Engine idle at t=1; a new query starts right away.
+  wlm.Submit(2.0);
+  engine.Run();
+  EXPECT_DOUBLE_EQ(wlm.reports()[1].queued_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(wlm.reports()[1].finished_at, 3.0);
+}
+
+}  // namespace
+}  // namespace sdw::cluster

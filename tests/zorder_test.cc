@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "zorder/zorder.h"
+
+namespace sdw::zorder {
+namespace {
+
+TEST(InterleaveTest, TwoDimKnownValues) {
+  // Classic Morton pattern: (x=1, y=0) -> 1, (0,1) -> 2, (1,1) -> 3.
+  EXPECT_EQ(Interleave({0, 0}), 0u);
+  EXPECT_EQ(Interleave({1, 0}), 1u);
+  EXPECT_EQ(Interleave({0, 1}), 2u);
+  EXPECT_EQ(Interleave({1, 1}), 3u);
+  EXPECT_EQ(Interleave({2, 0}), 4u);
+  EXPECT_EQ(Interleave({3, 3}), 15u);
+}
+
+TEST(InterleaveTest, RoundTripProperty) {
+  Rng rng(1);
+  for (size_t ndims = 1; ndims <= 8; ++ndims) {
+    const int bits = BitsPerDim(ndims);
+    const uint32_t mask =
+        bits >= 32 ? 0xffffffffu : ((1u << bits) - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint32_t> coords(ndims);
+      for (auto& c : coords) c = static_cast<uint32_t>(rng.Next()) & mask;
+      uint64_t key = Interleave(coords);
+      EXPECT_EQ(Deinterleave(key, ndims), coords);
+    }
+  }
+}
+
+TEST(InterleaveTest, SingleDimIsIdentity) {
+  EXPECT_EQ(Interleave({12345u}), 12345u);
+  EXPECT_EQ(Deinterleave(99999u, 1), (std::vector<uint32_t>{99999u}));
+}
+
+TEST(InterleaveTest, MonotoneAlongEachAxis) {
+  // Fixing all other coordinates, the key grows with any coordinate.
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint32_t x = static_cast<uint32_t>(rng.Uniform(1u << 30));
+    uint32_t y = static_cast<uint32_t>(rng.Uniform(1u << 30));
+    EXPECT_LT(Interleave({x, y}), Interleave({x + 1, y}));
+    EXPECT_LT(Interleave({x, y}), Interleave({x, y + 1}));
+  }
+}
+
+TEST(MapperTest, RejectsBadDimensionCounts) {
+  EXPECT_FALSE(ZOrderMapper::Create({}).ok());
+  std::vector<ZOrderMapper::Dimension> nine(9);
+  EXPECT_FALSE(ZOrderMapper::Create(nine).ok());
+}
+
+TEST(MapperTest, NumericScaling) {
+  auto mapper = ZOrderMapper::Create(
+      {{TypeId::kInt64, 0.0, 100.0}, {TypeId::kInt64, 0.0, 100.0}});
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_EQ(mapper->MapValue(0, Datum::Int64(0)), 0u);
+  uint32_t mid = mapper->MapValue(0, Datum::Int64(50));
+  uint32_t hi = mapper->MapValue(0, Datum::Int64(100));
+  EXPECT_GT(mid, 0u);
+  EXPECT_GT(hi, mid);
+  // Out-of-calibration values clamp instead of wrapping.
+  EXPECT_EQ(mapper->MapValue(0, Datum::Int64(1000)), hi);
+  EXPECT_EQ(mapper->MapValue(0, Datum::Int64(-5)), 0u);
+  // NULLs sort first.
+  EXPECT_EQ(mapper->MapValue(0, Datum::Null()), 0u);
+}
+
+TEST(MapperTest, StringOrdinalPreservesPrefixOrder) {
+  auto mapper =
+      ZOrderMapper::Create({{TypeId::kString, 0, 0}, {TypeId::kInt64, 0, 1}});
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_LT(mapper->MapValue(0, Datum::String("apple")),
+            mapper->MapValue(0, Datum::String("banana")));
+  EXPECT_LT(mapper->MapValue(0, Datum::String("banana")),
+            mapper->MapValue(0, Datum::String("cherry")));
+}
+
+TEST(MapperTest, MapColumnsMatchesMapRow) {
+  ColumnVector a(TypeId::kInt64);
+  ColumnVector b(TypeId::kInt64);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    a.AppendInt(rng.UniformRange(0, 1000));
+    b.AppendInt(rng.UniformRange(0, 1000));
+  }
+  auto mapper = BuildMapperFromColumns({&a, &b});
+  ASSERT_TRUE(mapper.ok());
+  auto keys = mapper->MapColumns({&a, &b});
+  ASSERT_TRUE(keys.ok());
+  ASSERT_EQ(keys->size(), 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ((*keys)[i], mapper->MapRow({a.DatumAt(i), b.DatumAt(i)}));
+  }
+}
+
+TEST(MapperTest, RaggedColumnsRejected) {
+  ColumnVector a(TypeId::kInt64);
+  ColumnVector b(TypeId::kInt64);
+  a.AppendInt(1);
+  auto mapper = ZOrderMapper::Create(
+      {{TypeId::kInt64, 0, 1}, {TypeId::kInt64, 0, 1}});
+  ASSERT_TRUE(mapper.ok());
+  EXPECT_FALSE(mapper->MapColumns({&a, &b}).ok());
+  EXPECT_FALSE(mapper->MapColumns({&a}).ok());
+}
+
+TEST(MapperTest, ZOrderClustersBothDimensions) {
+  // Sort 4096 points of a 64x64 grid by z-key and cut into 64 chunks:
+  // every chunk must span far less than the full range in BOTH
+  // dimensions (that is the multidimensional-clustering property the
+  // paper relies on, vs. a compound sort where the trailing dimension
+  // spans everything).
+  const int kSide = 64;
+  std::vector<std::pair<uint64_t, std::pair<int, int>>> points;
+  auto mapper = ZOrderMapper::Create({{TypeId::kInt64, 0, kSide - 1},
+                                      {TypeId::kInt64, 0, kSide - 1}});
+  ASSERT_TRUE(mapper.ok());
+  for (int x = 0; x < kSide; ++x) {
+    for (int y = 0; y < kSide; ++y) {
+      uint64_t key = mapper->MapRow({Datum::Int64(x), Datum::Int64(y)});
+      points.push_back({key, {x, y}});
+    }
+  }
+  std::sort(points.begin(), points.end());
+  const size_t kChunk = 64;
+  double total_span_x = 0;
+  double total_span_y = 0;
+  for (size_t start = 0; start < points.size(); start += kChunk) {
+    int min_x = kSide, max_x = -1, min_y = kSide, max_y = -1;
+    for (size_t i = start; i < start + kChunk; ++i) {
+      auto [x, y] = points[i].second;
+      min_x = std::min(min_x, x);
+      max_x = std::max(max_x, x);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+    }
+    total_span_x += max_x - min_x;
+    total_span_y += max_y - min_y;
+  }
+  const double chunks = static_cast<double>(points.size()) / kChunk;
+  // Average per-chunk span must be a small fraction of the side in both
+  // dimensions (perfect z-order on a square grid gives ~ side/8).
+  EXPECT_LT(total_span_x / chunks, kSide / 3.0);
+  EXPECT_LT(total_span_y / chunks, kSide / 3.0);
+}
+
+}  // namespace
+}  // namespace sdw::zorder
