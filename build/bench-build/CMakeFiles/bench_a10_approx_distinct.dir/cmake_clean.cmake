@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a10_approx_distinct"
+  "../bench/bench_a10_approx_distinct.pdb"
+  "CMakeFiles/bench_a10_approx_distinct.dir/bench_a10_approx_distinct.cc.o"
+  "CMakeFiles/bench_a10_approx_distinct.dir/bench_a10_approx_distinct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a10_approx_distinct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a11_wlm"
+  "../bench/bench_a11_wlm.pdb"
+  "CMakeFiles/bench_a11_wlm.dir/bench_a11_wlm.cc.o"
+  "CMakeFiles/bench_a11_wlm.dir/bench_a11_wlm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a11_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_compression"
+  "../bench/bench_a1_compression.pdb"
+  "CMakeFiles/bench_a1_compression.dir/bench_a1_compression.cc.o"
+  "CMakeFiles/bench_a1_compression.dir/bench_a1_compression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

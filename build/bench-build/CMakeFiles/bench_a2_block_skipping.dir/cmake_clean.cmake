@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_block_skipping"
+  "../bench/bench_a2_block_skipping.pdb"
+  "CMakeFiles/bench_a2_block_skipping.dir/bench_a2_block_skipping.cc.o"
+  "CMakeFiles/bench_a2_block_skipping.dir/bench_a2_block_skipping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_block_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_zorder"
+  "../bench/bench_a3_zorder.pdb"
+  "CMakeFiles/bench_a3_zorder.dir/bench_a3_zorder.cc.o"
+  "CMakeFiles/bench_a3_zorder.dir/bench_a3_zorder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_distribution"
+  "../bench/bench_a4_distribution.pdb"
+  "CMakeFiles/bench_a4_distribution.dir/bench_a4_distribution.cc.o"
+  "CMakeFiles/bench_a4_distribution.dir/bench_a4_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a5_compilation"
+  "../bench/bench_a5_compilation.pdb"
+  "CMakeFiles/bench_a5_compilation.dir/bench_a5_compilation.cc.o"
+  "CMakeFiles/bench_a5_compilation.dir/bench_a5_compilation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_compilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a6_streaming_restore"
+  "../bench/bench_a6_streaming_restore.pdb"
+  "CMakeFiles/bench_a6_streaming_restore.dir/bench_a6_streaming_restore.cc.o"
+  "CMakeFiles/bench_a6_streaming_restore.dir/bench_a6_streaming_restore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_streaming_restore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

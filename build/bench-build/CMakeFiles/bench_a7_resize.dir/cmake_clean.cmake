@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a7_resize"
+  "../bench/bench_a7_resize.pdb"
+  "CMakeFiles/bench_a7_resize.dir/bench_a7_resize.cc.o"
+  "CMakeFiles/bench_a7_resize.dir/bench_a7_resize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

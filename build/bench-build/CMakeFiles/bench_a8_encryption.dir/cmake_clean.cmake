@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a8_encryption"
+  "../bench/bench_a8_encryption.pdb"
+  "CMakeFiles/bench_a8_encryption.dir/bench_a8_encryption.cc.o"
+  "CMakeFiles/bench_a8_encryption.dir/bench_a8_encryption.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_encryption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

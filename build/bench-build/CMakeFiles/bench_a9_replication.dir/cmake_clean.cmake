@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a9_replication"
+  "../bench/bench_a9_replication.pdb"
+  "CMakeFiles/bench_a9_replication.dir/bench_a9_replication.cc.o"
+  "CMakeFiles/bench_a9_replication.dir/bench_a9_replication.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_analysis_gap"
+  "../bench/bench_f1_analysis_gap.pdb"
+  "CMakeFiles/bench_f1_analysis_gap.dir/bench_f1_analysis_gap.cc.o"
+  "CMakeFiles/bench_f1_analysis_gap.dir/bench_f1_analysis_gap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_analysis_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_admin_ops"
+  "../bench/bench_f2_admin_ops.pdb"
+  "CMakeFiles/bench_f2_admin_ops.dir/bench_f2_admin_ops.cc.o"
+  "CMakeFiles/bench_f2_admin_ops.dir/bench_f2_admin_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_admin_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_architecture"
+  "../bench/bench_f3_architecture.pdb"
+  "CMakeFiles/bench_f3_architecture.dir/bench_f3_architecture.cc.o"
+  "CMakeFiles/bench_f3_architecture.dir/bench_f3_architecture.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f4_feature_velocity"
+  "../bench/bench_f4_feature_velocity.pdb"
+  "CMakeFiles/bench_f4_feature_velocity.dir/bench_f4_feature_velocity.cc.o"
+  "CMakeFiles/bench_f4_feature_velocity.dir/bench_f4_feature_velocity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_feature_velocity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_tickets_per_cluster"
+  "../bench/bench_f5_tickets_per_cluster.pdb"
+  "CMakeFiles/bench_f5_tickets_per_cluster.dir/bench_f5_tickets_per_cluster.cc.o"
+  "CMakeFiles/bench_f5_tickets_per_cluster.dir/bench_f5_tickets_per_cluster.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_tickets_per_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

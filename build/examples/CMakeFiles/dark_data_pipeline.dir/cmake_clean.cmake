@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dark_data_pipeline.dir/dark_data_pipeline.cpp.o"
+  "CMakeFiles/dark_data_pipeline.dir/dark_data_pipeline.cpp.o.d"
+  "dark_data_pipeline"
+  "dark_data_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dark_data_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_console.dir/ops_console.cpp.o"
+  "CMakeFiles/ops_console.dir/ops_console.cpp.o.d"
+  "ops_console"
+  "ops_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/sdw_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/sdw_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/sdw_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/sdw_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/security/CMakeFiles/sdw_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sdw_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/sdw_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/sdw_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sdw_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zorder/CMakeFiles/sdw_zorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sdw_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sdw_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("catalog")
+subdirs("compress")
+subdirs("zorder")
+subdirs("storage")
+subdirs("exec")
+subdirs("plan")
+subdirs("cluster")
+subdirs("replication")
+subdirs("backup")
+subdirs("security")
+subdirs("controlplane")
+subdirs("fleet")
+subdirs("sql")
+subdirs("load")
+subdirs("warehouse")

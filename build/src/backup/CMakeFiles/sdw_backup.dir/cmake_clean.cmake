@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_backup.dir/backup_manager.cc.o"
+  "CMakeFiles/sdw_backup.dir/backup_manager.cc.o.d"
+  "CMakeFiles/sdw_backup.dir/manifest.cc.o"
+  "CMakeFiles/sdw_backup.dir/manifest.cc.o.d"
+  "CMakeFiles/sdw_backup.dir/s3sim.cc.o"
+  "CMakeFiles/sdw_backup.dir/s3sim.cc.o.d"
+  "libsdw_backup.a"
+  "libsdw_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_catalog.dir/catalog.cc.o"
+  "CMakeFiles/sdw_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/sdw_catalog.dir/schema.cc.o"
+  "CMakeFiles/sdw_catalog.dir/schema.cc.o.d"
+  "CMakeFiles/sdw_catalog.dir/types.cc.o"
+  "CMakeFiles/sdw_catalog.dir/types.cc.o.d"
+  "libsdw_catalog.a"
+  "libsdw_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

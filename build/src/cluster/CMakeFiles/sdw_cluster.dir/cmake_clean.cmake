@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sdw_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sdw_cluster.dir/executor.cc.o"
+  "CMakeFiles/sdw_cluster.dir/executor.cc.o.d"
+  "CMakeFiles/sdw_cluster.dir/wlm.cc.o"
+  "CMakeFiles/sdw_cluster.dir/wlm.cc.o.d"
+  "libsdw_cluster.a"
+  "libsdw_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

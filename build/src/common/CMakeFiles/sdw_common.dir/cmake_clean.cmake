@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_common.dir/bytes.cc.o"
+  "CMakeFiles/sdw_common.dir/bytes.cc.o.d"
+  "CMakeFiles/sdw_common.dir/hash.cc.o"
+  "CMakeFiles/sdw_common.dir/hash.cc.o.d"
+  "CMakeFiles/sdw_common.dir/logging.cc.o"
+  "CMakeFiles/sdw_common.dir/logging.cc.o.d"
+  "CMakeFiles/sdw_common.dir/random.cc.o"
+  "CMakeFiles/sdw_common.dir/random.cc.o.d"
+  "CMakeFiles/sdw_common.dir/status.cc.o"
+  "CMakeFiles/sdw_common.dir/status.cc.o.d"
+  "CMakeFiles/sdw_common.dir/units.cc.o"
+  "CMakeFiles/sdw_common.dir/units.cc.o.d"
+  "libsdw_common.a"
+  "libsdw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/analyzer.cc" "src/compress/CMakeFiles/sdw_compress.dir/analyzer.cc.o" "gcc" "src/compress/CMakeFiles/sdw_compress.dir/analyzer.cc.o.d"
+  "/root/repo/src/compress/encodings.cc" "src/compress/CMakeFiles/sdw_compress.dir/encodings.cc.o" "gcc" "src/compress/CMakeFiles/sdw_compress.dir/encodings.cc.o.d"
+  "/root/repo/src/compress/lz77.cc" "src/compress/CMakeFiles/sdw_compress.dir/lz77.cc.o" "gcc" "src/compress/CMakeFiles/sdw_compress.dir/lz77.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sdw_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_compress.dir/analyzer.cc.o"
+  "CMakeFiles/sdw_compress.dir/analyzer.cc.o.d"
+  "CMakeFiles/sdw_compress.dir/encodings.cc.o"
+  "CMakeFiles/sdw_compress.dir/encodings.cc.o.d"
+  "CMakeFiles/sdw_compress.dir/lz77.cc.o"
+  "CMakeFiles/sdw_compress.dir/lz77.cc.o.d"
+  "libsdw_compress.a"
+  "libsdw_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/control_plane.cc" "src/controlplane/CMakeFiles/sdw_controlplane.dir/control_plane.cc.o" "gcc" "src/controlplane/CMakeFiles/sdw_controlplane.dir/control_plane.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sdw_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/sdw_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sdw_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sdw_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/zorder/CMakeFiles/sdw_zorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sdw_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_controlplane.dir/control_plane.cc.o"
+  "CMakeFiles/sdw_controlplane.dir/control_plane.cc.o.d"
+  "libsdw_controlplane.a"
+  "libsdw_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

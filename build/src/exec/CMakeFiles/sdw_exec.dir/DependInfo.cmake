@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/sdw_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/sdw_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/hll.cc" "src/exec/CMakeFiles/sdw_exec.dir/hll.cc.o" "gcc" "src/exec/CMakeFiles/sdw_exec.dir/hll.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/exec/CMakeFiles/sdw_exec.dir/operators.cc.o" "gcc" "src/exec/CMakeFiles/sdw_exec.dir/operators.cc.o.d"
+  "/root/repo/src/exec/row_executor.cc" "src/exec/CMakeFiles/sdw_exec.dir/row_executor.cc.o" "gcc" "src/exec/CMakeFiles/sdw_exec.dir/row_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sdw_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sdw_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_exec.dir/expr.cc.o"
+  "CMakeFiles/sdw_exec.dir/expr.cc.o.d"
+  "CMakeFiles/sdw_exec.dir/hll.cc.o"
+  "CMakeFiles/sdw_exec.dir/hll.cc.o.d"
+  "CMakeFiles/sdw_exec.dir/operators.cc.o"
+  "CMakeFiles/sdw_exec.dir/operators.cc.o.d"
+  "CMakeFiles/sdw_exec.dir/row_executor.cc.o"
+  "CMakeFiles/sdw_exec.dir/row_executor.cc.o.d"
+  "libsdw_exec.a"
+  "libsdw_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

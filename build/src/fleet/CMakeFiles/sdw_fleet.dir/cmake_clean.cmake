@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_fleet.dir/fleet.cc.o"
+  "CMakeFiles/sdw_fleet.dir/fleet.cc.o.d"
+  "libsdw_fleet.a"
+  "libsdw_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

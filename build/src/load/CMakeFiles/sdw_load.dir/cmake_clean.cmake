@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_load.dir/copy.cc.o"
+  "CMakeFiles/sdw_load.dir/copy.cc.o.d"
+  "CMakeFiles/sdw_load.dir/formats.cc.o"
+  "CMakeFiles/sdw_load.dir/formats.cc.o.d"
+  "CMakeFiles/sdw_load.dir/infer.cc.o"
+  "CMakeFiles/sdw_load.dir/infer.cc.o.d"
+  "libsdw_load.a"
+  "libsdw_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

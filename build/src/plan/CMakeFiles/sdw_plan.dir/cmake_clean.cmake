@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_plan.dir/physical.cc.o"
+  "CMakeFiles/sdw_plan.dir/physical.cc.o.d"
+  "CMakeFiles/sdw_plan.dir/planner.cc.o"
+  "CMakeFiles/sdw_plan.dir/planner.cc.o.d"
+  "libsdw_plan.a"
+  "libsdw_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_replication.dir/replication.cc.o"
+  "CMakeFiles/sdw_replication.dir/replication.cc.o.d"
+  "libsdw_replication.a"
+  "libsdw_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

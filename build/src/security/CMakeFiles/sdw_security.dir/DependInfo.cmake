@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/chacha20.cc" "src/security/CMakeFiles/sdw_security.dir/chacha20.cc.o" "gcc" "src/security/CMakeFiles/sdw_security.dir/chacha20.cc.o.d"
+  "/root/repo/src/security/keychain.cc" "src/security/CMakeFiles/sdw_security.dir/keychain.cc.o" "gcc" "src/security/CMakeFiles/sdw_security.dir/keychain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sdw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sdw_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sdw_catalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

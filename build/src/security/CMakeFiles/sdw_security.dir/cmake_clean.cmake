@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_security.dir/chacha20.cc.o"
+  "CMakeFiles/sdw_security.dir/chacha20.cc.o.d"
+  "CMakeFiles/sdw_security.dir/keychain.cc.o"
+  "CMakeFiles/sdw_security.dir/keychain.cc.o.d"
+  "libsdw_security.a"
+  "libsdw_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_sim.dir/engine.cc.o"
+  "CMakeFiles/sdw_sim.dir/engine.cc.o.d"
+  "libsdw_sim.a"
+  "libsdw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_sql.dir/lexer.cc.o"
+  "CMakeFiles/sdw_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sdw_sql.dir/parser.cc.o"
+  "CMakeFiles/sdw_sql.dir/parser.cc.o.d"
+  "libsdw_sql.a"
+  "libsdw_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

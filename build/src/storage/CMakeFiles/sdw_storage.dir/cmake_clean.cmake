@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_storage.dir/block_store.cc.o"
+  "CMakeFiles/sdw_storage.dir/block_store.cc.o.d"
+  "CMakeFiles/sdw_storage.dir/table_shard.cc.o"
+  "CMakeFiles/sdw_storage.dir/table_shard.cc.o.d"
+  "libsdw_storage.a"
+  "libsdw_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

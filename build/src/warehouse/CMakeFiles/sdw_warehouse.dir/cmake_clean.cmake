@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/sdw_warehouse.dir/warehouse.cc.o.d"
+  "libsdw_warehouse.a"
+  "libsdw_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

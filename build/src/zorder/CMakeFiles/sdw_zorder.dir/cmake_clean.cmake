@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdw_zorder.dir/zorder.cc.o"
+  "CMakeFiles/sdw_zorder.dir/zorder.cc.o.d"
+  "libsdw_zorder.a"
+  "libsdw_zorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdw_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_warehouse_test.dir/encrypted_warehouse_test.cc.o"
+  "CMakeFiles/encrypted_warehouse_test.dir/encrypted_warehouse_test.cc.o.d"
+  "encrypted_warehouse_test"
+  "encrypted_warehouse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_warehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_test.dir/wlm_test.cc.o"
+  "CMakeFiles/wlm_test.dir/wlm_test.cc.o.d"
+  "wlm_test"
+  "wlm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
