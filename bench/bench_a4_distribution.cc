@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "common/logging.h"
@@ -165,6 +166,49 @@ int main() {
     if (nodes == 8) t8 = result->stats.MaxSliceSeconds();
   }
 
+  // Real slice parallelism: the same workload executed with the pool
+  // disabled (pool_size = 0, the old serial for-loop behavior) vs one
+  // worker per slice. Results must be byte-identical; only wall clock
+  // moves.
+  std::printf("\nReal serial vs parallel wall clock (whole A4 join "
+              "workload, 2x2 cluster):\n\n");
+  const unsigned hw = std::thread::hardware_concurrency();
+  bool identical = true;
+  double serial_s = 0, parallel_s = 0;
+  {
+    Setup setup = Build(2, 2, sdw::DistStyle::kKey, sdw::DistStyle::kKey);
+    std::vector<sdw::plan::PlannerOptions> planner_opts = {
+        {}, {.broadcast_row_threshold = 1}};
+    auto run_workload = [&](int pool_size, uint64_t* row_hash) -> double {
+      sdw::cluster::ExecOptions opts;
+      opts.pool_size = pool_size;
+      QueryExecutor executor(setup.cluster.get(), opts);
+      *row_hash = 0;
+      return benchutil::TimeIt([&] {
+        for (const auto& popts : planner_opts) {
+          sdw::plan::Planner planner(setup.cluster->catalog(), popts);
+          auto physical = planner.Plan(JoinQuery());
+          SDW_CHECK(physical.ok());
+          for (int rep = 0; rep < 3; ++rep) {
+            auto result = executor.Execute(*physical);
+            SDW_CHECK(result.ok()) << result.status();
+            for (size_t r = 0; r < result->rows.num_rows(); ++r) {
+              for (const sdw::Datum& d : result->rows.RowAt(r)) {
+                *row_hash = *row_hash * 1099511628211ull + d.Hash();
+              }
+            }
+          }
+        }
+      });
+    };
+    uint64_t serial_hash = 0, parallel_hash = 0;
+    serial_s = run_workload(0, &serial_hash);
+    parallel_s = run_workload(4, &parallel_hash);
+    identical = serial_hash == parallel_hash;
+    benchutil::RealSpeedup("A4 join workload", serial_s, parallel_s);
+    std::printf("  (host has %u hardware threads)\n", hw);
+  }
+
   std::printf("\n");
   benchutil::Check(colocated_net * 5 < broadcast_net,
                    "co-located join moves >5x less data than broadcast");
@@ -172,5 +216,15 @@ int main() {
                    "co-located join moves >5x less data than shuffle");
   benchutil::Check(t8 * 2 < t1,
                    "8x the slices cut the slowest-slice time >2x");
+  benchutil::Check(identical,
+                   "serial and parallel execution return identical rows");
+  if (hw >= 4) {
+    benchutil::Check(serial_s >= 2.0 * parallel_s,
+                     ">=2x real speedup from slice parallelism (>=4 hw "
+                     "threads)");
+  } else {
+    std::printf("  [SKIP] real-speedup check needs >=4 hardware threads "
+                "(host has %u)\n", hw);
+  }
   return 0;
 }

@@ -28,10 +28,10 @@ using sdw::cluster::QueryExecutor;
 
 constexpr double kCompileSeconds = 2.0;
 
-std::unique_ptr<Cluster> Build(size_t rows) {
+std::unique_ptr<Cluster> Build(size_t rows, int slices = 1) {
   sdw::cluster::ClusterConfig config;
   config.num_nodes = 1;
-  config.slices_per_node = 1;
+  config.slices_per_node = slices;
   config.storage.max_rows_per_block = 16384;
   auto cluster = std::make_unique<Cluster>(config);
   sdw::TableSchema schema("t", {{"grp", sdw::TypeId::kInt64},
@@ -125,6 +125,28 @@ int main() {
     if (rows == 16000000 && with_compile < interpreted_exec) {
       compiled_wins_large = true;
     }
+  }
+
+  // Real slice parallelism on the compiled engine: the same scan on a
+  // 4-slice node with the pool disabled vs one worker per slice.
+  std::printf("\nReal serial vs parallel wall clock (4 slices, 4M rows):\n\n");
+  {
+    auto cluster = Build(4000000, /*slices=*/4);
+    sdw::plan::Planner planner(cluster->catalog());
+    auto physical = planner.Plan(Query());
+    SDW_CHECK(physical.ok());
+    auto run = [&](int pool_size) {
+      sdw::cluster::ExecOptions opts;
+      opts.pool_size = pool_size;
+      QueryExecutor executor(cluster.get(), opts);
+      SDW_CHECK(executor.Execute(*physical).ok());  // warm checksums
+      return benchutil::TimeIt([&] {
+        for (int rep = 0; rep < 3; ++rep) {
+          SDW_CHECK(executor.Execute(*physical).ok());
+        }
+      });
+    };
+    benchutil::RealSpeedup("compiled scan-filter-agg", run(0), run(4));
   }
 
   std::printf("\n");

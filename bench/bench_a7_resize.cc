@@ -89,6 +89,35 @@ int main() {
     if (from == 8 && to == 16) copy_8_to_16 = stats.modeled_seconds;
   }
 
+  // Reads against the (resize-source) cluster use the slice pool too:
+  // measure the same read-back query serially vs in parallel.
+  std::printf("\nReal serial vs parallel wall clock of the read-back query "
+              "(8 nodes x 2 slices):\n\n");
+  {
+    auto cluster = Build(8, kRows);
+    sdw::plan::LogicalQuery q;
+    q.from_table = "t";
+    q.select = {{sdw::plan::LogicalAggFn::kNone, {"", "k"}, ""},
+                {sdw::plan::LogicalAggFn::kCountStar, {}, "n"},
+                {sdw::plan::LogicalAggFn::kSum, {"", "v"}, "s"}};
+    q.group_by = {{"", "k"}};
+    sdw::plan::Planner planner(cluster->catalog());
+    auto physical = planner.Plan(q);
+    SDW_CHECK(physical.ok());
+    auto run = [&](int pool_size) {
+      sdw::cluster::ExecOptions opts;
+      opts.pool_size = pool_size;
+      sdw::cluster::QueryExecutor executor(cluster.get(), opts);
+      SDW_CHECK(executor.Execute(*physical).ok());  // warm checksums
+      return benchutil::TimeIt([&] {
+        for (int rep = 0; rep < 3; ++rep) {
+          SDW_CHECK(executor.Execute(*physical).ok());
+        }
+      });
+    };
+    benchutil::RealSpeedup("read-back group-by", run(0), run(16));
+  }
+
   std::printf("\n");
   benchutil::Check(always_readable,
                    "the source cluster serves reads during every resize");

@@ -33,6 +33,19 @@ inline bool Check(bool ok, const char* what) {
   return ok;
 }
 
+/// Prints measured (not modeled) serial vs parallel wall clock and the
+/// real speedup — the executor's pool_size=0 arm against its pooled
+/// arm. Returns the speedup factor.
+inline double RealSpeedup(const char* what, double serial_seconds,
+                          double parallel_seconds) {
+  const double speedup =
+      parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0;
+  std::printf("  real wall-clock [%s]: serial %.3fs, parallel %.3fs -> "
+              "%.2fx\n",
+              what, serial_seconds, parallel_seconds, speedup);
+  return speedup;
+}
+
 }  // namespace benchutil
 
 #endif  // SDW_BENCH_BENCH_UTIL_H_

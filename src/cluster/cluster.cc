@@ -83,6 +83,13 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     nodes_.push_back(std::make_unique<ComputeNode>(
         n, config.slices_per_node, config.storage));
   }
+  int threads = config.exec_pool_threads;
+  if (threads < 0) {
+    const int hw =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    threads = std::min(total_slices(), hw);
+  }
+  pool_ = std::make_unique<common::ThreadPool>(threads);
 }
 
 Result<storage::TableShard*> Cluster::shard(int global_slice,

@@ -1,6 +1,7 @@
 #ifndef SDW_CLUSTER_CLUSTER_H_
 #define SDW_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "cluster/cost_model.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "storage/block_store.h"
 #include "storage/table_shard.h"
 
@@ -20,6 +22,12 @@ struct ClusterConfig {
   int num_nodes = 2;
   /// One slice per core of the node's processor (§2.1).
   int slices_per_node = 2;
+  /// Worker threads in the shared execution pool that query execution
+  /// and COPY fan slice work out on. -1 sizes it from the topology
+  /// (total slices, capped at the host's hardware threads); 0 disables
+  /// threading entirely — every "parallel" path runs inline, which is
+  /// the serial arm of the bench comparisons.
+  int exec_pool_threads = -1;
   storage::StorageOptions storage;
 };
 
@@ -71,6 +79,10 @@ class Cluster {
   Catalog* catalog() { return &catalog_; }
   const Catalog* catalog() const { return &catalog_; }
   ComputeNode* node(int i) { return nodes_[i].get(); }
+
+  /// The shared slice-execution pool (never null; with
+  /// exec_pool_threads = 0 it has no workers and runs tasks inline).
+  common::ThreadPool* pool() { return pool_.get(); }
 
   /// Maps a global slice index to its (node, local slice).
   ComputeNode* NodeOfSlice(int global_slice) {
@@ -128,9 +140,16 @@ class Cluster {
   void set_read_only(bool ro) { read_only_ = ro; }
 
   /// Interconnect accounting (bytes that crossed node boundaries).
-  void AddNetworkBytes(uint64_t bytes) { network_bytes_ += bytes; }
-  uint64_t network_bytes() const { return network_bytes_; }
-  void ResetNetworkBytes() { network_bytes_ = 0; }
+  /// Atomic: COPY and queries may account from pool workers.
+  void AddNetworkBytes(uint64_t bytes) {
+    network_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  uint64_t network_bytes() const {
+    return network_bytes_.load(std::memory_order_relaxed);
+  }
+  void ResetNetworkBytes() {
+    network_bytes_.store(0, std::memory_order_relaxed);
+  }
 
   /// Total encoded bytes stored across the cluster.
   uint64_t TotalStoredBytes() const;
@@ -143,9 +162,10 @@ class Cluster {
   ClusterConfig config_;
   Catalog catalog_;
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
+  std::unique_ptr<common::ThreadPool> pool_;
   std::map<std::string, uint64_t> round_robin_;
   bool read_only_ = false;
-  uint64_t network_bytes_ = 0;
+  std::atomic<uint64_t> network_bytes_{0};
 };
 
 /// Estimated wire size of a batch's columns (used for network

@@ -50,6 +50,19 @@ Result<int> ScanSliceCount(Cluster* cluster, const std::string& table) {
                                                 : cluster->total_slices();
 }
 
+/// Output types of a scan pipeline, derived from the catalog so shuffle
+/// buckets exist before (and regardless of whether) any batch arrives —
+/// an empty side must still yield correctly-typed empty buckets.
+Result<std::vector<TypeId>> ScanOutputTypes(Cluster* cluster,
+                                            const plan::ScanSpec& spec) {
+  SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                       cluster->catalog()->GetTable(spec.table));
+  std::vector<TypeId> types;
+  types.reserve(spec.columns.size());
+  for (int c : spec.columns) types.push_back(schema.column(c).type);
+  return types;
+}
+
 uint64_t SumBlocksDecoded(Cluster* cluster) {
   uint64_t total = 0;
   for (const std::string& table : cluster->catalog()->TableNames()) {
@@ -90,6 +103,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
   stats->slice_seconds.assign(slices, 0.0);
 
   // --- Pre-passes for join strategies that move data. ---
+  // Each pre-pass fans its per-slice scans out on the pool; every task
+  // writes only its own pre-sized slot (seconds, bytes, partitions) and
+  // the aggregation into stats happens after the join, so Result<>
+  // semantics and accounting are identical to a serial run.
   exec::Batch broadcast_build;
   std::vector<TypeId> build_types;
   std::vector<exec::Batch> probe_buckets;  // kShuffle: per target slice
@@ -102,28 +119,31 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
       // Collect the (filtered) build side from its slices once.
       SDW_ASSIGN_OR_RETURN(int build_slices,
                            ScanSliceCount(cluster_, join.build.table));
-      exec::Batch collected;
-      bool first = true;
+      SDW_ASSIGN_OR_RETURN(build_types,
+                           ScanOutputTypes(cluster_, join.build));
+      std::vector<exec::Batch> parts(build_slices);
+      std::vector<double> part_seconds(build_slices, 0.0);
+      SDW_RETURN_IF_ERROR(pool()->ParallelFor(
+          build_slices, [&](int s) -> Status {
+            auto start = std::chrono::steady_clock::now();
+            SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
+                                 BuildScan(cluster_, s, join.build));
+            SDW_ASSIGN_OR_RETURN(parts[s], exec::Collect(op.get()));
+            part_seconds[s] = Seconds(start);
+            return Status::OK();
+          }));
+      exec::Batch collected = exec::MakeBatch(build_types);
       for (int s = 0; s < build_slices; ++s) {
-        auto start = std::chrono::steady_clock::now();
-        SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                             BuildScan(cluster_, s, join.build));
-        if (first) {
-          collected = exec::MakeBatch(op->OutputTypes());
-          first = false;
-        }
-        SDW_ASSIGN_OR_RETURN(exec::Batch part, exec::Collect(op.get()));
+        stats->slice_seconds[s] += part_seconds[s];
         for (size_t c = 0; c < collected.columns.size(); ++c) {
           SDW_RETURN_IF_ERROR(collected.columns[c].AppendRange(
-              part.columns[c], 0, part.columns[c].size()));
+              parts[s].columns[c], 0, parts[s].columns[c].size()));
         }
-        stats->slice_seconds[s] += Seconds(start);
       }
       // Broadcast: one copy to every other node.
       const uint64_t bytes = EstimateBytes(collected.columns);
       stats->network_bytes +=
           bytes * static_cast<uint64_t>(cluster_->num_nodes() - 1);
-      build_types = collected.Types();
       broadcast_build = std::move(collected);
     } else if (join.strategy == plan::JoinStrategy::kShuffle) {
       // Re-hash both sides on the join key across all slices.
@@ -133,35 +153,63 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                          std::vector<exec::Batch>* buckets) -> Status {
         SDW_ASSIGN_OR_RETURN(int side_slices,
                              ScanSliceCount(cluster_, spec.table));
-        bool types_ready = false;
-        for (int s = 0; s < side_slices; ++s) {
-          auto start = std::chrono::steady_clock::now();
-          SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                               BuildScan(cluster_, s, spec));
-          if (!types_ready) {
-            buckets->clear();
-            for (int t = 0; t < slices; ++t) {
-              buckets->push_back(exec::MakeBatch(op->OutputTypes()));
-            }
-            types_ready = true;
-          }
-          while (true) {
-            SDW_ASSIGN_OR_RETURN(std::optional<exec::Batch> batch, op->Next());
-            if (!batch.has_value()) break;
-            const size_t n = batch->num_rows();
-            for (size_t i = 0; i < n; ++i) {
-              const int target = static_cast<int>(
-                  RowKeyHash(*batch, keys, i) % static_cast<uint64_t>(slices));
-              SDW_RETURN_IF_ERROR(
-                  exec::AppendRow(*batch, i, &(*buckets)[target]));
-              // Cross-node moves hit the interconnect.
-              if (cluster_->NodeOfSlice(target)->node_id() !=
-                  cluster_->NodeOfSlice(s)->node_id()) {
-                stats->network_bytes += 8 * batch->num_columns();
+        SDW_ASSIGN_OR_RETURN(std::vector<TypeId> types,
+                             ScanOutputTypes(cluster_, spec));
+        // local[s][t]: rows slice s routes to target slice t. Allocated
+        // from catalog types up front, so a side that scans zero
+        // batches still produces (empty) buckets for every target.
+        std::vector<std::vector<exec::Batch>> local(side_slices);
+        std::vector<double> secs(side_slices, 0.0);
+        std::vector<uint64_t> net(side_slices, 0);
+        SDW_RETURN_IF_ERROR(pool()->ParallelFor(
+            side_slices, [&](int s) -> Status {
+              auto start = std::chrono::steady_clock::now();
+              SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
+                                   BuildScan(cluster_, s, spec));
+              std::vector<exec::Batch>& mine = local[s];
+              mine.reserve(slices);
+              for (int t = 0; t < slices; ++t) {
+                mine.push_back(exec::MakeBatch(types));
               }
+              while (true) {
+                SDW_ASSIGN_OR_RETURN(std::optional<exec::Batch> batch,
+                                     op->Next());
+                if (!batch.has_value()) break;
+                const size_t n = batch->num_rows();
+                for (size_t i = 0; i < n; ++i) {
+                  const int target = static_cast<int>(
+                      RowKeyHash(*batch, keys, i) %
+                      static_cast<uint64_t>(slices));
+                  SDW_RETURN_IF_ERROR(
+                      exec::AppendRow(*batch, i, &mine[target]));
+                }
+              }
+              // Cross-node moves hit the interconnect: charge the real
+              // wire size of each remote-bound bucket (matches the
+              // EstimateBytes accounting of broadcast/leader paths and
+              // counts varchar payloads, unlike a flat per-row rate).
+              const int src_node = cluster_->NodeOfSlice(s)->node_id();
+              for (int t = 0; t < slices; ++t) {
+                if (cluster_->NodeOfSlice(t)->node_id() != src_node) {
+                  net[s] += EstimateBytes(mine[t].columns);
+                }
+              }
+              secs[s] = Seconds(start);
+              return Status::OK();
+            }));
+        buckets->clear();
+        for (int t = 0; t < slices; ++t) {
+          buckets->push_back(exec::MakeBatch(types));
+        }
+        for (int s = 0; s < side_slices; ++s) {
+          stats->slice_seconds[s] += secs[s];
+          stats->network_bytes += net[s];
+          for (int t = 0; t < slices; ++t) {
+            for (size_t c = 0; c < (*buckets)[t].columns.size(); ++c) {
+              SDW_RETURN_IF_ERROR((*buckets)[t].columns[c].AppendRange(
+                  local[s][t].columns[c], 0, local[s][t].columns[c].size()));
             }
           }
-          stats->slice_seconds[s] += Seconds(start);
         }
         return Status::OK();
       };
@@ -172,50 +220,58 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
     }
   }
 
-  // --- Per-slice pipelines. ---
-  std::vector<exec::Batch> outputs;
+  // --- Per-slice pipelines, one pool task per slice. ---
   const int pipeline_slices = use_buckets ? slices : probe_slices;
-  for (int s = 0; s < pipeline_slices; ++s) {
-    auto start = std::chrono::steady_clock::now();
-    exec::OperatorPtr pipeline;
-    if (use_buckets) {
-      auto probe_types = probe_buckets[s].Types();
-      std::vector<exec::Batch> one;
-      one.push_back(std::move(probe_buckets[s]));
-      exec::OperatorPtr probe = exec::MemoryScan(probe_types, std::move(one));
-      auto bt = build_buckets[s].Types();
-      std::vector<exec::Batch> bone;
-      bone.push_back(std::move(build_buckets[s]));
-      exec::OperatorPtr build = exec::MemoryScan(bt, std::move(bone));
-      pipeline = exec::HashJoin(std::move(probe), std::move(build),
-                                query.join->probe_keys,
-                                query.join->build_keys);
-    } else {
-      SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(cluster_, s, query.scan));
-      if (query.join.has_value()) {
-        const plan::JoinSpec& join = *query.join;
-        exec::OperatorPtr build;
-        if (join.strategy == plan::JoinStrategy::kBroadcastBuild) {
+  std::vector<exec::Batch> outputs(pipeline_slices);
+  std::vector<double> secs(pipeline_slices, 0.0);
+  std::vector<uint64_t> net(pipeline_slices, 0);
+  SDW_RETURN_IF_ERROR(pool()->ParallelFor(
+      pipeline_slices, [&](int s) -> Status {
+        auto start = std::chrono::steady_clock::now();
+        exec::OperatorPtr pipeline;
+        if (use_buckets) {
+          auto probe_types = probe_buckets[s].Types();
           std::vector<exec::Batch> one;
-          one.push_back(CopyBatch(broadcast_build));
-          build = exec::MemoryScan(build_types, std::move(one));
-        } else {  // co-located
-          SDW_ASSIGN_OR_RETURN(build, BuildScan(cluster_, s, join.build));
+          one.push_back(std::move(probe_buckets[s]));
+          exec::OperatorPtr probe =
+              exec::MemoryScan(probe_types, std::move(one));
+          auto bt = build_buckets[s].Types();
+          std::vector<exec::Batch> bone;
+          bone.push_back(std::move(build_buckets[s]));
+          exec::OperatorPtr build = exec::MemoryScan(bt, std::move(bone));
+          pipeline = exec::HashJoin(std::move(probe), std::move(build),
+                                    query.join->probe_keys,
+                                    query.join->build_keys);
+        } else {
+          SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(cluster_, s, query.scan));
+          if (query.join.has_value()) {
+            const plan::JoinSpec& join = *query.join;
+            exec::OperatorPtr build;
+            if (join.strategy == plan::JoinStrategy::kBroadcastBuild) {
+              std::vector<exec::Batch> one;
+              one.push_back(CopyBatch(broadcast_build));
+              build = exec::MemoryScan(build_types, std::move(one));
+            } else {  // co-located
+              SDW_ASSIGN_OR_RETURN(build, BuildScan(cluster_, s, join.build));
+            }
+            pipeline = exec::HashJoin(std::move(pipeline), std::move(build),
+                                      join.probe_keys, join.build_keys);
+          }
         }
-        pipeline = exec::HashJoin(std::move(pipeline), std::move(build),
-                                  join.probe_keys, join.build_keys);
-      }
-    }
-    if (query.agg.has_value()) {
-      pipeline = exec::HashAggregate(std::move(pipeline),
-                                     query.agg->group_by, query.agg->aggs,
-                                     exec::AggMode::kPartial);
-    }
-    SDW_ASSIGN_OR_RETURN(exec::Batch out, exec::Collect(pipeline.get()));
-    stats->slice_seconds[s] += Seconds(start);
-    // Intermediate results stream back to the leader over the network.
-    stats->network_bytes += EstimateBytes(out.columns);
-    outputs.push_back(std::move(out));
+        if (query.agg.has_value()) {
+          pipeline = exec::HashAggregate(std::move(pipeline),
+                                         query.agg->group_by, query.agg->aggs,
+                                         exec::AggMode::kPartial);
+        }
+        SDW_ASSIGN_OR_RETURN(outputs[s], exec::Collect(pipeline.get()));
+        secs[s] = Seconds(start);
+        // Intermediate results stream back to the leader.
+        net[s] = EstimateBytes(outputs[s].columns);
+        return Status::OK();
+      }));
+  for (int s = 0; s < pipeline_slices; ++s) {
+    stats->slice_seconds[s] += secs[s];
+    stats->network_bytes += net[s];
   }
   return outputs;
 }
@@ -270,8 +326,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
     out_types = scan_types;
   }
 
-  std::vector<exec::Batch> outputs;
-  for (int s = 0; s < probe_slices; ++s) {
+  std::vector<exec::Batch> outputs(probe_slices);
+  std::vector<double> secs(probe_slices, 0.0);
+  std::vector<uint64_t> net(probe_slices, 0);
+  SDW_RETURN_IF_ERROR(pool()->ParallelFor(probe_slices, [&](int s) -> Status {
     auto start = std::chrono::steady_clock::now();
     SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
                          cluster_->shard(s, query.scan.table));
@@ -283,11 +341,14 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
       pipe = exec::RowAggregate(std::move(pipe), query.agg->group_by,
                                 query.agg->aggs);
     }
-    SDW_ASSIGN_OR_RETURN(exec::Batch out,
-                         exec::CollectRows(pipe.get(), out_types));
-    stats->slice_seconds[s] += Seconds(start);
-    stats->network_bytes += EstimateBytes(out.columns);
-    outputs.push_back(std::move(out));
+    SDW_ASSIGN_OR_RETURN(outputs[s], exec::CollectRows(pipe.get(), out_types));
+    secs[s] = Seconds(start);
+    net[s] = EstimateBytes(outputs[s].columns);
+    return Status::OK();
+  }));
+  for (int s = 0; s < probe_slices; ++s) {
+    stats->slice_seconds[s] += secs[s];
+    stats->network_bytes += net[s];
   }
   return outputs;
 }

@@ -1,6 +1,7 @@
 #ifndef SDW_CLUSTER_EXECUTOR_H_
 #define SDW_CLUSTER_EXECUTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,12 @@ struct ExecOptions {
   /// (only charged in kCompiled mode). Defaults to 0 so tests measure
   /// pure execution; benches set it from the CostModel.
   double compile_seconds = 0.0;
+  /// Per-slice parallelism: -1 uses the cluster's shared pool (sized
+  /// from topology), 0 forces serial inline execution (the benches'
+  /// baseline arm), >0 gives this executor a private pool of that many
+  /// workers. Serial and parallel runs produce identical results and
+  /// identical blocks_decoded counts.
+  int pool_size = -1;
 };
 
 /// Per-query execution telemetry.
@@ -77,11 +84,20 @@ struct QueryResult {
 class QueryExecutor {
  public:
   explicit QueryExecutor(Cluster* cluster, ExecOptions options = {})
-      : cluster_(cluster), options_(options) {}
+      : cluster_(cluster), options_(options) {
+    if (options_.pool_size >= 0) {
+      own_pool_ = std::make_unique<common::ThreadPool>(options_.pool_size);
+    }
+  }
 
   Result<QueryResult> Execute(const plan::PhysicalQuery& query);
 
  private:
+  /// The pool per-slice work fans out on (serial-inline when sized 0).
+  common::ThreadPool* pool() {
+    return own_pool_ ? own_pool_.get() : cluster_->pool();
+  }
+
   /// Builds the per-slice pipeline output batches for every slice.
   Result<std::vector<exec::Batch>> RunSlices(const plan::PhysicalQuery& query,
                                              ExecStats* stats);
@@ -92,6 +108,7 @@ class QueryExecutor {
 
   Cluster* cluster_;
   ExecOptions options_;
+  std::unique_ptr<common::ThreadPool> own_pool_;
 };
 
 }  // namespace sdw::cluster

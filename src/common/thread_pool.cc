@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+namespace sdw::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
+  if (n <= 0) return Status::OK();
+
+  auto run_one = [&fn](int i) -> Status {
+    try {
+      return fn(i);
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("uncaught exception in pool task: ") +
+                              e.what());
+    } catch (...) {
+      return Status::Internal("uncaught non-exception throw in pool task");
+    }
+  };
+
+  // Serial fallback: no workers, or nothing to fan out.
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) {
+      SDW_RETURN_IF_ERROR(run_one(i));
+    }
+    return Status::OK();
+  }
+
+  // Per-call join state so concurrent ParallelFor callers sharing this
+  // pool only wait for their own tasks.
+  struct JoinState {
+    std::mutex mu;
+    std::condition_variable done;
+    int remaining;
+  };
+  JoinState join{.remaining = n};
+  std::vector<Status> statuses(static_cast<size_t>(n));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < n; ++i) {
+      queue_.push_back([&run_one, &join, &statuses, i] {
+        Status s = run_one(i);
+        std::lock_guard<std::mutex> join_lock(join.mu);
+        statuses[static_cast<size_t>(i)] = std::move(s);
+        if (--join.remaining == 0) join.done.notify_all();
+      });
+    }
+  }
+  work_ready_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.done.wait(lock, [&join] { return join.remaining == 0; });
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace sdw::common

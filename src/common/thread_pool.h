@@ -1,0 +1,57 @@
+#ifndef SDW_COMMON_THREAD_POOL_H_
+#define SDW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sdw::common {
+
+/// A fixed-size work-queue thread pool. Constructed with zero threads it
+/// degenerates to inline (serial) execution, which is the knob the
+/// benches use to compare serial vs parallel wall clock on identical
+/// code paths.
+///
+/// The pool may be shared by many concurrent callers (query execution
+/// and COPY both draw from the cluster's pool): ParallelFor tracks
+/// completion of its own tasks only, so one caller's join never waits
+/// on another caller's work.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; `num_threads <= 0` creates none and
+  /// every task runs inline on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers. Outstanding tasks finish first.
+  ~ThreadPool();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for every i in [0, n), on the workers when the pool has
+  /// any and inline otherwise, and joins before returning. Statuses are
+  /// collected per index and the lowest-index failure is returned, so a
+  /// serial and a parallel run of the same failing workload report the
+  /// same error. Exceptions escaping fn are converted to an Internal
+  /// status rather than terminating the process (the join stays safe).
+  Status ParallelFor(int n, const std::function<Status(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sdw::common
+
+#endif  // SDW_COMMON_THREAD_POOL_H_

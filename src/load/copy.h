@@ -23,6 +23,11 @@ struct CopyOptions {
   /// and optimizer statistics are updated with load", §2.1).
   bool compupdate = true;
   bool statupdate = true;
+  /// Per-file parse parallelism: -1 uses the cluster's shared pool, 0
+  /// parses serially, >0 uses a private pool of that size. Rows are
+  /// distributed (and the analyzer sampled) in file order either way,
+  /// so loads are byte-identical across settings.
+  int pool_size = -1;
 };
 
 struct CopyStats {

@@ -5,57 +5,68 @@
 namespace sdw::storage {
 
 BlockId BlockStore::Allocate() {
-  static uint64_t next_id = 1;
-  return next_id++;
+  static std::atomic<uint64_t> next_id{1};
+  return next_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status BlockStore::Put(BlockId id, Bytes data) {
-  if (blocks_.count(id)) {
-    return Status::AlreadyExists("block " + std::to_string(id) +
-                                 " already stored (blocks are immutable)");
-  }
   if (write_transform_) {
     SDW_ASSIGN_OR_RETURN(data, write_transform_(id, std::move(data)));
   }
   Stored stored;
   stored.crc = Crc32c(data.data(), data.size());
-  total_bytes_ += data.size();
+  const size_t size = data.size();
   stored.data = std::move(data);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (blocks_.count(id)) {
+    return Status::AlreadyExists("block " + std::to_string(id) +
+                                 " already stored (blocks are immutable)");
+  }
+  total_bytes_ += size;
   blocks_[id] = std::move(stored);
   return Status::OK();
 }
 
 Result<Bytes> BlockStore::GetRaw(BlockId id) {
-  ++reads_;
-  auto it = blocks_.find(id);
-  if (it == blocks_.end()) {
-    if (fault_handler_) {
-      ++faults_;
-      auto fetched = fault_handler_(id);
-      if (!fetched.ok()) return fetched.status();
-      Bytes data = std::move(fetched).ValueOrDie();
-      read_bytes_ += data.size();
-      // Page the block back in (stored form) for future reads.
-      Stored stored;
-      stored.crc = Crc32c(data.data(), data.size());
-      total_bytes_ += data.size();
-      stored.data = data;
-      blocks_[id] = std::move(stored);
-      return data;
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(id);
+    if (it != blocks_.end()) {
+      Stored& stored = it->second;
+      if (!stored.verified) {
+        if (Crc32c(stored.data.data(), stored.data.size()) != stored.crc) {
+          return Status::Corruption("block " + std::to_string(id) +
+                                    " failed checksum");
+        }
+        stored.verified = true;
+      }
+      read_bytes_.fetch_add(stored.data.size(), std::memory_order_relaxed);
+      return stored.data;
     }
+  }
+  if (!fault_handler_) {
     return Status::Unavailable("block " + std::to_string(id) +
                                " not on local storage");
   }
-  Stored& stored = it->second;
-  if (!stored.verified) {
-    if (Crc32c(stored.data.data(), stored.data.size()) != stored.crc) {
-      return Status::Corruption("block " + std::to_string(id) +
-                                " failed checksum");
-    }
-    stored.verified = true;
+  // Miss: fault the block in. The handler runs unlocked (it may reach
+  // other stores); a racing fault of the same block just re-stores the
+  // identical immutable bytes.
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  auto fetched = fault_handler_(id);
+  if (!fetched.ok()) return fetched.status();
+  Bytes data = std::move(fetched).ValueOrDie();
+  read_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  // Page the block back in (stored form) for future reads.
+  Stored stored;
+  stored.crc = Crc32c(data.data(), data.size());
+  stored.data = data;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!blocks_.count(id)) {
+    total_bytes_ += data.size();
+    blocks_[id] = std::move(stored);
   }
-  read_bytes_ += stored.data.size();
-  return stored.data;
+  return data;
 }
 
 Result<Bytes> BlockStore::Get(BlockId id) {
@@ -67,6 +78,7 @@ Result<Bytes> BlockStore::Get(BlockId id) {
 }
 
 Status BlockStore::Delete(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id));
@@ -77,6 +89,7 @@ Status BlockStore::Delete(BlockId id) {
 }
 
 std::vector<BlockId> BlockStore::ListIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
   for (const auto& [id, _] : blocks_) ids.push_back(id);
@@ -84,6 +97,7 @@ std::vector<BlockId> BlockStore::ListIds() const {
 }
 
 void BlockStore::CorruptForTest(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = blocks_.find(id);
   if (it != blocks_.end() && !it->second.data.empty()) {
     it->second.data[it->second.data.size() / 2] ^= 0x40;

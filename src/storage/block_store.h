@@ -1,9 +1,11 @@
 #ifndef SDW_STORAGE_BLOCK_STORE_H_
 #define SDW_STORAGE_BLOCK_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -54,7 +56,10 @@ class BlockStore {
   /// Removes a block (e.g., superseded after vacuum or re-replication).
   Status Delete(BlockId id);
 
-  bool Contains(BlockId id) const { return blocks_.count(id) > 0; }
+  bool Contains(BlockId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.count(id) > 0;
+  }
 
   /// All ids currently resident, ascending.
   std::vector<BlockId> ListIds() const;
@@ -77,18 +82,33 @@ class BlockStore {
   // --- fault injection (tests & durability benches) ---
 
   /// Simulates media loss of one block (data gone, id forgotten).
-  void DropForTest(BlockId id) { blocks_.erase(id); }
+  void DropForTest(BlockId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocks_.erase(id);
+  }
 
   /// Flips one payload byte without updating the checksum.
   void CorruptForTest(BlockId id);
 
   // --- accounting ---
-  uint64_t num_blocks() const { return blocks_.size(); }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t reads() const { return reads_; }
-  uint64_t read_bytes() const { return read_bytes_; }
-  uint64_t faults() const { return faults_; }
-  void ResetCounters() { reads_ = read_bytes_ = faults_ = 0; }
+  uint64_t num_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size();
+  }
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t read_bytes() const {
+    return read_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
+  void ResetCounters() {
+    reads_.store(0, std::memory_order_relaxed);
+    read_bytes_.store(0, std::memory_order_relaxed);
+    faults_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   struct Stored {
@@ -99,11 +119,17 @@ class BlockStore {
     bool verified = false;
   };
 
+  /// One node's slices scan through the same device concurrently, so
+  /// the block map (and the verified-flag mutation inside it) sits
+  /// behind a lock; the hot counters are relaxed atomics. The fault
+  /// handler is invoked outside the lock — it may fetch from a remote
+  /// store that routes back through other BlockStores.
+  mutable std::mutex mu_;
   std::map<BlockId, Stored> blocks_;
   uint64_t total_bytes_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t read_bytes_ = 0;
-  uint64_t faults_ = 0;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> read_bytes_{0};
+  std::atomic<uint64_t> faults_{0};
   FaultHandler fault_handler_;
   TransformFn write_transform_;
   TransformFn read_transform_;

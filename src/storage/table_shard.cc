@@ -161,12 +161,13 @@ Result<std::vector<ColumnVector>> TableShard::ReadAll(
 
 Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
     const BlockMeta& meta, TypeId type) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
   auto it = decode_cache_.find(meta.id);
   if (it != decode_cache_.end()) return it->second;
   SDW_ASSIGN_OR_RETURN(Bytes data, store_->Get(meta.id));
   SDW_ASSIGN_OR_RETURN(ColumnVector decoded,
                        compress::DecodeColumn(meta.encoding, type, data));
-  ++blocks_decoded_;
+  blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
   auto shared = std::make_shared<const ColumnVector>(std::move(decoded));
   // FIFO eviction keeps memory bounded even for huge scans.
   constexpr size_t kCacheCapacity = 64;

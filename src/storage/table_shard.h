@@ -1,9 +1,11 @@
 #ifndef SDW_STORAGE_TABLE_SHARD_H_
 #define SDW_STORAGE_TABLE_SHARD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -111,9 +113,12 @@ class TableShard {
   /// block-skipping bench's measured quantity). Cached decodes do not
   /// count; ResetCounters also drops the cache so measurements start
   /// cold.
-  uint64_t blocks_decoded() const { return blocks_decoded_; }
+  uint64_t blocks_decoded() const {
+    return blocks_decoded_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() {
-    blocks_decoded_ = 0;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    blocks_decoded_.store(0, std::memory_order_relaxed);
     decode_cache_.clear();
     cache_order_.clear();
   }
@@ -137,7 +142,15 @@ class TableShard {
   std::vector<std::vector<BlockMeta>> chains_;
   uint64_t row_count_ = 0;
   uint64_t encoded_bytes_ = 0;
-  uint64_t blocks_decoded_ = 0;
+  /// The decode cache and its FIFO order are the only shard state
+  /// mutated by reads, so they carry the shard's read-path lock. Writes
+  /// (Append/LoadChains) are single-threaded by the cluster's insert
+  /// path and stay unlocked. Holding the lock across the whole decode
+  /// keeps blocks_decoded_ deterministic under concurrency (no
+  /// double-decode of a racing miss); slices do not contend because
+  /// each slice owns its own shard.
+  std::atomic<uint64_t> blocks_decoded_{0};
+  mutable std::mutex cache_mu_;
   std::map<BlockId, std::shared_ptr<const ColumnVector>> decode_cache_;
   std::vector<BlockId> cache_order_;
 };

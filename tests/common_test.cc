@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace sdw {
@@ -250,6 +254,61 @@ TEST(UnitsTest, FormatCount) {
   EXPECT_EQ(FormatCount(5e9), "5.00 B");
   EXPECT_EQ(FormatCount(150e9), "150 B");
   EXPECT_EQ(FormatCount(2e12), "2.00 T");
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexOnce) {
+  for (int threads : {0, 1, 4}) {
+    common::ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(100);
+    ASSERT_TRUE(pool.ParallelFor(100, [&](int i) {
+                      hits[i].fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ReturnsLowestIndexFailure) {
+  for (int threads : {0, 4}) {
+    common::ThreadPool pool(threads);
+    Status s = pool.ParallelFor(32, [&](int i) {
+      if (i == 7 || i == 20) {
+        return Status::InvalidArgument("task " + std::to_string(i));
+      }
+      return Status::OK();
+    });
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s.message(), "task 7");
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesStatus) {
+  common::ThreadPool pool(2);
+  Status s = pool.ParallelFor(4, [&](int i) -> Status {
+    if (i == 2) throw std::runtime_error("boom");
+    return Status::OK();
+  });
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST(ThreadPoolTest, SharedPoolConcurrentCallers) {
+  // Two ParallelFor calls issued from pool workers of an outer pool
+  // must each join only their own tasks.
+  common::ThreadPool outer(2);
+  common::ThreadPool shared(3);
+  std::atomic<int> total{0};
+  ASSERT_TRUE(outer
+                  .ParallelFor(2,
+                               [&](int) {
+                                 return shared.ParallelFor(50, [&](int) {
+                                   total.fetch_add(1);
+                                   return Status::OK();
+                                 });
+                               })
+                  .ok());
+  EXPECT_EQ(total.load(), 100);
 }
 
 }  // namespace
