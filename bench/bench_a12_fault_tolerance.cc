@@ -1,0 +1,175 @@
+// A12: end-to-end fault tolerance (§2.1-§2.2) — "data blocks are
+// synchronously written to ... at least one secondary on a separate
+// node" and masked at read time, so node loss is invisible to queries;
+// host managers restart sick processes and the control plane replaces
+// dead nodes; transient S3 unavailability is absorbed by bounded retry.
+// Three experiments: masked-read overhead, kill-then-recover, and the
+// retry budget boundary under scripted outages.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/fault_injector.h"
+#include "common/logging.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+using sdw::warehouse::Warehouse;
+using sdw::warehouse::WarehouseOptions;
+
+constexpr const char* kQuery =
+    "SELECT k, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY k ORDER BY k";
+
+WarehouseOptions ReplicatedOptions(int nodes) {
+  WarehouseOptions options;
+  options.cluster.num_nodes = nodes;
+  options.cluster.slices_per_node = 2;
+  options.cluster.storage.max_rows_per_block = 512;
+  options.cluster.replicate = true;
+  return options;
+}
+
+void Load(Warehouse* wh, int rows) {
+  SDW_CHECK(wh->Execute("CREATE TABLE t (k BIGINT, v BIGINT) DISTKEY(k) "
+                        "SORTKEY(v)")
+                .ok());
+  constexpr int kChunk = 2000;
+  for (int base = 0; base < rows; base += kChunk) {
+    std::string insert = "INSERT INTO t VALUES ";
+    const int end = std::min(rows, base + kChunk);
+    for (int i = base; i < end; ++i) {
+      if (i != base) insert += ", ";
+      insert += "(" + std::to_string(i % 97) + ", " + std::to_string(i) + ")";
+    }
+    SDW_CHECK(wh->Execute(insert).ok());
+  }
+}
+
+std::string RunQuery(Warehouse* wh, sdw::cluster::ExecStats* stats,
+                     double* seconds) {
+  std::string table;
+  *seconds = benchutil::TimeIt([&] {
+    auto result = wh->Execute(kQuery);
+    SDW_CHECK(result.ok()) << result.status();
+    *stats = result->exec_stats;
+    table = result->ToTable(1000000);
+  });
+  return table;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner("A12", "fault tolerance: masked reads, recovery, retry",
+                    "node loss is masked from queries, health sweeps restore "
+                    "redundancy, and bounded retry absorbs transient S3 "
+                    "outages");
+
+  bool all_ok = true;
+
+  // --- 1. Masked-read overhead: the read path customers never notice.
+  std::printf("\n[1] masked reads on a 4-node replicated fleet (40k rows)\n");
+  {
+    Warehouse wh(ReplicatedOptions(4));
+    Load(&wh, 40000);
+
+    sdw::cluster::ExecStats healthy_stats, masked_stats, warm_stats;
+    double healthy_s = 0, masked_s = 0, warm_s = 0;
+    const std::string healthy = RunQuery(&wh, &healthy_stats, &healthy_s);
+
+    wh.data_plane()->FailNode(0);
+    const std::string masked = RunQuery(&wh, &masked_stats, &masked_s);
+    // Faulted blocks were paged back in; a second run reads locally.
+    const std::string warm = RunQuery(&wh, &warm_stats, &warm_s);
+
+    std::printf("%16s  %14s  %12s  %12s\n", "arm", "masked_reads",
+                "s3_faults", "seconds");
+    std::printf("%16s  %14llu  %12llu  %12.4f\n", "healthy",
+                (unsigned long long)healthy_stats.masked_reads,
+                (unsigned long long)healthy_stats.s3_fault_reads, healthy_s);
+    std::printf("%16s  %14llu  %12llu  %12.4f\n", "node 0 dead",
+                (unsigned long long)masked_stats.masked_reads,
+                (unsigned long long)masked_stats.s3_fault_reads, masked_s);
+    std::printf("%16s  %14llu  %12llu  %12.4f\n", "re-cached",
+                (unsigned long long)warm_stats.masked_reads,
+                (unsigned long long)warm_stats.s3_fault_reads, warm_s);
+
+    all_ok &= benchutil::Check(healthy_stats.masked_reads == 0,
+                               "healthy run needs no masking");
+    all_ok &= benchutil::Check(masked_stats.masked_reads > 0,
+                               "node loss is served from secondaries");
+    all_ok &= benchutil::Check(masked == healthy,
+                               "masked results byte-identical to healthy");
+    all_ok &= benchutil::Check(
+        warm.size() == healthy.size() && warm_stats.masked_reads == 0,
+        "faulted blocks page back in (second run reads locally)");
+
+    // --- 2. Recovery: sweep re-replicates and escalates (§2.2).
+    std::printf("\n[2] health sweep after whole-node loss\n");
+    auto sweep = wh.RunHealthSweep();
+    SDW_CHECK(sweep.ok()) << sweep.status();
+    std::printf("  unhealthy=%d escalations=%d restarts=%d "
+                "rereplicated=%llu single_copy=%llu lost=%llu\n",
+                sweep->unhealthy_nodes, sweep->escalations, sweep->restarts,
+                (unsigned long long)sweep->blocks_rereplicated,
+                (unsigned long long)sweep->single_copy_blocks,
+                (unsigned long long)sweep->lost_blocks);
+    std::printf("  control-plane replacement workflow: %.0f simulated "
+                "seconds\n",
+                sweep->control_plane_seconds);
+    all_ok &= benchutil::Check(sweep->escalations == 1,
+                               "dead node escalated to the control plane");
+    all_ok &= benchutil::Check(
+        sweep->single_copy_blocks == 0 && sweep->lost_blocks == 0,
+        "sweep restored two-copy redundancy for every block");
+
+    sdw::cluster::ExecStats after_stats;
+    double after_s = 0;
+    const std::string after = RunQuery(&wh, &after_stats, &after_s);
+    all_ok &= benchutil::Check(after == healthy,
+                               "results unchanged across fail + recover");
+  }
+
+  // --- 3. Retry budget boundary under scripted S3 outages.
+  std::printf("\n[3] COPY under scripted S3 outages (4-attempt budget)\n");
+  std::printf("%14s  %10s  %12s  %14s\n", "outage_calls", "loaded",
+              "attempts", "backoff_s");
+  {
+    std::string csv;
+    for (int i = 0; i < 5000; ++i) {
+      csv += std::to_string(i) + "," + std::to_string(i % 13) + "\n";
+    }
+    for (int outage = 0; outage <= 5; ++outage) {
+      Warehouse wh(ReplicatedOptions(2));
+      SDW_CHECK(wh.Execute("CREATE TABLE r (a BIGINT, b BIGINT)").ok());
+      sdw::backup::S3Region* region = wh.s3()->region("us-east-1");
+      SDW_CHECK(region
+                    ->PutObject("bkt/r/part-0",
+                                sdw::Bytes(csv.begin(), csv.end()))
+                    .ok());
+      region->fault_point()->FailNext(outage);
+      auto copied = wh.Execute("COPY r FROM 's3://bkt/r/'");
+      if (copied.ok()) {
+        std::printf("%14d  %10s  %12d  %14.3f\n", outage, "ok",
+                    copied->copy_stats.s3_retry_attempts,
+                    copied->copy_stats.retry_backoff_seconds);
+      } else {
+        std::printf("%14d  %10s  %12s  %14s\n", outage,
+                    copied.status().IsUnavailable() ? "unavailable"
+                                                    : "ERROR",
+                    "-", "-");
+      }
+      const bool should_succeed = outage <= 3;
+      all_ok &= benchutil::Check(
+          copied.ok() == should_succeed,
+          should_succeed ? "outage within budget: load succeeds"
+                         : "outage beyond budget: clean kUnavailable");
+    }
+  }
+
+  std::printf("\n%s\n", all_ok ? "A12: all shape checks passed"
+                              : "A12: SHAPE CHECK FAILURES (see above)");
+  return 0;
+}

@@ -34,6 +34,11 @@ Result<BackupManager::BackupStats> BackupManager::Backup(
   BackupStats stats;
   stats.snapshot_id = manifest.snapshot_id;
   std::vector<uint64_t> per_node_bytes(cluster->num_nodes(), 0);
+  // Backups run for hours against a service that throttles: every
+  // upload gets a bounded retry budget so transient unavailability
+  // degrades to (modeled) latency instead of a failed snapshot.
+  common::Retry retry(retry_policy_);
+  int uploads = 0;
 
   // Upload blocks that are not already backed up (incremental; user
   // backups "leverage the blocks already backed up in system backups").
@@ -50,7 +55,9 @@ Result<BackupManager::BackupStats> BackupManager::Backup(
           SDW_ASSIGN_OR_RETURN(Bytes data, node->store()->GetRaw(meta.id));
           stats.bytes_uploaded += data.size();
           per_node_bytes[node->node_id()] += data.size();
-          SDW_RETURN_IF_ERROR(region->PutObject(key, std::move(data)));
+          SDW_RETURN_IF_ERROR(retry.CallVoid(
+              [&] { return region->PutObject(key, data); }));
+          ++uploads;
           ++stats.blocks_uploaded;
         }
       }
@@ -59,14 +66,19 @@ Result<BackupManager::BackupStats> BackupManager::Backup(
 
   Bytes manifest_bytes;
   SerializeManifest(manifest, &manifest_bytes);
-  SDW_RETURN_IF_ERROR(
-      region->PutObject(ManifestKey(manifest.snapshot_id),
-                        std::move(manifest_bytes)));
+  SDW_RETURN_IF_ERROR(retry.CallVoid([&] {
+    return region->PutObject(ManifestKey(manifest.snapshot_id),
+                             manifest_bytes);
+  }));
+  ++uploads;
 
   // Nodes upload in parallel: the busiest node bounds wall clock.
   uint64_t max_node_bytes = 0;
   for (uint64_t b : per_node_bytes) max_node_bytes = std::max(max_node_bytes, b);
-  stats.modeled_seconds = cost_model_.S3Seconds(max_node_bytes, 1);
+  stats.s3_retry_attempts = retry.attempts() - uploads;
+  stats.retry_backoff_seconds = retry.backoff_seconds();
+  stats.modeled_seconds =
+      cost_model_.S3Seconds(max_node_bytes, 1) + retry.backoff_seconds();
   return stats;
 }
 
@@ -80,8 +92,10 @@ std::vector<uint64_t> BackupManager::ListSnapshots() {
 }
 
 Result<SnapshotManifest> BackupManager::GetManifest(uint64_t snapshot_id) {
-  SDW_ASSIGN_OR_RETURN(Bytes data, s3_->region(region_)->GetObject(
-                                       ManifestKey(snapshot_id)));
+  common::Retry retry(retry_policy_);
+  SDW_ASSIGN_OR_RETURN(Bytes data, retry.Call<Bytes>([&] {
+    return s3_->region(region_)->GetObject(ManifestKey(snapshot_id));
+  }));
   return DeserializeManifest(data);
 }
 
@@ -130,20 +144,28 @@ Result<uint64_t> BackupManager::CollectGarbage() {
 
 Result<std::unique_ptr<cluster::Cluster>> BackupManager::RestoreInternal(
     S3Region* source, uint64_t snapshot_id, RestoreStats* stats) {
+  common::Retry manifest_retry(retry_policy_);
   SDW_ASSIGN_OR_RETURN(Bytes manifest_bytes,
-                       source->GetObject(ManifestKey(snapshot_id)));
+                       manifest_retry.Call<Bytes>([&] {
+                         return source->GetObject(ManifestKey(snapshot_id));
+                       }));
   SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest,
                        DeserializeManifest(manifest_bytes));
 
   auto cluster = std::make_unique<cluster::Cluster>(manifest.config);
-  // Wire page-faulting: any read of a missing block fetches it from the
-  // object store and caches it locally (§2.3 streaming restore).
-  for (int n = 0; n < cluster->num_nodes(); ++n) {
-    cluster->node(n)->store()->set_fault_handler(
-        [source, this](storage::BlockId id) -> Result<Bytes> {
-          return source->GetObject(BlockKey(id));
-        });
-  }
+  // Wire page-faulting behind the cluster's masking chain: a missing
+  // block is looked for on its replica first, then fetched from the
+  // object store and cached locally (§2.3 streaming restore). Going
+  // through the cluster (not per-store handlers) keeps replication
+  // masking composed in front of the S3 path. Each fault carries its
+  // own retry budget; a local Retry keeps concurrent slices race-free.
+  const common::RetryPolicy fault_policy = retry_policy_;
+  cluster->set_page_fault_handler(
+      [source, fault_policy, this](storage::BlockId id) -> Result<Bytes> {
+        common::Retry retry(fault_policy);
+        return retry.Call<Bytes>(
+            [&] { return source->GetObject(BlockKey(id)); });
+      });
 
   uint64_t total_blocks = 0;
   uint64_t total_bytes = 0;

@@ -9,6 +9,7 @@
 #include "backup/s3sim.h"
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
+#include "common/retry.h"
 
 namespace sdw::backup {
 
@@ -29,6 +30,10 @@ class BackupManager {
     /// Modeled wall clock: per-node-parallel upload, so proportional to
     /// the data *changed* on the busiest node, not total data (§3.2).
     double modeled_seconds = 0;
+    /// Upload attempts beyond the first (transient S3 faults retried
+    /// away) and the virtual backoff they cost.
+    int s3_retry_attempts = 0;
+    double retry_backoff_seconds = 0;
   };
 
   /// Takes a snapshot. System backups are auto-aged; user backups are
@@ -81,6 +86,14 @@ class BackupManager {
 
   const std::string& region() const { return region_; }
 
+  /// Bounded-retry budget for every S3 interaction (uploads, manifest
+  /// fetches, restore page faults): transient unavailability degrades
+  /// to latency; outages beyond the budget surface as kUnavailable.
+  void set_retry_policy(common::RetryPolicy policy) {
+    retry_policy_ = policy;
+  }
+  const common::RetryPolicy& retry_policy() const { return retry_policy_; }
+
  private:
   Result<std::unique_ptr<cluster::Cluster>> RestoreInternal(
       S3Region* source, uint64_t snapshot_id, RestoreStats* stats);
@@ -89,6 +102,7 @@ class BackupManager {
   std::string region_;
   std::string cluster_id_;
   cluster::CostModel cost_model_;
+  common::RetryPolicy retry_policy_;
   uint64_t next_snapshot_id_ = 1;
 };
 

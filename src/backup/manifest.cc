@@ -215,6 +215,11 @@ void SerializeManifest(const SnapshotManifest& manifest, Bytes* out) {
   PutVarint64(out, manifest.config.slices_per_node);
   PutVarint64(out, manifest.config.storage.block_bytes);
   PutVarint64(out, manifest.config.storage.max_rows_per_block);
+  // Fault-tolerance topology: a restored cluster must replicate (or
+  // not) exactly like the snapshotted one.
+  out->push_back(manifest.config.replicate ? 1 : 0);
+  PutVarint64(out, manifest.config.replication.cohort_size);
+  PutVarint64(out, manifest.config.replication_seed);
   PutVarint64(out, manifest.tables.size());
   for (const TableManifest& table : manifest.tables) {
     SerializeSchema(table.schema, out);
@@ -240,9 +245,16 @@ Result<SnapshotManifest> DeserializeManifest(const Bytes& data) {
   if (pos >= data.size()) return Status::Corruption("manifest");
   manifest.user_initiated = data[pos++] != 0;
   uint64_t nodes = 0, slices = 0, block_bytes = 0, max_rows = 0, ntables = 0;
+  uint64_t cohort = 0, repl_seed = 0;
   if (!GetVarint64(data, &pos, &nodes) || !GetVarint64(data, &pos, &slices) ||
       !GetVarint64(data, &pos, &block_bytes) ||
-      !GetVarint64(data, &pos, &max_rows) ||
+      !GetVarint64(data, &pos, &max_rows)) {
+    return Status::Corruption("manifest header truncated");
+  }
+  if (pos >= data.size()) return Status::Corruption("manifest");
+  manifest.config.replicate = data[pos++] != 0;
+  if (!GetVarint64(data, &pos, &cohort) ||
+      !GetVarint64(data, &pos, &repl_seed) ||
       !GetVarint64(data, &pos, &ntables)) {
     return Status::Corruption("manifest header truncated");
   }
@@ -250,6 +262,8 @@ Result<SnapshotManifest> DeserializeManifest(const Bytes& data) {
   manifest.config.slices_per_node = static_cast<int>(slices);
   manifest.config.storage.block_bytes = block_bytes;
   manifest.config.storage.max_rows_per_block = max_rows;
+  manifest.config.replication.cohort_size = static_cast<int>(cohort);
+  manifest.config.replication_seed = repl_seed;
   for (uint64_t t = 0; t < ntables; ++t) {
     TableManifest table;
     SDW_ASSIGN_OR_RETURN(table.schema, DeserializeSchema(data, &pos));

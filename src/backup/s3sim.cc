@@ -2,9 +2,17 @@
 
 namespace sdw::backup {
 
+Status S3Region::CheckAvailable() const {
+  if (!available()) {
+    return Status::Unavailable("region " + name_ + " is down");
+  }
+  return fault_point_.OnCall();
+}
+
 Status S3Region::PutObject(const std::string& key, Bytes data) {
-  if (!available_) return Status::Unavailable("region " + name_ + " is down");
-  ++puts_;
+  SDW_RETURN_IF_ERROR(CheckAvailable());
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it != objects_.end()) {
     total_bytes_ -= it->second.size();
@@ -15,8 +23,9 @@ Status S3Region::PutObject(const std::string& key, Bytes data) {
 }
 
 Result<Bytes> S3Region::GetObject(const std::string& key) const {
-  if (!available_) return Status::Unavailable("region " + name_ + " is down");
-  ++gets_;
+  SDW_RETURN_IF_ERROR(CheckAvailable());
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("no object '" + key + "' in " + name_);
@@ -25,7 +34,8 @@ Result<Bytes> S3Region::GetObject(const std::string& key) const {
 }
 
 Status S3Region::DeleteObject(const std::string& key) {
-  if (!available_) return Status::Unavailable("region " + name_ + " is down");
+  SDW_RETURN_IF_ERROR(CheckAvailable());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no object '" + key + "'");
   total_bytes_ -= it->second.size();
@@ -35,6 +45,7 @@ Status S3Region::DeleteObject(const std::string& key) {
 
 std::vector<std::string> S3Region::ListPrefix(
     const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -44,11 +55,9 @@ std::vector<std::string> S3Region::ListPrefix(
 }
 
 S3Region* S3::region(const std::string& name) {
-  auto it = regions_.find(name);
-  if (it == regions_.end()) {
-    it = regions_.emplace(name, S3Region(name)).first;
-  }
-  return &it->second;
+  std::lock_guard<std::mutex> lock(mu_);
+  // try_emplace constructs in place: S3Region is immovable (mutex).
+  return &regions_.try_emplace(name, name).first->second;
 }
 
 Status S3::CopyObject(const std::string& src_region, const std::string& key,

@@ -1,11 +1,14 @@
 #ifndef SDW_BACKUP_S3SIM_H_
 #define SDW_BACKUP_S3SIM_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 
 namespace sdw::backup {
@@ -14,9 +17,17 @@ namespace sdw::backup {
 /// available key->bytes namespace (the Amazon S3 stand-in). Region
 /// availability can be faulted to exercise the "escalators, not
 /// elevators" degradation paths (§5).
+///
+/// Thread-safe: COPY fans object fetches across the slice pool and
+/// parallel queries page-fault blocks concurrently, so the object map
+/// sits behind a mutex and the counters are atomics.
 class S3Region {
  public:
-  explicit S3Region(std::string name) : name_(std::move(name)) {}
+  explicit S3Region(std::string name)
+      : name_(std::move(name)), fault_point_("s3:" + name_) {}
+
+  S3Region(const S3Region&) = delete;
+  S3Region& operator=(const S3Region&) = delete;
 
   const std::string& name() const { return name_; }
 
@@ -24,30 +35,57 @@ class S3Region {
   Result<Bytes> GetObject(const std::string& key) const;
   Status DeleteObject(const std::string& key);
   bool HasObject(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return objects_.count(key) > 0;
   }
 
   /// Keys with the given prefix, ascending.
   std::vector<std::string> ListPrefix(const std::string& prefix) const;
 
-  /// Fault injection: an unavailable region fails every call with
-  /// kUnavailable (durability is preserved — objects return when the
-  /// region heals).
-  void set_available(bool available) { available_ = available; }
-  bool available() const { return available_; }
+  /// Binary fault injection: an unavailable region fails every call
+  /// with kUnavailable (durability is preserved — objects return when
+  /// the region heals).
+  void set_available(bool available) {
+    available_.store(available, std::memory_order_relaxed);
+  }
+  bool available() const {
+    return available_.load(std::memory_order_relaxed);
+  }
 
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t num_objects() const { return objects_.size(); }
-  uint64_t put_count() const { return puts_; }
-  uint64_t get_count() const { return gets_; }
+  /// Scripted fault injection beyond the binary switch: seeded
+  /// transient failure rates and fail-next-N outages on the object
+  /// APIs (Put/Get/Delete) — what the bounded-retry paths are tested
+  /// against. Listing stays up (it is metadata-plane here).
+  chaos::FaultPoint* fault_point() { return &fault_point_; }
+
+  uint64_t total_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_bytes_;
+  }
+  uint64_t num_objects() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return objects_.size();
+  }
+  uint64_t put_count() const {
+    return puts_.load(std::memory_order_relaxed);
+  }
+  uint64_t get_count() const {
+    return gets_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Availability gate every object call passes through: the binary
+  /// switch first, then the scripted fault point.
+  Status CheckAvailable() const;
+
   std::string name_;
+  mutable std::mutex mu_;
   std::map<std::string, Bytes> objects_;
-  bool available_ = true;
+  std::atomic<bool> available_{true};
   uint64_t total_bytes_ = 0;
-  mutable uint64_t puts_ = 0;
-  mutable uint64_t gets_ = 0;
+  mutable std::atomic<uint64_t> puts_{0};
+  mutable std::atomic<uint64_t> gets_{0};
+  mutable chaos::FaultPoint fault_point_;
 };
 
 /// The multi-region object store.
@@ -66,6 +104,7 @@ class S3 {
                               const std::string& dst_region);
 
  private:
+  std::mutex mu_;
   std::map<std::string, S3Region> regions_;
 };
 

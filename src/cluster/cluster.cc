@@ -76,7 +76,9 @@ Result<storage::TableShard*> ComputeNode::shard(int slice,
   return it->second.get();
 }
 
-Cluster::Cluster(ClusterConfig config) : config_(config) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      node_read_failures_(static_cast<size_t>(config.num_nodes)) {
   SDW_CHECK(config.num_nodes >= 1);
   SDW_CHECK(config.slices_per_node >= 1);
   for (int n = 0; n < config.num_nodes; ++n) {
@@ -90,6 +92,76 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     threads = std::min(total_slices(), hw);
   }
   pool_ = std::make_unique<common::ThreadPool>(threads);
+
+  if (config_.replicate && num_nodes() >= 2) {
+    std::vector<storage::BlockStore*> stores;
+    stores.reserve(nodes_.size());
+    for (auto& node : nodes_) stores.push_back(node->store());
+    replication_ = std::make_unique<replication::ReplicationManager>(
+        stores, config_.replication, config_.replication_seed);
+    // Every committed Put gains a synchronous secondary copy ("each
+    // data block is synchronously written to both its primary slice as
+    // well as to at least one secondary on a separate node", §2.1).
+    for (int n = 0; n < num_nodes(); ++n) {
+      nodes_[n]->store()->set_put_observer(
+          [this, n](storage::BlockId id, const Bytes& stored) {
+            Status status = replication_->Replicate(n, id, stored);
+            if (!status.ok()) {
+              SDW_LOG(Warning) << "replication of block " << id
+                               << " failed: " << status;
+            }
+          });
+    }
+    WireReadPath();
+  }
+}
+
+void Cluster::WireReadPath() {
+  if (!replication_ && !page_fault_) return;
+  for (int n = 0; n < num_nodes(); ++n) {
+    nodes_[n]->store()->set_fault_handler(
+        [this, n](storage::BlockId id) { return FaultRead(n, id); });
+  }
+}
+
+void Cluster::set_page_fault_handler(
+    storage::BlockStore::FaultHandler handler) {
+  page_fault_ = std::move(handler);
+  WireReadPath();
+}
+
+Result<Bytes> Cluster::FaultRead(int node, storage::BlockId id) {
+  // Masking order: secondary replica first, then the S3 page-fault
+  // path. Only replication-tracked blocks strike the node's health
+  // counter — a cold read after a streaming restore is not a failure.
+  if (replication_ && replication_->HasPlacement(id)) {
+    node_read_failures_[node].fetch_add(1, std::memory_order_relaxed);
+    auto replica = replication_->ReadReplicaExcluding(id, node);
+    if (replica.ok()) {
+      masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      return replica;
+    }
+  }
+  if (page_fault_) {
+    auto paged = page_fault_(id);
+    if (paged.ok()) {
+      s3_fault_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return paged;
+  }
+  return Status::Unavailable("block " + std::to_string(id) +
+                             " has no live replica and no backup path");
+}
+
+void Cluster::FailNode(int node) {
+  SDW_CHECK(node >= 0 && node < num_nodes());
+  if (replication_) {
+    replication_->FailNode(node);
+    return;
+  }
+  for (storage::BlockId id : nodes_[node]->store()->ListIds()) {
+    nodes_[node]->store()->DropForTest(id);
+  }
 }
 
 Result<storage::TableShard*> Cluster::shard(int global_slice,
@@ -109,9 +181,24 @@ Status Cluster::CreateTable(const TableSchema& schema) {
 }
 
 Status Cluster::DropTable(const std::string& table) {
+  // Collect the table's blocks first: the secondary copies live on
+  // *other* nodes' stores and would leak if we only dropped shards.
+  std::vector<storage::BlockId> ids;
+  if (replication_) {
+    for (int s = 0; s < total_slices(); ++s) {
+      auto shard_ptr = shard(s, table);
+      if (!shard_ptr.ok()) continue;
+      for (storage::BlockId id : (*shard_ptr)->AllBlockIds()) {
+        ids.push_back(id);
+      }
+    }
+  }
   SDW_RETURN_IF_ERROR(catalog_.DropTable(table));
   for (auto& node : nodes_) {
     SDW_RETURN_IF_ERROR(node->DropShards(table));
+  }
+  if (replication_) {
+    for (storage::BlockId id : ids) replication_->Remove(id);
   }
   return Status::OK();
 }
@@ -315,6 +402,9 @@ Result<uint64_t> Cluster::Vacuum(const std::string& table) {
     TableSchema shard_schema = old_shard->schema();
     for (storage::BlockId id : old_shard->AllBlockIds()) {
       (void)node->store()->Delete(id);
+      // Also drop the secondary copy and the placement record, or
+      // vacuumed blocks would leak on their replica nodes.
+      if (replication_) replication_->Remove(id);
       ++blocks_rewritten;
     }
     auto fresh = std::make_unique<storage::TableShard>(

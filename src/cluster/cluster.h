@@ -12,6 +12,7 @@
 #include "cluster/cost_model.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "replication/replication.h"
 #include "storage/block_store.h"
 #include "storage/table_shard.h"
 
@@ -29,6 +30,12 @@ struct ClusterConfig {
   /// the serial arm of the bench comparisons.
   int exec_pool_threads = -1;
   storage::StorageOptions storage;
+  /// Synchronous two-copy block replication across the node stores
+  /// (§2.1). Requires >= 2 nodes; silently off on a single-node
+  /// cluster (nowhere to put the secondary).
+  bool replicate = false;
+  replication::ReplicationConfig replication;
+  uint64_t replication_seed = 42;
 };
 
 /// A compute node: one block device shared by its slices, one table
@@ -154,7 +161,52 @@ class Cluster {
   /// Total encoded bytes stored across the cluster.
   uint64_t TotalStoredBytes() const;
 
+  // --- fault tolerance (§2.1) ---
+
+  /// The replication manager over the node stores, or nullptr when
+  /// replication is off (single node / replicate=false).
+  replication::ReplicationManager* replication() {
+    return replication_.get();
+  }
+
+  /// Last-resort read path behind replication: when no live replica of
+  /// a block exists, the cluster page-faults it from here (the S3
+  /// streaming-restore path of §2.3). Installing a handler wires every
+  /// node store's fault handler through the cluster masking chain.
+  void set_page_fault_handler(storage::BlockStore::FaultHandler handler);
+
+  /// Simulates whole-node loss: all the node's blocks vanish and the
+  /// node is marked failed for replication. Queries keep working
+  /// through masked reads; the warehouse health sweep recovers it.
+  void FailNode(int node);
+
+  /// Reads served from a secondary replica after a local media failure
+  /// (the §2.1 read path customers never notice).
+  uint64_t masked_reads() const {
+    return masked_reads_.load(std::memory_order_relaxed);
+  }
+  /// Reads that fell through to the page-fault (S3) path.
+  uint64_t s3_fault_reads() const {
+    return s3_fault_reads_.load(std::memory_order_relaxed);
+  }
+  /// Local read failures observed on a node since the last reset — the
+  /// health signal the warehouse sweep thresholds on.
+  uint64_t node_read_failures(int node) const {
+    return node_read_failures_[node].load(std::memory_order_relaxed);
+  }
+  void ResetNodeReadFailures(int node) {
+    node_read_failures_[node].store(0, std::memory_order_relaxed);
+  }
+
  private:
+  /// Routes every node store's read-miss through the masking chain:
+  /// secondary replica first, then the page-fault handler.
+  void WireReadPath();
+
+  /// The fault handler of node `node`'s store: masks a local media
+  /// failure from the secondary replica, then from the page-fault
+  /// (S3) path. Strikes the node's failure counter for tracked blocks.
+  Result<Bytes> FaultRead(int node, storage::BlockId id);
   /// Chooses the target global slice for row i of a KEY-distributed
   /// table.
   int SliceForKey(const Datum& key) const;
@@ -163,9 +215,14 @@ class Cluster {
   Catalog catalog_;
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
   std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<replication::ReplicationManager> replication_;
+  storage::BlockStore::FaultHandler page_fault_;
   std::map<std::string, uint64_t> round_robin_;
   bool read_only_ = false;
   std::atomic<uint64_t> network_bytes_{0};
+  std::atomic<uint64_t> masked_reads_{0};
+  std::atomic<uint64_t> s3_fault_reads_{0};
+  std::vector<std::atomic<uint64_t>> node_read_failures_;
 };
 
 /// Estimated wire size of a batch's columns (used for network

@@ -357,6 +357,9 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   QueryResult result;
   ExecStats& stats = result.stats;
   ResetBlockCounters(cluster_);
+  // Masking counters are cumulative on the cluster; report the delta.
+  const uint64_t masked_before = cluster_->masked_reads();
+  const uint64_t s3_faults_before = cluster_->s3_fault_reads();
   if (options_.mode == ExecutionMode::kCompiled) {
     stats.compile_seconds = options_.compile_seconds;
   }
@@ -402,6 +405,8 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   stats.leader_seconds = Seconds(leader_start);
   stats.result_rows = result.rows.num_rows();
   stats.blocks_decoded = SumBlocksDecoded(cluster_);
+  stats.masked_reads = cluster_->masked_reads() - masked_before;
+  stats.s3_fault_reads = cluster_->s3_fault_reads() - s3_faults_before;
   cluster_->AddNetworkBytes(stats.network_bytes);
   result.column_names = query.output_names;
   return result;

@@ -47,6 +47,13 @@ struct ExecStats {
   uint64_t result_rows = 0;
   /// Fixed compile overhead charged (kCompiled only).
   double compile_seconds = 0;
+  /// Block reads this query served from a secondary replica after a
+  /// local media failure (§2.1 failure masking — customers never
+  /// notice, but we count).
+  uint64_t masked_reads = 0;
+  /// Block reads that fell through to the S3 page-fault path (§2.3
+  /// streaming restore / both copies gone).
+  uint64_t s3_fault_reads = 0;
 
   double MaxSliceSeconds() const {
     double m = 0;

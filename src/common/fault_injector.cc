@@ -1,0 +1,105 @@
+#include "common/fault_injector.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace sdw::chaos {
+
+FaultPoint::FaultPoint(std::string site, uint64_t seed)
+    : site_(std::move(site)), rng_(seed) {}
+
+void FaultPoint::set_seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultPoint::set_failure_rate(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failure_rate_ = p;
+}
+
+void FaultPoint::FailNext(int n, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_next_ = n;
+  fail_code_ = code;
+}
+
+void FaultPoint::ArmTrigger(uint64_t at_call, std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  triggers_.push_back({at_call, std::move(fn)});
+}
+
+Status FaultPoint::OnCall() {
+  std::vector<std::function<void()>> due;
+  Status status = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++calls_;
+    for (size_t i = 0; i < triggers_.size();) {
+      if (triggers_[i].at_call <= calls_) {
+        due.push_back(std::move(triggers_[i].fn));
+        triggers_.erase(triggers_.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (fail_next_ > 0) {
+      --fail_next_;
+      ++injected_;
+      status = Status(fail_code_, "injected fault at '" + site_ + "'");
+    } else if (failure_rate_ > 0.0 && rng_.Bernoulli(failure_rate_)) {
+      ++injected_;
+      status =
+          Status(fail_code_, "injected transient fault at '" + site_ + "'");
+    }
+  }
+  // Triggers run unlocked: they typically reach back into the system
+  // (drop a node's blocks, flip another point) and must not deadlock.
+  for (auto& fn : due) fn();
+  return status;
+}
+
+uint64_t FaultPoint::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+uint64_t FaultPoint::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+void FaultPoint::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failure_rate_ = 0.0;
+  fail_next_ = 0;
+  fail_code_ = StatusCode::kUnavailable;
+  calls_ = 0;
+  injected_ = 0;
+  triggers_.clear();
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+FaultPoint* FaultInjector::point(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(site);
+  if (it == points_.end()) {
+    const uint64_t point_seed = seed_ ^ Hash64(std::string_view(site));
+    it = points_
+             .emplace(site, std::make_unique<FaultPoint>(site, point_seed))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> FaultInjector::sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [site, _] : points_) out.push_back(site);
+  return out;
+}
+
+}  // namespace sdw::chaos

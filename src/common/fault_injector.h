@@ -1,0 +1,108 @@
+#ifndef SDW_COMMON_FAULT_INJECTOR_H_
+#define SDW_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace sdw::chaos {
+
+/// One instrumented call site (a BlockStore's read path, an S3Region's
+/// API, ...). Every failure scenario in tests and benches is scripted
+/// through these points so it is reproducible from a seed: the paper's
+/// fleet sees media failures, transient S3 unavailability and
+/// whole-node loss constantly (§2.1-§2.2); the simulator has to be able
+/// to replay any of them on demand.
+///
+/// Three scripting modes, composable:
+///  - `set_failure_rate(p)`: each call fails independently with
+///    probability p, drawn from a seeded Rng (deterministic sequence).
+///  - `FailNext(n)`: the next n calls fail unconditionally — scripted
+///    outages with an exact length ("S3 down for the next 3 requests").
+///  - `ArmTrigger(at_call, fn)`: run an arbitrary callback when the
+///    point's call counter reaches `at_call` — e.g. kill a whole node
+///    in the middle of a query. The callback runs outside the point's
+///    lock and does not itself fail the call.
+///
+/// Thread-safe; calls and injected faults are counted.
+class FaultPoint {
+ public:
+  explicit FaultPoint(std::string site = "", uint64_t seed = 0xC4A05u);
+
+  FaultPoint(const FaultPoint&) = delete;
+  FaultPoint& operator=(const FaultPoint&) = delete;
+
+  /// Reseeds the probabilistic mode's Rng.
+  void set_seed(uint64_t seed);
+
+  /// Each call fails independently with probability `p` (0 disables).
+  void set_failure_rate(double p);
+
+  /// The next `n` calls fail with `code`, then the point recovers.
+  void FailNext(int n, StatusCode code = StatusCode::kUnavailable);
+
+  /// Runs `fn` when the call counter reaches `at_call` (1-based: the
+  /// first call is call 1). The triggering call itself is not failed.
+  void ArmTrigger(uint64_t at_call, std::function<void()> fn);
+
+  /// The instrumented site calls this on every operation; a non-OK
+  /// status means the operation must fail with it.
+  Status OnCall();
+
+  uint64_t calls() const;
+  uint64_t injected() const;
+
+  /// Clears all modes, triggers and counters (site name kept).
+  void Reset();
+
+ private:
+  struct Trigger {
+    uint64_t at_call = 0;
+    std::function<void()> fn;
+  };
+
+  mutable std::mutex mu_;
+  std::string site_;
+  Rng rng_;
+  double failure_rate_ = 0.0;
+  int fail_next_ = 0;
+  StatusCode fail_code_ = StatusCode::kUnavailable;
+  uint64_t calls_ = 0;
+  uint64_t injected_ = 0;
+  std::vector<Trigger> triggers_;
+};
+
+/// Named registry of fault points so a test can reach every
+/// instrumented site of a warehouse through one object. Points are
+/// created on first use, each seeded deterministically from the
+/// injector seed and the site name.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xC4A05u);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The point for `site`, created (and seeded) on first use. The
+  /// pointer stays valid for the injector's lifetime.
+  FaultPoint* point(const std::string& site);
+
+  /// Sites registered so far, sorted.
+  std::vector<std::string> sites() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+};
+
+}  // namespace sdw::chaos
+
+#endif  // SDW_COMMON_FAULT_INJECTOR_H_

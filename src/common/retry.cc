@@ -1,0 +1,19 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdw::common {
+
+void Retry::Backoff(int attempt) {
+  double base = policy_.initial_backoff_seconds *
+                std::pow(policy_.backoff_multiplier, attempt - 1);
+  base = std::min(base, policy_.max_backoff_seconds);
+  const double jitter =
+      1.0 + policy_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
+  const double delay = base * jitter;
+  backoff_seconds_ += delay;
+  if (sleep_) sleep_(delay);
+}
+
+}  // namespace sdw::common

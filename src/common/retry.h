@@ -1,0 +1,84 @@
+#ifndef SDW_COMMON_RETRY_H_
+#define SDW_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace sdw::common {
+
+/// Bounded-retry knobs for transient failures (S3 throttling and
+/// outages). Exponential backoff with seeded jitter: deterministic in
+/// tests, decorrelated across callers in a fleet.
+struct RetryPolicy {
+  /// Total tries including the first (<=1 disables retry).
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Each backoff is scaled by a uniform factor in [1-j, 1+j].
+  double jitter_fraction = 0.25;
+  uint64_t seed = 0x6e77a1u;
+};
+
+/// Retries an operation on kUnavailable with exponential backoff.
+/// Simulated-clock aware: the sleep function is injectable and the
+/// default one only *accounts* the backoff (no real sleeping), so COPY
+/// and Backup fold `backoff_seconds()` into their modeled time and
+/// tests stay instant. Any error other than kUnavailable — and the
+/// last kUnavailable once the attempt budget is spent — is returned
+/// to the caller unchanged. Not thread-safe: use one instance per
+/// thread or operation.
+class Retry {
+ public:
+  using SleepFn = std::function<void(double seconds)>;
+
+  explicit Retry(RetryPolicy policy = {}, SleepFn sleep = nullptr)
+      : policy_(policy), sleep_(std::move(sleep)), rng_(policy.seed) {}
+
+  template <typename T>
+  Result<T> Call(const std::function<Result<T>()>& fn) {
+    for (int attempt = 1;; ++attempt) {
+      ++attempts_;
+      Result<T> result = fn();
+      if (result.ok() || !ShouldRetry(result.status(), attempt)) {
+        return result;
+      }
+      Backoff(attempt);
+    }
+  }
+
+  Status CallVoid(const std::function<Status()>& fn) {
+    for (int attempt = 1;; ++attempt) {
+      ++attempts_;
+      Status status = fn();
+      if (status.ok() || !ShouldRetry(status, attempt)) return status;
+      Backoff(attempt);
+    }
+  }
+
+  /// Operations attempted so far (across every Call on this instance).
+  int attempts() const { return attempts_; }
+
+  /// Total (virtual or real) seconds spent backing off.
+  double backoff_seconds() const { return backoff_seconds_; }
+
+ private:
+  bool ShouldRetry(const Status& status, int attempt) const {
+    return status.IsUnavailable() && attempt < policy_.max_attempts;
+  }
+
+  void Backoff(int attempt);
+
+  RetryPolicy policy_;
+  SleepFn sleep_;
+  Rng rng_;
+  int attempts_ = 0;
+  double backoff_seconds_ = 0.0;
+};
+
+}  // namespace sdw::common
+
+#endif  // SDW_COMMON_RETRY_H_

@@ -111,16 +111,28 @@ Result<CopyStats> CopyExecutor::CopyFromUri(const std::string& table,
   backup::S3Region* region = s3_->region(default_region_);
   const std::string full_prefix = bucket_prefix.first + "/" +
                                   bucket_prefix.second;
+  // Transient S3 unavailability degrades to latency, not error: each
+  // fetch gets a bounded retry budget with backoff (§2.1 — loads run
+  // for hours; one throttled GET must not fail the COPY).
+  common::Retry retry(options.retry);
   std::vector<std::string> payloads;
-  for (const std::string& key : region->ListPrefix(full_prefix)) {
-    SDW_ASSIGN_OR_RETURN(Bytes data, region->GetObject(key));
+  const std::vector<std::string> keys = region->ListPrefix(full_prefix);
+  for (const std::string& key : keys) {
+    SDW_ASSIGN_OR_RETURN(
+        Bytes data, retry.Call<Bytes>([&] { return region->GetObject(key); }));
     payloads.emplace_back(reinterpret_cast<const char*>(data.data()),
                           data.size());
   }
   if (payloads.empty()) {
     return Status::NotFound("no objects under '" + uri + "'");
   }
-  return CopyFromPayloads(table, payloads, options);
+  SDW_ASSIGN_OR_RETURN(CopyStats stats,
+                       CopyFromPayloads(table, payloads, options));
+  stats.s3_retry_attempts =
+      retry.attempts() - static_cast<int>(keys.size());
+  stats.retry_backoff_seconds = retry.backoff_seconds();
+  stats.modeled_seconds += retry.backoff_seconds();
+  return stats;
 }
 
 }  // namespace sdw::load

@@ -10,6 +10,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "common/result.h"
+#include "common/retry.h"
 
 namespace sdw::load {
 
@@ -28,6 +29,11 @@ struct CopyOptions {
   /// distributed (and the analyzer sampled) in file order either way,
   /// so loads are byte-identical across settings.
   int pool_size = -1;
+  /// Bounded retry for object fetches: transient S3 unavailability
+  /// degrades to latency (folded into modeled_seconds) instead of a
+  /// failed load; an outage longer than the budget still surfaces as
+  /// kUnavailable.
+  common::RetryPolicy retry;
 };
 
 struct CopyStats {
@@ -41,6 +47,10 @@ struct CopyStats {
   /// parallelized across slices, with each slice reading data in
   /// parallel, distributing as needed, and sorting locally").
   double modeled_seconds = 0;
+  /// Object-fetch attempts beyond the first (transient S3 faults that
+  /// were retried away) and the virtual backoff they cost.
+  int s3_retry_attempts = 0;
+  double retry_backoff_seconds = 0;
 };
 
 /// Executes the Redshift-style COPY: reads objects from the simulated

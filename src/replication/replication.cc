@@ -1,5 +1,7 @@
 #include "replication/replication.h"
 
+#include <string>
+
 #include "common/logging.h"
 
 namespace sdw::replication {
@@ -22,15 +24,29 @@ std::vector<int> ReplicationManager::CohortPeers(int node) const {
   return peers;
 }
 
-int ReplicationManager::PickSecondary(int primary) {
-  std::vector<int> peers = CohortPeers(primary);
-  // A trailing partial cohort may be a singleton; fall back to any other
-  // node so the copy still lands off-node.
-  if (peers.empty()) {
-    int other = (primary + 1) % num_nodes();
-    return other;
+int ReplicationManager::PickSecondaryLocked(int primary) {
+  std::vector<int> peers;
+  for (int peer : CohortPeers(primary)) {
+    if (!failed_nodes_.count(peer)) peers.push_back(peer);
   }
-  return peers[rr_counter_[primary]++ % peers.size()];
+  if (!peers.empty()) {
+    return peers[rr_counter_[primary]++ % peers.size()];
+  }
+  // Cohort exhausted (trailing singleton cohort, or every peer failed):
+  // fall back to any healthy node so the copy still lands off-node.
+  for (int offset = 1; offset < num_nodes(); ++offset) {
+    const int other = (primary + offset) % num_nodes();
+    if (!failed_nodes_.count(other)) return other;
+  }
+  return -1;
+}
+
+void ReplicationManager::RecordPlacementLocked(storage::BlockId id,
+                                               int primary, int secondary) {
+  placements_[id] = {primary, secondary};
+  if (secondary < 0) {
+    degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 Result<storage::BlockId> ReplicationManager::Write(int primary_node,
@@ -38,51 +54,169 @@ Result<storage::BlockId> ReplicationManager::Write(int primary_node,
   if (primary_node < 0 || primary_node >= num_nodes()) {
     return Status::InvalidArgument("bad primary node");
   }
-  if (failed_nodes_.count(primary_node)) {
-    return Status::Unavailable("primary node is failed");
+  int secondary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_nodes_.count(primary_node)) {
+      return Status::Unavailable("primary node is failed");
+    }
+    secondary = PickSecondaryLocked(primary_node);
   }
   const storage::BlockId id = storage::BlockStore::Allocate();
-  const int secondary = PickSecondary(primary_node);
   SDW_RETURN_IF_ERROR(stores_[primary_node]->Put(id, data));
-  SDW_RETURN_IF_ERROR(stores_[secondary]->Put(id, std::move(data)));
-  placements_[id] = {primary_node, secondary};
+  // Replicate the *stored* form so at-rest transforms apply once.
+  Status copied = Status::OK();
+  if (secondary >= 0) {
+    auto stored = stores_[primary_node]->GetStored(id);
+    copied = stored.ok()
+                 ? stores_[secondary]->PutRaw(id, *std::move(stored))
+                 : stored.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (secondary >= 0 && copied.ok()) {
+    RecordPlacementLocked(id, primary_node, secondary);
+  } else {
+    // Secondary copy didn't land: record a single-copy placement rather
+    // than leaking an orphaned primary copy; ReReplicate() heals it.
+    if (!copied.ok()) {
+      SDW_LOG(Warning) << "secondary copy of block " << id << " on node "
+                       << secondary << " failed (" << copied.ToString()
+                       << "); degrading to single-copy";
+    }
+    RecordPlacementLocked(id, primary_node, -1);
+  }
   return id;
 }
 
-Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
-  auto it = placements_.find(id);
-  if (it == placements_.end()) {
-    return Status::NotFound("unknown block " + std::to_string(id));
+Status ReplicationManager::Replicate(int primary_node, storage::BlockId id,
+                                     const Bytes& stored) {
+  if (primary_node < 0 || primary_node >= num_nodes()) {
+    return Status::InvalidArgument("bad primary node");
   }
-  const Placement& p = it->second;
-  if (p.primary >= 0 && !failed_nodes_.count(p.primary)) {
+  int secondary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    secondary = PickSecondaryLocked(primary_node);
+  }
+  Status copied = Status::OK();
+  if (secondary >= 0) {
+    copied = stores_[secondary]->PutRaw(id, stored);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (secondary >= 0 && copied.ok()) {
+    RecordPlacementLocked(id, primary_node, secondary);
+    return Status::OK();
+  }
+  if (!copied.ok()) {
+    SDW_LOG(Warning) << "secondary copy of block " << id << " on node "
+                     << secondary << " failed (" << copied.ToString()
+                     << "); degrading to single-copy";
+  }
+  RecordPlacementLocked(id, primary_node, -1);
+  return Status::OK();
+}
+
+Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
+  Placement p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(id);
+    if (it == placements_.end()) {
+      return Status::NotFound("unknown block " + std::to_string(id));
+    }
+    p = it->second;
+  }
+  const bool primary_live = p.primary >= 0 && !IsNodeFailed(p.primary);
+  if (primary_live) {
     auto primary_read = stores_[p.primary]->Get(id);
     if (primary_read.ok()) return primary_read;
   }
-  if (p.secondary >= 0 && !failed_nodes_.count(p.secondary)) {
+  if (p.secondary >= 0 && !IsNodeFailed(p.secondary)) {
     auto secondary_read = stores_[p.secondary]->Get(id);
-    if (secondary_read.ok()) return secondary_read;
+    if (secondary_read.ok()) {
+      masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      return secondary_read;
+    }
   }
   return Status::Unavailable("all replicas of block " + std::to_string(id) +
                              " are lost");
 }
 
-void ReplicationManager::FailNode(int node) {
+Result<Bytes> ReplicationManager::ReadReplicaExcluding(storage::BlockId id,
+                                                       int exclude_node) {
+  Placement p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(id);
+    if (it == placements_.end()) {
+      return Status::NotFound("block " + std::to_string(id) +
+                              " is not replication-tracked");
+    }
+    p = it->second;
+  }
+  for (int node : {p.primary, p.secondary}) {
+    if (node < 0 || node == exclude_node || IsNodeFailed(node)) continue;
+    auto replica = stores_[node]->GetStored(id);
+    if (replica.ok()) {
+      masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      return replica;
+    }
+  }
+  return Status::Unavailable("no healthy replica of block " +
+                             std::to_string(id) + " outside node " +
+                             std::to_string(exclude_node));
+}
+
+bool ReplicationManager::HasPlacement(storage::BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return placements_.count(id) > 0;
+}
+
+void ReplicationManager::MarkNodeFailed(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
   failed_nodes_.insert(node);
+}
+
+void ReplicationManager::FailNode(int node) {
+  MarkNodeFailed(node);
   for (storage::BlockId id : stores_[node]->ListIds()) {
     stores_[node]->DropForTest(id);
   }
 }
 
+void ReplicationManager::RestoreNode(int node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_nodes_.erase(node);
+}
+
+bool ReplicationManager::IsNodeFailed(int node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_nodes_.count(node) > 0;
+}
+
+std::vector<int> ReplicationManager::FailedNodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<int>(failed_nodes_.begin(), failed_nodes_.end());
+}
+
 Result<int> ReplicationManager::ReReplicate() {
+  // Snapshot under the lock, copy blocks outside it: re-replication
+  // streams data between stores and must not block writers/readers.
+  std::vector<std::pair<storage::BlockId, Placement>> snapshot;
+  std::set<int> failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(placements_.begin(), placements_.end());
+    failed = failed_nodes_;
+  }
   int restored = 0;
-  for (auto& [id, placement] : placements_) {
+  for (auto& [id, placement] : snapshot) {
     const bool primary_ok =
-        placement.primary >= 0 && !failed_nodes_.count(placement.primary) &&
+        placement.primary >= 0 && !failed.count(placement.primary) &&
         stores_[placement.primary]->Contains(id);
     const bool secondary_ok =
         placement.secondary >= 0 &&
-        !failed_nodes_.count(placement.secondary) &&
+        !failed.count(placement.secondary) &&
         stores_[placement.secondary]->Contains(id);
     if (primary_ok && secondary_ok) continue;
     if (!primary_ok && !secondary_ok) continue;  // lost; backup's job now
@@ -90,7 +224,7 @@ Result<int> ReplicationManager::ReReplicate() {
     // New home: a healthy cohort peer of the survivor.
     int target = -1;
     for (int peer : CohortPeers(survivor)) {
-      if (!failed_nodes_.count(peer) && !stores_[peer]->Contains(id)) {
+      if (!failed.count(peer) && !stores_[peer]->Contains(id)) {
         target = peer;
         break;
       }
@@ -98,40 +232,81 @@ Result<int> ReplicationManager::ReReplicate() {
     if (target < 0) {
       // Cohort exhausted: place anywhere healthy.
       for (int n = 0; n < num_nodes(); ++n) {
-        if (n != survivor && !failed_nodes_.count(n) &&
-            !stores_[n]->Contains(id)) {
+        if (n != survivor && !failed.count(n) && !stores_[n]->Contains(id)) {
           target = n;
           break;
         }
       }
     }
     if (target < 0) continue;
-    SDW_ASSIGN_OR_RETURN(Bytes data, stores_[survivor]->Get(id));
-    SDW_RETURN_IF_ERROR(stores_[target]->Put(id, std::move(data)));
-    if (primary_ok) {
-      placement.secondary = target;
-    } else {
-      placement.primary = target;
+    SDW_ASSIGN_OR_RETURN(Bytes data, stores_[survivor]->GetStored(id));
+    SDW_RETURN_IF_ERROR(stores_[target]->PutRaw(id, std::move(data)));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = placements_.find(id);
+      if (it != placements_.end()) {
+        if (primary_ok) {
+          it->second.secondary = target;
+        } else {
+          it->second.primary = target;
+        }
+      }
     }
     ++restored;
   }
   return restored;
 }
 
+void ReplicationManager::Remove(storage::BlockId id) {
+  Placement p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(id);
+    if (it == placements_.end()) return;
+    p = it->second;
+    placements_.erase(it);
+  }
+  for (int node : {p.primary, p.secondary}) {
+    if (node < 0 || node >= num_nodes()) continue;
+    (void)stores_[node]->Delete(id);  // NotFound is fine (already gone)
+  }
+}
+
 int ReplicationManager::ReplicaCount(storage::BlockId id) {
-  auto it = placements_.find(id);
-  if (it == placements_.end()) return 0;
+  Placement p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = placements_.find(id);
+    if (it == placements_.end()) return 0;
+    p = it->second;
+  }
   int count = 0;
-  for (int node : {it->second.primary, it->second.secondary}) {
-    if (node >= 0 && !failed_nodes_.count(node) &&
-        stores_[node]->Contains(id)) {
+  for (int node : {p.primary, p.secondary}) {
+    if (node >= 0 && !IsNodeFailed(node) && stores_[node]->Contains(id)) {
       ++count;
     }
   }
   return count;
 }
 
+int ReplicationManager::CountSingleCopyBlocks() {
+  int degraded = 0;
+  for (storage::BlockId id : AllBlocks()) {
+    if (ReplicaCount(id) == 1) ++degraded;
+  }
+  return degraded;
+}
+
+int ReplicationManager::CountLostBlocks() {
+  int lost = 0;
+  for (storage::BlockId id : AllBlocks()) {
+    if (ReplicaCount(id) == 0) ++lost;
+  }
+  return lost;
+}
+
 std::set<int> ReplicationManager::BlastRadius(int failed_node) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::set<int> impacted;
   for (const auto& [id, placement] : placements_) {
     if (placement.primary == failed_node && placement.secondary >= 0) {
@@ -145,6 +320,7 @@ std::set<int> ReplicationManager::BlastRadius(int failed_node) const {
 }
 
 std::vector<storage::BlockId> ReplicationManager::AllBlocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<storage::BlockId> ids;
   ids.reserve(placements_.size());
   for (const auto& [id, _] : placements_) ids.push_back(id);
@@ -153,6 +329,7 @@ std::vector<storage::BlockId> ReplicationManager::AllBlocks() const {
 
 Result<ReplicationManager::Placement> ReplicationManager::GetPlacement(
     storage::BlockId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = placements_.find(id);
   if (it == placements_.end()) return Status::NotFound("unknown block");
   return it->second;

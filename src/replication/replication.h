@@ -1,7 +1,9 @@
 #ifndef SDW_REPLICATION_REPLICATION_H_
 #define SDW_REPLICATION_REPLICATION_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -26,6 +28,11 @@ struct ReplicationConfig {
 /// re-replication (§2.1: "each data block is synchronously written to
 /// both its primary slice as well as to at least one secondary on a
 /// separate node").
+///
+/// Thread-safe: slices of every node write and mask reads through one
+/// manager concurrently. Placement metadata sits behind a mutex that
+/// is never held across store calls (stores have their own locks and
+/// fault handlers may route back here).
 class ReplicationManager {
  public:
   ReplicationManager(std::vector<storage::BlockStore*> node_stores,
@@ -40,26 +47,70 @@ class ReplicationManager {
   std::vector<int> CohortPeers(int node) const;
 
   /// Writes a block: primary copy on `primary_node`, secondary on a
-  /// cohort peer (round-robin). Synchronous — both copies or error.
+  /// healthy cohort peer (round-robin). If the secondary copy cannot
+  /// land (peer failed mid-put, or no healthy peer at all), the write
+  /// degrades to a tracked single-copy placement instead of leaking an
+  /// orphaned primary copy — ReReplicate() heals it later.
   Result<storage::BlockId> Write(int primary_node, Bytes data);
+
+  /// Records and replicates a block whose primary copy was already
+  /// written to `primary_node`'s store by someone else (the put
+  /// observer of a cluster node). `stored` is the stored/raw form;
+  /// the secondary copy lands via PutRaw so at-rest transforms are
+  /// not applied twice. Degrades to single-copy like Write.
+  Status Replicate(int primary_node, storage::BlockId id,
+                   const Bytes& stored);
 
   /// Reads a block, masking media failures: primary first, then the
   /// secondary (the read path customers never notice, §2.1).
   Result<Bytes> Read(storage::BlockId id);
 
-  /// Simulates whole-node media loss: all its blocks vanish.
+  /// Stored/raw bytes of `id` from any healthy replica other than
+  /// `exclude_node` — the masked-read path a node's fault handler uses
+  /// (it must never read through itself). Replica reads are
+  /// resident-only (GetStored) so two failed nodes cannot recurse into
+  /// each other's fault handlers. NotFound if the block is untracked.
+  Result<Bytes> ReadReplicaExcluding(storage::BlockId id, int exclude_node);
+
+  /// True if `id` has a placement record (written through replication).
+  bool HasPlacement(storage::BlockId id) const;
+
+  /// Marks a node failed for placement/read purposes without touching
+  /// its store — what the health loop uses on an unreachable node.
+  void MarkNodeFailed(int node);
+
+  /// Simulates whole-node media loss: marks the node failed AND drops
+  /// all its blocks.
   void FailNode(int node);
+
+  /// The node was replaced (control-plane workflow) and rejoined
+  /// empty-but-healthy: clears the failed mark so placement and
+  /// re-replication can use it again.
+  void RestoreNode(int node);
+
+  bool IsNodeFailed(int node) const;
+  std::vector<int> FailedNodes() const;
 
   /// Restores two-copy redundancy for every under-replicated block by
   /// copying from the surviving replica to another cohort peer.
   /// Returns the number of blocks re-replicated.
   Result<int> ReReplicate();
 
+  /// Drops every live copy of a block and forgets its placement
+  /// (vacuum / DROP TABLE cleanup — without this the secondary copy
+  /// would leak).
+  void Remove(storage::BlockId id);
+
   /// Copies of a block currently readable.
   int ReplicaCount(storage::BlockId id);
 
   /// True if at least one copy survives.
   bool IsReadable(storage::BlockId id) { return ReplicaCount(id) > 0; }
+
+  /// Tracked blocks currently down to exactly one live copy (degraded
+  /// but serving) and to zero copies (lost; backup's job).
+  int CountSingleCopyBlocks();
+  int CountLostBlocks();
 
   /// Nodes holding any replica that re-replication of `failed_node`
   /// would read from — the failure's blast radius.
@@ -75,16 +126,39 @@ class ReplicationManager {
   };
   Result<Placement> GetPlacement(storage::BlockId id) const;
 
+  // --- accounting ---
+
+  /// Writes that landed with one copy only (secondary put failed or no
+  /// healthy peer was available).
+  uint64_t degraded_writes() const {
+    return degraded_writes_.load(std::memory_order_relaxed);
+  }
+
+  /// Reads served from a non-primary replica.
+  uint64_t masked_reads() const {
+    return masked_reads_.load(std::memory_order_relaxed);
+  }
+
  private:
-  /// Picks the secondary node for a new block on `primary`.
-  int PickSecondary(int primary);
+  /// Picks the secondary node for a new block on `primary`: a healthy
+  /// cohort peer round-robin, any healthy node if the cohort is
+  /// exhausted, -1 if the fleet has no healthy peer at all.
+  int PickSecondaryLocked(int primary);
+
+  void RecordPlacementLocked(storage::BlockId id, int primary,
+                             int secondary);
 
   std::vector<storage::BlockStore*> stores_;
   ReplicationConfig config_;
+
+  mutable std::mutex mu_;
   Rng rng_;
   std::map<storage::BlockId, Placement> placements_;
   std::vector<uint64_t> rr_counter_;
   std::set<int> failed_nodes_;
+
+  std::atomic<uint64_t> degraded_writes_{0};
+  std::atomic<uint64_t> masked_reads_{0};
 };
 
 }  // namespace sdw::replication

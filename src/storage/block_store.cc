@@ -9,64 +9,142 @@ BlockId BlockStore::Allocate() {
   return next_id.fetch_add(1, std::memory_order_relaxed);
 }
 
-Status BlockStore::Put(BlockId id, Bytes data) {
-  if (write_transform_) {
-    SDW_ASSIGN_OR_RETURN(data, write_transform_(id, std::move(data)));
-  }
-  Stored stored;
-  stored.crc = Crc32c(data.data(), data.size());
-  const size_t size = data.size();
-  stored.data = std::move(data);
-  std::lock_guard<std::mutex> lock(mu_);
+Status BlockStore::StoreLocked(BlockId id, Bytes data, uint32_t crc,
+                               bool verified) {
   if (blocks_.count(id)) {
     return Status::AlreadyExists("block " + std::to_string(id) +
                                  " already stored (blocks are immutable)");
   }
-  total_bytes_ += size;
+  Stored stored;
+  stored.crc = crc;
+  stored.verified = verified;
+  total_bytes_ += data.size();
+  stored.data = std::move(data);
   blocks_[id] = std::move(stored);
   return Status::OK();
 }
 
-Result<Bytes> BlockStore::GetRaw(BlockId id) {
-  reads_.fetch_add(1, std::memory_order_relaxed);
+Status BlockStore::Put(BlockId id, Bytes data) {
+  if (write_transform_) {
+    SDW_ASSIGN_OR_RETURN(data, write_transform_(id, std::move(data)));
+  }
+  if (write_fault_ != nullptr) {
+    SDW_RETURN_IF_ERROR(write_fault_->OnCall());
+  }
+  const uint32_t crc = Crc32c(data.data(), data.size());
+  Bytes for_observer;
+  if (put_observer_) for_observer = data;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = blocks_.find(id);
-    if (it != blocks_.end()) {
-      Stored& stored = it->second;
-      if (!stored.verified) {
-        if (Crc32c(stored.data.data(), stored.data.size()) != stored.crc) {
-          return Status::Corruption("block " + std::to_string(id) +
-                                    " failed checksum");
+    SDW_RETURN_IF_ERROR(StoreLocked(id, std::move(data), crc,
+                                    /*verified=*/false));
+  }
+  // The observer (synchronous replication) writes the secondary copy on
+  // a *different* store; it must run unlocked or concurrent cross-node
+  // puts would order locks between stores.
+  if (put_observer_) put_observer_(id, for_observer);
+  return Status::OK();
+}
+
+Status BlockStore::PutRaw(BlockId id, Bytes stored) {
+  if (write_fault_ != nullptr) {
+    SDW_RETURN_IF_ERROR(write_fault_->OnCall());
+  }
+  const uint32_t crc = Crc32c(stored.data(), stored.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return StoreLocked(id, std::move(stored), crc, /*verified=*/false);
+}
+
+Result<Bytes> BlockStore::GetRaw(BlockId id) {
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  // Chaos first: a firing read point turns this call into a local media
+  // failure even if the block is resident, so masking is exercised end
+  // to end.
+  Status miss = Status::OK();
+  if (read_fault_ != nullptr) miss = read_fault_->OnCall();
+
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (miss.ok()) {
+      auto it = blocks_.find(id);
+      if (it != blocks_.end()) {
+        Stored& stored = it->second;
+        if (stored.verified ||
+            Crc32c(stored.data.data(), stored.data.size()) == stored.crc) {
+          stored.verified = true;
+          read_bytes_.fetch_add(stored.data.size(),
+                                std::memory_order_relaxed);
+          return stored.data;
         }
-        stored.verified = true;
+        // A checksum mismatch is a media failure: drop the bad copy and
+        // fall through to the fault path so a replica can mask it.
+        miss = Status::Corruption("block " + std::to_string(id) +
+                                  " failed checksum");
+        total_bytes_ -= stored.data.size();
+        blocks_.erase(it);
+      } else {
+        miss = Status::Unavailable("block " + std::to_string(id) +
+                                   " not on local storage");
       }
-      read_bytes_.fetch_add(stored.data.size(), std::memory_order_relaxed);
-      return stored.data;
+    }
+    if (!fault_handler_) return miss;
+    // Single-flight: racing faults of the same block share one fetch.
+    auto fit = inflight_.find(id);
+    if (fit != inflight_.end()) {
+      flight = fit->second;
+    } else {
+      flight = std::make_shared<Inflight>();
+      inflight_[id] = flight;
+      leader = true;
+    }
+    if (!leader) {
+      flight->cv.wait(lock, [&] { return flight->done; });
+      return flight->result;
     }
   }
-  if (!fault_handler_) {
-    return Status::Unavailable("block " + std::to_string(id) +
-                               " not on local storage");
-  }
-  // Miss: fault the block in. The handler runs unlocked (it may reach
-  // other stores); a racing fault of the same block just re-stores the
-  // identical immutable bytes.
+  // Leader: fault the block in. The handler runs unlocked — it may
+  // reach replica stores or S3, which route through other locks.
   faults_.fetch_add(1, std::memory_order_relaxed);
-  auto fetched = fault_handler_(id);
-  if (!fetched.ok()) return fetched.status();
-  Bytes data = std::move(fetched).ValueOrDie();
-  read_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
-  // Page the block back in (stored form) for future reads.
-  Stored stored;
-  stored.crc = Crc32c(data.data(), data.size());
-  stored.data = data;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!blocks_.count(id)) {
-    total_bytes_ += data.size();
-    blocks_[id] = std::move(stored);
+  Result<Bytes> fetched = fault_handler_(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fetched.ok()) {
+      const Bytes& data = *fetched;
+      read_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+      // Page the block back in (stored form) for future reads.
+      if (!blocks_.count(id)) {
+        const uint32_t crc = Crc32c(data.data(), data.size());
+        (void)StoreLocked(id, data, crc, /*verified=*/true);
+      }
+    }
+    flight->result = fetched;
+    flight->done = true;
+    inflight_.erase(id);
   }
-  return data;
+  flight->cv.notify_all();
+  return fetched;
+}
+
+Result<Bytes> BlockStore::GetStored(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return Status::Unavailable("block " + std::to_string(id) +
+                               " not resident");
+  }
+  Stored& stored = it->second;
+  if (!stored.verified) {
+    if (Crc32c(stored.data.data(), stored.data.size()) != stored.crc) {
+      return Status::Corruption("block " + std::to_string(id) +
+                                " failed checksum");
+    }
+    stored.verified = true;
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  read_bytes_.fetch_add(stored.data.size(), std::memory_order_relaxed);
+  return stored.data;
 }
 
 Result<Bytes> BlockStore::Get(BlockId id) {
@@ -94,6 +172,15 @@ std::vector<BlockId> BlockStore::ListIds() const {
   ids.reserve(blocks_.size());
   for (const auto& [id, _] : blocks_) ids.push_back(id);
   return ids;
+}
+
+void BlockStore::DropForTest(BlockId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blocks_.find(id);
+  if (it != blocks_.end()) {
+    total_bytes_ -= it->second.data.size();
+    blocks_.erase(it);
+  }
 }
 
 void BlockStore::CorruptForTest(BlockId id) {

@@ -2,13 +2,16 @@
 #define SDW_STORAGE_BLOCK_STORE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 
 namespace sdw::storage {
@@ -26,8 +29,15 @@ class BlockStore {
  public:
   /// Called on a read miss (media failure / not yet restored). If it
   /// returns bytes, the block is "page-faulted" back into the store —
-  /// the streaming-restore path of §2.3.
+  /// the streaming-restore path of §2.3 and the replica-masking path
+  /// of §2.1.
   using FaultHandler = std::function<Result<Bytes>(BlockId)>;
+
+  /// Called after every successful Put with the *stored* (transformed)
+  /// bytes — the hook synchronous replication hangs off of. Runs
+  /// outside the store lock. PutRaw (replica copies, restores) does
+  /// not notify, so replication never re-replicates its own writes.
+  using PutObserver = std::function<void(BlockId, const Bytes& stored)>;
 
   /// Optional at-rest transforms (the §3.2 encryption checkbox): the
   /// write transform runs before bytes hit the device, the read
@@ -46,12 +56,28 @@ class BlockStore {
   static BlockId Allocate();
 
   /// Stores a block. Fails if the id is already present (blocks are
-  /// immutable) .
+  /// immutable).
   Status Put(BlockId id, Bytes data);
 
+  /// Stores already-transformed bytes (a replica copy or a restored
+  /// block): no write transform, no put observer.
+  Status PutRaw(BlockId id, Bytes stored);
+
   /// Reads and checksum-verifies a block. On a miss, consults the fault
-  /// handler; on checksum mismatch returns Corruption.
+  /// handler; on checksum mismatch the bad copy is dropped and the
+  /// fault handler gets a chance to mask the failure from a replica.
+  /// Without a handler, misses return Unavailable and bad checksums
+  /// Corruption. Concurrent faults of one block share a single fetch.
   Result<Bytes> Get(BlockId id);
+
+  /// Raw stored bytes, bypassing the read transform (backup uploads and
+  /// at-rest inspection). Same miss/fault semantics as Get.
+  Result<Bytes> GetRaw(BlockId id);
+
+  /// Resident-only raw read: never consults the fault handler or the
+  /// chaos point. This is what replication peers use to serve masked
+  /// reads — a miss here must not recurse into *their* fault handlers.
+  Result<Bytes> GetStored(BlockId id);
 
   /// Removes a block (e.g., superseded after vacuum or re-replication).
   Status Delete(BlockId id);
@@ -68,6 +94,10 @@ class BlockStore {
     fault_handler_ = std::move(handler);
   }
 
+  void set_put_observer(PutObserver observer) {
+    put_observer_ = std::move(observer);
+  }
+
   void set_write_transform(TransformFn transform) {
     write_transform_ = std::move(transform);
   }
@@ -75,17 +105,19 @@ class BlockStore {
     read_transform_ = std::move(transform);
   }
 
-  /// Raw stored bytes, bypassing the read transform (backup uploads and
-  /// at-rest inspection).
-  Result<Bytes> GetRaw(BlockId id);
+  // --- fault injection (chaos tests & durability benches) ---
 
-  // --- fault injection (tests & durability benches) ---
+  /// Injects scripted faults into the read path: a firing point makes
+  /// the read behave as a local media failure (even for resident
+  /// blocks), exercising the replica/S3 masking chain end to end.
+  void set_read_fault(chaos::FaultPoint* point) { read_fault_ = point; }
+
+  /// Injects scripted faults into Put/PutRaw (device write failures —
+  /// how tests script "the secondary copy failed to land").
+  void set_write_fault(chaos::FaultPoint* point) { write_fault_ = point; }
 
   /// Simulates media loss of one block (data gone, id forgotten).
-  void DropForTest(BlockId id) {
-    std::lock_guard<std::mutex> lock(mu_);
-    blocks_.erase(id);
-  }
+  void DropForTest(BlockId id);
 
   /// Flips one payload byte without updating the checksum.
   void CorruptForTest(BlockId id);
@@ -119,20 +151,37 @@ class BlockStore {
     bool verified = false;
   };
 
+  /// One fault-in in flight per block id: the first thread to miss
+  /// fetches through the fault handler, racing threads wait on the
+  /// shared slot. Keeps the fault count deterministic under
+  /// concurrency and fetches each block at most once.
+  struct Inflight {
+    std::condition_variable cv;
+    bool done = false;
+    Result<Bytes> result{Status::Unavailable("fault-in pending")};
+  };
+
+  Status StoreLocked(BlockId id, Bytes data, uint32_t crc, bool verified);
+
   /// One node's slices scan through the same device concurrently, so
   /// the block map (and the verified-flag mutation inside it) sits
   /// behind a lock; the hot counters are relaxed atomics. The fault
-  /// handler is invoked outside the lock — it may fetch from a remote
-  /// store that routes back through other BlockStores.
+  /// handler and the put observer are invoked outside the lock — both
+  /// may reach other BlockStores, and holding our lock across that
+  /// would order locks between stores (ABBA deadlock).
   mutable std::mutex mu_;
   std::map<BlockId, Stored> blocks_;
+  std::map<BlockId, std::shared_ptr<Inflight>> inflight_;
   uint64_t total_bytes_ = 0;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> read_bytes_{0};
   std::atomic<uint64_t> faults_{0};
   FaultHandler fault_handler_;
+  PutObserver put_observer_;
   TransformFn write_transform_;
   TransformFn read_transform_;
+  chaos::FaultPoint* read_fault_ = nullptr;
+  chaos::FaultPoint* write_fault_ = nullptr;
 };
 
 }  // namespace sdw::storage

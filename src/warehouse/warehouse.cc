@@ -74,6 +74,79 @@ Warehouse::Warehouse(WarehouseOptions options)
         std::move(hierarchy).ValueOrDie());
     WireEncryption();
   }
+  SyncHostManagers();
+}
+
+void Warehouse::SyncHostManagers() {
+  host_managers_.clear();
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    host_managers_.emplace_back(options_.host_manager);
+  }
+}
+
+Result<HealthStats> Warehouse::RunHealthSweep() {
+  replication::ReplicationManager* repl = cluster_->replication();
+  if (repl == nullptr) {
+    return Status::FailedPrecondition(
+        "health sweep requires a replicated cluster (set "
+        "ClusterConfig::replicate with >= 2 nodes)");
+  }
+  HealthStats stats;
+  std::vector<int> to_replace;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    const bool dead = repl->IsNodeFailed(n);
+    const bool flaky =
+        cluster_->node_read_failures(n) >=
+        static_cast<uint64_t>(options_.health_read_failure_threshold);
+    if (!dead && !flaky) {
+      host_managers_[n].OnHeartbeat();
+      continue;
+    }
+    ++stats.unhealthy_nodes;
+    if (dead) {
+      // No process left to restart: straight to replacement.
+      to_replace.push_back(n);
+      continue;
+    }
+    // Repeated masked read failures look like a crashing/sick process:
+    // the host manager restarts it locally until its budget runs out.
+    if (host_managers_[n].OnProcessCrash()) {
+      ++stats.restarts;
+      cluster_->ResetNodeReadFailures(n);
+    } else {
+      SDW_LOG(Warning) << "node " << n
+                       << " exceeded its restart budget; escalating to "
+                          "control-plane replacement";
+      repl->FailNode(n);
+      to_replace.push_back(n);
+    }
+  }
+
+  // Heal what can be healed before (and regardless of) replacements:
+  // every under-replicated block with a healthy peer gets its second
+  // copy back.
+  SDW_ASSIGN_OR_RETURN(int rereplicated, repl->ReReplicate());
+  stats.blocks_rereplicated = static_cast<uint64_t>(rereplicated);
+
+  for (int n : to_replace) {
+    controlplane::OpResult op = control_plane_.ReplaceNode();
+    ++stats.escalations;
+    stats.control_plane_seconds += op.seconds;
+    // The replacement node comes up empty but healthy; the next sweep's
+    // ReReplicate() refills it.
+    repl->RestoreNode(n);
+    cluster_->ResetNodeReadFailures(n);
+    host_managers_[n] = controlplane::HostManager(options_.host_manager);
+  }
+
+  stats.single_copy_blocks = repl->CountSingleCopyBlocks();
+  stats.lost_blocks = repl->CountLostBlocks();
+  if (stats.single_copy_blocks > 0) {
+    SDW_LOG(Warning) << stats.single_copy_blocks
+                     << " blocks at a single copy (degraded mode: serving "
+                        "continues, next sweep re-replicates)";
+  }
+  return stats;
 }
 
 void Warehouse::WireEncryption() { WireEncryptionOn(cluster_.get()); }
@@ -275,6 +348,7 @@ Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
   // Page-faulted blocks arrive as stored (encrypted) bytes; reads must
   // keep unwrapping them.
   WireEncryption();
+  SyncHostManagers();
   return Status::OK();
 }
 
@@ -293,6 +367,7 @@ Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
                        }));
   // Move the SQL endpoint and decommission the source (§3.1).
   cluster_ = std::move(target);
+  SyncHostManagers();
   return stats;
 }
 

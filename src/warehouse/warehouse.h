@@ -10,9 +10,11 @@
 #include "cluster/cluster.h"
 #include "cluster/executor.h"
 #include "common/result.h"
+#include "controlplane/control_plane.h"
 #include "load/copy.h"
 #include "plan/planner.h"
 #include "security/keychain.h"
+#include "sim/engine.h"
 #include "sql/parser.h"
 
 namespace sdw::warehouse {
@@ -42,6 +44,30 @@ struct WarehouseOptions {
   /// rest under a per-block key wrapped by the cluster key wrapped by
   /// the master key. Backups upload the ciphertext.
   bool encrypted = false;
+  /// Masked read failures on a node before the health sweep treats it
+  /// as a crashing process (host-manager restart, then escalation).
+  int health_read_failure_threshold = 3;
+  /// Per-node host-manager policy (restart budget before escalating).
+  controlplane::HostManager::Config host_manager;
+};
+
+/// Outcome of one health sweep (§2.2: host managers restart, the
+/// control plane replaces).
+struct HealthStats {
+  /// Nodes that showed trouble this sweep (dead or over threshold).
+  int unhealthy_nodes = 0;
+  /// Local process restarts performed by host managers.
+  int restarts = 0;
+  /// Nodes escalated to a control-plane replacement workflow.
+  int escalations = 0;
+  /// Blocks copied back to two-copy during this sweep.
+  uint64_t blocks_rereplicated = 0;
+  /// Blocks still at one copy after the sweep (degraded but serving).
+  uint64_t single_copy_blocks = 0;
+  /// Blocks with no live replica (only reachable via S3 page faults).
+  uint64_t lost_blocks = 0;
+  /// Simulated seconds spent in control-plane replacement workflows.
+  double control_plane_seconds = 0;
 };
 
 /// The customer-facing endpoint: a SQL-speaking, fully-managed
@@ -91,11 +117,29 @@ class Warehouse {
   /// Key hierarchy (null when not encrypted).
   security::KeyHierarchy* keys() { return keys_.get(); }
 
+  /// One pass of the health/recovery loop (§2.2 "escalators, not
+  /// elevators"): per node, a dead store or repeated masked read
+  /// failures count as a process crash — the host manager restarts it
+  /// locally until its budget runs out, then escalates to the control
+  /// plane's node-replacement workflow. Every sweep re-replicates
+  /// under-replicated blocks and reports remaining degradation; a
+  /// single-copy cluster keeps serving with a warning (degrade, don't
+  /// fail). Requires a replicated cluster.
+  Result<HealthStats> RunHealthSweep();
+
+  /// Control-plane access for tooling and benches.
+  controlplane::ControlPlane* control_plane() { return &control_plane_; }
+  sim::Engine* health_engine() { return &health_engine_; }
+
  private:
   /// Installs the encrypt/decrypt transforms on every node store of the
   /// current cluster (called at creation, after resize and restore).
   void WireEncryption();
   void WireEncryptionOn(cluster::Cluster* target);
+
+  /// (Re)creates one host manager per node of the current cluster
+  /// (called at creation and after restore/resize swap the cluster).
+  void SyncHostManagers();
 
   WarehouseOptions options_;
   std::unique_ptr<security::ServiceKeyProvider> master_provider_;
@@ -105,6 +149,9 @@ class Warehouse {
   std::unique_ptr<cluster::Cluster> cluster_;
   backup::S3 s3_;
   backup::BackupManager backups_;
+  sim::Engine health_engine_;
+  controlplane::ControlPlane control_plane_{&health_engine_};
+  std::vector<controlplane::HostManager> host_managers_;
 };
 
 }  // namespace sdw::warehouse
