@@ -99,5 +99,19 @@ int main() {
   }
   std::cout << "Streaming restore done; the table is back:\n\n";
   Run(&wh, "SELECT COUNT(*) AS rows FROM pageviews");
+
+  // The warehouse monitors itself through SQL (§2.2): per-query
+  // history, execution traces, and the block-level storage layout are
+  // plain tables, and EXPLAIN ANALYZE annotates the plan with what
+  // actually happened.
+  Run(&wh,
+      "EXPLAIN ANALYZE SELECT url, COUNT(*) AS hits FROM pageviews "
+      "GROUP BY url ORDER BY hits DESC LIMIT 5");
+  Run(&wh,
+      "SELECT query_id, status, elapsed, result_rows, blocks_decoded "
+      "FROM stl_query ORDER BY elapsed DESC LIMIT 5");
+  Run(&wh,
+      "SELECT tbl, COUNT(*) AS blocks, SUM(rows) AS stored_rows "
+      "FROM stv_blocklist GROUP BY tbl ORDER BY tbl");
   return 0;
 }

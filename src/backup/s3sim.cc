@@ -1,5 +1,7 @@
 #include "backup/s3sim.h"
 
+#include "obs/registry.h"
+
 namespace sdw::backup {
 
 Status S3Region::CheckAvailable() const {
@@ -12,6 +14,8 @@ Status S3Region::CheckAvailable() const {
 Status S3Region::PutObject(const std::string& key, Bytes data) {
   SDW_RETURN_IF_ERROR(CheckAvailable());
   puts_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* puts = obs::Registry::Global().counter("s3.puts");
+  puts->Add();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it != objects_.end()) {
@@ -25,6 +29,8 @@ Status S3Region::PutObject(const std::string& key, Bytes data) {
 Result<Bytes> S3Region::GetObject(const std::string& key) const {
   SDW_RETURN_IF_ERROR(CheckAvailable());
   gets_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* gets = obs::Registry::Global().counter("s3.gets");
+  gets->Add();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {

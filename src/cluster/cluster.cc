@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "zorder/zorder.h"
 
 namespace sdw::cluster {
@@ -139,6 +141,12 @@ Result<Bytes> Cluster::FaultRead(int node, storage::BlockId id) {
     auto replica = replication_->ReadReplicaExcluding(id, node);
     if (replica.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* masked =
+          obs::Registry::Global().counter("cluster.masked_reads");
+      masked->Add();
+      if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {
+        ++span->masked_reads;
+      }
       return replica;
     }
   }
@@ -146,6 +154,12 @@ Result<Bytes> Cluster::FaultRead(int node, storage::BlockId id) {
     auto paged = page_fault_(id);
     if (paged.ok()) {
       s3_fault_reads_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* s3_faults =
+          obs::Registry::Global().counter("cluster.s3_fault_reads");
+      s3_faults->Add();
+      if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {
+        ++span->s3_fault_reads;
+      }
     }
     return paged;
   }

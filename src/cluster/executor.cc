@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "exec/operators.h"
 #include "exec/row_executor.h"
+#include "obs/registry.h"
 
 namespace sdw::cluster {
 
@@ -96,7 +97,8 @@ exec::Batch CopyBatch(const exec::Batch& batch) {
 }  // namespace
 
 Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
-    const plan::PhysicalQuery& query, ExecStats* stats) {
+    const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
+    obs::Span* root) {
   const int slices = cluster_->total_slices();
   SDW_ASSIGN_OR_RETURN(int probe_slices,
                        ScanSliceCount(cluster_, query.scan.table));
@@ -123,13 +125,29 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                            ScanOutputTypes(cluster_, join.build));
       std::vector<exec::Batch> parts(build_slices);
       std::vector<double> part_seconds(build_slices, 0.0);
+      // Spans are created on the leader thread before the fan-out;
+      // workers only write their own span's counters (deque gives
+      // pointer stability), which keeps this TSan-clean.
+      obs::Span* bparent =
+          trace ? trace->AddSpan("broadcast", root->span_id, 1) : nullptr;
+      std::vector<obs::Span*> bspans(build_slices, nullptr);
+      if (trace) {
+        for (int s = 0; s < build_slices; ++s) {
+          bspans[s] = trace->AddSpan("broadcast scan", bparent->span_id, 0, s);
+        }
+      }
       SDW_RETURN_IF_ERROR(pool()->ParallelFor(
           build_slices, [&](int s) -> Status {
             auto start = std::chrono::steady_clock::now();
+            obs::ScopedSpan scoped(bspans[s]);
             SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
                                  BuildScan(cluster_, s, join.build));
             SDW_ASSIGN_OR_RETURN(parts[s], exec::Collect(op.get()));
             part_seconds[s] = Seconds(start);
+            if (bspans[s]) {
+              bspans[s]->counters.rows_out = parts[s].num_rows();
+              bspans[s]->real_seconds = part_seconds[s];
+            }
             return Status::OK();
           }));
       exec::Batch collected = exec::MakeBatch(build_types);
@@ -144,13 +162,18 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
       const uint64_t bytes = EstimateBytes(collected.columns);
       stats->network_bytes +=
           bytes * static_cast<uint64_t>(cluster_->num_nodes() - 1);
+      if (bparent) {
+        bparent->counters.bytes_shuffled =
+            bytes * static_cast<uint64_t>(cluster_->num_nodes() - 1);
+      }
       broadcast_build = std::move(collected);
     } else if (join.strategy == plan::JoinStrategy::kShuffle) {
       // Re-hash both sides on the join key across all slices.
       use_buckets = true;
       auto shuffle = [&](const plan::ScanSpec& spec,
                          const std::vector<int>& keys,
-                         std::vector<exec::Batch>* buckets) -> Status {
+                         std::vector<exec::Batch>* buckets,
+                         const char* label) -> Status {
         SDW_ASSIGN_OR_RETURN(int side_slices,
                              ScanSliceCount(cluster_, spec.table));
         SDW_ASSIGN_OR_RETURN(std::vector<TypeId> types,
@@ -161,9 +184,18 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         std::vector<std::vector<exec::Batch>> local(side_slices);
         std::vector<double> secs(side_slices, 0.0);
         std::vector<uint64_t> net(side_slices, 0);
+        obs::Span* sparent =
+            trace ? trace->AddSpan(label, root->span_id, 1) : nullptr;
+        std::vector<obs::Span*> sspans(side_slices, nullptr);
+        if (trace) {
+          for (int s = 0; s < side_slices; ++s) {
+            sspans[s] = trace->AddSpan("shuffle scan", sparent->span_id, 0, s);
+          }
+        }
         SDW_RETURN_IF_ERROR(pool()->ParallelFor(
             side_slices, [&](int s) -> Status {
               auto start = std::chrono::steady_clock::now();
+              obs::ScopedSpan scoped(sspans[s]);
               SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
                                    BuildScan(cluster_, s, spec));
               std::vector<exec::Batch>& mine = local[s];
@@ -171,11 +203,13 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
               for (int t = 0; t < slices; ++t) {
                 mine.push_back(exec::MakeBatch(types));
               }
+              uint64_t rows_routed = 0;
               while (true) {
                 SDW_ASSIGN_OR_RETURN(std::optional<exec::Batch> batch,
                                      op->Next());
                 if (!batch.has_value()) break;
                 const size_t n = batch->num_rows();
+                rows_routed += n;
                 for (size_t i = 0; i < n; ++i) {
                   const int target = static_cast<int>(
                       RowKeyHash(*batch, keys, i) %
@@ -195,6 +229,11 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                 }
               }
               secs[s] = Seconds(start);
+              if (sspans[s]) {
+                sspans[s]->counters.rows_out = rows_routed;
+                sspans[s]->counters.bytes_shuffled = net[s];
+                sspans[s]->real_seconds = secs[s];
+              }
               return Status::OK();
             }));
         buckets->clear();
@@ -213,10 +252,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         }
         return Status::OK();
       };
-      SDW_RETURN_IF_ERROR(
-          shuffle(query.scan, query.join->probe_keys, &probe_buckets));
-      SDW_RETURN_IF_ERROR(
-          shuffle(query.join->build, query.join->build_keys, &build_buckets));
+      SDW_RETURN_IF_ERROR(shuffle(query.scan, query.join->probe_keys,
+                                  &probe_buckets, "shuffle probe"));
+      SDW_RETURN_IF_ERROR(shuffle(query.join->build, query.join->build_keys,
+                                  &build_buckets, "shuffle build"));
     }
   }
 
@@ -225,9 +264,18 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
   std::vector<exec::Batch> outputs(pipeline_slices);
   std::vector<double> secs(pipeline_slices, 0.0);
   std::vector<uint64_t> net(pipeline_slices, 0);
+  obs::Span* pparent =
+      trace ? trace->AddSpan("pipeline", root->span_id, 2) : nullptr;
+  std::vector<obs::Span*> pspans(pipeline_slices, nullptr);
+  if (trace) {
+    for (int s = 0; s < pipeline_slices; ++s) {
+      pspans[s] = trace->AddSpan("slice pipeline", pparent->span_id, 0, s);
+    }
+  }
   SDW_RETURN_IF_ERROR(pool()->ParallelFor(
       pipeline_slices, [&](int s) -> Status {
         auto start = std::chrono::steady_clock::now();
+        obs::ScopedSpan scoped(pspans[s]);
         exec::OperatorPtr pipeline;
         if (use_buckets) {
           auto probe_types = probe_buckets[s].Types();
@@ -267,6 +315,11 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         secs[s] = Seconds(start);
         // Intermediate results stream back to the leader.
         net[s] = EstimateBytes(outputs[s].columns);
+        if (pspans[s]) {
+          pspans[s]->counters.rows_out = outputs[s].num_rows();
+          pspans[s]->counters.bytes_shuffled = net[s];
+          pspans[s]->real_seconds = secs[s];
+        }
         return Status::OK();
       }));
   for (int s = 0; s < pipeline_slices; ++s) {
@@ -277,7 +330,8 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
 }
 
 Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
-    const plan::PhysicalQuery& query, ExecStats* stats) {
+    const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
+    obs::Span* root) {
   if (query.join.has_value()) {
     return Status::NotSupported(
         "interpreted mode supports scan/filter/aggregate pipelines");
@@ -329,8 +383,17 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
   std::vector<exec::Batch> outputs(probe_slices);
   std::vector<double> secs(probe_slices, 0.0);
   std::vector<uint64_t> net(probe_slices, 0);
+  obs::Span* pparent =
+      trace ? trace->AddSpan("pipeline", root->span_id, 2) : nullptr;
+  std::vector<obs::Span*> pspans(probe_slices, nullptr);
+  if (trace) {
+    for (int s = 0; s < probe_slices; ++s) {
+      pspans[s] = trace->AddSpan("slice pipeline", pparent->span_id, 0, s);
+    }
+  }
   SDW_RETURN_IF_ERROR(pool()->ParallelFor(probe_slices, [&](int s) -> Status {
     auto start = std::chrono::steady_clock::now();
+    obs::ScopedSpan scoped(pspans[s]);
     SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
                          cluster_->shard(s, query.scan.table));
     exec::RowOperatorPtr pipe = exec::RowScan(shard, query.scan.columns);
@@ -344,6 +407,11 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
     SDW_ASSIGN_OR_RETURN(outputs[s], exec::CollectRows(pipe.get(), out_types));
     secs[s] = Seconds(start);
     net[s] = EstimateBytes(outputs[s].columns);
+    if (pspans[s]) {
+      pspans[s]->counters.rows_out = outputs[s].num_rows();
+      pspans[s]->counters.bytes_shuffled = net[s];
+      pspans[s]->real_seconds = secs[s];
+    }
     return Status::OK();
   }));
   for (int s = 0; s < probe_slices; ++s) {
@@ -356,23 +424,41 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
 Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   QueryResult result;
   ExecStats& stats = result.stats;
+  obs::Trace* trace = nullptr;
+  obs::Span* root = nullptr;
+  if (options_.trace) {
+    result.trace = std::make_shared<obs::Trace>();
+    trace = result.trace.get();
+    root = trace->AddSpan("query", -1, 0);
+  }
   ResetBlockCounters(cluster_);
-  // Masking counters are cumulative on the cluster; report the delta.
+  // Masking counters are cumulative and cluster-wide, so the delta
+  // double-counts when two executors interleave on one cluster. It is
+  // only the fallback for untraced runs; traced runs report per-query
+  // span sums instead.
   const uint64_t masked_before = cluster_->masked_reads();
   const uint64_t s3_faults_before = cluster_->s3_fault_reads();
   if (options_.mode == ExecutionMode::kCompiled) {
     stats.compile_seconds = options_.compile_seconds;
+    if (trace) {
+      obs::Span* compile = trace->AddSpan("compile", root->span_id, 0);
+      compile->real_seconds = options_.compile_seconds;
+    }
   }
 
   std::vector<exec::Batch> slice_outputs;
   if (options_.mode == ExecutionMode::kCompiled) {
-    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlices(query, &stats));
+    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlices(query, &stats, trace, root));
   } else {
-    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlicesInterpreted(query, &stats));
+    SDW_ASSIGN_OR_RETURN(slice_outputs,
+                         RunSlicesInterpreted(query, &stats, trace, root));
   }
 
   // --- Leader finalization. ---
   auto leader_start = std::chrono::steady_clock::now();
+  obs::Span* finalize =
+      trace ? trace->AddSpan("finalize", root->span_id, 3) : nullptr;
+  obs::ScopedSpan finalize_scope(finalize);
   std::vector<TypeId> types;
   for (const auto& b : slice_outputs) {
     if (b.num_columns() > 0) {
@@ -404,11 +490,29 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   SDW_ASSIGN_OR_RETURN(result.rows, exec::Collect(leader.get()));
   stats.leader_seconds = Seconds(leader_start);
   stats.result_rows = result.rows.num_rows();
-  stats.blocks_decoded = SumBlocksDecoded(cluster_);
-  stats.masked_reads = cluster_->masked_reads() - masked_before;
-  stats.s3_fault_reads = cluster_->s3_fault_reads() - s3_faults_before;
+  if (trace) {
+    finalize->counters.rows_out = result.rows.num_rows();
+    finalize->real_seconds = stats.leader_seconds;
+    // Per-query counters from the span tree: work done by other
+    // executors on the same cluster never leaks in here.
+    obs::SpanCounters total;
+    for (const auto& sp : trace->spans()) total += sp.counters;
+    stats.blocks_decoded = total.blocks_decoded;
+    stats.masked_reads = total.masked_reads;
+    stats.s3_fault_reads = total.s3_fault_reads;
+  } else {
+    stats.blocks_decoded = SumBlocksDecoded(cluster_);
+    stats.masked_reads = cluster_->masked_reads() - masked_before;
+    stats.s3_fault_reads = cluster_->s3_fault_reads() - s3_faults_before;
+  }
   cluster_->AddNetworkBytes(stats.network_bytes);
   result.column_names = query.output_names;
+  static obs::Counter* query_count =
+      obs::Registry::Global().counter("query.count");
+  static obs::Counter* query_rows =
+      obs::Registry::Global().counter("query.result_rows");
+  query_count->Add();
+  query_rows->Add(stats.result_rows);
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "exec/batch.h"
+#include "obs/trace.h"
 #include "plan/physical.h"
 
 namespace sdw::cluster {
@@ -30,6 +31,10 @@ struct ExecOptions {
   /// workers. Serial and parallel runs produce identical results and
   /// identical blocks_decoded counts.
   int pool_size = -1;
+  /// Record a per-query trace (span tree with deterministic virtual
+  /// timestamps) on QueryResult::trace. On by default; benches turn it
+  /// off to measure instrumentation overhead.
+  bool trace = true;
 };
 
 /// Per-query execution telemetry.
@@ -76,11 +81,15 @@ struct ExecStats {
   }
 };
 
-/// A completed query: rows, names, stats.
+/// A completed query: rows, names, stats, and (when enabled) the trace.
 struct QueryResult {
   exec::Batch rows;
   std::vector<std::string> column_names;
   ExecStats stats;
+  /// Span tree recorded during execution; null when ExecOptions::trace
+  /// is off. Virtual timestamps are assigned later, by the warehouse's
+  /// QueryLog (they need the warehouse clock).
+  std::shared_ptr<obs::Trace> trace;
 };
 
 /// Executes PhysicalQuery plans against a Cluster: per-slice pipelines
@@ -106,12 +115,16 @@ class QueryExecutor {
   }
 
   /// Builds the per-slice pipeline output batches for every slice.
+  /// `trace`/`root` may be null (tracing disabled).
   Result<std::vector<exec::Batch>> RunSlices(const plan::PhysicalQuery& query,
-                                             ExecStats* stats);
+                                             ExecStats* stats,
+                                             obs::Trace* trace,
+                                             obs::Span* root);
 
   /// kInterpreted per-slice pipeline (scan/filter/agg only).
   Result<std::vector<exec::Batch>> RunSlicesInterpreted(
-      const plan::PhysicalQuery& query, ExecStats* stats);
+      const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
+      obs::Span* root);
 
   Cluster* cluster_;
   ExecOptions options_;

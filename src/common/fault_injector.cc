@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "obs/registry.h"
 
 namespace sdw::chaos {
 
@@ -31,6 +32,10 @@ void FaultPoint::ArmTrigger(uint64_t at_call, std::function<void()> fn) {
 }
 
 Status FaultPoint::OnCall() {
+  static obs::Counter* calls = obs::Registry::Global().counter("chaos.calls");
+  static obs::Counter* injected =
+      obs::Registry::Global().counter("chaos.injected");
+  calls->Add();
   std::vector<std::function<void()>> due;
   Status status = Status::OK();
   {
@@ -54,6 +59,7 @@ Status FaultPoint::OnCall() {
           Status(fail_code_, "injected transient fault at '" + site_ + "'");
     }
   }
+  if (!status.ok()) injected->Add();
   // Triggers run unlocked: they typically reach back into the system
   // (drop a node's blocks, flip another point) and must not deadlock.
   for (auto& fn : due) fn();

@@ -1,9 +1,14 @@
 #include "common/logging.h"
 
+#include <atomic>
+
+#include "obs/registry.h"
+
 namespace sdw {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarning;
+// Atomic so the slice pool can flip verbosity while workers are logging.
+std::atomic<LogLevel> g_threshold{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,18 +27,25 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogThreshold(LogLevel level) { g_threshold = level; }
-LogLevel GetLogThreshold() { return g_threshold; }
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogThreshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  // Virtual-clock tick (monotonic logical time, not wall clock) so log
+  // lines order deterministically across threads in tests.
+  stream_ << "[t=" << obs::NextLogTick() << " sev=" << LevelName(level) << " "
+          << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
+  if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.h"
+
 namespace sdw::common {
 
+namespace internal_retry {
+
+void NoteAttempt() {
+  static obs::Counter* attempts =
+      obs::Registry::Global().counter("retry.attempts");
+  attempts->Add();
+}
+
+}  // namespace internal_retry
+
 void Retry::Backoff(int attempt) {
+  static obs::Counter* retries =
+      obs::Registry::Global().counter("retry.retries");
+  static obs::Histogram* backoff_hist = obs::Registry::Global().histogram(
+      "retry.backoff_seconds", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
+  retries->Add();
   double base = policy_.initial_backoff_seconds *
                 std::pow(policy_.backoff_multiplier, attempt - 1);
   base = std::min(base, policy_.max_backoff_seconds);
@@ -13,6 +30,7 @@ void Retry::Backoff(int attempt) {
       1.0 + policy_.jitter_fraction * (2.0 * rng_.NextDouble() - 1.0);
   const double delay = base * jitter;
   backoff_seconds_ += delay;
+  backoff_hist->Observe(delay);
   if (sleep_) sleep_(delay);
 }
 

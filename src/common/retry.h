@@ -9,6 +9,11 @@
 
 namespace sdw::common {
 
+namespace internal_retry {
+/// Registry hooks (defined in retry.cc so the template stays light).
+void NoteAttempt();
+}  // namespace internal_retry
+
 /// Bounded-retry knobs for transient failures (S3 throttling and
 /// outages). Exponential backoff with seeded jitter: deterministic in
 /// tests, decorrelated across callers in a fleet.
@@ -42,6 +47,7 @@ class Retry {
   Result<T> Call(const std::function<Result<T>()>& fn) {
     for (int attempt = 1;; ++attempt) {
       ++attempts_;
+      internal_retry::NoteAttempt();
       Result<T> result = fn();
       if (result.ok() || !ShouldRetry(result.status(), attempt)) {
         return result;
@@ -53,6 +59,7 @@ class Retry {
   Status CallVoid(const std::function<Status()>& fn) {
     for (int attempt = 1;; ++attempt) {
       ++attempts_;
+      internal_retry::NoteAttempt();
       Status status = fn();
       if (status.ok() || !ShouldRetry(status, attempt)) return status;
       Backoff(attempt);

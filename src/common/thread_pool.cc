@@ -1,5 +1,7 @@
 #include "common/thread_pool.h"
 
+#include "obs/registry.h"
+
 namespace sdw::common {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -34,6 +36,10 @@ void ThreadPool::WorkerLoop() {
 
 Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
   if (n <= 0) return Status::OK();
+  // Counted identically on the inline and fanned-out paths so serial
+  // (pool_size=0) and pooled runs of a workload report the same value.
+  static obs::Counter* tasks = obs::Registry::Global().counter("pool.tasks");
+  tasks->Add(static_cast<uint64_t>(n));
 
   auto run_one = [&fn](int i) -> Status {
     try {

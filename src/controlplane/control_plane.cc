@@ -22,6 +22,12 @@ void WarmPool::Refill(sim::Engine* engine) {
   });
 }
 
+void ControlPlane::Emit(const std::string& kind, double seconds,
+                        const std::string& detail) {
+  if (event_log_ == nullptr) return;
+  event_log_->Record("control_plane", kind, -1, seconds, detail);
+}
+
 double ControlPlane::ParallelNodes(int nodes, double per_node) {
   // All nodes execute the step concurrently; the makespan is one
   // node's service time. Run it through the engine so concurrent
@@ -59,6 +65,8 @@ OpResult ControlPlane::ProvisionCluster(int nodes) {
                         ParallelNodes(cold, timings_.provision_cold_node));
   }
   result.seconds = result.click_seconds + makespan + timings_.finalize_endpoint;
+  Emit("deploy", result.seconds, std::to_string(nodes) + " nodes (" +
+                                     std::to_string(warm) + " warm)");
   return result;
 }
 
@@ -123,6 +131,8 @@ OpResult ControlPlane::Patch(int nodes, double defect_probability, Rng* rng) {
     result.rolled_back = true;
   }
   result.seconds = makespan;
+  Emit(result.rolled_back ? "patch_rollback" : "patch", result.seconds,
+       std::to_string(nodes) + " nodes");
   return result;
 }
 
@@ -136,6 +146,9 @@ OpResult ControlPlane::ReplaceNode() {
     warm_pool_->Refill(engine_);
   }
   result.seconds = timings_.failure_detect + provision;
+  Emit("replace", result.seconds,
+       provision == timings_.provision_warm_node ? "warm-pool node"
+                                                 : "cold provision");
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "cluster/cost_model.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "obs/query_log.h"
 #include "sim/engine.h"
 
 namespace sdw::controlplane {
@@ -106,6 +107,10 @@ class ControlPlane {
   /// Attaches a warm pool (optional).
   void set_warm_pool(WarmPool* pool) { warm_pool_ = pool; }
 
+  /// Attaches an event log (optional): every workflow records an
+  /// stl_health_events row with its simulated duration.
+  void set_event_log(obs::EventLog* log) { event_log_ = log; }
+
   /// Creates an n-node cluster: provisioning is node-parallel; warm
   /// nodes attach ~6x faster than cold EC2 provisioning.
   OpResult ProvisionCluster(int nodes);
@@ -137,10 +142,15 @@ class ControlPlane {
   /// returns the simulated makespan.
   double ParallelNodes(int nodes, double per_node);
 
+  /// Records a workflow event when an event log is attached.
+  void Emit(const std::string& kind, double seconds,
+            const std::string& detail);
+
   sim::Engine* engine_;
   WorkflowTimings timings_;
   cluster::CostModel cost_model_;
   WarmPool* warm_pool_ = nullptr;
+  obs::EventLog* event_log_ = nullptr;
 };
 
 /// Per-node host manager: monitors the database process and restarts it

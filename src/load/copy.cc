@@ -6,6 +6,7 @@
 #include "common/thread_pool.h"
 #include "compress/analyzer.h"
 #include "load/formats.h"
+#include "obs/registry.h"
 
 namespace sdw::load {
 
@@ -97,6 +98,12 @@ Result<CopyStats> CopyExecutor::CopyFromPayloads(
   if (options.statupdate && stats.rows_loaded > 0) {
     SDW_RETURN_IF_ERROR(cluster_->Analyze(table));
   }
+  static obs::Counter* rows_loaded =
+      obs::Registry::Global().counter("copy.rows_loaded");
+  static obs::Counter* files_loaded =
+      obs::Registry::Global().counter("copy.files");
+  rows_loaded->Add(stats.rows_loaded);
+  files_loaded->Add(stats.files);
   // Slice-parallel ingest: every slice chews its share of the input.
   stats.modeled_seconds =
       static_cast<double>(stats.input_bytes) /

@@ -1,0 +1,65 @@
+#include "obs/query_log.h"
+
+namespace sdw::obs {
+
+QueryLog::Started QueryLog::StartQuery() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {next_query_id_++, clock_};
+}
+
+void QueryLog::FinishQuery(QueryRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (record.trace) {
+    record.trace->AssignVirtualTimes(record.start_tick);
+    record.end_tick = record.trace->end_tick();
+  } else {
+    record.end_tick = record.start_tick + 1;
+  }
+  clock_ = std::max(clock_, record.end_tick);
+  records_.push_back(std::move(record));
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t QueryLog::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+void QueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  next_query_id_ = 1;
+  clock_ = 0;
+}
+
+void EventLog::Record(const std::string& source, const std::string& kind,
+                      int node, double value, const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthEvent e;
+  e.event_id = next_event_id_++;
+  e.tick = tick_++;
+  e.source = source;
+  e.kind = kind;
+  e.node = node;
+  e.value = value;
+  e.detail = detail;
+  events_.push_back(std::move(e));
+}
+
+std::vector<HealthEvent> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_event_id_ = 1;
+  tick_ = 0;
+}
+
+}  // namespace sdw::obs

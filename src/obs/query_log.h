@@ -1,0 +1,87 @@
+#ifndef SDW_OBS_QUERY_LOG_H_
+#define SDW_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sdw::obs {
+
+/// One finished query as recorded in stl_query. Ticks come from the
+/// owning warehouse's virtual clock (starts at 0 per warehouse), so two
+/// warehouses running the same workload log identical histories.
+struct QueryRecord {
+  int query_id = 0;
+  std::string sql_text;
+  std::string status;  // "success" | "error"
+  uint64_t start_tick = 0;
+  uint64_t end_tick = 0;
+  uint64_t result_rows = 0;
+  SpanCounters counters;
+  std::shared_ptr<Trace> trace;  // null when tracing was disabled
+
+  uint64_t elapsed() const { return end_tick - start_tick; }
+};
+
+/// Per-warehouse history of executed queries plus the warehouse's
+/// virtual clock. Thread-safe: a warehouse may serve concurrent
+/// Execute() calls.
+class QueryLog {
+ public:
+  /// Reserves a query id and the query's start tick.
+  struct Started {
+    int query_id;
+    uint64_t start_tick;
+  };
+  Started StartQuery();
+
+  /// Records a finished query: assigns virtual times to its trace
+  /// (if any), advances the warehouse clock past the query's end, and
+  /// appends the record.
+  void FinishQuery(QueryRecord record);
+
+  std::vector<QueryRecord> Snapshot() const;
+  uint64_t now() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  int next_query_id_ = 1;
+  uint64_t clock_ = 0;
+  std::vector<QueryRecord> records_;
+};
+
+/// One health/control-plane event as recorded in stl_health_events.
+struct HealthEvent {
+  int event_id = 0;
+  uint64_t tick = 0;
+  std::string source;  // "host_manager" | "control_plane" | "sweep"
+  std::string kind;    // "restart" | "replace" | "rereplicate" | ...
+  int node = -1;
+  double value = 0;
+  std::string detail;
+};
+
+/// Append-only event history, shared by the warehouse's health sweep
+/// and the control plane. Thread-safe.
+class EventLog {
+ public:
+  void Record(const std::string& source, const std::string& kind, int node,
+              double value, const std::string& detail);
+  std::vector<HealthEvent> Snapshot() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  int next_event_id_ = 1;
+  uint64_t tick_ = 0;
+  std::vector<HealthEvent> events_;
+};
+
+}  // namespace sdw::obs
+
+#endif  // SDW_OBS_QUERY_LOG_H_

@@ -1,0 +1,126 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace sdw::obs {
+
+namespace {
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+// Formats a bucket edge without trailing zeros ("0.001", "16", "2.5").
+std::string EdgeName(double edge) {
+  std::ostringstream os;
+  os << edge;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double v) {
+  size_t i = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  if (i > 0 && v == bounds_[i - 1]) --i;  // inclusive upper edge
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old_bits, DoubleToBits(BitsToDouble(old_bits) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+std::vector<MetricRow> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  for (const auto& [name, c] : counters_) {
+    rows.push_back({name, "counter", static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    rows.push_back({name, "gauge", static_cast<double>(g->value())});
+  }
+  for (const auto& [name, h] : histograms_) {
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      std::string edge = i < h->bounds().size()
+                             ? "le_" + EdgeName(h->bounds()[i])
+                             : "le_inf";
+      rows.push_back({name + "." + edge, "histogram",
+                      static_cast<double>(h->bucket_count(i))});
+    }
+    rows.push_back(
+        {name + ".count", "histogram", static_cast<double>(h->count())});
+    rows.push_back({name + ".sum", "histogram", h->sum()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->Reset();
+  for (auto& [_, g] : gauges_) g->Reset();
+  for (auto& [_, h] : histograms_) h->Reset();
+}
+
+uint64_t NextLogTick() {
+  static std::atomic<uint64_t> tick{0};
+  return tick.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sdw::obs

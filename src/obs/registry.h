@@ -1,0 +1,110 @@
+#ifndef SDW_OBS_REGISTRY_H_
+#define SDW_OBS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdw::obs {
+
+/// A monotonically increasing named count (reads served, rows loaded,
+/// faults injected). Lock-free hot path: callers hold the pointer
+/// returned by Registry::counter() and Add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A named instantaneous level (blocks resident, single-copy blocks).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bucket edges,
+/// ascending; one implicit overflow bucket catches everything above the
+/// last edge. Observe() is lock-free (one fetch_add per observation plus
+/// a CAS loop for the double-typed sum).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Number of buckets including the overflow bucket.
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  /// Double stored as bits so the sum can be CAS-accumulated.
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+/// One row of a registry snapshot. Histograms expand to one row per
+/// bucket ("name.le_<edge>" / "name.le_inf") plus "name.count" and
+/// "name.sum" so the whole registry flattens into stv_metrics.
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  double value = 0;
+};
+
+/// The process-wide metrics registry. Metric objects are created on
+/// first use (mutex-guarded registration) and live for the process
+/// lifetime, so call sites cache the returned pointer and the update
+/// path never takes the registry lock.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  /// `bounds` are only used on first registration of `name`.
+  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Flattened values of every registered metric, sorted by name.
+  std::vector<MetricRow> Snapshot() const;
+
+  /// Zeroes every metric's value; registrations (and cached pointers)
+  /// stay valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Tick source for SDW_LOG timestamps: a process-wide logical clock
+/// advanced once per emitted message. Kept here (not in the query-level
+/// virtual clock) so log ordering never perturbs query telemetry.
+uint64_t NextLogTick();
+
+}  // namespace sdw::obs
+
+#endif  // SDW_OBS_REGISTRY_H_

@@ -1,0 +1,76 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+
+namespace sdw::obs {
+
+namespace {
+thread_local SpanCounters* tls_span_counters = nullptr;
+}  // namespace
+
+Span* Trace::AddSpan(const std::string& name, int parent_id, int stage,
+                     int slice) {
+  Span s;
+  s.span_id = static_cast<int>(spans_.size());
+  s.parent_id = parent_id;
+  s.name = name;
+  s.stage = stage;
+  s.slice = slice;
+  spans_.push_back(std::move(s));
+  return &spans_.back();
+}
+
+SpanCounters Trace::SumByName(const std::string& name) const {
+  SpanCounters total;
+  for (const auto& s : spans_) {
+    if (s.name == name) total += s.counters;
+  }
+  return total;
+}
+
+uint64_t Trace::LeafTicks(const Span& s) const {
+  return 1 + s.counters.rows_out + s.counters.blocks_decoded +
+         s.counters.bytes_shuffled / 1024 +
+         10 * (s.counters.masked_reads + s.counters.s3_fault_reads);
+}
+
+uint64_t Trace::Layout(Span& span, uint64_t start) {
+  span.start_tick = start;
+  // Children grouped by stage; stages run back-to-back, spans within a
+  // stage run in parallel (same start, stage ends at max child end).
+  std::map<int, std::vector<Span*>> stages;
+  for (auto& child : spans_) {
+    if (child.parent_id == span.span_id) stages[child.stage].push_back(&child);
+  }
+  uint64_t cursor = start;
+  for (auto& [_, group] : stages) {
+    uint64_t stage_end = cursor;
+    for (Span* child : group) {
+      stage_end = std::max(stage_end, Layout(*child, cursor));
+    }
+    cursor = stage_end;
+  }
+  uint64_t end = std::max(cursor, start + LeafTicks(span));
+  span.end_tick = end;
+  return end;
+}
+
+void Trace::AssignVirtualTimes(uint64_t query_start_tick) {
+  if (spans_.empty()) return;
+  Layout(spans_.front(), query_start_tick);
+}
+
+uint64_t Trace::end_tick() const {
+  return spans_.empty() ? 0 : spans_.front().end_tick;
+}
+
+SpanCounters* CurrentSpanCounters() { return tls_span_counters; }
+
+ScopedSpan::ScopedSpan(Span* span) : prev_(tls_span_counters) {
+  tls_span_counters = span ? &span->counters : nullptr;
+}
+
+ScopedSpan::~ScopedSpan() { tls_span_counters = prev_; }
+
+}  // namespace sdw::obs

@@ -1,0 +1,109 @@
+#ifndef SDW_OBS_TRACE_H_
+#define SDW_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace sdw::obs {
+
+/// Work counters attributed to one span. All fields are deterministic
+/// function-of-the-workload counts (never wall-clock derived), which is
+/// what lets serial and pooled runs of the same workload produce
+/// identical system-table contents.
+struct SpanCounters {
+  uint64_t rows_out = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t masked_reads = 0;
+  uint64_t s3_fault_reads = 0;
+
+  SpanCounters& operator+=(const SpanCounters& o) {
+    rows_out += o.rows_out;
+    blocks_decoded += o.blocks_decoded;
+    bytes_shuffled += o.bytes_shuffled;
+    masked_reads += o.masked_reads;
+    s3_fault_reads += o.s3_fault_reads;
+    return *this;
+  }
+};
+
+/// One node of a query's execution trace. Virtual timestamps are
+/// assigned after the fact by Trace::AssignVirtualTimes: spans in the
+/// same `stage` under one parent are modeled as running in parallel
+/// (they share a start tick; the stage ends at the max child end),
+/// stages run sequentially, and a span's own duration is a
+/// deterministic function of its counters.
+struct Span {
+  int span_id = 0;
+  int parent_id = -1;  // -1 for the root
+  std::string name;
+  int slice = -1;  // slice index where applicable, else -1
+  int stage = 0;   // sequential phase index under the parent
+  SpanCounters counters;
+  /// Measured wall-clock seconds; informational only — never used for
+  /// virtual timestamps and never surfaced in system tables.
+  double real_seconds = 0;
+  // Filled in by AssignVirtualTimes.
+  uint64_t start_tick = 0;
+  uint64_t end_tick = 0;
+};
+
+/// A per-query collection of spans. Not thread-safe for AddSpan —
+/// create all spans for a parallel phase on the leader thread before
+/// fanning out; worker threads may then write their own span's
+/// counters freely (deque gives pointer stability).
+class Trace {
+ public:
+  /// Creates a span and returns a stable pointer into the trace.
+  Span* AddSpan(const std::string& name, int parent_id, int stage,
+                int slice = -1);
+
+  Span* root() { return spans_.empty() ? nullptr : &spans_.front(); }
+  const Span* root() const {
+    return spans_.empty() ? nullptr : &spans_.front();
+  }
+  const std::deque<Span>& spans() const { return spans_; }
+  std::deque<Span>& spans() { return spans_; }
+
+  /// Sums counters over every span named `name`.
+  SpanCounters SumByName(const std::string& name) const;
+
+  /// Assigns start/end ticks from the parent/stage structure and each
+  /// span's counters. Leaf duration = 1 + rows_out + blocks_decoded +
+  /// bytes_shuffled/1024 + 10*(masked_reads + s3_fault_reads) ticks;
+  /// parent duration covers its children. Deterministic: depends only
+  /// on tree shape and counters, not thread scheduling.
+  void AssignVirtualTimes(uint64_t query_start_tick);
+
+  uint64_t end_tick() const;
+
+ private:
+  uint64_t LeafTicks(const Span& s) const;
+  uint64_t Layout(Span& span, uint64_t start);
+
+  std::deque<Span> spans_;
+};
+
+/// Thread-local ambient span counters. Deep layers (TableShard decode,
+/// Cluster fault masking) attribute work to whatever span the executor
+/// has made current on this thread, without plumbing a span through
+/// every call signature. Null when no span is current (non-query work).
+SpanCounters* CurrentSpanCounters();
+
+/// RAII: makes `span`'s counters current on this thread for its scope.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Span* span);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanCounters* prev_;
+};
+
+}  // namespace sdw::obs
+
+#endif  // SDW_OBS_TRACE_H_

@@ -60,9 +60,17 @@ struct SelectItem {
 };
 
 struct OrderItem {
+  OrderItem() = default;
+  OrderItem(int index, bool desc) : select_index(index), descending(desc) {}
+
   /// Position into the select list (0-based).
   int select_index = 0;
   bool descending = false;
+  /// SELECT * queries have no select list at parse time, so ORDER BY
+  /// names can't be resolved to positions yet; the planner resolves
+  /// `column` after star expansion when `by_name` is set.
+  ColumnName column;
+  bool by_name = false;
 };
 
 /// A declarative single-block query: SELECT items FROM table
@@ -71,6 +79,9 @@ struct OrderItem {
 /// PhysicalQuery; the SQL front end produces it from text.
 struct LogicalQuery {
   std::string from_table;
+  /// SELECT *: the planner expands to every column of from_table (in
+  /// schema order); `select` is empty when set.
+  bool select_star = false;
   std::optional<std::string> join_table;
   ColumnName join_left;   // column on from_table
   ColumnName join_right;  // column on join_table

@@ -106,8 +106,38 @@ TypeId AggOutputType(const exec::AggSpec& spec, TypeId input_type) {
 }  // namespace
 
 Result<PhysicalQuery> Planner::Plan(const LogicalQuery& query) const {
+  if (query.select_star) {
+    if (query.join_table.has_value()) {
+      return Status::NotSupported("SELECT * is not supported with JOIN");
+    }
+    SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                         catalog_->GetTable(query.from_table));
+    LogicalQuery expanded = query;
+    expanded.select_star = false;
+    for (const ColumnDef& col : schema.columns()) {
+      SelectItem item;
+      item.column.column = col.name;
+      expanded.select.push_back(std::move(item));
+    }
+    // The select list is now the schema in order, so deferred ORDER BY
+    // names resolve to schema positions.
+    for (OrderItem& order : expanded.order_by) {
+      if (!order.by_name) continue;
+      SDW_ASSIGN_OR_RETURN(size_t idx,
+                           schema.FindColumn(order.column.column));
+      order.select_index = static_cast<int>(idx);
+      order.by_name = false;
+    }
+    return Plan(expanded);
+  }
   if (query.select.empty()) {
     return Status::InvalidArgument("SELECT list must not be empty");
+  }
+  for (const OrderItem& order : query.order_by) {
+    if (order.by_name) {
+      return Status::InvalidArgument("unresolved ORDER BY column '" +
+                                     order.column.ToString() + "'");
+    }
   }
   SDW_ASSIGN_OR_RETURN(TableSchema probe_schema,
                        catalog_->GetTable(query.from_table));

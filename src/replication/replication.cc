@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace sdw::replication {
 
@@ -46,6 +47,9 @@ void ReplicationManager::RecordPlacementLocked(storage::BlockId id,
   placements_[id] = {primary, secondary};
   if (secondary < 0) {
     degraded_writes_.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter* degraded =
+        obs::Registry::Global().counter("repl.degraded_writes");
+    degraded->Add();
   }
 }
 
@@ -135,6 +139,9 @@ Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
     auto secondary_read = stores_[p.secondary]->Get(id);
     if (secondary_read.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* masked =
+          obs::Registry::Global().counter("repl.masked_reads");
+      masked->Add();
       return secondary_read;
     }
   }
@@ -159,6 +166,9 @@ Result<Bytes> ReplicationManager::ReadReplicaExcluding(storage::BlockId id,
     auto replica = stores_[node]->GetStored(id);
     if (replica.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter* masked =
+          obs::Registry::Global().counter("repl.masked_reads");
+      masked->Add();
       return replica;
     }
   }

@@ -93,9 +93,11 @@ class Parser {
       return Statement(TxnStmt{TxnStmt::Kind::kRollback});
     }
     if (AcceptKeyword("EXPLAIN")) {
+      const bool analyze = AcceptKeyword("ANALYZE");
       SDW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
       SDW_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect());
       stmt.explain = true;
+      stmt.explain_analyze = analyze;
       return Statement(std::move(stmt));
     }
     if (AcceptKeyword("SELECT")) {
@@ -372,10 +374,14 @@ class Parser {
   Result<SelectStmt> ParseSelect() {
     SelectStmt stmt;
     plan::LogicalQuery& q = stmt.query;
-    while (true) {
-      SDW_ASSIGN_OR_RETURN(plan::SelectItem item, ParseSelectItem());
-      q.select.push_back(std::move(item));
-      if (!AcceptSymbol(",")) break;
+    if (AcceptSymbol("*")) {
+      q.select_star = true;  // expanded by the planner (needs the schema)
+    } else {
+      while (true) {
+        SDW_ASSIGN_OR_RETURN(plan::SelectItem item, ParseSelectItem());
+        q.select.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
     }
     SDW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     SDW_ASSIGN_OR_RETURN(q.from_table, ExpectIdent());
@@ -445,6 +451,11 @@ class Parser {
           order.select_index =
               static_cast<int>(std::strtoll(Take().text.c_str(), nullptr, 10)) -
               1;
+        } else if (q.select_star) {
+          // No select list to resolve against yet; the planner resolves
+          // the name after star expansion.
+          SDW_ASSIGN_OR_RETURN(order.column, ParseColumnName());
+          order.by_name = true;
         } else {
           SDW_ASSIGN_OR_RETURN(plan::ColumnName col, ParseColumnName());
           // Match by alias first, then by column name.

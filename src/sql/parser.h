@@ -35,10 +35,13 @@ struct InsertStmt {
   std::vector<Row> rows;
 };
 
-/// SELECT ... (optionally EXPLAIN'd)
+/// SELECT ... (optionally EXPLAIN [ANALYZE]'d)
 struct SelectStmt {
   plan::LogicalQuery query;
   bool explain = false;
+  /// EXPLAIN ANALYZE: execute the query, then render the plan annotated
+  /// with per-operator counters from the recorded trace.
+  bool explain_analyze = false;
 };
 
 struct AnalyzeStmt {

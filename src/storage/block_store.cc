@@ -1,8 +1,35 @@
 #include "storage/block_store.h"
 
 #include "common/hash.h"
+#include "obs/registry.h"
 
 namespace sdw::storage {
+
+namespace {
+
+// Registry handles cached once; Add() is a relaxed fetch_add.
+obs::Counter* ReadsMetric() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("storage.block_reads");
+  return c;
+}
+obs::Counter* ReadBytesMetric() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("storage.block_read_bytes");
+  return c;
+}
+obs::Counter* FaultsMetric() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("storage.block_faults");
+  return c;
+}
+obs::Counter* WritesMetric() {
+  static obs::Counter* c =
+      obs::Registry::Global().counter("storage.blocks_written");
+  return c;
+}
+
+}  // namespace
 
 BlockId BlockStore::Allocate() {
   static std::atomic<uint64_t> next_id{1};
@@ -21,6 +48,7 @@ Status BlockStore::StoreLocked(BlockId id, Bytes data, uint32_t crc,
   total_bytes_ += data.size();
   stored.data = std::move(data);
   blocks_[id] = std::move(stored);
+  WritesMetric()->Add();
   return Status::OK();
 }
 
@@ -57,6 +85,7 @@ Status BlockStore::PutRaw(BlockId id, Bytes stored) {
 
 Result<Bytes> BlockStore::GetRaw(BlockId id) {
   reads_.fetch_add(1, std::memory_order_relaxed);
+  ReadsMetric()->Add();
   // Chaos first: a firing read point turns this call into a local media
   // failure even if the block is resident, so masking is exercised end
   // to end.
@@ -76,6 +105,7 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
           stored.verified = true;
           read_bytes_.fetch_add(stored.data.size(),
                                 std::memory_order_relaxed);
+          ReadBytesMetric()->Add(stored.data.size());
           return stored.data;
         }
         // A checksum mismatch is a media failure: drop the bad copy and
@@ -107,12 +137,14 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
   // Leader: fault the block in. The handler runs unlocked — it may
   // reach replica stores or S3, which route through other locks.
   faults_.fetch_add(1, std::memory_order_relaxed);
+  FaultsMetric()->Add();
   Result<Bytes> fetched = fault_handler_(id);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (fetched.ok()) {
       const Bytes& data = *fetched;
       read_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+      ReadBytesMetric()->Add(data.size());
       // Page the block back in (stored form) for future reads.
       if (!blocks_.count(id)) {
         const uint32_t crc = Crc32c(data.data(), data.size());

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "compress/codec.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace sdw::storage {
 
@@ -168,6 +170,13 @@ Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
   SDW_ASSIGN_OR_RETURN(ColumnVector decoded,
                        compress::DecodeColumn(meta.encoding, type, data));
   blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter* decoded_metric =
+      obs::Registry::Global().counter("storage.blocks_decoded");
+  decoded_metric->Add();
+  // Attribute the decode to the executing slice's trace span, if any.
+  if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {
+    ++span->blocks_decoded;
+  }
   auto shared = std::make_shared<const ColumnVector>(std::move(decoded));
   // FIFO eviction keeps memory bounded even for huge scans.
   constexpr size_t kCacheCapacity = 64;

@@ -1,0 +1,330 @@
+#include "warehouse/system_tables.h"
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "exec/operators.h"
+#include "obs/registry.h"
+#include "plan/planner.h"
+
+namespace sdw::warehouse {
+
+namespace {
+
+ColumnDef IntCol(const std::string& name) {
+  return {name, TypeId::kInt64, ColumnEncoding::kRaw, false};
+}
+ColumnDef StrCol(const std::string& name) {
+  return {name, TypeId::kString, ColumnEncoding::kRaw, false};
+}
+ColumnDef DblCol(const std::string& name) {
+  return {name, TypeId::kDouble, ColumnEncoding::kRaw, false};
+}
+
+Result<TableSchema> SchemaFor(const std::string& name) {
+  if (name == "stl_query") {
+    return TableSchema(name, {IntCol("query_id"), StrCol("sql_text"),
+                              StrCol("status"), IntCol("start_tick"),
+                              IntCol("end_tick"), IntCol("elapsed"),
+                              IntCol("result_rows"), IntCol("blocks_decoded"),
+                              IntCol("network_bytes"), IntCol("masked_reads"),
+                              IntCol("s3_fault_reads")});
+  }
+  if (name == "stl_span") {
+    return TableSchema(name, {IntCol("query_id"), IntCol("span_id"),
+                              IntCol("parent_id"), StrCol("name"),
+                              IntCol("slice"), IntCol("stage"),
+                              IntCol("start_tick"), IntCol("end_tick"),
+                              IntCol("rows_out"), IntCol("blocks_decoded"),
+                              IntCol("bytes_shuffled"), IntCol("masked_reads"),
+                              IntCol("s3_fault_reads")});
+  }
+  if (name == "stv_blocklist") {
+    return TableSchema(name, {StrCol("tbl"), IntCol("node"), IntCol("slice"),
+                              StrCol("col"), IntCol("blk"), IntCol("rows"),
+                              IntCol("bytes"), StrCol("encoding")});
+  }
+  if (name == "stv_metrics") {
+    return TableSchema(name,
+                       {StrCol("name"), StrCol("kind"), DblCol("value")});
+  }
+  if (name == "stl_health_events") {
+    return TableSchema(name, {IntCol("event_id"), IntCol("tick"),
+                              StrCol("source"), StrCol("kind"), IntCol("node"),
+                              DblCol("value"), StrCol("detail")});
+  }
+  return Status::NotFound("unknown system table '" + name + "'");
+}
+
+void AppendTicks(ColumnVector* col, uint64_t v) {
+  col->AppendInt(static_cast<int64_t>(v));
+}
+
+exec::Batch BuildStlQuery(const obs::QueryLog& log,
+                          const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  for (const obs::QueryRecord& q : log.Snapshot()) {
+    b.columns[0].AppendInt(q.query_id);
+    b.columns[1].AppendString(q.sql_text);
+    b.columns[2].AppendString(q.status);
+    AppendTicks(&b.columns[3], q.start_tick);
+    AppendTicks(&b.columns[4], q.end_tick);
+    AppendTicks(&b.columns[5], q.elapsed());
+    AppendTicks(&b.columns[6], q.result_rows);
+    AppendTicks(&b.columns[7], q.counters.blocks_decoded);
+    AppendTicks(&b.columns[8], q.counters.bytes_shuffled);
+    AppendTicks(&b.columns[9], q.counters.masked_reads);
+    AppendTicks(&b.columns[10], q.counters.s3_fault_reads);
+  }
+  return b;
+}
+
+exec::Batch BuildStlSpan(const obs::QueryLog& log, const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  for (const obs::QueryRecord& q : log.Snapshot()) {
+    if (!q.trace) continue;
+    for (const obs::Span& s : q.trace->spans()) {
+      b.columns[0].AppendInt(q.query_id);
+      b.columns[1].AppendInt(s.span_id);
+      b.columns[2].AppendInt(s.parent_id);
+      b.columns[3].AppendString(s.name);
+      b.columns[4].AppendInt(s.slice);
+      b.columns[5].AppendInt(s.stage);
+      AppendTicks(&b.columns[6], s.start_tick);
+      AppendTicks(&b.columns[7], s.end_tick);
+      AppendTicks(&b.columns[8], s.counters.rows_out);
+      AppendTicks(&b.columns[9], s.counters.blocks_decoded);
+      AppendTicks(&b.columns[10], s.counters.bytes_shuffled);
+      AppendTicks(&b.columns[11], s.counters.masked_reads);
+      AppendTicks(&b.columns[12], s.counters.s3_fault_reads);
+    }
+  }
+  return b;
+}
+
+exec::Batch BuildStvBlocklist(cluster::Cluster* cluster,
+                              const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  // TableNames() is map-ordered and slices are walked in order, so the
+  // listing is deterministic. `blk` is the block's position in its
+  // column chain, not the global BlockId — chain positions compare
+  // equal across two warehouses loaded with the same workload, global
+  // ids do not.
+  for (const std::string& table : cluster->catalog()->TableNames()) {
+    auto schema_or = cluster->catalog()->GetTable(table);
+    if (!schema_or.ok()) continue;
+    const TableSchema& tschema = *schema_or;
+    for (int s = 0; s < cluster->total_slices(); ++s) {
+      auto shard = cluster->shard(s, table);
+      if (!shard.ok()) continue;
+      const int node = cluster->NodeOfSlice(s)->node_id();
+      for (size_t c = 0; c < (*shard)->num_columns(); ++c) {
+        const auto& chain = (*shard)->chain(c);
+        for (size_t p = 0; p < chain.size(); ++p) {
+          b.columns[0].AppendString(table);
+          b.columns[1].AppendInt(node);
+          b.columns[2].AppendInt(s);
+          b.columns[3].AppendString(tschema.column(c).name);
+          b.columns[4].AppendInt(static_cast<int64_t>(p));
+          b.columns[5].AppendInt(static_cast<int64_t>(chain[p].row_count));
+          b.columns[6].AppendInt(static_cast<int64_t>(chain[p].encoded_bytes));
+          b.columns[7].AppendString(ColumnEncodingName(chain[p].encoding));
+        }
+      }
+    }
+  }
+  return b;
+}
+
+exec::Batch BuildStvMetrics(const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  for (const obs::MetricRow& m : obs::Registry::Global().Snapshot()) {
+    b.columns[0].AppendString(m.name);
+    b.columns[1].AppendString(m.kind);
+    b.columns[2].AppendDouble(m.value);
+  }
+  return b;
+}
+
+exec::Batch BuildStlHealthEvents(const obs::EventLog& log,
+                                 const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  for (const obs::HealthEvent& e : log.Snapshot()) {
+    b.columns[0].AppendInt(e.event_id);
+    AppendTicks(&b.columns[1], e.tick);
+    b.columns[2].AppendString(e.source);
+    b.columns[3].AppendString(e.kind);
+    b.columns[4].AppendInt(e.node);
+    b.columns[5].AppendDouble(e.value);
+    b.columns[6].AppendString(e.detail);
+  }
+  return b;
+}
+
+}  // namespace
+
+bool IsSystemTable(const std::string& name) {
+  static const std::set<std::string>* tables = new std::set<std::string>{
+      "stl_query", "stl_span", "stv_blocklist", "stv_metrics",
+      "stl_health_events"};
+  return tables->count(name) > 0;
+}
+
+Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
+                                             const obs::QueryLog& query_log,
+                                             const obs::EventLog& event_log,
+                                             cluster::Cluster* cluster) {
+  if (query.join_table.has_value()) {
+    return Status::NotSupported("joins are not supported on system tables");
+  }
+  SDW_ASSIGN_OR_RETURN(TableSchema schema, SchemaFor(query.from_table));
+
+  exec::Batch data;
+  if (query.from_table == "stl_query") {
+    data = BuildStlQuery(query_log, schema);
+  } else if (query.from_table == "stl_span") {
+    data = BuildStlSpan(query_log, schema);
+  } else if (query.from_table == "stv_blocklist") {
+    data = BuildStvBlocklist(cluster, schema);
+  } else if (query.from_table == "stv_metrics") {
+    data = BuildStvMetrics(schema);
+  } else {
+    data = BuildStlHealthEvents(event_log, schema);
+  }
+
+  // Plan against a one-table synthetic catalog, then run the pipeline
+  // on the leader: system tables live on the leader node, so there is
+  // nothing to distribute. Zone predicates are skipped (the residual
+  // filter is exact); everything else is the ordinary operator stack.
+  Catalog catalog;
+  SDW_RETURN_IF_ERROR(catalog.CreateTable(schema));
+  TableStats tstats;
+  tstats.row_count = data.num_rows();
+  tstats.columns.resize(schema.num_columns());
+  catalog.UpdateStats(schema.name(), tstats);
+  plan::Planner planner(&catalog);
+  SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery phys, planner.Plan(query));
+
+  std::vector<TypeId> types;
+  types.reserve(phys.scan.columns.size());
+  for (int c : phys.scan.columns) types.push_back(schema.column(c).type);
+  exec::Batch projected = exec::MakeBatch(types);
+  for (size_t i = 0; i < phys.scan.columns.size(); ++i) {
+    const ColumnVector& src = data.columns[phys.scan.columns[i]];
+    SDW_RETURN_IF_ERROR(projected.columns[i].AppendRange(src, 0, src.size()));
+  }
+  std::vector<exec::Batch> batches;
+  batches.push_back(std::move(projected));
+  exec::OperatorPtr op = exec::MemoryScan(types, std::move(batches));
+  if (phys.scan.filter) {
+    op = exec::Filter(std::move(op), phys.scan.filter);
+  }
+  if (phys.agg.has_value()) {
+    op = exec::HashAggregate(std::move(op), phys.agg->group_by,
+                             phys.agg->aggs, exec::AggMode::kSingle);
+  }
+  if (!phys.project.empty()) {
+    op = exec::Project(std::move(op), phys.project);
+  }
+  if (!phys.order_by.empty()) {
+    op = exec::Sort(std::move(op), phys.order_by);
+  }
+  if (phys.limit.has_value()) {
+    op = exec::Limit(std::move(op), *phys.limit);
+  }
+  SystemQueryResult out;
+  SDW_ASSIGN_OR_RETURN(out.rows, exec::Collect(op.get()));
+  out.column_names = phys.output_names;
+  return out;
+}
+
+std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
+                                 const cluster::QueryResult& result) {
+  const obs::Trace* trace = result.trace.get();
+  const cluster::ExecStats& stats = result.stats;
+  auto fmt = [](uint64_t v) { return std::to_string(v); };
+
+  std::string out = "XN Scan " + query.scan.table + " (cols";
+  for (int c : query.scan.columns) out += " " + std::to_string(c);
+  out += ")";
+  if (!query.scan.predicates.empty()) {
+    out += " [" + std::to_string(query.scan.predicates.size()) +
+           " zone preds]";
+  }
+  if (query.scan.filter) out += " filter " + query.scan.filter->ToString();
+  out += "\n     (blocks_decoded=" + fmt(stats.blocks_decoded) +
+         " masked_reads=" + fmt(stats.masked_reads) +
+         " s3_fault_reads=" + fmt(stats.s3_fault_reads) + ")";
+
+  if (query.join.has_value()) {
+    out += "\n  -> " +
+           std::string(plan::JoinStrategyName(query.join->strategy)) +
+           " Hash Join with " + query.join->build.table;
+    if (query.join->build.filter) {
+      out += " (build filter " + query.join->build.filter->ToString() + ")";
+    }
+    if (trace) {
+      if (query.join->strategy == plan::JoinStrategy::kBroadcastBuild) {
+        const obs::SpanCounters scans = trace->SumByName("broadcast scan");
+        const obs::SpanCounters bytes = trace->SumByName("broadcast");
+        out += "\n     (build rows=" + fmt(scans.rows_out) +
+               " broadcast_bytes=" + fmt(bytes.bytes_shuffled) + ")";
+      } else if (query.join->strategy == plan::JoinStrategy::kShuffle) {
+        // Probe and build shuffles both record "shuffle scan" children;
+        // tell them apart through their parent spans.
+        obs::SpanCounters probe, build;
+        for (const obs::Span& parent : trace->spans()) {
+          if (parent.name != "shuffle probe" && parent.name != "shuffle build")
+            continue;
+          for (const obs::Span& child : trace->spans()) {
+            if (child.parent_id != parent.span_id) continue;
+            (parent.name == "shuffle probe" ? probe : build) += child.counters;
+          }
+        }
+        out += "\n     (probe rows=" + fmt(probe.rows_out) +
+               " bytes=" + fmt(probe.bytes_shuffled) +
+               "; build rows=" + fmt(build.rows_out) +
+               " bytes=" + fmt(build.bytes_shuffled) + ")";
+      }
+    }
+  }
+
+  if (query.agg.has_value()) {
+    out += "\n  -> Partial HashAggregate (" +
+           std::to_string(query.agg->group_by.size()) + " keys, " +
+           std::to_string(query.agg->aggs.size()) + " aggs) per slice";
+  }
+  if (trace) {
+    const obs::SpanCounters pipe = trace->SumByName("slice pipeline");
+    out += "\n  -> Slice pipelines (rows_to_leader=" + fmt(pipe.rows_out) +
+           " bytes_to_leader=" + fmt(pipe.bytes_shuffled) + ")";
+  }
+  if (query.agg.has_value()) {
+    out += "\n  -> Final HashAggregate at leader";
+  }
+  if (!query.project.empty()) {
+    out += "\n  -> Project";
+    for (const auto& e : query.project) out += " " + e->ToString();
+  }
+  if (!query.order_by.empty()) {
+    out += "\n  -> Sort at leader";
+  }
+  if (query.limit.has_value()) {
+    out += "\n  -> Limit " + std::to_string(*query.limit);
+  }
+  out += "\n  -> Result (rows=" + fmt(stats.result_rows) +
+         " network_bytes=" + fmt(stats.network_bytes);
+  if (trace && trace->root() != nullptr) {
+    out += " elapsed_ticks=" +
+           fmt(trace->root()->end_tick - trace->root()->start_tick);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sdw::warehouse

@@ -1,0 +1,46 @@
+#ifndef SDW_WAREHOUSE_SYSTEM_TABLES_H_
+#define SDW_WAREHOUSE_SYSTEM_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/executor.h"
+#include "common/result.h"
+#include "exec/batch.h"
+#include "obs/query_log.h"
+#include "plan/logical.h"
+#include "plan/physical.h"
+
+namespace sdw::warehouse {
+
+/// True when `name` is one of the Redshift-style observability system
+/// tables: stl_query, stl_span, stv_blocklist, stv_metrics,
+/// stl_health_events.
+bool IsSystemTable(const std::string& name);
+
+struct SystemQueryResult {
+  exec::Batch rows;
+  std::vector<std::string> column_names;
+};
+
+/// Executes a single-table SELECT whose FROM is a system table. The
+/// table is materialized from the warehouse's query/event logs, the
+/// cluster's block chains, or the global metrics registry, then the
+/// query runs through the ordinary planner and leader operators
+/// (filter, aggregate, project, sort, limit) — system tables are just
+/// tables. Joins are not supported.
+Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
+                                             const obs::QueryLog& query_log,
+                                             const obs::EventLog& event_log,
+                                             cluster::Cluster* cluster);
+
+/// Renders the physical plan annotated with counters from the recorded
+/// trace (EXPLAIN ANALYZE). `trace` may be null (tracing disabled); the
+/// annotation then falls back to ExecStats totals only.
+std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
+                                 const cluster::QueryResult& result);
+
+}  // namespace sdw::warehouse
+
+#endif  // SDW_WAREHOUSE_SYSTEM_TABLES_H_

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "warehouse/system_tables.h"
 
 namespace sdw::warehouse {
 
@@ -74,6 +75,7 @@ Warehouse::Warehouse(WarehouseOptions options)
         std::move(hierarchy).ValueOrDie());
     WireEncryption();
   }
+  control_plane_.set_event_log(&event_log_);
   SyncHostManagers();
 }
 
@@ -112,11 +114,16 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
     // the host manager restarts it locally until its budget runs out.
     if (host_managers_[n].OnProcessCrash()) {
       ++stats.restarts;
+      event_log_.Record("host_manager", "restart", n,
+                        static_cast<double>(cluster_->node_read_failures(n)),
+                        "process restart after repeated masked read failures");
       cluster_->ResetNodeReadFailures(n);
     } else {
       SDW_LOG(Warning) << "node " << n
                        << " exceeded its restart budget; escalating to "
                           "control-plane replacement";
+      event_log_.Record("host_manager", "escalate", n, 0,
+                        "restart budget exhausted");
       repl->FailNode(n);
       to_replace.push_back(n);
     }
@@ -127,6 +134,11 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
   // copy back.
   SDW_ASSIGN_OR_RETURN(int rereplicated, repl->ReReplicate());
   stats.blocks_rereplicated = static_cast<uint64_t>(rereplicated);
+  if (rereplicated > 0) {
+    event_log_.Record("sweep", "rereplicate", -1,
+                      static_cast<double>(rereplicated),
+                      "blocks copied back to two-copy");
+  }
 
   for (int n : to_replace) {
     controlplane::OpResult op = control_plane_.ReplaceNode();
@@ -145,6 +157,9 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
     SDW_LOG(Warning) << stats.single_copy_blocks
                      << " blocks at a single copy (degraded mode: serving "
                         "continues, next sweep re-replicates)";
+    event_log_.Record("sweep", "degraded", -1,
+                      static_cast<double>(stats.single_copy_blocks),
+                      "blocks at a single copy after sweep");
   }
   return stats;
 }
@@ -315,16 +330,58 @@ Result<StatementResult> Warehouse::Execute(const std::string& sql) {
     return result;
   }
   auto& select = std::get<sql::SelectStmt>(stmt);
+  if (IsSystemTable(select.query.from_table)) {
+    // System-table queries run on the leader against the logs/registry
+    // and are not themselves recorded in stl_query (monitoring should
+    // not pollute what it monitors).
+    if (select.explain) {
+      return Status::NotSupported("EXPLAIN is not supported on system tables");
+    }
+    SDW_ASSIGN_OR_RETURN(
+        SystemQueryResult sys,
+        ExecuteSystemQuery(select.query, query_log_, event_log_,
+                           cluster_.get()));
+    result.rows = std::move(sys.rows);
+    result.column_names = std::move(sys.column_names);
+    result.message = std::to_string(result.rows.num_rows()) + " rows";
+    return result;
+  }
   plan::Planner planner(cluster_->catalog(), options_.planner);
   SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery physical,
                        planner.Plan(select.query));
-  if (select.explain) {
+  if (select.explain && !select.explain_analyze) {
     result.message = physical.ToString();
     return result;
   }
+  obs::QueryLog::Started started = query_log_.StartQuery();
+  obs::QueryRecord record;
+  record.query_id = started.query_id;
+  record.sql_text = sql;
+  record.start_tick = started.start_tick;
   cluster::QueryExecutor executor(cluster_.get(), options_.exec);
-  SDW_ASSIGN_OR_RETURN(cluster::QueryResult query_result,
-                       executor.Execute(physical));
+  Result<cluster::QueryResult> executed = executor.Execute(physical);
+  if (!executed.ok()) {
+    record.status = "error";
+    query_log_.FinishQuery(std::move(record));
+    return executed.status();
+  }
+  cluster::QueryResult query_result = std::move(executed).ValueOrDie();
+  record.status = "success";
+  record.result_rows = query_result.stats.result_rows;
+  record.counters.rows_out = query_result.stats.result_rows;
+  record.counters.blocks_decoded = query_result.stats.blocks_decoded;
+  record.counters.bytes_shuffled = query_result.stats.network_bytes;
+  record.counters.masked_reads = query_result.stats.masked_reads;
+  record.counters.s3_fault_reads = query_result.stats.s3_fault_reads;
+  record.trace = query_result.trace;
+  // FinishQuery assigns the trace's virtual timestamps, so the EXPLAIN
+  // ANALYZE rendering below sees final ticks.
+  query_log_.FinishQuery(std::move(record));
+  if (select.explain_analyze) {
+    result.exec_stats = query_result.stats;
+    result.message = RenderExplainAnalyze(physical, query_result);
+    return result;
+  }
   result.rows = std::move(query_result.rows);
   result.column_names = std::move(query_result.column_names);
   result.exec_stats = query_result.stats;

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "controlplane/control_plane.h"
 #include "load/copy.h"
+#include "obs/query_log.h"
 #include "plan/planner.h"
 #include "security/keychain.h"
 #include "sim/engine.h"
@@ -131,6 +132,12 @@ class Warehouse {
   controlplane::ControlPlane* control_plane() { return &control_plane_; }
   sim::Engine* health_engine() { return &health_engine_; }
 
+  /// Observability: the per-warehouse query history behind stl_query /
+  /// stl_span and the health-event history behind stl_health_events.
+  /// Both are also queryable through Execute() as system tables.
+  obs::QueryLog* query_log() { return &query_log_; }
+  obs::EventLog* event_log() { return &event_log_; }
+
  private:
   /// Installs the encrypt/decrypt transforms on every node store of the
   /// current cluster (called at creation, after resize and restore).
@@ -152,6 +159,8 @@ class Warehouse {
   sim::Engine health_engine_;
   controlplane::ControlPlane control_plane_{&health_engine_};
   std::vector<controlplane::HostManager> host_managers_;
+  obs::QueryLog query_log_;
+  obs::EventLog event_log_;
 };
 
 }  // namespace sdw::warehouse
