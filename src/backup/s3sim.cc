@@ -14,9 +14,9 @@ Status S3Region::CheckAvailable() const {
 Status S3Region::PutObject(const std::string& key, Bytes data) {
   SDW_RETURN_IF_ERROR(CheckAvailable());
   puts_.fetch_add(1, std::memory_order_relaxed);
-  static obs::Counter* puts = obs::Registry::Global().counter("s3.puts");
+  static obs::Counter* puts = obs::Registry::Global().counter("sdw_s3_puts");
   puts->Add();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it != objects_.end()) {
     total_bytes_ -= it->second.size();
@@ -29,9 +29,9 @@ Status S3Region::PutObject(const std::string& key, Bytes data) {
 Result<Bytes> S3Region::GetObject(const std::string& key) const {
   SDW_RETURN_IF_ERROR(CheckAvailable());
   gets_.fetch_add(1, std::memory_order_relaxed);
-  static obs::Counter* gets = obs::Registry::Global().counter("s3.gets");
+  static obs::Counter* gets = obs::Registry::Global().counter("sdw_s3_gets");
   gets->Add();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound("no object '" + key + "' in " + name_);
@@ -41,7 +41,7 @@ Result<Bytes> S3Region::GetObject(const std::string& key) const {
 
 Status S3Region::DeleteObject(const std::string& key) {
   SDW_RETURN_IF_ERROR(CheckAvailable());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) return Status::NotFound("no object '" + key + "'");
   total_bytes_ -= it->second.size();
@@ -51,7 +51,7 @@ Status S3Region::DeleteObject(const std::string& key) {
 
 std::vector<std::string> S3Region::ListPrefix(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> keys;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -61,7 +61,7 @@ std::vector<std::string> S3Region::ListPrefix(
 }
 
 S3Region* S3::region(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // try_emplace constructs in place: S3Region is immovable (mutex).
   return &regions_.try_emplace(name, name).first->second;
 }

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/fault_injector.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace sdw::backup {
 
@@ -31,16 +31,17 @@ class S3Region {
 
   const std::string& name() const { return name_; }
 
-  Status PutObject(const std::string& key, Bytes data);
-  Result<Bytes> GetObject(const std::string& key) const;
-  Status DeleteObject(const std::string& key);
-  bool HasObject(const std::string& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  Status PutObject(const std::string& key, Bytes data) SDW_EXCLUDES(mu_);
+  Result<Bytes> GetObject(const std::string& key) const SDW_EXCLUDES(mu_);
+  Status DeleteObject(const std::string& key) SDW_EXCLUDES(mu_);
+  bool HasObject(const std::string& key) const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return objects_.count(key) > 0;
   }
 
   /// Keys with the given prefix, ascending.
-  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+  std::vector<std::string> ListPrefix(const std::string& prefix) const
+      SDW_EXCLUDES(mu_);
 
   /// Binary fault injection: an unavailable region fails every call
   /// with kUnavailable (durability is preserved — objects return when
@@ -58,12 +59,12 @@ class S3Region {
   /// against. Listing stays up (it is metadata-plane here).
   chaos::FaultPoint* fault_point() { return &fault_point_; }
 
-  uint64_t total_bytes() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total_bytes() const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return total_bytes_;
   }
-  uint64_t num_objects() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t num_objects() const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return objects_.size();
   }
   uint64_t put_count() const {
@@ -79,10 +80,10 @@ class S3Region {
   Status CheckAvailable() const;
 
   std::string name_;
-  mutable std::mutex mu_;
-  std::map<std::string, Bytes> objects_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Bytes> objects_ SDW_GUARDED_BY(mu_);
   std::atomic<bool> available_{true};
-  uint64_t total_bytes_ = 0;
+  uint64_t total_bytes_ SDW_GUARDED_BY(mu_) = 0;
   mutable std::atomic<uint64_t> puts_{0};
   mutable std::atomic<uint64_t> gets_{0};
   mutable chaos::FaultPoint fault_point_;
@@ -92,7 +93,7 @@ class S3Region {
 class S3 {
  public:
   /// Gets (creating on first use) a region by name.
-  S3Region* region(const std::string& name);
+  S3Region* region(const std::string& name) SDW_EXCLUDES(mu_);
 
   /// Server-side copy of one object across regions.
   Status CopyObject(const std::string& src_region, const std::string& key,
@@ -104,8 +105,11 @@ class S3 {
                               const std::string& dst_region);
 
  private:
-  std::mutex mu_;
-  std::map<std::string, S3Region> regions_;
+  /// Guards the region directory only; object calls go through the
+  /// regions' own locks (region() hands out stable pointers —
+  /// std::map nodes don't move).
+  common::Mutex mu_;
+  std::map<std::string, S3Region> regions_ SDW_GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::backup

@@ -119,7 +119,12 @@ Cluster::Cluster(ClusterConfig config)
 }
 
 void Cluster::WireReadPath() {
-  if (!replication_ && !page_fault_) return;
+  bool has_page_fault;
+  {
+    common::MutexLock lock(mu_);
+    has_page_fault = static_cast<bool>(page_fault_);
+  }
+  if (!replication_ && !has_page_fault) return;
   for (int n = 0; n < num_nodes(); ++n) {
     nodes_[n]->store()->set_fault_handler(
         [this, n](storage::BlockId id) { return FaultRead(n, id); });
@@ -128,7 +133,10 @@ void Cluster::WireReadPath() {
 
 void Cluster::set_page_fault_handler(
     storage::BlockStore::FaultHandler handler) {
-  page_fault_ = std::move(handler);
+  {
+    common::MutexLock lock(mu_);
+    page_fault_ = std::move(handler);
+  }
   WireReadPath();
 }
 
@@ -142,7 +150,7 @@ Result<Bytes> Cluster::FaultRead(int node, storage::BlockId id) {
     if (replica.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* masked =
-          obs::Registry::Global().counter("cluster.masked_reads");
+          obs::Registry::Global().counter("sdw_cluster_masked_reads");
       masked->Add();
       if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {
         ++span->masked_reads;
@@ -150,12 +158,19 @@ Result<Bytes> Cluster::FaultRead(int node, storage::BlockId id) {
       return replica;
     }
   }
-  if (page_fault_) {
-    auto paged = page_fault_(id);
+  // Copy the handler out: it reaches S3 (its own locks) and must not
+  // run under mu_.
+  storage::BlockStore::FaultHandler page_fault;
+  {
+    common::MutexLock lock(mu_);
+    page_fault = page_fault_;
+  }
+  if (page_fault) {
+    auto paged = page_fault(id);
     if (paged.ok()) {
       s3_fault_reads_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* s3_faults =
-          obs::Registry::Global().counter("cluster.s3_fault_reads");
+          obs::Registry::Global().counter("sdw_cluster_s3_fault_reads");
       s3_faults->Add();
       if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {
         ++span->s3_fault_reads;
@@ -295,6 +310,14 @@ Status Cluster::InsertRows(const std::string& table,
 
   const int slices = total_slices();
   std::vector<std::vector<uint64_t>> per_slice(slices);
+
+  // One insert at a time: the round-robin cursor and the shard appends
+  // must advance together, and TableShard::Append is not itself
+  // thread-safe (shards are slice-private on the query path). Appends
+  // only ever write (store Put), so nothing below re-enters FaultRead
+  // and wants mu_ back. COPY distributes serially — only parsing fans
+  // out — so this serializes nothing that was parallel.
+  common::MutexLock lock(mu_);
 
   switch (schema.dist_style()) {
     case DistStyle::kEven: {

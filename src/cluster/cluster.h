@@ -11,6 +11,7 @@
 #include "catalog/catalog.h"
 #include "cluster/cost_model.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "replication/replication.h"
 #include "storage/block_store.h"
@@ -111,7 +112,8 @@ class Cluster {
   /// DISTSTYLE, sorts each slice's portion per its SORTKEY, and appends.
   /// Rejected while the cluster is read-only (resize source, §3.1).
   Status InsertRows(const std::string& table,
-                    const std::vector<ColumnVector>& columns);
+                    const std::vector<ColumnVector>& columns)
+      SDW_EXCLUDES(mu_);
 
   /// Recomputes table statistics (row count, min/max, NDV estimate)
   /// from the stored data — the ANALYZE that COPY runs implicitly.
@@ -143,8 +145,12 @@ class Cluster {
       int new_num_nodes, ResizeStats* stats,
       const std::function<void(Cluster*)>& on_target_created = nullptr);
 
-  bool read_only() const { return read_only_; }
-  void set_read_only(bool ro) { read_only_ = ro; }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_relaxed);
+  }
+  void set_read_only(bool ro) {
+    read_only_.store(ro, std::memory_order_relaxed);
+  }
 
   /// Interconnect accounting (bytes that crossed node boundaries).
   /// Atomic: COPY and queries may account from pool workers.
@@ -173,7 +179,8 @@ class Cluster {
   /// a block exists, the cluster page-faults it from here (the S3
   /// streaming-restore path of §2.3). Installing a handler wires every
   /// node store's fault handler through the cluster masking chain.
-  void set_page_fault_handler(storage::BlockStore::FaultHandler handler);
+  void set_page_fault_handler(storage::BlockStore::FaultHandler handler)
+      SDW_EXCLUDES(mu_);
 
   /// Simulates whole-node loss: all the node's blocks vanish and the
   /// node is marked failed for replication. Queries keep working
@@ -201,12 +208,12 @@ class Cluster {
  private:
   /// Routes every node store's read-miss through the masking chain:
   /// secondary replica first, then the page-fault handler.
-  void WireReadPath();
+  void WireReadPath() SDW_EXCLUDES(mu_);
 
   /// The fault handler of node `node`'s store: masks a local media
   /// failure from the secondary replica, then from the page-fault
   /// (S3) path. Strikes the node's failure counter for tracked blocks.
-  Result<Bytes> FaultRead(int node, storage::BlockId id);
+  Result<Bytes> FaultRead(int node, storage::BlockId id) SDW_EXCLUDES(mu_);
   /// Chooses the target global slice for row i of a KEY-distributed
   /// table.
   int SliceForKey(const Datum& key) const;
@@ -216,9 +223,19 @@ class Cluster {
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
   std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<replication::ReplicationManager> replication_;
-  storage::BlockStore::FaultHandler page_fault_;
-  std::map<std::string, uint64_t> round_robin_;
-  bool read_only_ = false;
+  /// Guards the cluster's mutable routing state — the per-table
+  /// round-robin cursors and the page-fault handler (installed after
+  /// construction, read by fault handlers on any worker) — and
+  /// serializes InsertRows end to end: cursor advance and shard
+  /// appends commit together, because TableShard::Append is
+  /// slice-private on the query path, not thread-safe. The append loop
+  /// only writes (store Put), so it cannot re-enter FaultRead and
+  /// deadlock. FaultRead copies the handler out before invoking it —
+  /// it reaches S3 / other stores and must not run under mu_.
+  mutable common::Mutex mu_;
+  storage::BlockStore::FaultHandler page_fault_ SDW_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> round_robin_ SDW_GUARDED_BY(mu_);
+  std::atomic<bool> read_only_{false};
   std::atomic<uint64_t> network_bytes_{0};
   std::atomic<uint64_t> masked_reads_{0};
   std::atomic<uint64_t> s3_fault_reads_{0};

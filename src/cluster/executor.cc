@@ -1,6 +1,5 @@
 #include "cluster/executor.h"
 
-#include <chrono>
 #include <numeric>
 
 #include "common/hash.h"
@@ -8,16 +7,11 @@
 #include "exec/operators.h"
 #include "exec/row_executor.h"
 #include "obs/registry.h"
+#include "sim/stopwatch.h"
 
 namespace sdw::cluster {
 
 namespace {
-
-double Seconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
 
 /// Key hash of one row over the given columns (must match across the
 /// two sides of a shuffle).
@@ -138,12 +132,12 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
       }
       SDW_RETURN_IF_ERROR(pool()->ParallelFor(
           build_slices, [&](int s) -> Status {
-            auto start = std::chrono::steady_clock::now();
+            sim::Stopwatch timer;
             obs::ScopedSpan scoped(bspans[s]);
             SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
                                  BuildScan(cluster_, s, join.build));
             SDW_ASSIGN_OR_RETURN(parts[s], exec::Collect(op.get()));
-            part_seconds[s] = Seconds(start);
+            part_seconds[s] = timer.Seconds();
             if (bspans[s]) {
               bspans[s]->counters.rows_out = parts[s].num_rows();
               bspans[s]->real_seconds = part_seconds[s];
@@ -194,7 +188,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         }
         SDW_RETURN_IF_ERROR(pool()->ParallelFor(
             side_slices, [&](int s) -> Status {
-              auto start = std::chrono::steady_clock::now();
+              sim::Stopwatch timer;
               obs::ScopedSpan scoped(sspans[s]);
               SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
                                    BuildScan(cluster_, s, spec));
@@ -228,7 +222,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                   net[s] += EstimateBytes(mine[t].columns);
                 }
               }
-              secs[s] = Seconds(start);
+              secs[s] = timer.Seconds();
               if (sspans[s]) {
                 sspans[s]->counters.rows_out = rows_routed;
                 sspans[s]->counters.bytes_shuffled = net[s];
@@ -274,7 +268,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
   }
   SDW_RETURN_IF_ERROR(pool()->ParallelFor(
       pipeline_slices, [&](int s) -> Status {
-        auto start = std::chrono::steady_clock::now();
+        sim::Stopwatch timer;
         obs::ScopedSpan scoped(pspans[s]);
         exec::OperatorPtr pipeline;
         if (use_buckets) {
@@ -312,7 +306,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                                          exec::AggMode::kPartial);
         }
         SDW_ASSIGN_OR_RETURN(outputs[s], exec::Collect(pipeline.get()));
-        secs[s] = Seconds(start);
+        secs[s] = timer.Seconds();
         // Intermediate results stream back to the leader.
         net[s] = EstimateBytes(outputs[s].columns);
         if (pspans[s]) {
@@ -392,7 +386,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
     }
   }
   SDW_RETURN_IF_ERROR(pool()->ParallelFor(probe_slices, [&](int s) -> Status {
-    auto start = std::chrono::steady_clock::now();
+    sim::Stopwatch timer;
     obs::ScopedSpan scoped(pspans[s]);
     SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
                          cluster_->shard(s, query.scan.table));
@@ -405,7 +399,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
                                 query.agg->aggs);
     }
     SDW_ASSIGN_OR_RETURN(outputs[s], exec::CollectRows(pipe.get(), out_types));
-    secs[s] = Seconds(start);
+    secs[s] = timer.Seconds();
     net[s] = EstimateBytes(outputs[s].columns);
     if (pspans[s]) {
       pspans[s]->counters.rows_out = outputs[s].num_rows();
@@ -455,7 +449,7 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   }
 
   // --- Leader finalization. ---
-  auto leader_start = std::chrono::steady_clock::now();
+  sim::Stopwatch leader_timer;
   obs::Span* finalize =
       trace ? trace->AddSpan("finalize", root->span_id, 3) : nullptr;
   obs::ScopedSpan finalize_scope(finalize);
@@ -488,7 +482,7 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
     leader = exec::Limit(std::move(leader), *query.limit);
   }
   SDW_ASSIGN_OR_RETURN(result.rows, exec::Collect(leader.get()));
-  stats.leader_seconds = Seconds(leader_start);
+  stats.leader_seconds = leader_timer.Seconds();
   stats.result_rows = result.rows.num_rows();
   if (trace) {
     finalize->counters.rows_out = result.rows.num_rows();
@@ -508,9 +502,9 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   cluster_->AddNetworkBytes(stats.network_bytes);
   result.column_names = query.output_names;
   static obs::Counter* query_count =
-      obs::Registry::Global().counter("query.count");
+      obs::Registry::Global().counter("sdw_query_count");
   static obs::Counter* query_rows =
-      obs::Registry::Global().counter("query.result_rows");
+      obs::Registry::Global().counter("sdw_query_result_rows");
   query_count->Add();
   query_rows->Add(stats.result_rows);
   return result;

@@ -11,35 +11,36 @@ FaultPoint::FaultPoint(std::string site, uint64_t seed)
     : site_(std::move(site)), rng_(seed) {}
 
 void FaultPoint::set_seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   rng_ = Rng(seed);
 }
 
 void FaultPoint::set_failure_rate(double p) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   failure_rate_ = p;
 }
 
 void FaultPoint::FailNext(int n, StatusCode code) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   fail_next_ = n;
   fail_code_ = code;
 }
 
 void FaultPoint::ArmTrigger(uint64_t at_call, std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   triggers_.push_back({at_call, std::move(fn)});
 }
 
 Status FaultPoint::OnCall() {
-  static obs::Counter* calls = obs::Registry::Global().counter("chaos.calls");
+  static obs::Counter* calls =
+      obs::Registry::Global().counter("sdw_chaos_calls");
   static obs::Counter* injected =
-      obs::Registry::Global().counter("chaos.injected");
+      obs::Registry::Global().counter("sdw_chaos_injected");
   calls->Add();
   std::vector<std::function<void()>> due;
   Status status = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     ++calls_;
     for (size_t i = 0; i < triggers_.size();) {
       if (triggers_[i].at_call <= calls_) {
@@ -67,17 +68,17 @@ Status FaultPoint::OnCall() {
 }
 
 uint64_t FaultPoint::calls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return calls_;
 }
 
 uint64_t FaultPoint::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return injected_;
 }
 
 void FaultPoint::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   failure_rate_ = 0.0;
   fail_next_ = 0;
   fail_code_ = StatusCode::kUnavailable;
@@ -89,7 +90,7 @@ void FaultPoint::Reset() {
 FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
 
 FaultPoint* FaultInjector::point(const std::string& site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = points_.find(site);
   if (it == points_.end()) {
     const uint64_t point_seed = seed_ ^ Hash64(std::string_view(site));
@@ -101,7 +102,7 @@ FaultPoint* FaultInjector::point(const std::string& site) {
 }
 
 std::vector<std::string> FaultInjector::sites() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(points_.size());
   for (const auto& [site, _] : points_) out.push_back(site);

@@ -5,12 +5,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace sdw::chaos {
 
@@ -40,27 +40,29 @@ class FaultPoint {
   FaultPoint& operator=(const FaultPoint&) = delete;
 
   /// Reseeds the probabilistic mode's Rng.
-  void set_seed(uint64_t seed);
+  void set_seed(uint64_t seed) SDW_EXCLUDES(mu_);
 
   /// Each call fails independently with probability `p` (0 disables).
-  void set_failure_rate(double p);
+  void set_failure_rate(double p) SDW_EXCLUDES(mu_);
 
   /// The next `n` calls fail with `code`, then the point recovers.
-  void FailNext(int n, StatusCode code = StatusCode::kUnavailable);
+  void FailNext(int n, StatusCode code = StatusCode::kUnavailable)
+      SDW_EXCLUDES(mu_);
 
   /// Runs `fn` when the call counter reaches `at_call` (1-based: the
   /// first call is call 1). The triggering call itself is not failed.
-  void ArmTrigger(uint64_t at_call, std::function<void()> fn);
+  void ArmTrigger(uint64_t at_call, std::function<void()> fn)
+      SDW_EXCLUDES(mu_);
 
   /// The instrumented site calls this on every operation; a non-OK
   /// status means the operation must fail with it.
-  Status OnCall();
+  Status OnCall() SDW_EXCLUDES(mu_);
 
-  uint64_t calls() const;
-  uint64_t injected() const;
+  uint64_t calls() const SDW_EXCLUDES(mu_);
+  uint64_t injected() const SDW_EXCLUDES(mu_);
 
   /// Clears all modes, triggers and counters (site name kept).
-  void Reset();
+  void Reset() SDW_EXCLUDES(mu_);
 
  private:
   struct Trigger {
@@ -68,15 +70,16 @@ class FaultPoint {
     std::function<void()> fn;
   };
 
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
+  /// Immutable after construction (site identity).
   std::string site_;
-  Rng rng_;
-  double failure_rate_ = 0.0;
-  int fail_next_ = 0;
-  StatusCode fail_code_ = StatusCode::kUnavailable;
-  uint64_t calls_ = 0;
-  uint64_t injected_ = 0;
-  std::vector<Trigger> triggers_;
+  Rng rng_ SDW_GUARDED_BY(mu_);
+  double failure_rate_ SDW_GUARDED_BY(mu_) = 0.0;
+  int fail_next_ SDW_GUARDED_BY(mu_) = 0;
+  StatusCode fail_code_ SDW_GUARDED_BY(mu_) = StatusCode::kUnavailable;
+  uint64_t calls_ SDW_GUARDED_BY(mu_) = 0;
+  uint64_t injected_ SDW_GUARDED_BY(mu_) = 0;
+  std::vector<Trigger> triggers_ SDW_GUARDED_BY(mu_);
 };
 
 /// Named registry of fault points so a test can reach every
@@ -92,15 +95,17 @@ class FaultInjector {
 
   /// The point for `site`, created (and seeded) on first use. The
   /// pointer stays valid for the injector's lifetime.
-  FaultPoint* point(const std::string& site);
+  FaultPoint* point(const std::string& site) SDW_EXCLUDES(mu_);
 
   /// Sites registered so far, sorted.
-  std::vector<std::string> sites() const;
+  std::vector<std::string> sites() const SDW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
+  /// Immutable after construction.
   uint64_t seed_;
-  std::map<std::string, std::unique_ptr<FaultPoint>> points_;
+  std::map<std::string, std::unique_ptr<FaultPoint>> points_
+      SDW_GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::chaos

@@ -11,7 +11,7 @@ namespace internal_retry {
 
 void NoteAttempt() {
   static obs::Counter* attempts =
-      obs::Registry::Global().counter("retry.attempts");
+      obs::Registry::Global().counter("sdw_retry_attempts");
   attempts->Add();
 }
 
@@ -19,9 +19,9 @@ void NoteAttempt() {
 
 void Retry::Backoff(int attempt) {
   static obs::Counter* retries =
-      obs::Registry::Global().counter("retry.retries");
+      obs::Registry::Global().counter("sdw_retry_retries");
   static obs::Histogram* backoff_hist = obs::Registry::Global().histogram(
-      "retry.backoff_seconds", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
+      "sdw_retry_backoff_seconds", {0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0});
   retries->Add();
   double base = policy_.initial_backoff_seconds *
                 std::pow(policy_.backoff_multiplier, attempt - 1);

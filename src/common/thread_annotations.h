@@ -1,0 +1,147 @@
+#ifndef SDW_COMMON_THREAD_ANNOTATIONS_H_
+#define SDW_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+/// Clang thread-safety (capability) annotations for SimpleDW.
+///
+/// Every lock-protected member in the concurrent core is declared with
+/// SDW_GUARDED_BY(mu_) and every function with a locking contract carries
+/// SDW_REQUIRES / SDW_ACQUIRE / SDW_RELEASE / SDW_EXCLUDES, so a clang
+/// build with -Werror=thread-safety (cmake -DSDW_THREAD_SAFETY=ON) proves
+/// at compile time that no annotated member is touched without its lock
+/// and no annotated lock is taken re-entrantly. Under GCC the macros
+/// expand to nothing and the wrappers below compile to the plain
+/// std::mutex code they replace.
+///
+/// Rules of the house (DESIGN.md §4f):
+///  - protect members with SDW_GUARDED_BY, not comments;
+///  - private helpers that assume the lock take SDW_REQUIRES(mu_);
+///  - never hold a lock across user callbacks (observers, fault
+///    handlers, triggers) — copy the callback out under the lock and
+///    invoke it after release;
+///  - SDW_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+///    why-comment at every use.
+
+#if defined(__clang__)
+#define SDW_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define SDW_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis can track.
+#define SDW_CAPABILITY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define SDW_SCOPED_CAPABILITY \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Member is readable/writable only while holding `x`.
+#define SDW_GUARDED_BY(x) SDW_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointee (not the pointer) is protected by `x`.
+#define SDW_PT_GUARDED_BY(x) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) to call this function.
+#define SDW_REQUIRES(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define SDW_REQUIRES_SHARED(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define SDW_ACQUIRE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define SDW_RELEASE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `ret`.
+#define SDW_TRY_ACQUIRE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for functions
+/// that take it themselves, or that invoke user callbacks).
+#define SDW_EXCLUDES(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define SDW_RETURN_CAPABILITY(x) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Documented lock-order edge: this lock is acquired before `...`.
+#define SDW_ACQUIRED_BEFORE(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define SDW_ACQUIRED_AFTER(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: turns the analysis off for one function. Every use
+/// MUST carry a comment explaining why the analysis cannot see the
+/// invariant (tools/lint.py flags bare uses in review).
+#define SDW_NO_THREAD_SAFETY_ANALYSIS \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace sdw::common {
+
+/// An annotated std::mutex. BasicLockable (lowercase lock/unlock) so a
+/// CondVar can wait on it directly; use MutexLock for scopes.
+class SDW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SDW_ACQUIRE() { mu_.lock(); }
+  void unlock() SDW_RELEASE() { mu_.unlock(); }
+  bool try_lock() SDW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a Mutex — the annotated replacement for
+/// std::lock_guard / std::unique_lock in this codebase.
+class SDW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SDW_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SDW_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() takes the Mutex itself
+/// (which the caller must hold — typically via a MutexLock on the same
+/// mutex); the internal unlock/relock happens inside the standard
+/// library and is invisible to (and safely ignored by) the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+  void Wait(Mutex& mu) SDW_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) SDW_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sdw::common
+
+#endif  // SDW_COMMON_THREAD_ANNOTATIONS_H_

@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -23,9 +23,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock,
-                       [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_ready_.Wait(mu_,
+                       [this]() SDW_REQUIRES(mu_) {
+                         return shutting_down_ || !queue_.empty();
+                       });
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -38,7 +40,8 @@ Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
   if (n <= 0) return Status::OK();
   // Counted identically on the inline and fanned-out paths so serial
   // (pool_size=0) and pooled runs of a workload report the same value.
-  static obs::Counter* tasks = obs::Registry::Global().counter("pool.tasks");
+  static obs::Counter* tasks =
+      obs::Registry::Global().counter("sdw_pool_tasks");
   tasks->Add(static_cast<uint64_t>(n));
 
   auto run_one = [&fn](int i) -> Status {
@@ -63,29 +66,35 @@ Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
   // Per-call join state so concurrent ParallelFor callers sharing this
   // pool only wait for their own tasks.
   struct JoinState {
-    std::mutex mu;
-    std::condition_variable done;
-    int remaining;
+    Mutex mu;
+    CondVar done;
+    int remaining SDW_GUARDED_BY(mu) = 0;
   };
-  JoinState join{.remaining = n};
+  JoinState join;
+  {
+    MutexLock lock(join.mu);
+    join.remaining = n;
+  }
   std::vector<Status> statuses(static_cast<size_t>(n));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (int i = 0; i < n; ++i) {
       queue_.push_back([&run_one, &join, &statuses, i] {
         Status s = run_one(i);
-        std::lock_guard<std::mutex> join_lock(join.mu);
+        MutexLock join_lock(join.mu);
         statuses[static_cast<size_t>(i)] = std::move(s);
-        if (--join.remaining == 0) join.done.notify_all();
+        if (--join.remaining == 0) join.done.NotifyAll();
       });
     }
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
 
   {
-    std::unique_lock<std::mutex> lock(join.mu);
-    join.done.wait(lock, [&join] { return join.remaining == 0; });
+    MutexLock lock(join.mu);
+    join.done.Wait(join.mu, [&join]() SDW_REQUIRES(join.mu) {
+      return join.remaining == 0;
+    });
   }
   for (const Status& s : statuses) {
     if (!s.ok()) return s;

@@ -1,14 +1,13 @@
 #ifndef SDW_COMMON_THREAD_POOL_H_
 #define SDW_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace sdw::common {
 
@@ -30,7 +29,7 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Joins all workers. Outstanding tasks finish first.
-  ~ThreadPool();
+  ~ThreadPool() SDW_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
@@ -40,15 +39,19 @@ class ThreadPool {
   /// serial and a parallel run of the same failing workload report the
   /// same error. Exceptions escaping fn are converted to an Internal
   /// status rather than terminating the process (the join stays safe).
-  Status ParallelFor(int n, const std::function<Status(int)>& fn);
+  Status ParallelFor(int n, const std::function<Status(int)>& fn)
+      SDW_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SDW_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_ready_;
+  std::deque<std::function<void()>> queue_ SDW_GUARDED_BY(mu_);
+  bool shutting_down_ SDW_GUARDED_BY(mu_) = false;
+  /// Written only in the constructor, before any worker can observe it;
+  /// read-only afterwards (num_threads, the serial-fallback check, the
+  /// destructor's join).
   std::vector<std::thread> workers_;
 };
 

@@ -640,6 +640,7 @@ Status HashAggregateOp::Update(Group* g, const Batch& batch, size_t row) {
         break;
       }
       case AggFn::kCount:
+      case AggFn::kApproxDistinct:
         break;  // handled above
     }
   }

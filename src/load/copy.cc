@@ -99,9 +99,9 @@ Result<CopyStats> CopyExecutor::CopyFromPayloads(
     SDW_RETURN_IF_ERROR(cluster_->Analyze(table));
   }
   static obs::Counter* rows_loaded =
-      obs::Registry::Global().counter("copy.rows_loaded");
+      obs::Registry::Global().counter("sdw_copy_rows_loaded");
   static obs::Counter* files_loaded =
-      obs::Registry::Global().counter("copy.files");
+      obs::Registry::Global().counter("sdw_copy_files");
   rows_loaded->Add(stats.rows_loaded);
   files_loaded->Add(stats.files);
   // Slice-parallel ingest: every slice chews its share of the input.

@@ -3,12 +3,12 @@
 namespace sdw::obs {
 
 QueryLog::Started QueryLog::StartQuery() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return {next_query_id_++, clock_};
 }
 
 void QueryLog::FinishQuery(QueryRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (record.trace) {
     record.trace->AssignVirtualTimes(record.start_tick);
     record.end_tick = record.trace->end_tick();
@@ -20,17 +20,17 @@ void QueryLog::FinishQuery(QueryRecord record) {
 }
 
 std::vector<QueryRecord> QueryLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return records_;
 }
 
 uint64_t QueryLog::now() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return clock_;
 }
 
 void QueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   records_.clear();
   next_query_id_ = 1;
   clock_ = 0;
@@ -38,7 +38,7 @@ void QueryLog::Clear() {
 
 void EventLog::Record(const std::string& source, const std::string& kind,
                       int node, double value, const std::string& detail) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   HealthEvent e;
   e.event_id = next_event_id_++;
   e.tick = tick_++;
@@ -51,12 +51,12 @@ void EventLog::Record(const std::string& source, const std::string& kind,
 }
 
 std::vector<HealthEvent> EventLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return events_;
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   events_.clear();
   next_event_id_ = 1;
   tick_ = 0;

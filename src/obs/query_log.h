@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/trace.h"
 
 namespace sdw::obs {
@@ -37,22 +37,22 @@ class QueryLog {
     int query_id;
     uint64_t start_tick;
   };
-  Started StartQuery();
+  Started StartQuery() SDW_EXCLUDES(mu_);
 
   /// Records a finished query: assigns virtual times to its trace
   /// (if any), advances the warehouse clock past the query's end, and
   /// appends the record.
-  void FinishQuery(QueryRecord record);
+  void FinishQuery(QueryRecord record) SDW_EXCLUDES(mu_);
 
-  std::vector<QueryRecord> Snapshot() const;
-  uint64_t now() const;
-  void Clear();
+  std::vector<QueryRecord> Snapshot() const SDW_EXCLUDES(mu_);
+  uint64_t now() const SDW_EXCLUDES(mu_);
+  void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  int next_query_id_ = 1;
-  uint64_t clock_ = 0;
-  std::vector<QueryRecord> records_;
+  mutable common::Mutex mu_;
+  int next_query_id_ SDW_GUARDED_BY(mu_) = 1;
+  uint64_t clock_ SDW_GUARDED_BY(mu_) = 0;
+  std::vector<QueryRecord> records_ SDW_GUARDED_BY(mu_);
 };
 
 /// One health/control-plane event as recorded in stl_health_events.
@@ -71,15 +71,15 @@ struct HealthEvent {
 class EventLog {
  public:
   void Record(const std::string& source, const std::string& kind, int node,
-              double value, const std::string& detail);
-  std::vector<HealthEvent> Snapshot() const;
-  void Clear();
+              double value, const std::string& detail) SDW_EXCLUDES(mu_);
+  std::vector<HealthEvent> Snapshot() const SDW_EXCLUDES(mu_);
+  void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  int next_event_id_ = 1;
-  uint64_t tick_ = 0;
-  std::vector<HealthEvent> events_;
+  mutable common::Mutex mu_;
+  int next_event_id_ SDW_GUARDED_BY(mu_) = 1;
+  uint64_t tick_ SDW_GUARDED_BY(mu_) = 0;
+  std::vector<HealthEvent> events_ SDW_GUARDED_BY(mu_);
 };
 
 }  // namespace sdw::obs

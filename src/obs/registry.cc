@@ -62,14 +62,14 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -77,14 +77,14 @@ Gauge* Registry::gauge(const std::string& name) {
 
 Histogram* Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return slot.get();
 }
 
 std::vector<MetricRow> Registry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<MetricRow> rows;
   for (const auto& [name, c] : counters_) {
     rows.push_back({name, "counter", static_cast<double>(c->value())});
@@ -112,7 +112,7 @@ std::vector<MetricRow> Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->Reset();
   for (auto& [_, g] : gauges_) g->Reset();
   for (auto& [_, h] : histograms_) h->Reset();

@@ -5,9 +5,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace sdw::obs {
 
@@ -81,23 +82,28 @@ class Registry {
  public:
   static Registry& Global();
 
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
+  Counter* counter(const std::string& name) SDW_EXCLUDES(mu_);
+  Gauge* gauge(const std::string& name) SDW_EXCLUDES(mu_);
   /// `bounds` are only used on first registration of `name`.
-  Histogram* histogram(const std::string& name, std::vector<double> bounds);
+  Histogram* histogram(const std::string& name, std::vector<double> bounds)
+      SDW_EXCLUDES(mu_);
 
-  /// Flattened values of every registered metric, sorted by name.
-  std::vector<MetricRow> Snapshot() const;
+  /// Flattened values of every registered metric, sorted by name. The
+  /// lock covers the map walk only; values are relaxed atomic reads, so
+  /// a snapshot never blocks the lock-free update path.
+  std::vector<MetricRow> Snapshot() const SDW_EXCLUDES(mu_);
 
   /// Zeroes every metric's value; registrations (and cached pointers)
   /// stay valid.
-  void Reset();
+  void Reset() SDW_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SDW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ SDW_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SDW_GUARDED_BY(mu_);
 };
 
 /// Tick source for SDW_LOG timestamps: a process-wide logical clock

@@ -48,7 +48,7 @@ void ReplicationManager::RecordPlacementLocked(storage::BlockId id,
   if (secondary < 0) {
     degraded_writes_.fetch_add(1, std::memory_order_relaxed);
     static obs::Counter* degraded =
-        obs::Registry::Global().counter("repl.degraded_writes");
+        obs::Registry::Global().counter("sdw_repl_degraded_writes");
     degraded->Add();
   }
 }
@@ -60,7 +60,7 @@ Result<storage::BlockId> ReplicationManager::Write(int primary_node,
   }
   int secondary;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (failed_nodes_.count(primary_node)) {
       return Status::Unavailable("primary node is failed");
     }
@@ -76,17 +76,19 @@ Result<storage::BlockId> ReplicationManager::Write(int primary_node,
                  ? stores_[secondary]->PutRaw(id, *std::move(stored))
                  : stored.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  // Log the degradation before taking mu_: the log sink does its own
+  // locking and formatting, neither belongs under the placement lock.
+  if (!copied.ok()) {
+    SDW_LOG(Warning) << "secondary copy of block " << id << " on node "
+                     << secondary << " failed (" << copied.ToString()
+                     << "); degrading to single-copy";
+  }
+  common::MutexLock lock(mu_);
   if (secondary >= 0 && copied.ok()) {
     RecordPlacementLocked(id, primary_node, secondary);
   } else {
     // Secondary copy didn't land: record a single-copy placement rather
     // than leaking an orphaned primary copy; ReReplicate() heals it.
-    if (!copied.ok()) {
-      SDW_LOG(Warning) << "secondary copy of block " << id << " on node "
-                       << secondary << " failed (" << copied.ToString()
-                       << "); degrading to single-copy";
-    }
     RecordPlacementLocked(id, primary_node, -1);
   }
   return id;
@@ -99,22 +101,23 @@ Status ReplicationManager::Replicate(int primary_node, storage::BlockId id,
   }
   int secondary;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     secondary = PickSecondaryLocked(primary_node);
   }
   Status copied = Status::OK();
   if (secondary >= 0) {
     copied = stores_[secondary]->PutRaw(id, stored);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (secondary >= 0 && copied.ok()) {
-    RecordPlacementLocked(id, primary_node, secondary);
-    return Status::OK();
-  }
+  // As in Write(): log outside mu_, record under it.
   if (!copied.ok()) {
     SDW_LOG(Warning) << "secondary copy of block " << id << " on node "
                      << secondary << " failed (" << copied.ToString()
                      << "); degrading to single-copy";
+  }
+  common::MutexLock lock(mu_);
+  if (secondary >= 0 && copied.ok()) {
+    RecordPlacementLocked(id, primary_node, secondary);
+    return Status::OK();
   }
   RecordPlacementLocked(id, primary_node, -1);
   return Status::OK();
@@ -123,7 +126,7 @@ Status ReplicationManager::Replicate(int primary_node, storage::BlockId id,
 Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
   Placement p;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = placements_.find(id);
     if (it == placements_.end()) {
       return Status::NotFound("unknown block " + std::to_string(id));
@@ -140,7 +143,7 @@ Result<Bytes> ReplicationManager::Read(storage::BlockId id) {
     if (secondary_read.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* masked =
-          obs::Registry::Global().counter("repl.masked_reads");
+          obs::Registry::Global().counter("sdw_repl_masked_reads");
       masked->Add();
       return secondary_read;
     }
@@ -153,7 +156,7 @@ Result<Bytes> ReplicationManager::ReadReplicaExcluding(storage::BlockId id,
                                                        int exclude_node) {
   Placement p;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = placements_.find(id);
     if (it == placements_.end()) {
       return Status::NotFound("block " + std::to_string(id) +
@@ -167,7 +170,7 @@ Result<Bytes> ReplicationManager::ReadReplicaExcluding(storage::BlockId id,
     if (replica.ok()) {
       masked_reads_.fetch_add(1, std::memory_order_relaxed);
       static obs::Counter* masked =
-          obs::Registry::Global().counter("repl.masked_reads");
+          obs::Registry::Global().counter("sdw_repl_masked_reads");
       masked->Add();
       return replica;
     }
@@ -178,12 +181,12 @@ Result<Bytes> ReplicationManager::ReadReplicaExcluding(storage::BlockId id,
 }
 
 bool ReplicationManager::HasPlacement(storage::BlockId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return placements_.count(id) > 0;
 }
 
 void ReplicationManager::MarkNodeFailed(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   failed_nodes_.insert(node);
 }
 
@@ -195,17 +198,17 @@ void ReplicationManager::FailNode(int node) {
 }
 
 void ReplicationManager::RestoreNode(int node) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   failed_nodes_.erase(node);
 }
 
 bool ReplicationManager::IsNodeFailed(int node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return failed_nodes_.count(node) > 0;
 }
 
 std::vector<int> ReplicationManager::FailedNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return std::vector<int>(failed_nodes_.begin(), failed_nodes_.end());
 }
 
@@ -215,7 +218,7 @@ Result<int> ReplicationManager::ReReplicate() {
   std::vector<std::pair<storage::BlockId, Placement>> snapshot;
   std::set<int> failed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     snapshot.assign(placements_.begin(), placements_.end());
     failed = failed_nodes_;
   }
@@ -252,7 +255,7 @@ Result<int> ReplicationManager::ReReplicate() {
     SDW_ASSIGN_OR_RETURN(Bytes data, stores_[survivor]->GetStored(id));
     SDW_RETURN_IF_ERROR(stores_[target]->PutRaw(id, std::move(data)));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(mu_);
       auto it = placements_.find(id);
       if (it != placements_.end()) {
         if (primary_ok) {
@@ -270,7 +273,7 @@ Result<int> ReplicationManager::ReReplicate() {
 void ReplicationManager::Remove(storage::BlockId id) {
   Placement p;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = placements_.find(id);
     if (it == placements_.end()) return;
     p = it->second;
@@ -285,7 +288,7 @@ void ReplicationManager::Remove(storage::BlockId id) {
 int ReplicationManager::ReplicaCount(storage::BlockId id) {
   Placement p;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     auto it = placements_.find(id);
     if (it == placements_.end()) return 0;
     p = it->second;
@@ -316,7 +319,7 @@ int ReplicationManager::CountLostBlocks() {
 }
 
 std::set<int> ReplicationManager::BlastRadius(int failed_node) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::set<int> impacted;
   for (const auto& [id, placement] : placements_) {
     if (placement.primary == failed_node && placement.secondary >= 0) {
@@ -330,7 +333,7 @@ std::set<int> ReplicationManager::BlastRadius(int failed_node) const {
 }
 
 std::vector<storage::BlockId> ReplicationManager::AllBlocks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<storage::BlockId> ids;
   ids.reserve(placements_.size());
   for (const auto& [id, _] : placements_) ids.push_back(id);
@@ -339,7 +342,7 @@ std::vector<storage::BlockId> ReplicationManager::AllBlocks() const {
 
 Result<ReplicationManager::Placement> ReplicationManager::GetPlacement(
     storage::BlockId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = placements_.find(id);
   if (it == placements_.end()) return Status::NotFound("unknown block");
   return it->second;

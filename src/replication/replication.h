@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/block_store.h"
 
 namespace sdw::replication {
@@ -51,7 +51,8 @@ class ReplicationManager {
   /// land (peer failed mid-put, or no healthy peer at all), the write
   /// degrades to a tracked single-copy placement instead of leaking an
   /// orphaned primary copy — ReReplicate() heals it later.
-  Result<storage::BlockId> Write(int primary_node, Bytes data);
+  Result<storage::BlockId> Write(int primary_node, Bytes data)
+      SDW_EXCLUDES(mu_);
 
   /// Records and replicates a block whose primary copy was already
   /// written to `primary_node`'s store by someone else (the put
@@ -59,50 +60,51 @@ class ReplicationManager {
   /// the secondary copy lands via PutRaw so at-rest transforms are
   /// not applied twice. Degrades to single-copy like Write.
   Status Replicate(int primary_node, storage::BlockId id,
-                   const Bytes& stored);
+                   const Bytes& stored) SDW_EXCLUDES(mu_);
 
   /// Reads a block, masking media failures: primary first, then the
   /// secondary (the read path customers never notice, §2.1).
-  Result<Bytes> Read(storage::BlockId id);
+  Result<Bytes> Read(storage::BlockId id) SDW_EXCLUDES(mu_);
 
   /// Stored/raw bytes of `id` from any healthy replica other than
   /// `exclude_node` — the masked-read path a node's fault handler uses
   /// (it must never read through itself). Replica reads are
   /// resident-only (GetStored) so two failed nodes cannot recurse into
   /// each other's fault handlers. NotFound if the block is untracked.
-  Result<Bytes> ReadReplicaExcluding(storage::BlockId id, int exclude_node);
+  Result<Bytes> ReadReplicaExcluding(storage::BlockId id, int exclude_node)
+      SDW_EXCLUDES(mu_);
 
   /// True if `id` has a placement record (written through replication).
-  bool HasPlacement(storage::BlockId id) const;
+  bool HasPlacement(storage::BlockId id) const SDW_EXCLUDES(mu_);
 
   /// Marks a node failed for placement/read purposes without touching
   /// its store — what the health loop uses on an unreachable node.
-  void MarkNodeFailed(int node);
+  void MarkNodeFailed(int node) SDW_EXCLUDES(mu_);
 
   /// Simulates whole-node media loss: marks the node failed AND drops
   /// all its blocks.
-  void FailNode(int node);
+  void FailNode(int node) SDW_EXCLUDES(mu_);
 
   /// The node was replaced (control-plane workflow) and rejoined
   /// empty-but-healthy: clears the failed mark so placement and
   /// re-replication can use it again.
-  void RestoreNode(int node);
+  void RestoreNode(int node) SDW_EXCLUDES(mu_);
 
-  bool IsNodeFailed(int node) const;
-  std::vector<int> FailedNodes() const;
+  bool IsNodeFailed(int node) const SDW_EXCLUDES(mu_);
+  std::vector<int> FailedNodes() const SDW_EXCLUDES(mu_);
 
   /// Restores two-copy redundancy for every under-replicated block by
   /// copying from the surviving replica to another cohort peer.
   /// Returns the number of blocks re-replicated.
-  Result<int> ReReplicate();
+  Result<int> ReReplicate() SDW_EXCLUDES(mu_);
 
   /// Drops every live copy of a block and forgets its placement
   /// (vacuum / DROP TABLE cleanup — without this the secondary copy
   /// would leak).
-  void Remove(storage::BlockId id);
+  void Remove(storage::BlockId id) SDW_EXCLUDES(mu_);
 
   /// Copies of a block currently readable.
-  int ReplicaCount(storage::BlockId id);
+  int ReplicaCount(storage::BlockId id) SDW_EXCLUDES(mu_);
 
   /// True if at least one copy survives.
   bool IsReadable(storage::BlockId id) { return ReplicaCount(id) > 0; }
@@ -114,17 +116,17 @@ class ReplicationManager {
 
   /// Nodes holding any replica that re-replication of `failed_node`
   /// would read from — the failure's blast radius.
-  std::set<int> BlastRadius(int failed_node) const;
+  std::set<int> BlastRadius(int failed_node) const SDW_EXCLUDES(mu_);
 
   /// All tracked block ids.
-  std::vector<storage::BlockId> AllBlocks() const;
+  std::vector<storage::BlockId> AllBlocks() const SDW_EXCLUDES(mu_);
 
   /// Which nodes hold block `id` per metadata (placement, not health).
   struct Placement {
     int primary = -1;
     int secondary = -1;
   };
-  Result<Placement> GetPlacement(storage::BlockId id) const;
+  Result<Placement> GetPlacement(storage::BlockId id) const SDW_EXCLUDES(mu_);
 
   // --- accounting ---
 
@@ -143,19 +145,19 @@ class ReplicationManager {
   /// Picks the secondary node for a new block on `primary`: a healthy
   /// cohort peer round-robin, any healthy node if the cohort is
   /// exhausted, -1 if the fleet has no healthy peer at all.
-  int PickSecondaryLocked(int primary);
+  int PickSecondaryLocked(int primary) SDW_REQUIRES(mu_);
 
   void RecordPlacementLocked(storage::BlockId id, int primary,
-                             int secondary);
+                             int secondary) SDW_REQUIRES(mu_);
 
   std::vector<storage::BlockStore*> stores_;
   ReplicationConfig config_;
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  std::map<storage::BlockId, Placement> placements_;
-  std::vector<uint64_t> rr_counter_;
-  std::set<int> failed_nodes_;
+  mutable common::Mutex mu_;
+  Rng rng_ SDW_GUARDED_BY(mu_);
+  std::map<storage::BlockId, Placement> placements_ SDW_GUARDED_BY(mu_);
+  std::vector<uint64_t> rr_counter_ SDW_GUARDED_BY(mu_);
+  std::set<int> failed_nodes_ SDW_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> degraded_writes_{0};
   std::atomic<uint64_t> masked_reads_{0};

@@ -1,0 +1,34 @@
+#ifndef SDW_SIM_STOPWATCH_H_
+#define SDW_SIM_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sdw::sim {
+
+/// The one sanctioned wall-clock in src/: measures real elapsed seconds
+/// for ExecStats-style *measured* telemetry (per-slice CPU seconds,
+/// leader time). Everything that feeds logged histories or query
+/// results must use virtual ticks instead — tools/lint.py bans direct
+/// std::chrono clock use outside src/sim and bench/ so a stray
+/// steady_clock::now() can never leak nondeterminism into the
+/// deterministic paths.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sdw::sim
+
+#endif  // SDW_SIM_STOPWATCH_H_

@@ -10,22 +10,22 @@ namespace {
 // Registry handles cached once; Add() is a relaxed fetch_add.
 obs::Counter* ReadsMetric() {
   static obs::Counter* c =
-      obs::Registry::Global().counter("storage.block_reads");
+      obs::Registry::Global().counter("sdw_storage_block_reads");
   return c;
 }
 obs::Counter* ReadBytesMetric() {
   static obs::Counter* c =
-      obs::Registry::Global().counter("storage.block_read_bytes");
+      obs::Registry::Global().counter("sdw_storage_block_read_bytes");
   return c;
 }
 obs::Counter* FaultsMetric() {
   static obs::Counter* c =
-      obs::Registry::Global().counter("storage.block_faults");
+      obs::Registry::Global().counter("sdw_storage_block_faults");
   return c;
 }
 obs::Counter* WritesMetric() {
   static obs::Counter* c =
-      obs::Registry::Global().counter("storage.blocks_written");
+      obs::Registry::Global().counter("sdw_storage_blocks_written");
   return c;
 }
 
@@ -53,33 +53,50 @@ Status BlockStore::StoreLocked(BlockId id, Bytes data, uint32_t crc,
 }
 
 Status BlockStore::Put(BlockId id, Bytes data) {
-  if (write_transform_) {
-    SDW_ASSIGN_OR_RETURN(data, write_transform_(id, std::move(data)));
+  // Copy the hooks out under the lock; they are invoked unlocked below
+  // (the observer reaches *other* stores — holding our lock across
+  // that would order locks between stores, an ABBA deadlock).
+  TransformFn transform;
+  PutObserver observer;
+  chaos::FaultPoint* write_fault;
+  {
+    common::MutexLock lock(mu_);
+    transform = write_transform_;
+    observer = put_observer_;
+    write_fault = write_fault_;
   }
-  if (write_fault_ != nullptr) {
-    SDW_RETURN_IF_ERROR(write_fault_->OnCall());
+  if (transform) {
+    SDW_ASSIGN_OR_RETURN(data, transform(id, std::move(data)));
+  }
+  if (write_fault != nullptr) {
+    SDW_RETURN_IF_ERROR(write_fault->OnCall());
   }
   const uint32_t crc = Crc32c(data.data(), data.size());
   Bytes for_observer;
-  if (put_observer_) for_observer = data;
+  if (observer) for_observer = data;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     SDW_RETURN_IF_ERROR(StoreLocked(id, std::move(data), crc,
                                     /*verified=*/false));
   }
   // The observer (synchronous replication) writes the secondary copy on
   // a *different* store; it must run unlocked or concurrent cross-node
   // puts would order locks between stores.
-  if (put_observer_) put_observer_(id, for_observer);
+  if (observer) observer(id, for_observer);
   return Status::OK();
 }
 
 Status BlockStore::PutRaw(BlockId id, Bytes stored) {
-  if (write_fault_ != nullptr) {
-    SDW_RETURN_IF_ERROR(write_fault_->OnCall());
+  chaos::FaultPoint* write_fault;
+  {
+    common::MutexLock lock(mu_);
+    write_fault = write_fault_;
+  }
+  if (write_fault != nullptr) {
+    SDW_RETURN_IF_ERROR(write_fault->OnCall());
   }
   const uint32_t crc = Crc32c(stored.data(), stored.size());
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   return StoreLocked(id, std::move(stored), crc, /*verified=*/false);
 }
 
@@ -88,14 +105,21 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
   ReadsMetric()->Add();
   // Chaos first: a firing read point turns this call into a local media
   // failure even if the block is resident, so masking is exercised end
-  // to end.
+  // to end. The point is copied out and called unlocked — armed
+  // triggers reach back into the system.
+  chaos::FaultPoint* read_fault;
+  {
+    common::MutexLock lock(mu_);
+    read_fault = read_fault_;
+  }
   Status miss = Status::OK();
-  if (read_fault_ != nullptr) miss = read_fault_->OnCall();
+  if (read_fault != nullptr) miss = read_fault->OnCall();
 
   std::shared_ptr<Inflight> flight;
   bool leader = false;
+  FaultHandler handler;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (miss.ok()) {
       auto it = blocks_.find(id);
       if (it != blocks_.end()) {
@@ -120,6 +144,7 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
       }
     }
     if (!fault_handler_) return miss;
+    handler = fault_handler_;
     // Single-flight: racing faults of the same block share one fetch.
     auto fit = inflight_.find(id);
     if (fit != inflight_.end()) {
@@ -130,7 +155,7 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
       leader = true;
     }
     if (!leader) {
-      flight->cv.wait(lock, [&] { return flight->done; });
+      flight->cv.Wait(mu_, [&] { return flight->done; });
       return flight->result;
     }
   }
@@ -138,9 +163,9 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
   // reach replica stores or S3, which route through other locks.
   faults_.fetch_add(1, std::memory_order_relaxed);
   FaultsMetric()->Add();
-  Result<Bytes> fetched = fault_handler_(id);
+  Result<Bytes> fetched = handler(id);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (fetched.ok()) {
       const Bytes& data = *fetched;
       read_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
@@ -155,12 +180,12 @@ Result<Bytes> BlockStore::GetRaw(BlockId id) {
     flight->done = true;
     inflight_.erase(id);
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   return fetched;
 }
 
 Result<Bytes> BlockStore::GetStored(BlockId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::Unavailable("block " + std::to_string(id) +
@@ -181,14 +206,19 @@ Result<Bytes> BlockStore::GetStored(BlockId id) {
 
 Result<Bytes> BlockStore::Get(BlockId id) {
   SDW_ASSIGN_OR_RETURN(Bytes data, GetRaw(id));
-  if (read_transform_) {
-    return read_transform_(id, std::move(data));
+  TransformFn transform;
+  {
+    common::MutexLock lock(mu_);
+    transform = read_transform_;
+  }
+  if (transform) {
+    return transform(id, std::move(data));
   }
   return data;
 }
 
 Status BlockStore::Delete(BlockId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it == blocks_.end()) {
     return Status::NotFound("block " + std::to_string(id));
@@ -199,7 +229,7 @@ Status BlockStore::Delete(BlockId id) {
 }
 
 std::vector<BlockId> BlockStore::ListIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::vector<BlockId> ids;
   ids.reserve(blocks_.size());
   for (const auto& [id, _] : blocks_) ids.push_back(id);
@@ -207,7 +237,7 @@ std::vector<BlockId> BlockStore::ListIds() const {
 }
 
 void BlockStore::DropForTest(BlockId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it != blocks_.end()) {
     total_bytes_ -= it->second.data.size();
@@ -216,7 +246,7 @@ void BlockStore::DropForTest(BlockId id) {
 }
 
 void BlockStore::CorruptForTest(BlockId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = blocks_.find(id);
   if (it != blocks_.end() && !it->second.data.empty()) {
     it->second.data[it->second.data.size() / 2] ^= 0x40;

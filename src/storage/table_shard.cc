@@ -163,7 +163,7 @@ Result<std::vector<ColumnVector>> TableShard::ReadAll(
 
 Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
     const BlockMeta& meta, TypeId type) {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(cache_mu_);
   auto it = decode_cache_.find(meta.id);
   if (it != decode_cache_.end()) return it->second;
   SDW_ASSIGN_OR_RETURN(Bytes data, store_->Get(meta.id));
@@ -171,7 +171,7 @@ Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
                        compress::DecodeColumn(meta.encoding, type, data));
   blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* decoded_metric =
-      obs::Registry::Global().counter("storage.blocks_decoded");
+      obs::Registry::Global().counter("sdw_storage_blocks_decoded");
   decoded_metric->Add();
   // Attribute the decode to the executing slice's trace span, if any.
   if (obs::SpanCounters* span = obs::CurrentSpanCounters()) {

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "catalog/types.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/block_store.h"
 #include "storage/zone_map.h"
 
@@ -116,8 +116,8 @@ class TableShard {
   uint64_t blocks_decoded() const {
     return blocks_decoded_.load(std::memory_order_relaxed);
   }
-  void ResetCounters() {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+  void ResetCounters() SDW_EXCLUDES(cache_mu_) {
+    common::MutexLock lock(cache_mu_);
     blocks_decoded_.store(0, std::memory_order_relaxed);
     decode_cache_.clear();
     cache_order_.clear();
@@ -131,7 +131,7 @@ class TableShard {
   /// Reads + decodes one block, serving repeat reads from a small FIFO
   /// cache (scans pull overlapping blocks once, not once per batch).
   Result<std::shared_ptr<const ColumnVector>> DecodeBlock(
-      const BlockMeta& meta, TypeId type);
+      const BlockMeta& meta, TypeId type) SDW_EXCLUDES(cache_mu_);
 
   /// Estimated raw width of one value of the column, for block sizing.
   static size_t EstimateWidth(const ColumnVector& values);
@@ -146,13 +146,16 @@ class TableShard {
   /// mutated by reads, so they carry the shard's read-path lock. Writes
   /// (Append/LoadChains) are single-threaded by the cluster's insert
   /// path and stay unlocked. Holding the lock across the whole decode
-  /// keeps blocks_decoded_ deterministic under concurrency (no
-  /// double-decode of a racing miss); slices do not contend because
-  /// each slice owns its own shard.
+  /// (including the store Get) keeps blocks_decoded_ deterministic
+  /// under concurrency (no double-decode of a racing miss); slices do
+  /// not contend because each slice owns its own shard. Lock order is
+  /// strictly cache_mu_ -> store mu_ (BlockStore never calls back into
+  /// shards), so the nesting cannot invert.
   std::atomic<uint64_t> blocks_decoded_{0};
-  mutable std::mutex cache_mu_;
-  std::map<BlockId, std::shared_ptr<const ColumnVector>> decode_cache_;
-  std::vector<BlockId> cache_order_;
+  mutable common::Mutex cache_mu_;
+  std::map<BlockId, std::shared_ptr<const ColumnVector>> decode_cache_
+      SDW_GUARDED_BY(cache_mu_);
+  std::vector<BlockId> cache_order_ SDW_GUARDED_BY(cache_mu_);
 };
 
 }  // namespace sdw::storage

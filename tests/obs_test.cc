@@ -250,7 +250,9 @@ TEST(SystemTablesTest, ShuffleJoinSpanTreeShape) {
   for (const obs::Span& s : join_q.trace->spans()) {
     if (s.name == "shuffle scan") ++shuffle_scans;
     if (s.name == "slice pipeline") ++slice_pipelines;
-    if (s.slice >= 0) EXPECT_LT(s.slice, 4);
+    if (s.slice >= 0) {
+      EXPECT_LT(s.slice, 4);
+    }
     // Virtual times were assigned and nest within the root.
     EXPECT_GE(s.start_tick, root->start_tick);
     EXPECT_LE(s.end_tick, root->end_tick);
@@ -297,7 +299,7 @@ TEST(SystemTablesTest, MetricsAccumulateIdenticallySerialVsPooled) {
   // stv_metrics is process-global, so compare the counters each run
   // accumulates from a clean registry: the same workload must bump
   // every metric by the same amount with the pool off or on (e.g.
-  // pool.tasks counts before the inline/fan-out branch).
+  // sdw_pool_tasks counts before the inline/fan-out branch).
   obs::Registry::Global().Reset();
   std::string serial_dump;
   {
@@ -315,7 +317,8 @@ TEST(SystemTablesTest, MetricsAccumulateIdenticallySerialVsPooled) {
         TableDump(&pooled, "SELECT * FROM stv_metrics ORDER BY name");
   }
   EXPECT_EQ(serial_dump, pooled_dump);
-  EXPECT_NE(serial_dump.find("storage.blocks_decoded"), std::string::npos);
+  EXPECT_NE(serial_dump.find("sdw_storage_blocks_decoded"),
+            std::string::npos);
 }
 
 TEST(SystemTablesTest, StlQueryAnswersTopElapsed) {
@@ -365,7 +368,7 @@ TEST(SystemTablesTest, AggregatesAndFiltersOverSystemTables) {
   ASSERT_TRUE(metrics.ok()) << metrics.status();
   bool saw_query_count = false;
   for (size_t i = 0; i < metrics->rows.num_rows(); ++i) {
-    if (metrics->rows.columns[0].StringAt(i) == "query.count") {
+    if (metrics->rows.columns[0].StringAt(i) == "sdw_query_count") {
       saw_query_count = true;
       EXPECT_GT(metrics->rows.columns[1].DoubleAt(i), 0.0);
     }

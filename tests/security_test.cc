@@ -34,7 +34,9 @@ TEST(ChaCha20Test, XorRoundTrips) {
     for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
     Bytes original = data;
     ChaCha20Xor(key, nonce, 0, &data);
-    if (size > 8) EXPECT_NE(data, original);
+    if (size > 8) {
+      EXPECT_NE(data, original);
+    }
     ChaCha20Xor(key, nonce, 0, &data);
     EXPECT_EQ(data, original);
   }

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for SimpleDW.
+
+Enforces the concurrency and determinism conventions the compiler cannot
+see (DESIGN.md section 4f):
+
+  wall-clock     Direct use of std::chrono::{steady,system,high_resolution}
+                 _clock, rand() or std::random_device anywhere in src/
+                 except src/sim/ (sim::Stopwatch is the one sanctioned
+                 wall-clock wrapper; bench/ is exempt by scope).
+  naked-thread   std::thread / std::jthread construction in src/ outside
+                 common/thread_pool.* (all parallelism goes through the
+                 shared pool so slice fan-out stays bounded and joinable).
+                 Qualified statics (std::thread::hardware_concurrency)
+                 are allowed.
+  log-under-lock SDW_LOG while a MutexLock / lock_guard / unique_lock is
+                 held in an enclosing scope (the log sink formats and
+                 locks on its own; logging under a lock stretches the
+                 critical section and risks lock-order cycles).
+                 Heuristic brace-depth scan; suppress intentional cases.
+  metric-name    String literals passed to Registry::Global().counter/
+                 gauge/histogram must match sdw_<module>_<name>
+                 (lower_snake, at least two segments) so the stv_metrics
+                 namespace stays grep-able and collision-free.
+
+Suppression: append `// lint:allow(<rule>)` to the offending line.
+
+Fixture mode (--check-fixtures) runs every rule over
+tests/lint_fixtures/ regardless of path scoping and demands that each
+`// lint:expect(<rule>)` line produces exactly that violation and that
+no unexpected violations appear — the negative test that proves the
+linter still fires.
+
+Exit status: 0 clean, 1 violations (or fixture expectations unmet).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+SOURCE_SUFFIXES = {".cc", ".h"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+EXPECT_RE = re.compile(r"//\s*lint:expect\(([a-z-]+)\)")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"|(?<![\w:])rand\s*\("
+    r"|std::random_device"
+)
+NAKED_THREAD_RE = re.compile(r"std::j?thread\b(?!::)")
+LOCK_DECL_RE = re.compile(
+    r"\b(?:common::)?MutexLock\s+\w+\s*\("
+    r"|\bstd::lock_guard\s*<"
+    r"|\bstd::unique_lock\s*<"
+    r"|\bstd::scoped_lock\b"
+)
+LOG_RE = re.compile(r"\bSDW_LOG\s*\(")
+METRIC_CALL_RE = re.compile(
+    r"Registry::Global\(\)\s*\.\s*(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"",
+    re.DOTALL,
+)
+METRIC_NAME_RE = re.compile(r"^sdw_[a-z0-9]+(?:_[a-z0-9]+)+$")
+
+COMMENT_RE = re.compile(r"//.*$")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rel(path):
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def strip_comment(line):
+    """Drops a trailing // comment (not inside a string literal — good
+    enough for this codebase, which has no metrics/locks in macros)."""
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        elif ch == "/" and not in_string and line[i : i + 2] == "//":
+            return line[:i]
+    return line
+
+
+def line_allows(lines, lineno, rule):
+    m = ALLOW_RE.search(lines[lineno - 1])
+    return bool(m and m.group(1) == rule)
+
+
+def check_wall_clock(path, lines, scoped):
+    """wall-clock: only src/sim/ may read real clocks."""
+    p = rel(path)
+    if scoped and (not p.startswith("src/") or p.startswith("src/sim/")):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        m = WALL_CLOCK_RE.search(code)
+        if m and not line_allows(lines, i, "wall-clock"):
+            out.append(
+                Violation(
+                    p, i, "wall-clock",
+                    f"'{m.group(0).strip()}' outside src/sim/ — use "
+                    "sim::Stopwatch (src/sim/stopwatch.h) or take the "
+                    "value as a parameter",
+                )
+            )
+    return out
+
+
+def check_naked_thread(path, lines, scoped):
+    """naked-thread: only common/thread_pool.* may spawn threads."""
+    p = rel(path)
+    if scoped and (
+        not p.startswith("src/") or p.startswith("src/common/thread_pool.")
+    ):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        m = NAKED_THREAD_RE.search(code)
+        if m and not line_allows(lines, i, "naked-thread"):
+            out.append(
+                Violation(
+                    p, i, "naked-thread",
+                    "std::thread outside common/thread_pool — fan work "
+                    "out via ThreadPool::ParallelFor",
+                )
+            )
+    return out
+
+
+def check_log_under_lock(path, lines, scoped):
+    """log-under-lock: SDW_LOG while an RAII lock is live in scope.
+
+    Tracks brace depth per line; an RAII lock declared at depth d is
+    considered held until depth drops below d. Lambdas passed while a
+    lock is held do run under it at their *definition* site, so a log in
+    such a lambda body is (correctly) flagged; lambdas merely defined
+    under no lock are not.
+    """
+    p = rel(path)
+    if scoped and not p.startswith("src/"):
+        return []
+    out = []
+    depth = 0
+    held = []  # depths at which a lock guard was declared
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        if LOCK_DECL_RE.search(code):
+            held.append(depth)
+        if (
+            LOG_RE.search(code)
+            and held
+            and not line_allows(lines, i, "log-under-lock")
+        ):
+            out.append(
+                Violation(
+                    p, i, "log-under-lock",
+                    "SDW_LOG while a lock is held — copy state out, "
+                    "release, then log",
+                )
+            )
+        for ch in code:
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                while held and depth <= held[-1]:
+                    held.pop()
+    return out
+
+
+def check_metric_names(path, text, lines, scoped):
+    """metric-name: Registry names must be sdw_<module>_<name>."""
+    p = rel(path)
+    if scoped and not p.startswith("src/"):
+        return []
+    out = []
+    for m in METRIC_CALL_RE.finditer(text):
+        name = m.group(1)
+        lineno = text.count("\n", 0, m.start(1)) + 1
+        if METRIC_NAME_RE.match(name):
+            continue
+        if line_allows(lines, lineno, "metric-name"):
+            continue
+        out.append(
+            Violation(
+                p, lineno, "metric-name",
+                f"metric '{name}' does not match sdw_<module>_<name> "
+                "(lower_snake, >= 2 segments after sdw_)",
+            )
+        )
+    return out
+
+
+def check_file(path, scoped=True):
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    violations = []
+    violations += check_wall_clock(path, lines, scoped)
+    violations += check_naked_thread(path, lines, scoped)
+    violations += check_log_under_lock(path, lines, scoped)
+    violations += check_metric_names(path, text, lines, scoped)
+    return violations
+
+
+def iter_sources(root):
+    for p in sorted(root.rglob("*")):
+        if p.suffix in SOURCE_SUFFIXES and p.is_file():
+            yield p
+
+
+def run_repo_lint():
+    violations = []
+    for p in iter_sources(REPO_ROOT / "src"):
+        violations += check_file(p, scoped=True)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint: clean")
+    return 0
+
+
+def run_fixture_check():
+    fixture_dir = REPO_ROOT / "tests" / "lint_fixtures"
+    failures = []
+    checked = 0
+    for p in iter_sources(fixture_dir):
+        checked += 1
+        text = p.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        expected = {}  # (lineno, rule)
+        for i, line in enumerate(lines, 1):
+            for m in EXPECT_RE.finditer(line):
+                expected[(i, m.group(1))] = False
+        got = {(v.line, v.rule) for v in check_file(p, scoped=False)}
+        for key in expected:
+            if key in got:
+                expected[key] = True
+            else:
+                failures.append(
+                    f"{rel(p)}:{key[0]}: expected [{key[1]}] did not fire"
+                )
+        for key in got:
+            if key not in expected:
+                failures.append(
+                    f"{rel(p)}:{key[0]}: unexpected [{key[1]}] violation"
+                )
+    if checked == 0:
+        failures.append(f"no fixtures found under {rel(fixture_dir)}")
+    for f in failures:
+        print(f)
+    if failures:
+        print(f"lint fixtures: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"lint fixtures: {checked} file(s) behave as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-fixtures",
+        action="store_true",
+        help="verify tests/lint_fixtures/ trip the rules they claim to",
+    )
+    args = parser.parse_args()
+    if args.check_fixtures:
+        return run_fixture_check()
+    return run_repo_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
