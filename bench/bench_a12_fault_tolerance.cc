@@ -28,6 +28,10 @@ WarehouseOptions ReplicatedOptions(int nodes) {
   options.cluster.slices_per_node = 2;
   options.cluster.storage.max_rows_per_block = 512;
   options.cluster.replicate = true;
+  // Every arm repeats one query before/after a fault and reads its
+  // execution stats (masked reads, fault-ins). A result-cache hit is
+  // byte-identical but skips execution — force the re-run.
+  options.cache.enable_result_cache = false;
   return options;
 }
 

@@ -433,10 +433,13 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   const uint64_t masked_before = cluster_->masked_reads();
   const uint64_t s3_faults_before = cluster_->s3_fault_reads();
   if (options_.mode == ExecutionMode::kCompiled) {
-    stats.compile_seconds = options_.compile_seconds;
+    stats.compile_seconds =
+        options_.segment_cache_hit ? 0.0 : options_.compile_seconds;
     if (trace) {
-      obs::Span* compile = trace->AddSpan("compile", root->span_id, 0);
-      compile->real_seconds = options_.compile_seconds;
+      obs::Span* compile = trace->AddSpan(
+          options_.segment_cache_hit ? "compile (cached)" : "compile",
+          root->span_id, 0);
+      compile->real_seconds = stats.compile_seconds;
     }
   }
 

@@ -35,6 +35,10 @@ struct ExecOptions {
   /// timestamps) on QueryResult::trace. On by default; benches turn it
   /// off to measure instrumentation overhead.
   bool trace = true;
+  /// The plan came from the warehouse's compiled-segment cache: the
+  /// per-query compile_seconds charge is skipped (the segments already
+  /// exist) and the trace records a zero-cost "compile (cached)" span.
+  bool segment_cache_hit = false;
 };
 
 /// Per-query execution telemetry.

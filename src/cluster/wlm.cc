@@ -1,13 +1,122 @@
 #include "cluster/wlm.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "sim/stopwatch.h"
 
 namespace sdw::cluster {
 
-WorkloadManager::WorkloadManager(sim::Engine* engine, WlmConfig config)
-    : engine_(engine), config_(config) {
-  SDW_CHECK(config.concurrency_slots >= 1);
+WlmConfig SanitizeWlmConfig(WlmConfig config) {
+  if (config.concurrency_slots < 1) {
+    SDW_LOG(Warning) << "WLM concurrency_slots=" << config.concurrency_slots
+                     << " is not serviceable; clamping to 1";
+    config.concurrency_slots = 1;
+  }
+  if (config.max_report_history < 1) config.max_report_history = 1;
+  return config;
 }
+
+AdmissionController::AdmissionController(WlmConfig config)
+    : config_(SanitizeWlmConfig(config)) {}
+
+Result<AdmissionController::Slot> AdmissionController::Admit() {
+  static obs::Counter* admitted_metric =
+      obs::Registry::Global().counter("sdw_wlm_admitted");
+  static obs::Counter* timeouts_metric =
+      obs::Registry::Global().counter("sdw_wlm_timeouts");
+  sim::Stopwatch wait_timer;
+  common::MutexLock lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  auto at_head_with_free_slot = [this, ticket]() SDW_REQUIRES(mu_) {
+    return running_ < config_.concurrency_slots && !queue_.empty() &&
+           queue_.front() == ticket;
+  };
+  bool ready = at_head_with_free_slot();
+  if (!ready) {
+    if (config_.queue_timeout_seconds > 0) {
+      ready = slot_free_.WaitFor(
+          mu_, std::chrono::duration<double>(config_.queue_timeout_seconds),
+          at_head_with_free_slot);
+    } else {
+      slot_free_.Wait(mu_, at_head_with_free_slot);
+      ready = true;
+    }
+  }
+  if (!ready) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+    ++timeouts_;
+    timeouts_metric->Add();
+    // Our departure may have promoted the next waiter to the head.
+    slot_free_.NotifyAll();
+    return Status::DeadlineExceeded(
+        "cancelled after " + std::to_string(config_.queue_timeout_seconds) +
+        "s in the WLM queue (" + std::to_string(config_.concurrency_slots) +
+        " slots busy)");
+  }
+  queue_.pop_front();
+  ++running_;
+  max_in_flight_ = std::max(max_in_flight_, running_);
+  ++admitted_;
+  admitted_metric->Add();
+  // A new head may be admissible if slots remain.
+  slot_free_.NotifyAll();
+  Slot slot;
+  slot.controller_ = this;
+  slot.queued_seconds_ = wait_timer.Seconds();
+  return slot;
+}
+
+void AdmissionController::Release() {
+  {
+    common::MutexLock lock(mu_);
+    --running_;
+  }
+  slot_free_.NotifyAll();
+}
+
+void AdmissionController::Record(Report report) {
+  common::MutexLock lock(mu_);
+  report.seq = next_seq_++;
+  reports_.push_back(std::move(report));
+  while (reports_.size() > config_.max_report_history) reports_.pop_front();
+}
+
+std::vector<AdmissionController::Report> AdmissionController::reports() const {
+  common::MutexLock lock(mu_);
+  return {reports_.begin(), reports_.end()};
+}
+
+int AdmissionController::running() const {
+  common::MutexLock lock(mu_);
+  return running_;
+}
+
+size_t AdmissionController::queued() const {
+  common::MutexLock lock(mu_);
+  return queue_.size();
+}
+
+int AdmissionController::max_in_flight() const {
+  common::MutexLock lock(mu_);
+  return max_in_flight_;
+}
+
+uint64_t AdmissionController::admitted() const {
+  common::MutexLock lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::timeouts() const {
+  common::MutexLock lock(mu_);
+  return timeouts_;
+}
+
+WorkloadManager::WorkloadManager(sim::Engine* engine, WlmConfig config)
+    : engine_(engine), config_(SanitizeWlmConfig(config)) {}
 
 void WorkloadManager::Submit(double service_seconds,
                              std::function<void(const QueryReport&)> done) {
@@ -34,6 +143,9 @@ void WorkloadManager::Admit() {
       report.exec_seconds = effective;
       report.finished_at = engine_->Now();
       reports_.push_back(report);
+      while (reports_.size() > config_.max_report_history) {
+        reports_.pop_front();
+      }
       if (next.done) next.done(report);
       --running_;
       Admit();

@@ -1,10 +1,14 @@
 #ifndef SDW_CLUSTER_WLM_H_
 #define SDW_CLUSTER_WLM_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "sim/engine.h"
 
 namespace sdw::cluster {
@@ -21,6 +25,107 @@ struct WlmConfig {
   /// down: effective service time = base * (1 + penalty * (slots - 1)).
   /// This models the spill/partition cost of smaller per-slot memory.
   double per_slot_memory_penalty = 0.04;
+  /// Real seconds a statement may wait in the admission queue before
+  /// it is cancelled with DeadlineExceeded; <= 0 waits forever.
+  double queue_timeout_seconds = 60.0;
+  /// Completed-statement reports kept (ring buffer — stl_wlm must not
+  /// grow without bound across long runs).
+  size_t max_report_history = 1024;
+};
+
+/// Returns `config` with out-of-range knobs clamped to workable values
+/// (a misconfigured warehouse degrades to a 1-slot queue instead of
+/// crashing the endpoint).
+WlmConfig SanitizeWlmConfig(WlmConfig config);
+
+/// Live admission control: the thread-safe front door of a warehouse.
+/// Concurrent callers block in Admit() until one of the configured
+/// slots frees up; beyond the slot count they queue strictly FIFO, and
+/// a queued caller whose timeout elapses is cancelled with
+/// DeadlineExceeded. Completed statements are recorded in a bounded
+/// ring buffer surfaced through the stl_wlm system table.
+class AdmissionController {
+ public:
+  explicit AdmissionController(WlmConfig config);
+
+  /// RAII occupancy of one slot: releasing is destruction. Move-only.
+  class Slot {
+   public:
+    Slot() = default;
+    Slot(Slot&& other) noexcept { *this = std::move(other); }
+    Slot& operator=(Slot&& other) noexcept {
+      if (this != &other) {
+        ReleaseNow();
+        controller_ = other.controller_;
+        queued_seconds_ = other.queued_seconds_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Slot() { ReleaseNow(); }
+
+    /// Real seconds this statement waited before admission.
+    double queued_seconds() const { return queued_seconds_; }
+
+   private:
+    friend class AdmissionController;
+    void ReleaseNow() {
+      if (controller_ != nullptr) controller_->Release();
+      controller_ = nullptr;
+    }
+    AdmissionController* controller_ = nullptr;
+    double queued_seconds_ = 0;
+  };
+
+  /// Blocks until a slot is free and this caller is at the head of the
+  /// FIFO queue, or until the queue timeout elapses (DeadlineExceeded).
+  Result<Slot> Admit() SDW_EXCLUDES(mu_);
+
+  /// One row of stl_wlm. `state` is "run" (executed), "error"
+  /// (admitted but failed), "timeout" (cancelled in the queue) or
+  /// "result_cache" (served from the result cache, no slot occupied).
+  struct Report {
+    uint64_t seq = 0;  // assigned by Record, monotonically increasing
+    int session_id = 0;
+    std::string state;
+    std::string statement;
+    double queued_seconds = 0;
+    double exec_seconds = 0;
+  };
+
+  /// Appends a completed-statement report to the ring buffer (assigns
+  /// `seq`; the oldest rows fall off past max_report_history).
+  void Record(Report report) SDW_EXCLUDES(mu_);
+
+  /// Snapshot of the report ring, oldest first.
+  std::vector<Report> reports() const SDW_EXCLUDES(mu_);
+
+  /// Statements currently holding a slot / waiting in the queue.
+  int running() const SDW_EXCLUDES(mu_);
+  size_t queued() const SDW_EXCLUDES(mu_);
+  /// High-water mark of concurrently running statements — the bench's
+  /// proof that the slot limit binds.
+  int max_in_flight() const SDW_EXCLUDES(mu_);
+  /// Statements admitted / cancelled in the queue since construction.
+  uint64_t admitted() const SDW_EXCLUDES(mu_);
+  uint64_t timeouts() const SDW_EXCLUDES(mu_);
+
+  const WlmConfig& config() const { return config_; }
+
+ private:
+  void Release() SDW_EXCLUDES(mu_);
+
+  const WlmConfig config_;
+  mutable common::Mutex mu_;
+  common::CondVar slot_free_;
+  uint64_t next_ticket_ SDW_GUARDED_BY(mu_) = 0;
+  std::deque<uint64_t> queue_ SDW_GUARDED_BY(mu_);
+  int running_ SDW_GUARDED_BY(mu_) = 0;
+  int max_in_flight_ SDW_GUARDED_BY(mu_) = 0;
+  uint64_t admitted_ SDW_GUARDED_BY(mu_) = 0;
+  uint64_t timeouts_ SDW_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ SDW_GUARDED_BY(mu_) = 0;
+  std::deque<Report> reports_ SDW_GUARDED_BY(mu_);
 };
 
 /// Admission control for concurrent queries, simulated on the
@@ -46,8 +151,9 @@ class WorkloadManager {
   int running() const { return running_; }
   size_t queued() const { return queue_.size(); }
 
-  /// All completed-query reports, in completion order.
-  const std::vector<QueryReport>& reports() const { return reports_; }
+  /// The most recent completed-query reports, in completion order
+  /// (bounded by WlmConfig::max_report_history).
+  const std::deque<QueryReport>& reports() const { return reports_; }
 
  private:
   void Admit();
@@ -62,7 +168,7 @@ class WorkloadManager {
   WlmConfig config_;
   int running_ = 0;
   std::vector<Pending> queue_;
-  std::vector<QueryReport> reports_;
+  std::deque<QueryReport> reports_;
 };
 
 }  // namespace sdw::cluster

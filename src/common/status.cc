@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Aborted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

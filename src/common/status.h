@@ -23,6 +23,7 @@ enum class StatusCode {
   kNotSupported,
   kAborted,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name ("InvalidArgument", ...) for a code.
@@ -77,6 +78,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +89,9 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

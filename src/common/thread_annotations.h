@@ -1,8 +1,10 @@
 #ifndef SDW_COMMON_THREAD_ANNOTATIONS_H_
 #define SDW_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 /// Clang thread-safety (capability) annotations for SimpleDW.
@@ -52,6 +54,14 @@
 /// Caller must hold the capability at least shared.
 #define SDW_REQUIRES_SHARED(...) \
   SDW_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared (reader side).
+#define SDW_ACQUIRE_SHARED(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a shared hold of the capability.
+#define SDW_RELEASE_SHARED(...) \
+  SDW_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
 
 /// Function acquires the capability and does not release it.
 #define SDW_ACQUIRE(...) \
@@ -138,8 +148,66 @@ class CondVar {
     cv_.wait(mu, std::move(pred));
   }
 
+  /// Timed wait: returns the predicate's value when the wait ends
+  /// (false = timed out with the predicate still unsatisfied). The
+  /// relative duration keeps callers off named clocks — deadlines are
+  /// the one place src/ may depend on real time passing (DESIGN.md §4f;
+  /// measurement still goes through sim::Stopwatch).
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Predicate pred) SDW_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout, std::move(pred));
+  }
+
  private:
   std::condition_variable_any cv_;
+};
+
+/// An annotated std::shared_mutex: many concurrent readers or one
+/// writer. Use ReaderMutexLock / WriterMutexLock for scopes.
+class SDW_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() SDW_ACQUIRE() { mu_.lock(); }
+  void unlock() SDW_RELEASE() { mu_.unlock(); }
+  void lock_shared() SDW_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() SDW_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive (writer) scope over a SharedMutex.
+class SDW_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SDW_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() SDW_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) scope over a SharedMutex.
+class SDW_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SDW_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderMutexLock() SDW_RELEASE() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 }  // namespace sdw::common

@@ -1,0 +1,132 @@
+#include "plan/fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace sdw::plan {
+
+namespace {
+
+/// Exact, type-tagged rendering of one literal. Datum::ToString is a
+/// display format (fixed double precision) and must not be used for
+/// cache keys: 1.00000001 and 1.00000002 would collide.
+void AppendDatum(const Datum& d, std::string* out) {
+  if (d.is_null()) {
+    *out += "n";
+    return;
+  }
+  switch (d.type()) {
+    case TypeId::kBool:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      *out += "i" + std::to_string(static_cast<int>(d.type())) + ":" +
+              std::to_string(d.int_value());
+      return;
+    case TypeId::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "d:%.17g", d.double_value());
+      *out += buf;
+      return;
+    }
+    case TypeId::kString:
+      *out += "s" + std::to_string(d.string_value().size()) + ":" +
+              d.string_value();
+      return;
+  }
+}
+
+void AppendColumn(const ColumnName& c, std::string* out) {
+  *out += c.table + "." + c.column;
+}
+
+std::string ConjunctText(const Selection& s) {
+  std::string out;
+  out += std::to_string(static_cast<int>(s.kind)) + ":";
+  AppendColumn(s.column, &out);
+  switch (s.kind) {
+    case Selection::Kind::kCompare:
+      out += " op" + std::to_string(static_cast<int>(s.op)) + " ";
+      AppendDatum(s.literal, &out);
+      break;
+    case Selection::Kind::kBetween:
+      out += " between ";
+      AppendDatum(s.literal, &out);
+      out += " and ";
+      AppendDatum(s.literal2, &out);
+      break;
+    case Selection::Kind::kIn: {
+      // IN (1, 2) and IN (2, 1) are the same predicate.
+      std::vector<std::string> values;
+      values.reserve(s.in_list.size());
+      for (const Datum& d : s.in_list) {
+        std::string v;
+        AppendDatum(d, &v);
+        values.push_back(std::move(v));
+      }
+      std::sort(values.begin(), values.end());
+      out += " in(";
+      for (const std::string& v : values) out += v + ",";
+      out += ")";
+      break;
+    }
+    case Selection::Kind::kLikePrefix:
+      out += " like s" + std::to_string(s.like_prefix.size()) + ":" +
+             s.like_prefix;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string CanonicalText(const LogicalQuery& query) {
+  std::string out = "from=" + query.from_table;
+  out += "|star=" + std::to_string(query.select_star ? 1 : 0);
+  if (query.join_table.has_value()) {
+    out += "|join=" + *query.join_table + " on ";
+    AppendColumn(query.join_left, &out);
+    out += "=";
+    AppendColumn(query.join_right, &out);
+  }
+  // Conjunct order is semantically irrelevant (they AND together);
+  // sorting their serialized forms makes the key order-insensitive.
+  std::vector<std::string> conjuncts;
+  conjuncts.reserve(query.where.size());
+  for (const Selection& s : query.where) conjuncts.push_back(ConjunctText(s));
+  std::sort(conjuncts.begin(), conjuncts.end());
+  out += "|where=";
+  for (const std::string& c : conjuncts) out += "(" + c + ")";
+  out += "|select=";
+  for (const SelectItem& item : query.select) {
+    out += "(" + std::to_string(static_cast<int>(item.agg)) + ":";
+    AppendColumn(item.column, &out);
+    out += " as s" + std::to_string(item.alias.size()) + ":" + item.alias + ")";
+  }
+  out += "|group=";
+  for (const ColumnName& c : query.group_by) {
+    AppendColumn(c, &out);
+    out += ",";
+  }
+  out += "|order=";
+  for (const OrderItem& o : query.order_by) {
+    if (o.by_name) {
+      out += "name:";
+      AppendColumn(o.column, &out);
+    } else {
+      out += "idx:" + std::to_string(o.select_index);
+    }
+    out += o.descending ? " desc," : " asc,";
+  }
+  out += "|limit=";
+  if (query.limit.has_value()) out += std::to_string(*query.limit);
+  return out;
+}
+
+uint64_t Fingerprint(const LogicalQuery& query) {
+  return Hash64(std::string_view(CanonicalText(query)));
+}
+
+}  // namespace sdw::plan

@@ -1,0 +1,28 @@
+#ifndef SDW_PLAN_FINGERPRINT_H_
+#define SDW_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "plan/logical.h"
+
+namespace sdw::plan {
+
+/// Canonical text of a logical query, the key domain of the warehouse's
+/// compiled-segment and result caches. Two queries get the same text
+/// iff they are the same query up to conjunct order: WHERE conjuncts
+/// and IN-lists are serialized individually and sorted, every other
+/// clause keeps its (semantically meaningful) order. Literals are
+/// rendered exactly — doubles with round-trip precision, strings
+/// length-prefixed — so nearly-equal literals can never alias to one
+/// cache key the way display formatting would let them.
+std::string CanonicalText(const LogicalQuery& query);
+
+/// Hash64 of CanonicalText. Callers that key maps by the fingerprint
+/// must still compare the canonical text on lookup: a 64-bit hash is
+/// for bucketing, not for proving two queries equal.
+uint64_t Fingerprint(const LogicalQuery& query);
+
+}  // namespace sdw::plan
+
+#endif  // SDW_PLAN_FINGERPRINT_H_

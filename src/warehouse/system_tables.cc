@@ -1,5 +1,6 @@
 #include "warehouse/system_tables.h"
 
+#include <cstdio>
 #include <set>
 
 #include "catalog/catalog.h"
@@ -52,6 +53,17 @@ Result<TableSchema> SchemaFor(const std::string& name) {
     return TableSchema(name, {IntCol("event_id"), IntCol("tick"),
                               StrCol("source"), StrCol("kind"), IntCol("node"),
                               DblCol("value"), StrCol("detail")});
+  }
+  if (name == "stl_wlm") {
+    return TableSchema(name, {IntCol("seq"), IntCol("session_id"),
+                              StrCol("state"), StrCol("statement"),
+                              DblCol("queued_seconds"),
+                              DblCol("exec_seconds")});
+  }
+  if (name == "stv_cache") {
+    return TableSchema(name, {StrCol("cache"), StrCol("fingerprint"),
+                              StrCol("tables"), IntCol("hits"),
+                              IntCol("entry_rows"), IntCol("live")});
   }
   return Status::NotFound("unknown system table '" + name + "'");
 }
@@ -166,19 +178,77 @@ exec::Batch BuildStlHealthEvents(const obs::EventLog& log,
   return b;
 }
 
+exec::Batch BuildStlWlm(const cluster::AdmissionController& wlm,
+                        const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  for (const cluster::AdmissionController::Report& r : wlm.reports()) {
+    b.columns[0].AppendInt(static_cast<int64_t>(r.seq));
+    b.columns[1].AppendInt(r.session_id);
+    b.columns[2].AppendString(r.state);
+    b.columns[3].AppendString(r.statement);
+    b.columns[4].AppendDouble(r.queued_seconds);
+    b.columns[5].AppendDouble(r.exec_seconds);
+  }
+  return b;
+}
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
+template <typename V>
+void AppendCacheRows(const std::string& cache_name, LruQueryCache<V>* cache,
+                     const std::map<std::string, uint64_t>& current_versions,
+                     size_t (*entry_rows)(const V&), exec::Batch* b) {
+  if (cache == nullptr) return;
+  for (const auto& entry : cache->Entries()) {
+    std::string tables;
+    bool live = true;
+    for (const auto& [table, version] : entry.versions) {
+      if (!tables.empty()) tables += ",";
+      tables += table + "@" + std::to_string(version);
+      auto it = current_versions.find(table);
+      const uint64_t current = it == current_versions.end() ? 0 : it->second;
+      if (current != version) live = false;
+    }
+    b->columns[0].AppendString(cache_name);
+    b->columns[1].AppendString(HexFingerprint(entry.fingerprint));
+    b->columns[2].AppendString(tables);
+    b->columns[3].AppendInt(static_cast<int64_t>(entry.hits));
+    b->columns[4].AppendInt(
+        static_cast<int64_t>(entry.value ? entry_rows(*entry.value) : 0));
+    b->columns[5].AppendInt(live ? 1 : 0);
+  }
+}
+
+exec::Batch BuildStvCache(const SystemTableSources& sources,
+                          const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  AppendCacheRows<plan::PhysicalQuery>(
+      "segment", sources.segment_cache, sources.table_versions,
+      +[](const plan::PhysicalQuery&) -> size_t { return 0; }, &b);
+  AppendCacheRows<CachedResult>(
+      "result", sources.result_cache, sources.table_versions,
+      +[](const CachedResult& r) -> size_t { return r.rows.num_rows(); }, &b);
+  return b;
+}
+
 }  // namespace
 
 bool IsSystemTable(const std::string& name) {
   static const std::set<std::string>* tables = new std::set<std::string>{
       "stl_query", "stl_span", "stv_blocklist", "stv_metrics",
-      "stl_health_events"};
+      "stl_health_events", "stl_wlm", "stv_cache"};
   return tables->count(name) > 0;
 }
 
 Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
-                                             const obs::QueryLog& query_log,
-                                             const obs::EventLog& event_log,
-                                             cluster::Cluster* cluster) {
+                                             const SystemTableSources& sources) {
   if (query.join_table.has_value()) {
     return Status::NotSupported("joins are not supported on system tables");
   }
@@ -186,15 +256,19 @@ Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
 
   exec::Batch data;
   if (query.from_table == "stl_query") {
-    data = BuildStlQuery(query_log, schema);
+    data = BuildStlQuery(*sources.query_log, schema);
   } else if (query.from_table == "stl_span") {
-    data = BuildStlSpan(query_log, schema);
+    data = BuildStlSpan(*sources.query_log, schema);
   } else if (query.from_table == "stv_blocklist") {
-    data = BuildStvBlocklist(cluster, schema);
+    data = BuildStvBlocklist(sources.cluster, schema);
   } else if (query.from_table == "stv_metrics") {
     data = BuildStvMetrics(schema);
+  } else if (query.from_table == "stl_wlm") {
+    data = BuildStlWlm(*sources.wlm, schema);
+  } else if (query.from_table == "stv_cache") {
+    data = BuildStvCache(sources, schema);
   } else {
-    data = BuildStlHealthEvents(event_log, schema);
+    data = BuildStlHealthEvents(*sources.event_log, schema);
   }
 
   // Plan against a one-table synthetic catalog, then run the pipeline

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "plan/fingerprint.h"
+#include "sim/stopwatch.h"
 #include "warehouse/system_tables.h"
 
 namespace sdw::warehouse {
@@ -17,6 +21,51 @@ std::string Cell(const Datum& value) {
   if (value.type() == TypeId::kString) return value.string_value();
   return value.ToString();
 }
+
+/// Admits, or records a "timeout" stl_wlm row when admission fails so
+/// cancelled statements show up in the history too.
+Result<cluster::AdmissionController::Slot> AdmitOrReport(
+    cluster::AdmissionController* admission, int session_id,
+    const std::string& statement) {
+  Result<cluster::AdmissionController::Slot> slot = admission->Admit();
+  if (!slot.ok()) {
+    cluster::AdmissionController::Report report;
+    report.session_id = session_id;
+    report.state = "timeout";
+    report.statement = statement;
+    report.queued_seconds = admission->config().queue_timeout_seconds;
+    admission->Record(std::move(report));
+  }
+  return slot;
+}
+
+/// Records one stl_wlm row when the scope ends, whatever the exit path
+/// (success, error, early return). The state starts out "error" and is
+/// upgraded on success; exec time is measured by the scope's lifetime.
+class WlmReportScope {
+ public:
+  WlmReportScope(cluster::AdmissionController* admission, int session_id,
+                 std::string statement, double queued_seconds)
+      : admission_(admission) {
+    report_.session_id = session_id;
+    report_.statement = std::move(statement);
+    report_.state = "error";
+    report_.queued_seconds = queued_seconds;
+  }
+  ~WlmReportScope() {
+    report_.exec_seconds = timer_.Seconds();
+    admission_->Record(std::move(report_));
+  }
+  WlmReportScope(const WlmReportScope&) = delete;
+  WlmReportScope& operator=(const WlmReportScope&) = delete;
+
+  void set_state(const std::string& state) { report_.state = state; }
+
+ private:
+  cluster::AdmissionController* admission_;
+  cluster::AdmissionController::Report report_;
+  sim::Stopwatch timer_;
+};
 
 }  // namespace
 
@@ -65,7 +114,12 @@ std::string StatementResult::ToTable(size_t max_rows) const {
 Warehouse::Warehouse(WarehouseOptions options)
     : options_(options),
       cluster_(std::make_unique<cluster::Cluster>(options.cluster)),
-      backups_(&s3_, options.region, options.cluster_id) {
+      backups_(&s3_, options.region, options.cluster_id),
+      admission_(options.wlm),
+      segment_cache_(options.cache.segment_cache_entries,
+                     MakeCacheMetrics("sdw_cache_segment")),
+      result_cache_(options.cache.result_cache_entries,
+                    MakeCacheMetrics("sdw_cache_result")) {
   if (options_.encrypted) {
     master_provider_ = std::make_unique<security::ServiceKeyProvider>(
         Hash64(std::string_view(options_.cluster_id)));
@@ -79,6 +133,10 @@ Warehouse::Warehouse(WarehouseOptions options)
   SyncHostManagers();
 }
 
+Warehouse::Session Warehouse::CreateSession() {
+  return Session(this, next_session_id_.fetch_add(1));
+}
+
 void Warehouse::SyncHostManagers() {
   host_managers_.clear();
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
@@ -86,7 +144,39 @@ void Warehouse::SyncHostManagers() {
   }
 }
 
+TableVersions Warehouse::SnapshotVersions(
+    const std::vector<std::string>& tables) {
+  common::MutexLock lock(cache_mu_);
+  TableVersions out;
+  out.reserve(tables.size());
+  for (const std::string& t : tables) out.emplace_back(t, table_versions_[t]);
+  return out;
+}
+
+void Warehouse::BumpVersions(const std::vector<std::string>& tables) {
+  static obs::Counter* invalidations =
+      obs::Registry::Global().counter("sdw_cache_invalidations");
+  common::MutexLock lock(cache_mu_);
+  for (const std::string& t : tables) {
+    ++table_versions_[t];
+    invalidations->Add();
+  }
+}
+
+void Warehouse::BumpAllVersions() {
+  static obs::Counter* invalidations =
+      obs::Registry::Global().counter("sdw_cache_invalidations");
+  common::MutexLock lock(cache_mu_);
+  for (auto& [name, version] : table_versions_) {
+    ++version;
+    invalidations->Add();
+  }
+}
+
 Result<HealthStats> Warehouse::RunHealthSweep() {
+  // Exclusive: the sweep restores nodes and rewires replication while
+  // it runs; queries resume (and mask whatever remains) afterwards.
+  common::WriterMutexLock data_lock(data_mu_);
   replication::ReplicationManager* repl = cluster_->replication();
   if (repl == nullptr) {
     return Status::FailedPrecondition(
@@ -186,27 +276,40 @@ Status Warehouse::RotateKeys() {
   if (keys_ == nullptr) {
     return Status::FailedPrecondition("warehouse is not encrypted");
   }
+  // Exclusive: rotation rewraps block keys while reads decrypt through
+  // them. Data and results are untouched — no version bump.
+  common::WriterMutexLock data_lock(data_mu_);
   return keys_->RotateClusterKey();
 }
 
 Status Warehouse::Begin() {
-  if (in_txn_) {
+  common::WriterMutexLock data_lock(data_mu_);
+  if (in_transaction()) {
     return Status::FailedPrecondition("already in a transaction");
   }
   SDW_ASSIGN_OR_RETURN(txn_manifest_, backup::CaptureManifest(cluster_.get()));
-  in_txn_ = true;
+  in_txn_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Warehouse::Commit() {
-  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
-  in_txn_ = false;
+  common::WriterMutexLock data_lock(data_mu_);
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  in_txn_.store(false, std::memory_order_relaxed);
   txn_manifest_ = backup::SnapshotManifest{};
   return Status::OK();
 }
 
 Status Warehouse::Rollback() {
-  if (!in_txn_) return Status::FailedPrecondition("no open transaction");
+  common::WriterMutexLock data_lock(data_mu_);
+  if (!in_transaction()) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  // Every table may snap back to its captured chains: invalidate all
+  // cached plans/results before touching anything.
+  BumpAllVersions();
   // Tables created inside the transaction disappear entirely.
   std::set<std::string> pre_txn;
   for (const auto& table : txn_manifest_.tables) {
@@ -239,16 +342,199 @@ Status Warehouse::Rollback() {
     stats.columns.resize(table.schema.num_columns());
     cluster_->catalog()->UpdateStats(name, stats);
   }
-  in_txn_ = false;
+  in_txn_.store(false, std::memory_order_relaxed);
   txn_manifest_ = backup::SnapshotManifest{};
   return Status::OK();
 }
 
 Result<StatementResult> Warehouse::Execute(const std::string& sql) {
-  SDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
-  StatementResult result;
+  return ExecuteAs(sql, 0);
+}
 
+Result<StatementResult> Warehouse::ExecuteQuery(
+    const plan::LogicalQuery& query) {
+  return RunSelect(query, /*explain=*/false, /*explain_analyze=*/false,
+                   plan::CanonicalText(query), /*session_id=*/0);
+}
+
+Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
+                                             int session_id) {
+  SDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
+  if (auto* select = std::get_if<sql::SelectStmt>(&stmt)) {
+    if (IsSystemTable(select->query.from_table)) {
+      // System-table queries run on the leader against the logs/registry
+      // and are not themselves recorded in stl_query (monitoring should
+      // not pollute what it monitors). They also bypass admission — the
+      // operator must be able to read stl_wlm while the queue is full.
+      if (select->explain) {
+        return Status::NotSupported(
+            "EXPLAIN is not supported on system tables");
+      }
+      common::ReaderMutexLock data_lock(data_mu_);
+      SystemTableSources sources;
+      sources.query_log = &query_log_;
+      sources.event_log = &event_log_;
+      sources.cluster = cluster_.get();
+      sources.wlm = &admission_;
+      sources.segment_cache = &segment_cache_;
+      sources.result_cache = &result_cache_;
+      {
+        common::MutexLock versions_lock(cache_mu_);
+        sources.table_versions = table_versions_;
+      }
+      SDW_ASSIGN_OR_RETURN(SystemQueryResult sys,
+                           ExecuteSystemQuery(select->query, sources));
+      StatementResult result;
+      result.rows = std::move(sys.rows);
+      result.column_names = std::move(sys.column_names);
+      result.message = std::to_string(result.rows.num_rows()) + " rows";
+      return result;
+    }
+    return RunSelect(select->query, select->explain, select->explain_analyze,
+                     sql, session_id);
+  }
+  return RunStatement(std::move(stmt), sql, session_id);
+}
+
+Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
+                                             bool explain,
+                                             bool explain_analyze,
+                                             const std::string& sql_text,
+                                             int session_id) {
+  StatementResult result;
+  if (explain && !explain_analyze) {
+    // Plain EXPLAIN plans but does not run, occupy a slot, or touch the
+    // caches.
+    common::ReaderMutexLock data_lock(data_mu_);
+    plan::Planner planner(cluster_->catalog(), options_.planner);
+    SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery physical, planner.Plan(query));
+    result.message = physical.ToString();
+    return result;
+  }
+
+  const std::string canonical = plan::CanonicalText(query);
+  const uint64_t fingerprint = Hash64(std::string_view(canonical));
+  std::vector<std::string> tables{query.from_table};
+  if (query.join_table.has_value()) tables.push_back(*query.join_table);
+
+  // Result-cache fast path: a repeat query over unchanged tables is
+  // answered from memory without occupying a WLM slot. The shared data
+  // lock pins the version snapshot — a writer bumps versions before
+  // writing, under the exclusive lock, so a hit here can never reflect
+  // pre-write data after the write.
+  if (options_.cache.enable_result_cache && !explain_analyze) {
+    common::ReaderMutexLock data_lock(data_mu_);
+    const TableVersions versions = SnapshotVersions(tables);
+    std::shared_ptr<const CachedResult> hit =
+        result_cache_.Lookup(fingerprint, canonical, versions);
+    if (hit != nullptr) {
+      obs::QueryLog::Started started = query_log_.StartQuery();
+      obs::QueryRecord record;
+      record.query_id = started.query_id;
+      record.sql_text = sql_text;
+      record.start_tick = started.start_tick;
+      record.status = "success";
+      record.result_rows = hit->rows.num_rows();
+      record.counters.rows_out = record.result_rows;
+      query_log_.FinishQuery(std::move(record));
+      cluster::AdmissionController::Report report;
+      report.session_id = session_id;
+      report.state = "result_cache";
+      report.statement = sql_text;
+      admission_.Record(std::move(report));
+      result.rows = CloneBatch(hit->rows);
+      result.column_names = hit->column_names;
+      result.message = std::to_string(result.rows.num_rows()) + " rows";
+      result.from_result_cache = true;
+      return result;
+    }
+  }
+
+  SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
+                       AdmitOrReport(&admission_, session_id, sql_text));
+  WlmReportScope report(&admission_, session_id, sql_text,
+                        slot.queued_seconds());
+  common::ReaderMutexLock data_lock(data_mu_);
+  const TableVersions versions = SnapshotVersions(tables);
+
+  std::shared_ptr<const plan::PhysicalQuery> physical;
+  bool segment_hit = false;
+  if (options_.cache.enable_segment_cache) {
+    physical = segment_cache_.Lookup(fingerprint, canonical, versions);
+    segment_hit = physical != nullptr;
+  }
+  if (physical == nullptr) {
+    plan::Planner planner(cluster_->catalog(), options_.planner);
+    SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery planned, planner.Plan(query));
+    auto owned =
+        std::make_shared<const plan::PhysicalQuery>(std::move(planned));
+    if (options_.cache.enable_segment_cache) {
+      segment_cache_.Insert(fingerprint, canonical, versions, owned);
+    }
+    physical = std::move(owned);
+  }
+
+  obs::QueryLog::Started started = query_log_.StartQuery();
+  obs::QueryRecord record;
+  record.query_id = started.query_id;
+  record.sql_text = sql_text;
+  record.start_tick = started.start_tick;
+  cluster::ExecOptions exec_options = options_.exec;
+  exec_options.segment_cache_hit = segment_hit;
+  cluster::QueryExecutor executor(cluster_.get(), exec_options);
+  Result<cluster::QueryResult> executed = executor.Execute(*physical);
+  if (!executed.ok()) {
+    record.status = "error";
+    query_log_.FinishQuery(std::move(record));
+    return executed.status();
+  }
+  cluster::QueryResult query_result = std::move(executed).ValueOrDie();
+  record.status = "success";
+  record.result_rows = query_result.stats.result_rows;
+  record.counters.rows_out = query_result.stats.result_rows;
+  record.counters.blocks_decoded = query_result.stats.blocks_decoded;
+  record.counters.bytes_shuffled = query_result.stats.network_bytes;
+  record.counters.masked_reads = query_result.stats.masked_reads;
+  record.counters.s3_fault_reads = query_result.stats.s3_fault_reads;
+  if (query_result.trace != nullptr &&
+      query_result.trace->root() != nullptr) {
+    // The admission wait precedes everything the executor recorded:
+    // stage -1 lays out before compile/pipelines. One deterministic
+    // tick — the real queue time is wall clock and belongs to stl_wlm,
+    // never to the virtual timeline.
+    query_result.trace->AddSpan("wlm admit",
+                                query_result.trace->root()->span_id,
+                                /*stage=*/-1);
+  }
+  record.trace = query_result.trace;
+  // FinishQuery assigns the trace's virtual timestamps, so the EXPLAIN
+  // ANALYZE rendering below sees final ticks.
+  query_log_.FinishQuery(std::move(record));
+  report.set_state("run");
+  if (explain_analyze) {
+    result.exec_stats = query_result.stats;
+    result.message = RenderExplainAnalyze(*physical, query_result);
+    return result;
+  }
+  if (options_.cache.enable_result_cache) {
+    auto cached = std::make_shared<CachedResult>();
+    cached->rows = CloneBatch(query_result.rows);
+    cached->column_names = query_result.column_names;
+    result_cache_.Insert(fingerprint, canonical, versions, std::move(cached));
+  }
+  result.rows = std::move(query_result.rows);
+  result.column_names = std::move(query_result.column_names);
+  result.exec_stats = query_result.stats;
+  result.message = std::to_string(result.rows.num_rows()) + " rows";
+  return result;
+}
+
+Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
+                                                const std::string& sql,
+                                                int session_id) {
+  StatementResult result;
   if (auto* txn = std::get_if<sql::TxnStmt>(&stmt)) {
+    // Transaction control is leader metadata work: no slot, no queue.
     switch (txn->kind) {
       case sql::TxnStmt::Kind::kBegin:
         SDW_RETURN_IF_ERROR(Begin());
@@ -265,24 +551,38 @@ Result<StatementResult> Warehouse::Execute(const std::string& sql) {
     }
     return result;
   }
-  if (in_txn_ && (std::holds_alternative<sql::DropTableStmt>(stmt) ||
-                  std::holds_alternative<sql::VacuumStmt>(stmt))) {
+  if (in_transaction() && (std::holds_alternative<sql::DropTableStmt>(stmt) ||
+                           std::holds_alternative<sql::VacuumStmt>(stmt))) {
     return Status::NotSupported(
         "DROP TABLE / VACUUM reclaim blocks eagerly and cannot run inside "
         "a transaction");
   }
 
+  // Writes go through the same front door as queries, then take the
+  // data plane exclusively. Versions bump BEFORE any mutation: a write
+  // that fails halfway has still invalidated everything it might have
+  // touched.
+  SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
+                       AdmitOrReport(&admission_, session_id, sql));
+  WlmReportScope report(&admission_, session_id, sql, slot.queued_seconds());
+  common::WriterMutexLock data_lock(data_mu_);
+
   if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    BumpVersions({create->schema.name()});
     SDW_RETURN_IF_ERROR(cluster_->CreateTable(create->schema));
     result.message = "CREATE TABLE " + create->schema.name();
+    report.set_state("run");
     return result;
   }
   if (auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
+    BumpVersions({drop->table});
     SDW_RETURN_IF_ERROR(cluster_->DropTable(drop->table));
     result.message = "DROP TABLE " + drop->table;
+    report.set_state("run");
     return result;
   }
   if (auto* copy = std::get_if<sql::CopyStmt>(&stmt)) {
+    BumpVersions({copy->table});
     load::CopyExecutor executor(cluster_.get(), &s3_, options_.region);
     load::CopyOptions copy_options;
     copy_options.format = copy->format == sql::CopyStmt::Format::kCsv
@@ -294,6 +594,7 @@ Result<StatementResult> Warehouse::Execute(const std::string& sql) {
                                               copy_options));
     result.message = "COPY " + std::to_string(result.copy_stats.rows_loaded) +
                      " rows into " + copy->table;
+    report.set_state("run");
     return result;
   }
   if (auto* insert = std::get_if<sql::InsertStmt>(&stmt)) {
@@ -311,94 +612,48 @@ Result<StatementResult> Warehouse::Execute(const std::string& sql) {
         SDW_RETURN_IF_ERROR(columns[c].AppendDatum(row[c]));
       }
     }
+    BumpVersions({insert->table});
     SDW_RETURN_IF_ERROR(cluster_->InsertRows(insert->table, columns));
     result.message =
         "INSERT " + std::to_string(insert->rows.size()) + " rows";
+    report.set_state("run");
     return result;
   }
   if (auto* analyze = std::get_if<sql::AnalyzeStmt>(&stmt)) {
+    // Fresh stats change plans, so cached segments must re-lower.
+    BumpVersions({analyze->table});
     SDW_RETURN_IF_ERROR(cluster_->Analyze(analyze->table));
     result.message = "ANALYZE " + analyze->table;
+    report.set_state("run");
     return result;
   }
-  if (auto* vacuum = std::get_if<sql::VacuumStmt>(&stmt)) {
-    // Each COPY sorts its own run; VACUUM merges the accumulated runs
-    // back into one fully-sorted region per slice.
-    SDW_ASSIGN_OR_RETURN(uint64_t blocks, cluster_->Vacuum(vacuum->table));
-    result.message = "VACUUM " + vacuum->table + " (" +
-                     std::to_string(blocks) + " blocks rewritten)";
-    return result;
-  }
-  auto& select = std::get<sql::SelectStmt>(stmt);
-  if (IsSystemTable(select.query.from_table)) {
-    // System-table queries run on the leader against the logs/registry
-    // and are not themselves recorded in stl_query (monitoring should
-    // not pollute what it monitors).
-    if (select.explain) {
-      return Status::NotSupported("EXPLAIN is not supported on system tables");
-    }
-    SDW_ASSIGN_OR_RETURN(
-        SystemQueryResult sys,
-        ExecuteSystemQuery(select.query, query_log_, event_log_,
-                           cluster_.get()));
-    result.rows = std::move(sys.rows);
-    result.column_names = std::move(sys.column_names);
-    result.message = std::to_string(result.rows.num_rows()) + " rows";
-    return result;
-  }
-  plan::Planner planner(cluster_->catalog(), options_.planner);
-  SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery physical,
-                       planner.Plan(select.query));
-  if (select.explain && !select.explain_analyze) {
-    result.message = physical.ToString();
-    return result;
-  }
-  obs::QueryLog::Started started = query_log_.StartQuery();
-  obs::QueryRecord record;
-  record.query_id = started.query_id;
-  record.sql_text = sql;
-  record.start_tick = started.start_tick;
-  cluster::QueryExecutor executor(cluster_.get(), options_.exec);
-  Result<cluster::QueryResult> executed = executor.Execute(physical);
-  if (!executed.ok()) {
-    record.status = "error";
-    query_log_.FinishQuery(std::move(record));
-    return executed.status();
-  }
-  cluster::QueryResult query_result = std::move(executed).ValueOrDie();
-  record.status = "success";
-  record.result_rows = query_result.stats.result_rows;
-  record.counters.rows_out = query_result.stats.result_rows;
-  record.counters.blocks_decoded = query_result.stats.blocks_decoded;
-  record.counters.bytes_shuffled = query_result.stats.network_bytes;
-  record.counters.masked_reads = query_result.stats.masked_reads;
-  record.counters.s3_fault_reads = query_result.stats.s3_fault_reads;
-  record.trace = query_result.trace;
-  // FinishQuery assigns the trace's virtual timestamps, so the EXPLAIN
-  // ANALYZE rendering below sees final ticks.
-  query_log_.FinishQuery(std::move(record));
-  if (select.explain_analyze) {
-    result.exec_stats = query_result.stats;
-    result.message = RenderExplainAnalyze(physical, query_result);
-    return result;
-  }
-  result.rows = std::move(query_result.rows);
-  result.column_names = std::move(query_result.column_names);
-  result.exec_stats = query_result.stats;
-  result.message = std::to_string(result.rows.num_rows()) + " rows";
+  auto& vacuum = std::get<sql::VacuumStmt>(stmt);
+  // Each COPY sorts its own run; VACUUM merges the accumulated runs
+  // back into one fully-sorted region per slice.
+  BumpVersions({vacuum.table});
+  SDW_ASSIGN_OR_RETURN(uint64_t blocks, cluster_->Vacuum(vacuum.table));
+  result.message = "VACUUM " + vacuum.table + " (" + std::to_string(blocks) +
+                   " blocks rewritten)";
+  report.set_state("run");
   return result;
 }
 
 Result<backup::BackupManager::BackupStats> Warehouse::Backup(
     bool user_initiated) {
+  // Shared: a backup reads every chain but changes nothing; queries
+  // may keep running around it.
+  common::ReaderMutexLock data_lock(data_mu_);
   return backups_.Backup(cluster_.get(), user_initiated);
 }
 
 Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
                                  backup::BackupManager::RestoreStats* stats) {
-  if (in_txn_) {
+  common::WriterMutexLock data_lock(data_mu_);
+  if (in_transaction()) {
     return Status::FailedPrecondition("cannot restore inside a transaction");
   }
+  // The whole data plane is about to swap: nothing cached may survive.
+  BumpAllVersions();
   SDW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> restored,
                        backups_.StreamingRestore(snapshot_id, stats));
   cluster_ = std::move(restored);
@@ -410,9 +665,13 @@ Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
 }
 
 Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
-  if (in_txn_) {
+  common::WriterMutexLock data_lock(data_mu_);
+  if (in_transaction()) {
     return Status::FailedPrecondition("cannot resize inside a transaction");
   }
+  // Same rows on a different topology: results survive semantically but
+  // cached plans are topology-bound, so everything re-derives.
+  BumpAllVersions();
   cluster::Cluster::ResizeStats stats;
   // The target must encrypt blocks as the parallel copy lands, so its
   // stores get the at-rest transforms before any data moves.

@@ -1,6 +1,8 @@
 #ifndef SDW_WAREHOUSE_WAREHOUSE_H_
 #define SDW_WAREHOUSE_WAREHOUSE_H_
 
+#include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,7 +11,9 @@
 #include "backup/s3sim.h"
 #include "cluster/cluster.h"
 #include "cluster/executor.h"
+#include "cluster/wlm.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "controlplane/control_plane.h"
 #include "load/copy.h"
 #include "obs/query_log.h"
@@ -17,6 +21,7 @@
 #include "security/keychain.h"
 #include "sim/engine.h"
 #include "sql/parser.h"
+#include "warehouse/query_cache.h"
 
 namespace sdw::warehouse {
 
@@ -30,6 +35,9 @@ struct StatementResult {
   std::string message;
   /// COPY telemetry when the statement was a COPY.
   load::CopyStats copy_stats;
+  /// The rows were served from the result cache (no slot occupied, no
+  /// data touched).
+  bool from_result_cache = false;
 
   /// Renders the rows as an aligned text table (examples/demos).
   std::string ToTable(size_t max_rows = 20) const;
@@ -50,6 +58,11 @@ struct WarehouseOptions {
   int health_read_failure_threshold = 3;
   /// Per-node host-manager policy (restart budget before escalating).
   controlplane::HostManager::Config host_manager;
+  /// Live admission control for concurrent Execute() calls (§4:
+  /// resources "distributed across many concurrent queries").
+  cluster::WlmConfig wlm;
+  /// Compiled-segment and result caches keyed by plan fingerprint.
+  CacheConfig cache;
 };
 
 /// Outcome of one health sweep (§2.2: host managers restart, the
@@ -75,17 +88,58 @@ struct HealthStats {
 /// warehouse. Wraps the leader-node pieces (parser, planner, executor)
 /// plus COPY and backup/restore — the "easy to buy, easy to tune, easy
 /// to manage" surface the paper argues for.
+///
+/// The front door is thread-safe: concurrent Execute() calls are
+/// admitted into WlmConfig::concurrency_slots live slots (FIFO queue
+/// beyond that, per-statement queue timeout). SELECTs share the data
+/// plane; DDL/DML/COPY/VACUUM and cluster swaps (restore/resize) take
+/// it exclusively, bumping the touched tables' version counters first
+/// so no cache entry computed from pre-write data can ever be served
+/// after the write.
 class Warehouse {
  public:
   explicit Warehouse(WarehouseOptions options = {});
 
-  /// Executes one SQL statement.
+  /// A lightweight client connection. Statements executed through a
+  /// session are tagged with its id in stl_wlm; sessions share the
+  /// warehouse front door and each may be driven from its own thread.
+  class Session {
+   public:
+    Session() = default;
+
+    int id() const { return id_; }
+    Result<StatementResult> Execute(const std::string& sql) {
+      return warehouse_->ExecuteAs(sql, id_);
+    }
+
+   private:
+    friend class Warehouse;
+    Session(Warehouse* warehouse, int id)
+        : warehouse_(warehouse), id_(id) {}
+    Warehouse* warehouse_ = nullptr;
+    int id_ = 0;
+  };
+
+  /// Opens a new session (thread-safe).
+  Session CreateSession();
+
+  /// Executes one SQL statement (as the default session 0).
   Result<StatementResult> Execute(const std::string& sql);
+
+  /// Executes an already-parsed query through the full serving path
+  /// (admission + caches) — the API the differential tests drive.
+  Result<StatementResult> ExecuteQuery(const plan::LogicalQuery& query);
 
   /// Direct-API access for tooling and benches.
   cluster::Cluster* data_plane() { return cluster_.get(); }
   backup::S3* s3() { return &s3_; }
   backup::BackupManager* backups() { return &backups_; }
+
+  /// The live admission controller (slot occupancy, queue, stl_wlm).
+  cluster::AdmissionController* wlm() { return &admission_; }
+  /// The plan/result caches (metrics and stv_cache back them too).
+  SegmentCache* segment_cache() { return &segment_cache_; }
+  ResultCache* result_cache() { return &result_cache_; }
 
   /// Takes a snapshot of the warehouse.
   Result<backup::BackupManager::BackupStats> Backup(bool user_initiated = false);
@@ -113,7 +167,9 @@ class Warehouse {
   Status Begin();
   Status Commit();
   Status Rollback();
-  bool in_transaction() const { return in_txn_; }
+  bool in_transaction() const {
+    return in_txn_.load(std::memory_order_relaxed);
+  }
 
   /// Key hierarchy (null when not encrypted).
   security::KeyHierarchy* keys() { return keys_.get(); }
@@ -148,10 +204,38 @@ class Warehouse {
   /// (called at creation and after restore/resize swap the cluster).
   void SyncHostManagers();
 
+  /// The session-tagged front door behind Execute()/Session::Execute().
+  Result<StatementResult> ExecuteAs(const std::string& sql, int session_id);
+
+  /// A user-table SELECT (or EXPLAIN [ANALYZE]) through admission and
+  /// the caches, under a shared data lock.
+  Result<StatementResult> RunSelect(const plan::LogicalQuery& query,
+                                    bool explain, bool explain_analyze,
+                                    const std::string& sql_text,
+                                    int session_id);
+
+  /// Every non-SELECT statement: admission, then the exclusive data
+  /// lock, with version bumps before any mutation.
+  Result<StatementResult> RunStatement(sql::Statement stmt,
+                                       const std::string& sql,
+                                       int session_id);
+
+  /// Current version counters of `tables` (unseen tables read as 0).
+  TableVersions SnapshotVersions(const std::vector<std::string>& tables)
+      SDW_EXCLUDES(cache_mu_);
+  /// Bumps the counters of `tables` — called BEFORE the write mutates
+  /// anything, so even a write that fails halfway leaves no cache entry
+  /// servable against the possibly-changed data.
+  void BumpVersions(const std::vector<std::string>& tables)
+      SDW_EXCLUDES(cache_mu_);
+  /// Bumps every known counter (restore/resize/rollback swap the whole
+  /// data plane).
+  void BumpAllVersions() SDW_EXCLUDES(cache_mu_);
+
   WarehouseOptions options_;
   std::unique_ptr<security::ServiceKeyProvider> master_provider_;
   std::unique_ptr<security::KeyHierarchy> keys_;
-  bool in_txn_ = false;
+  std::atomic<bool> in_txn_{false};
   backup::SnapshotManifest txn_manifest_;
   std::unique_ptr<cluster::Cluster> cluster_;
   backup::S3 s3_;
@@ -161,6 +245,21 @@ class Warehouse {
   std::vector<controlplane::HostManager> host_managers_;
   obs::QueryLog query_log_;
   obs::EventLog event_log_;
+
+  /// Lock order: admission slot -> data_mu_ -> cache_mu_ (and the
+  /// caches' internal locks, leaf-level). data_mu_ is the data-plane
+  /// lock: SELECTs hold it shared, every mutating statement and cluster
+  /// swap holds it exclusively. cluster_ / txn_manifest_ /
+  /// host_managers_ are deliberately not annotated — single-threaded
+  /// tooling (data_plane(), benches) reads them lock-free by design.
+  mutable common::SharedMutex data_mu_;
+  mutable common::Mutex cache_mu_;
+  std::map<std::string, uint64_t> table_versions_ SDW_GUARDED_BY(cache_mu_);
+
+  cluster::AdmissionController admission_;
+  SegmentCache segment_cache_;
+  ResultCache result_cache_;
+  std::atomic<int> next_session_id_{1};
 };
 
 }  // namespace sdw::warehouse

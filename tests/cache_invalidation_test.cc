@@ -1,0 +1,223 @@
+// Read-your-writes regression suite for the result cache: every write
+// path (INSERT, COPY, VACUUM, DROP, transactions, streaming restore)
+// must bump the touched tables' version counters so a repeated SELECT
+// can never be served stale rows — including when a chaos-layer fault
+// aborts the write halfway through the invalidation window.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/fault_injector.h"
+#include "warehouse/warehouse.h"
+
+namespace sdw::warehouse {
+namespace {
+
+WarehouseOptions CachedOptions() {
+  WarehouseOptions options;
+  options.cluster.num_nodes = 2;
+  options.cluster.slices_per_node = 2;
+  options.cluster.storage.max_rows_per_block = 32;
+  return options;  // both caches on by default
+}
+
+class CacheInvalidationTest : public ::testing::Test {
+ protected:
+  StatementResult MustRun(Warehouse* wh, const std::string& sql) {
+    auto r = wh->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(*r) : StatementResult{};
+  }
+
+  int64_t Count(Warehouse* wh, bool* from_cache = nullptr) {
+    StatementResult r = MustRun(wh, kCount);
+    if (from_cache != nullptr) *from_cache = r.from_result_cache;
+    if (r.rows.num_rows() != 1) {
+      ADD_FAILURE() << "COUNT returned " << r.rows.num_rows() << " rows";
+      return -1;
+    }
+    return r.rows.columns[0].IntAt(0);
+  }
+
+  static constexpr const char* kCount = "SELECT COUNT(*) AS n FROM t";
+};
+
+TEST_F(CacheInvalidationTest, RepeatSelectHitsUntilInsertInvalidates) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 3);
+  EXPECT_FALSE(cached) << "first run executes";
+  EXPECT_EQ(Count(&wh, &cached), 3);
+  EXPECT_TRUE(cached) << "repeat is served from the result cache";
+
+  MustRun(&wh, "INSERT INTO t VALUES (4, 40)");
+  EXPECT_EQ(Count(&wh, &cached), 4) << "read-your-writes";
+  EXPECT_FALSE(cached) << "the INSERT invalidated the cached entry";
+  EXPECT_EQ(Count(&wh, &cached), 4);
+  EXPECT_TRUE(cached);
+}
+
+TEST_F(CacheInvalidationTest, CopyAndVacuumInvalidate) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT) SORTKEY(k)");
+  MustRun(&wh, "INSERT INTO t VALUES (5, 50), (6, 60)");
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 2);
+  EXPECT_EQ(Count(&wh, &cached), 2);
+  ASSERT_TRUE(cached);
+
+  std::string csv;
+  for (int i = 0; i < 100; ++i) csv += std::to_string(i) + "," + "7\n";
+  ASSERT_TRUE(wh.s3()
+                  ->region("us-east-1")
+                  ->PutObject("bkt/t/part-0", Bytes(csv.begin(), csv.end()))
+                  .ok());
+  MustRun(&wh, "COPY t FROM 's3://bkt/t/'");
+  EXPECT_EQ(Count(&wh, &cached), 102);
+  EXPECT_FALSE(cached) << "COPY invalidated the cached count";
+
+  EXPECT_EQ(Count(&wh, &cached), 102);
+  ASSERT_TRUE(cached);
+  MustRun(&wh, "VACUUM t");
+  EXPECT_EQ(Count(&wh, &cached), 102) << "VACUUM preserves rows";
+  EXPECT_FALSE(cached) << "but still invalidates (blocks were rewritten)";
+}
+
+TEST_F(CacheInvalidationTest, DropAndRecreateNeverServesTheOldTable) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10), (2, 20)");
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 2);
+  EXPECT_EQ(Count(&wh, &cached), 2);
+  ASSERT_TRUE(cached);
+
+  MustRun(&wh, "DROP TABLE t");
+  EXPECT_FALSE(wh.Execute(kCount).ok()) << "no ghost answers for a dropped "
+                                           "table";
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (9, 90)");
+  EXPECT_EQ(Count(&wh, &cached), 1) << "the new t, not the cached old t";
+  EXPECT_FALSE(cached);
+}
+
+TEST_F(CacheInvalidationTest, RollbackInvalidatesInTransactionReads) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10)");
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 1);
+
+  MustRun(&wh, "BEGIN");
+  MustRun(&wh, "INSERT INTO t VALUES (2, 20)");
+  EXPECT_EQ(Count(&wh, &cached), 2) << "in-transaction read sees the insert";
+  EXPECT_EQ(Count(&wh, &cached), 2);
+  ASSERT_TRUE(cached) << "in-transaction repeats may cache";
+  MustRun(&wh, "ROLLBACK");
+  EXPECT_EQ(Count(&wh, &cached), 1)
+      << "the rolled-back insert must not be served from cache";
+  EXPECT_FALSE(cached);
+}
+
+TEST_F(CacheInvalidationTest, StreamingRestoreInvalidatesEverything) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10), (2, 20)");
+  auto backup = wh.Backup(/*user_initiated=*/true);
+  ASSERT_TRUE(backup.ok()) << backup.status();
+
+  MustRun(&wh, "INSERT INTO t VALUES (3, 30)");
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 3);
+  EXPECT_EQ(Count(&wh, &cached), 3);
+  ASSERT_TRUE(cached);
+
+  ASSERT_TRUE(wh.RestoreInPlace(backup->snapshot_id).ok());
+  EXPECT_EQ(Count(&wh, &cached), 2)
+      << "restore rewinds the data; the post-backup count is stale";
+  EXPECT_FALSE(cached);
+}
+
+// Chaos arm: the COPY aborts mid-load on an S3 outage, *after* the
+// version bump but before any rows landed. The bump must stick — a
+// failed write conservatively invalidates, it never un-invalidates.
+TEST_F(CacheInvalidationTest, FailedCopyStillInvalidates) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10)");
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 1);
+  EXPECT_EQ(Count(&wh, &cached), 1);
+  ASSERT_TRUE(cached);
+
+  std::string csv = "2,20\n3,30\n";
+  backup::S3Region* region = wh.s3()->region("us-east-1");
+  ASSERT_TRUE(
+      region->PutObject("bkt/t/part-0", Bytes(csv.begin(), csv.end())).ok());
+  region->fault_point()->FailNext(1000);  // outage beyond the retry budget
+  auto failed = wh.Execute("COPY t FROM 's3://bkt/t/'");
+  ASSERT_FALSE(failed.ok());
+  region->fault_point()->Reset();
+
+  EXPECT_EQ(Count(&wh, &cached), 1) << "no rows landed";
+  EXPECT_FALSE(cached) << "the aborted COPY still invalidated the entry";
+}
+
+// Chaos arm: a node dies mid-SELECT right after an INSERT invalidated
+// the cache. The re-execution masks the failure through replicas and
+// must return the fresh rows — never fall back to the stale entry.
+TEST_F(CacheInvalidationTest, NodeFailureDuringReexecutionStaysFresh) {
+  WarehouseOptions options = CachedOptions();
+  options.cluster.replicate = true;
+  Warehouse wh(options);
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 200; ++i) {
+    if (i) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i) + ")";
+  }
+  MustRun(&wh, insert);
+  bool cached = false;
+  EXPECT_EQ(Count(&wh, &cached), 200);
+  EXPECT_EQ(Count(&wh, &cached), 200);
+  ASSERT_TRUE(cached);
+
+  MustRun(&wh, "INSERT INTO t VALUES (1000, 1000)");
+  chaos::FaultInjector injector(0xC0FFEE);
+  chaos::FaultPoint* point = injector.point("node0:read");
+  wh.data_plane()->node(0)->store()->set_read_fault(point);
+  point->ArmTrigger(1, [&] { wh.data_plane()->FailNode(0); });
+
+  StatementResult masked = MustRun(&wh, kCount);
+  EXPECT_FALSE(masked.from_result_cache);
+  ASSERT_EQ(masked.rows.num_rows(), 1u);
+  EXPECT_EQ(masked.rows.columns[0].IntAt(0), 201) << "fresh, fault-masked";
+  EXPECT_GT(masked.exec_stats.masked_reads, 0u);
+}
+
+// stv_cache exposes entry liveness: a bumped version flips the entry to
+// live=0 until the next execution replaces it.
+TEST_F(CacheInvalidationTest, StvCacheShowsStaleEntries) {
+  Warehouse wh(CachedOptions());
+  MustRun(&wh, "CREATE TABLE t (k BIGINT, v BIGINT)");
+  MustRun(&wh, "INSERT INTO t VALUES (1, 10)");
+  Count(&wh);
+
+  auto live = MustRun(&wh, "SELECT cache, live FROM stv_cache ORDER BY cache");
+  ASSERT_EQ(live.rows.num_rows(), 2u) << "one segment + one result entry";
+  EXPECT_EQ(live.rows.columns[1].IntAt(0), 1);
+  EXPECT_EQ(live.rows.columns[1].IntAt(1), 1);
+
+  MustRun(&wh, "INSERT INTO t VALUES (2, 20)");
+  auto stale = MustRun(&wh, "SELECT cache, live FROM stv_cache ORDER BY cache");
+  ASSERT_EQ(stale.rows.num_rows(), 2u);
+  EXPECT_EQ(stale.rows.columns[1].IntAt(0), 0) << "segment entry now stale";
+  EXPECT_EQ(stale.rows.columns[1].IntAt(1), 0) << "result entry now stale";
+}
+
+}  // namespace
+}  // namespace sdw::warehouse

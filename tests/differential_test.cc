@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "cluster/cluster.h"
 #include "cluster/executor.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "plan/planner.h"
+#include "warehouse/warehouse.h"
 
 namespace sdw {
 namespace {
@@ -230,6 +233,83 @@ TEST_P(DifferentialTest, TopologiesAndEnginesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// The cache axis: cold-cache, warm result-cache, and segment-cache-only
+// serving must all be byte-identical — across topologies and both
+// engines. Caches are a performance knob, never an answer knob.
+TEST_P(DifferentialTest, CacheArmsAgree) {
+  const uint64_t seed = GetParam();
+  auto make = [&](int nodes, int slices, DistStyle fact_style,
+                  DistStyle dim_style, SortStyle sort_style, bool segment,
+                  bool result, ExecutionMode mode) {
+    warehouse::WarehouseOptions options;
+    options.cluster = Config(nodes, slices);
+    options.exec.mode = mode;
+    options.cache.enable_segment_cache = segment;
+    options.cache.enable_result_cache = result;
+    auto wh = std::make_unique<warehouse::Warehouse>(options);
+    Load(wh->data_plane(), fact_style, dim_style, sort_style, seed);
+    return wh;
+  };
+
+  // Cold reference: no caches at all, trivial topology.
+  auto cold = make(1, 1, DistStyle::kEven, DistStyle::kEven, SortStyle::kNone,
+                   false, false, ExecutionMode::kCompiled);
+  // Warm arm: both caches on; repeats must come from the result cache.
+  auto warm = make(3, 2, DistStyle::kKey, DistStyle::kKey,
+                   SortStyle::kCompound, true, true,
+                   ExecutionMode::kCompiled);
+  // Segment-only arm: repeats reuse the cached plan but re-execute.
+  auto segonly = make(2, 3, DistStyle::kEven, DistStyle::kEven,
+                      SortStyle::kInterleaved, true, false,
+                      ExecutionMode::kCompiled);
+  // Interpreted engine with both caches (join-free queries only).
+  auto interp = make(2, 2, DistStyle::kEven, DistStyle::kAll,
+                     SortStyle::kCompound, true, true,
+                     ExecutionMode::kInterpreted);
+
+  Rng rng(seed * 7919 + 11);
+  for (int trial = 0; trial < 8; ++trial) {
+    plan::LogicalQuery q = RandomQuery(&rng, /*allow_join=*/true);
+    const std::string context =
+        "seed " + std::to_string(seed) + " trial " + std::to_string(trial);
+
+    auto expected = cold->ExecuteQuery(q);
+    ASSERT_TRUE(expected.ok()) << context << ": " << expected.status();
+    EXPECT_FALSE(expected->from_result_cache) << context;
+
+    auto warm_cold = warm->ExecuteQuery(q);
+    ASSERT_TRUE(warm_cold.ok()) << context << ": " << warm_cold.status();
+    ExpectBatchesEqual(expected->rows, warm_cold->rows, context + " (warm/1)");
+    auto warm_hit = warm->ExecuteQuery(q);
+    ASSERT_TRUE(warm_hit.ok()) << context << ": " << warm_hit.status();
+    EXPECT_TRUE(warm_hit->from_result_cache) << context;
+    ExpectBatchesEqual(expected->rows, warm_hit->rows, context + " (warm/2)");
+
+    auto seg_cold = segonly->ExecuteQuery(q);
+    ASSERT_TRUE(seg_cold.ok()) << context << ": " << seg_cold.status();
+    auto seg_repeat = segonly->ExecuteQuery(q);
+    ASSERT_TRUE(seg_repeat.ok()) << context << ": " << seg_repeat.status();
+    EXPECT_FALSE(seg_repeat->from_result_cache) << context;
+    ExpectBatchesEqual(expected->rows, seg_repeat->rows, context + " (seg)");
+
+    if (!q.join_table.has_value()) {
+      auto interp_cold = interp->ExecuteQuery(q);
+      ASSERT_TRUE(interp_cold.ok()) << context << ": "
+                                    << interp_cold.status();
+      ExpectBatchesEqual(expected->rows, interp_cold->rows,
+                         context + " (interp/1)");
+      auto interp_hit = interp->ExecuteQuery(q);
+      ASSERT_TRUE(interp_hit.ok()) << context << ": " << interp_hit.status();
+      EXPECT_TRUE(interp_hit->from_result_cache) << context;
+      ExpectBatchesEqual(expected->rows, interp_hit->rows,
+                         context + " (interp/2)");
+    }
+  }
+  // The warm arm really did serve from its caches.
+  EXPECT_GT(warm->result_cache()->size(), 0u);
+  EXPECT_GT(warm->segment_cache()->size(), 0u);
+}
 
 }  // namespace
 }  // namespace sdw

@@ -170,6 +170,10 @@ WarehouseOptions ReplicatedOptions(int nodes = 4) {
   options.cluster.slices_per_node = 2;
   options.cluster.storage.max_rows_per_block = 64;
   options.cluster.replicate = true;
+  // These scenarios repeat one query before/after a fault and assert on
+  // its execution stats (masked reads). A result-cache hit would be
+  // byte-identical but skip execution entirely — force the re-run.
+  options.cache.enable_result_cache = false;
   return options;
 }
 

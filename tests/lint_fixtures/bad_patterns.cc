@@ -63,4 +63,11 @@ void BadMetricNames() {
       "sdw_fixture_good_name");
 }
 
+void BadCachePrefixes() {
+  // MakeCacheMetrics prefixes expand into <prefix>_hits etc., so they
+  // obey the same naming rule as direct Registry calls.
+  warehouse::MakeCacheMetrics("segcache");  // lint:expect(metric-name)
+  warehouse::MakeCacheMetrics("sdw_cache_result");  // fine: two segments
+}
+
 }  // namespace sdw::fixtures

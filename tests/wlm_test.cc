@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "cluster/wlm.h"
 #include "common/random.h"
@@ -100,6 +102,94 @@ TEST(WlmTest, LateSubmissionsAdmitImmediatelyWhenIdle) {
   engine.Run();
   EXPECT_DOUBLE_EQ(wlm.reports()[1].queued_seconds, 0.0);
   EXPECT_DOUBLE_EQ(wlm.reports()[1].finished_at, 3.0);
+}
+
+TEST(WlmTest, ZeroAndNegativeSlotConfigsAreClamped) {
+  // A zero- or negative-slot queue would deadlock every submission;
+  // sanitize to the smallest valid config instead of crashing.
+  EXPECT_EQ(SanitizeWlmConfig(Slots(0)).concurrency_slots, 1);
+  EXPECT_EQ(SanitizeWlmConfig(Slots(-3)).concurrency_slots, 1);
+  EXPECT_EQ(SanitizeWlmConfig(Slots(4)).concurrency_slots, 4);
+  WlmConfig history = Slots(2);
+  history.max_report_history = 0;
+  EXPECT_EQ(SanitizeWlmConfig(history).max_report_history, 1u);
+
+  // Both the simulator and the live controller accept the bad config.
+  sim::Engine engine;
+  WorkloadManager wlm(&engine, Slots(0));
+  wlm.Submit(1.0);
+  engine.Run();
+  EXPECT_EQ(wlm.reports().size(), 1u);
+  AdmissionController controller(Slots(-1));
+  EXPECT_EQ(controller.config().concurrency_slots, 1);
+  auto slot = controller.Admit();
+  ASSERT_TRUE(slot.ok()) << slot.status();
+}
+
+TEST(WlmTest, SimulatorReportHistoryIsRingBuffered) {
+  sim::Engine engine;
+  WlmConfig config = Slots(2);
+  config.max_report_history = 8;
+  WorkloadManager wlm(&engine, config);
+  for (int i = 0; i < 50; ++i) wlm.Submit(1.0);
+  engine.Run();
+  EXPECT_EQ(wlm.reports().size(), 8u) << "history must not grow unbounded";
+  // The survivors are the newest reports: the last completion is at
+  // t=25 (50 unit queries through 2 slots).
+  EXPECT_DOUBLE_EQ(wlm.reports().back().finished_at, 25.0);
+}
+
+TEST(WlmTest, AdmissionReportHistoryIsRingBuffered) {
+  WlmConfig config = Slots(4);
+  config.max_report_history = 16;
+  AdmissionController controller(config);
+  for (int i = 0; i < 100; ++i) {
+    AdmissionController::Report report;
+    report.session_id = i;
+    report.state = "run";
+    controller.Record(std::move(report));
+  }
+  const std::vector<AdmissionController::Report> reports =
+      controller.reports();
+  ASSERT_EQ(reports.size(), 16u);
+  EXPECT_EQ(reports.front().session_id, 84);
+  EXPECT_EQ(reports.back().session_id, 99);
+  // Sequence numbers keep counting across evictions.
+  EXPECT_EQ(reports.back().seq, 99u);
+}
+
+TEST(WlmTest, AdmissionEnforcesSlotLimitAcrossThreads) {
+  WlmConfig config = Slots(2);
+  AdmissionController controller(config);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&controller] {
+      auto slot = controller.Admit();
+      ASSERT_TRUE(slot.ok()) << slot.status();
+      // Hold the slot briefly so admissions genuinely overlap.
+      std::this_thread::yield();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(controller.running(), 0);
+  EXPECT_EQ(controller.admitted(), 8u);
+  EXPECT_LE(controller.max_in_flight(), 2);
+  EXPECT_EQ(controller.timeouts(), 0u);
+}
+
+TEST(WlmTest, AdmissionQueueTimeoutFires) {
+  WlmConfig config = Slots(1);
+  config.queue_timeout_seconds = 0.02;
+  AdmissionController controller(config);
+  auto held = controller.Admit();
+  ASSERT_TRUE(held.ok()) << held.status();
+  // The only slot is occupied: the second admit must time out.
+  auto starved = controller.Admit();
+  ASSERT_FALSE(starved.ok());
+  EXPECT_TRUE(starved.status().IsDeadlineExceeded()) << starved.status();
+  EXPECT_EQ(controller.timeouts(), 1u);
+  EXPECT_EQ(controller.queued(), 0u) << "timed-out waiters leave the queue";
 }
 
 }  // namespace

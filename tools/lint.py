@@ -21,7 +21,10 @@ see (DESIGN.md section 4f):
   metric-name    String literals passed to Registry::Global().counter/
                  gauge/histogram must match sdw_<module>_<name>
                  (lower_snake, at least two segments) so the stv_metrics
-                 namespace stays grep-able and collision-free.
+                 namespace stays grep-able and collision-free. The same
+                 rule covers MakeCacheMetrics("...") prefixes — they
+                 expand to <prefix>_hits / _misses / ... counters, so a
+                 bad prefix pollutes the namespace four times over.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line.
 
@@ -64,6 +67,9 @@ METRIC_CALL_RE = re.compile(
     re.DOTALL,
 )
 METRIC_NAME_RE = re.compile(r"^sdw_[a-z0-9]+(?:_[a-z0-9]+)+$")
+CACHE_METRICS_CALL_RE = re.compile(
+    r"MakeCacheMetrics\s*\(\s*\"([^\"]*)\"", re.DOTALL
+)
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -193,7 +199,9 @@ def check_metric_names(path, text, lines, scoped):
     if scoped and not p.startswith("src/"):
         return []
     out = []
-    for m in METRIC_CALL_RE.finditer(text):
+    hits = [(m, "metric") for m in METRIC_CALL_RE.finditer(text)]
+    hits += [(m, "cache prefix") for m in CACHE_METRICS_CALL_RE.finditer(text)]
+    for m, kind in hits:
         name = m.group(1)
         lineno = text.count("\n", 0, m.start(1)) + 1
         if METRIC_NAME_RE.match(name):
@@ -203,7 +211,7 @@ def check_metric_names(path, text, lines, scoped):
         out.append(
             Violation(
                 p, lineno, "metric-name",
-                f"metric '{name}' does not match sdw_<module>_<name> "
+                f"{kind} '{name}' does not match sdw_<module>_<name> "
                 "(lower_snake, >= 2 segments after sdw_)",
             )
         )
