@@ -1,0 +1,229 @@
+// A15 (extension): MVCC snapshot reads under a concurrent COPY. The
+// paper's front door serves dashboards while loads run; with versioned
+// chains a multi-block COPY installs as one atomic version bump, so a
+// racing SELECT sees either the complete pre-COPY table or the complete
+// post-COPY table — never a file boundary in between — and never waits
+// for the load. Two arms: (1) serial replay records the only two legal
+// answers for a query set, (2) the same load runs with reader threads
+// hammering the query set; every concurrent answer must be
+// byte-identical to a serial one, reader p99 stays far below the COPY
+// duration, and VACUUM's retired chains are reclaimed once unpinned.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "obs/registry.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+using sdw::warehouse::Warehouse;
+using sdw::warehouse::WarehouseOptions;
+
+constexpr int kPreRows = 20000;
+constexpr int kCopyFiles = 8;
+constexpr int kRowsPerFile = 20000;
+constexpr int kReaders = 4;
+
+WarehouseOptions Options() {
+  WarehouseOptions options;
+  options.cluster.num_nodes = 2;
+  options.cluster.slices_per_node = 2;
+  options.cluster.storage.max_rows_per_block = 1024;
+  options.wlm.concurrency_slots = kReaders + 1;  // readers + the COPY
+  return options;
+}
+
+/// Identical starting state for both arms: the pre-COPY resident rows
+/// plus the staged S3 objects the COPY will load.
+void Provision(Warehouse* wh) {
+  SDW_CHECK_OK(wh->Execute("CREATE TABLE t (k BIGINT, v BIGINT) "
+                           "DISTKEY(k) SORTKEY(v)")
+                   .status());
+  sdw::ColumnVector k(sdw::TypeId::kInt64), v(sdw::TypeId::kInt64);
+  for (int i = 0; i < kPreRows; ++i) {
+    k.AppendInt(i % 53);
+    v.AppendInt(i);
+  }
+  std::vector<sdw::ColumnVector> cols;
+  cols.push_back(std::move(k));
+  cols.push_back(std::move(v));
+  SDW_CHECK_OK(wh->data_plane()->InsertRows("t", cols));
+  SDW_CHECK_OK(wh->data_plane()->Analyze("t"));
+  for (int f = 0; f < kCopyFiles; ++f) {
+    std::string csv;
+    for (int i = 0; i < kRowsPerFile; ++i) {
+      const int row = kPreRows + f * kRowsPerFile + i;
+      csv += std::to_string(row % 53) + "," + std::to_string(row) + "\n";
+    }
+    SDW_CHECK_OK(wh->s3()->region("us-east-1")->PutObject(
+        "lake/t/part-" + std::to_string(f),
+        sdw::Bytes(csv.begin(), csv.end())));
+  }
+}
+
+const std::vector<std::string>& Queries() {
+  static const std::vector<std::string> queries = {
+      "SELECT COUNT(*) AS n, SUM(v) AS sv FROM t",
+      "SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k",
+      "SELECT k, SUM(v) AS sv FROM t WHERE v < 30000 GROUP BY k ORDER BY k",
+  };
+  return queries;
+}
+
+constexpr const char* kCopySql = "COPY t FROM 's3://lake/t/'";
+
+/// Deterministic rendering of a result — what "byte-identical" compares.
+std::string Render(const sdw::warehouse::StatementResult& r) {
+  return r.ToTable(1u << 30);
+}
+
+std::string MustRender(Warehouse* wh, const std::string& sql) {
+  auto r = wh->Execute(sql);
+  SDW_CHECK_OK(r.status());
+  return Render(*r);
+}
+
+uint64_t CounterValue(const char* name) {
+  return sdw::obs::Registry::Global().counter(name)->value();
+}
+
+}  // namespace
+
+int main() {
+  benchutil::Banner(
+      "A15 (extension)", "MVCC snapshot reads vs a concurrent COPY",
+      "every SELECT racing a multi-file COPY returns a byte-identical "
+      "serial-replay answer, reader p99 stays far below the COPY "
+      "duration, and unpinned retired chains are reclaimed");
+
+  // --- Arm 1: serial replay — the two legal answers per query --------
+  std::vector<std::string> pre_answers, post_answers;
+  double serial_copy_seconds = 0;
+  {
+    Warehouse wh(Options());
+    Provision(&wh);
+    for (const std::string& q : Queries()) {
+      pre_answers.push_back(MustRender(&wh, q));
+    }
+    serial_copy_seconds = benchutil::TimeIt(
+        [&] { SDW_CHECK_OK(wh.Execute(kCopySql).status()); });
+    for (const std::string& q : Queries()) {
+      post_answers.push_back(MustRender(&wh, q));
+    }
+  }
+
+  // --- Arm 2: the same COPY with readers hammering the query set -----
+  const uint64_t pinned_before = CounterValue("sdw_mvcc_snapshots_pinned");
+  Warehouse wh(Options());
+  Provision(&wh);
+
+  std::atomic<bool> copy_done{false};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> selects_during_copy{0};
+  std::mutex latency_mu;
+  std::vector<double> latencies;
+
+  double copy_seconds = 0;
+  std::thread copier([&] {
+    copy_seconds = benchutil::TimeIt(
+        [&] { SDW_CHECK_OK(wh.Execute(kCopySql).status()); });
+    copy_done.store(true);
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    Warehouse::Session session = wh.CreateSession();
+    readers.emplace_back([&, r, session]() mutable {
+      size_t q = static_cast<size_t>(r) % Queries().size();
+      std::vector<double> local;
+      while (!copy_done.load()) {
+        std::string answer;
+        const double seconds = benchutil::TimeIt([&] {
+          auto result = session.Execute(Queries()[q]);
+          SDW_CHECK_OK(result.status());
+          answer = Render(*result);
+        });
+        local.push_back(seconds);
+        selects_during_copy.fetch_add(1);
+        if (answer != pre_answers[q] && answer != post_answers[q]) {
+          mismatches.fetch_add(1);
+          std::printf("  MISMATCH on %s\n", Queries()[q].c_str());
+        }
+        q = (q + 1) % Queries().size();
+      }
+      std::lock_guard<std::mutex> lock(latency_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  copier.join();
+  for (auto& t : readers) t.join();
+
+  // After the dust settles the head must be the post-COPY table.
+  bool post_identical = true;
+  for (size_t q = 0; q < Queries().size(); ++q) {
+    post_identical =
+        post_identical && MustRender(&wh, Queries()[q]) == post_answers[q];
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 =
+      latencies.empty() ? 0 : latencies[latencies.size() / 2];
+  const double p99 =
+      latencies.empty() ? 0 : latencies[latencies.size() * 99 / 100];
+  const uint64_t pinned =
+      CounterValue("sdw_mvcc_snapshots_pinned") - pinned_before;
+
+  std::printf("\n  COPY %.3fs serial, %.3fs concurrent; %llu SELECTs "
+              "during the load\n",
+              serial_copy_seconds, copy_seconds,
+              static_cast<unsigned long long>(selects_during_copy.load()));
+  std::printf("  reader latency p50 %.6fs p99 %.6fs; snapshots pinned "
+              "%llu\n",
+              p50, p99, static_cast<unsigned long long>(pinned));
+  benchutil::JsonMetric("copy.serial_seconds", serial_copy_seconds);
+  benchutil::JsonMetric("copy.concurrent_seconds", copy_seconds);
+  benchutil::JsonMetric("readers.selects_during_copy",
+                        static_cast<double>(selects_during_copy.load()));
+  benchutil::JsonMetric("readers.p50_seconds", p50);
+  benchutil::JsonMetric("readers.p99_seconds", p99);
+  benchutil::JsonMetric("readers.mismatches",
+                        static_cast<double>(mismatches.load()));
+  benchutil::JsonMetric("mvcc.snapshots_pinned", static_cast<double>(pinned));
+
+  benchutil::Check(mismatches.load() == 0,
+                   "every concurrent SELECT matched a serial-replay answer "
+                   "byte for byte");
+  benchutil::Check(selects_during_copy.load() > 0,
+                   "readers completed SELECTs while the COPY was loading");
+  benchutil::Check(post_identical,
+                   "after the COPY commits every query returns the serial "
+                   "post-COPY answer");
+  benchutil::Check(p99 < copy_seconds,
+                   "reader p99 latency is bounded well below the COPY "
+                   "duration (no reader waited out the load)");
+  benchutil::Check(pinned > 0, "SELECTs pinned MVCC snapshots");
+
+  // --- GC: VACUUM retires the pre-vacuum chains; with no pinned
+  // readers left, CollectGarbage reclaims them block and all.
+  const uint64_t reclaimed_before =
+      CounterValue("sdw_mvcc_versions_reclaimed");
+  SDW_CHECK_OK(wh.Execute("VACUUM t").status());
+  wh.CollectGarbage();
+  const uint64_t reclaimed =
+      CounterValue("sdw_mvcc_versions_reclaimed") - reclaimed_before;
+  std::printf("  vacuum retired versions reclaimed: %llu\n",
+              static_cast<unsigned long long>(reclaimed));
+  benchutil::JsonMetric("mvcc.versions_reclaimed_after_vacuum",
+                        static_cast<double>(reclaimed));
+  benchutil::Check(reclaimed > 0,
+                   "GC reclaimed the unpinned pre-VACUUM chain versions");
+  return 0;
+}

@@ -9,6 +9,7 @@ Status Catalog::CreateTable(const TableSchema& schema) {
   if (schema.num_columns() == 0) {
     return Status::InvalidArgument("table needs at least one column");
   }
+  common::MutexLock lock(mu_);
   if (tables_.count(schema.name())) {
     return Status::AlreadyExists("table '" + schema.name() + "' exists");
   }
@@ -20,6 +21,7 @@ Status Catalog::CreateTable(const TableSchema& schema) {
 }
 
 Status Catalog::DropTable(const std::string& name) {
+  common::MutexLock lock(mu_);
   if (!tables_.erase(name)) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
@@ -28,6 +30,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 Result<TableSchema> Catalog::GetTable(const std::string& name) const {
+  common::MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -35,24 +38,30 @@ Result<TableSchema> Catalog::GetTable(const std::string& name) const {
   return it->second;
 }
 
-Result<TableSchema*> Catalog::GetTableMutable(const std::string& name) {
+Status Catalog::UpdateTable(const std::string& name,
+                            const TableSchema& schema) {
+  common::MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
-  return &it->second;
+  it->second = schema;
+  return Status::OK();
 }
 
-const TableStats& Catalog::GetStats(const std::string& name) const {
+TableStats Catalog::GetStats(const std::string& name) const {
+  common::MutexLock lock(mu_);
   auto it = stats_.find(name);
-  return it == stats_.end() ? empty_stats_ : it->second;
+  return it == stats_.end() ? TableStats{} : it->second;
 }
 
 void Catalog::UpdateStats(const std::string& name, const TableStats& stats) {
+  common::MutexLock lock(mu_);
   stats_[name] = stats;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  common::MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

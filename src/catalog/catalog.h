@@ -7,42 +7,57 @@
 
 #include "catalog/schema.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace sdw {
 
 /// The leader node's catalog: named tables, their schemas and stats.
 /// (Restore streams the catalog first so SQL can be accepted while data
 /// blocks page-fault in — see backup/streaming restore.)
+///
+/// Internally synchronized: snapshot readers plan against the catalog
+/// while writers create/drop tables and refresh stats, so every method
+/// takes the catalog mutex and returns by value.
 class Catalog {
  public:
   Catalog() = default;
 
   /// Registers a new table. Fails if the name exists.
-  Status CreateTable(const TableSchema& schema);
+  Status CreateTable(const TableSchema& schema) SDW_EXCLUDES(mu_);
 
   /// Removes a table and its stats.
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name) SDW_EXCLUDES(mu_);
 
-  bool HasTable(const std::string& name) const {
+  bool HasTable(const std::string& name) const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return tables_.count(name) > 0;
   }
 
-  Result<TableSchema> GetTable(const std::string& name) const;
+  Result<TableSchema> GetTable(const std::string& name) const
+      SDW_EXCLUDES(mu_);
 
-  /// Mutable schema access (e.g., analyzer assigns encodings on first load).
-  Result<TableSchema*> GetTableMutable(const std::string& name);
+  /// Replaces an existing table's schema wholesale (the COPY analyzer
+  /// assigns encodings; transaction rollback restores the manifest
+  /// schema). Fails if the table does not exist.
+  Status UpdateTable(const std::string& name, const TableSchema& schema)
+      SDW_EXCLUDES(mu_);
 
-  const TableStats& GetStats(const std::string& name) const;
-  void UpdateStats(const std::string& name, const TableStats& stats);
+  /// Stats by value (empty stats for unknown tables).
+  TableStats GetStats(const std::string& name) const SDW_EXCLUDES(mu_);
+  void UpdateStats(const std::string& name, const TableStats& stats)
+      SDW_EXCLUDES(mu_);
 
-  std::vector<std::string> TableNames() const;
+  std::vector<std::string> TableNames() const SDW_EXCLUDES(mu_);
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return tables_.size();
+  }
 
  private:
-  std::map<std::string, TableSchema> tables_;
-  std::map<std::string, TableStats> stats_;
-  TableStats empty_stats_;
+  mutable common::Mutex mu_;
+  std::map<std::string, TableSchema> tables_ SDW_GUARDED_BY(mu_);
+  std::map<std::string, TableStats> stats_ SDW_GUARDED_BY(mu_);
 };
 
 }  // namespace sdw

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <set>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -29,53 +30,69 @@ ComputeNode::ComputeNode(int node_id, int num_slices,
     : node_id_(node_id), options_(options), slices_(num_slices) {}
 
 Status ComputeNode::CreateShards(const TableSchema& schema) {
+  common::MutexLock lock(mu_);
   for (auto& slice : slices_) {
     if (slice.count(schema.name())) {
       return Status::AlreadyExists("shard exists for " + schema.name());
     }
     slice[schema.name()] =
-        std::make_unique<storage::TableShard>(schema, options_, &store_);
+        std::make_shared<storage::TableShard>(schema, options_, &store_);
   }
   return Status::OK();
 }
 
-Status ComputeNode::DropShards(const std::string& table) {
+Status ComputeNode::DropShards(
+    const std::string& table,
+    std::vector<std::shared_ptr<storage::TableShard>>* removed) {
+  common::MutexLock lock(mu_);
   for (auto& slice : slices_) {
     auto it = slice.find(table);
     if (it == slice.end()) continue;
-    // Release the table's blocks from the device.
-    for (storage::BlockId id : it->second->AllBlockIds()) {
-      (void)store_.Delete(id);
-    }
+    if (removed != nullptr) removed->push_back(std::move(it->second));
     slice.erase(it);
   }
   return Status::OK();
 }
 
-Status ComputeNode::ReplaceShard(
-    int slice, const std::string& table,
-    std::unique_ptr<storage::TableShard> replacement) {
-  if (slice < 0 || static_cast<size_t>(slice) >= slices_.size()) {
-    return Status::InvalidArgument("bad slice index");
-  }
-  auto it = slices_[slice].find(table);
-  if (it == slices_[slice].end()) {
-    return Status::NotFound("no shard for table '" + table + "'");
-  }
-  it->second = std::move(replacement);
-  return Status::OK();
-}
-
 Result<storage::TableShard*> ComputeNode::shard(int slice,
                                                 const std::string& table) {
+  SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> ref,
+                       shard_ref(slice, table));
+  return ref.get();
+}
+
+Result<std::shared_ptr<storage::TableShard>> ComputeNode::shard_ref(
+    int slice, const std::string& table) {
   if (slice < 0 || static_cast<size_t>(slice) >= slices_.size()) {
     return Status::InvalidArgument("bad slice index");
   }
+  common::MutexLock lock(mu_);
   auto it = slices_[slice].find(table);
   if (it == slices_[slice].end()) {
     return Status::NotFound("no shard for table '" + table + "'");
   }
-  return it->second.get();
+  return it->second;
+}
+
+const storage::ShardRef* ReadSnapshot::Find(const std::string& table,
+                                            int slice) const {
+  auto it = tables.find(table);
+  if (it == tables.end()) return nullptr;
+  if (slice < 0 || static_cast<size_t>(slice) >= it->second.size()) {
+    return nullptr;
+  }
+  return &it->second[slice];
+}
+
+StagedWrite::~StagedWrite() {
+  if (!committed_ && cluster_ != nullptr) cluster_->AbortStaged(this);
+}
+
+StagedWrite::Pending* StagedWrite::Find(const storage::TableShard* shard) {
+  for (Pending& p : pending_) {
+    if (p.shard.get() == shard) return &p;
+  }
+  return nullptr;
 }
 
 Cluster::Cluster(ClusterConfig config)
@@ -201,6 +218,44 @@ Result<storage::TableShard*> Cluster::shard(int global_slice,
   return NodeOfSlice(global_slice)->shard(LocalSlice(global_slice), table);
 }
 
+Result<std::shared_ptr<storage::TableShard>> Cluster::shard_ref(
+    int global_slice, const std::string& table) {
+  if (global_slice < 0 || global_slice >= total_slices()) {
+    return Status::InvalidArgument("bad global slice");
+  }
+  return NodeOfSlice(global_slice)->shard_ref(LocalSlice(global_slice), table);
+}
+
+Status Cluster::PinTables(const std::vector<std::string>& tables,
+                          ReadSnapshot* out) {
+  static obs::Counter* pinned_metric =
+      obs::Registry::Global().counter("sdw_mvcc_snapshots_pinned");
+  for (const std::string& table : tables) {
+    if (out->tables.count(table) > 0) continue;
+    std::vector<storage::ShardRef> refs;
+    refs.reserve(total_slices());
+    bool complete = true;
+    for (int s = 0; s < total_slices(); ++s) {
+      auto ref = shard_ref(s, table);
+      if (!ref.ok()) {
+        // Dropped (or never created): leave the table unpinned and let
+        // the planner report it.
+        complete = false;
+        break;
+      }
+      storage::ShardRef pinned;
+      pinned.shard = std::move(*ref);
+      pinned.version = pinned.shard->Snapshot();
+      refs.push_back(std::move(pinned));
+    }
+    if (complete) {
+      out->tables[table] = std::move(refs);
+      pinned_metric->Add();
+    }
+  }
+  return Status::OK();
+}
+
 Status Cluster::CreateTable(const TableSchema& schema) {
   SDW_RETURN_IF_ERROR(catalog_.CreateTable(schema));
   for (auto& node : nodes_) {
@@ -210,26 +265,97 @@ Status Cluster::CreateTable(const TableSchema& schema) {
 }
 
 Status Cluster::DropTable(const std::string& table) {
-  // Collect the table's blocks first: the secondary copies live on
-  // *other* nodes' stores and would leak if we only dropped shards.
-  std::vector<storage::BlockId> ids;
-  if (replication_) {
-    for (int s = 0; s < total_slices(); ++s) {
-      auto shard_ptr = shard(s, table);
-      if (!shard_ptr.ok()) continue;
-      for (storage::BlockId id : (*shard_ptr)->AllBlockIds()) {
-        ids.push_back(id);
-      }
-    }
-  }
   SDW_RETURN_IF_ERROR(catalog_.DropTable(table));
   for (auto& node : nodes_) {
-    SDW_RETURN_IF_ERROR(node->DropShards(table));
+    std::vector<std::shared_ptr<storage::TableShard>> removed;
+    SDW_RETURN_IF_ERROR(node->DropShards(table, &removed));
+    common::MutexLock lock(mu_);
+    for (auto& shard_sp : removed) {
+      dropped_.push_back({std::move(shard_sp), node->store()});
+    }
   }
-  if (replication_) {
-    for (storage::BlockId id : ids) replication_->Remove(id);
-  }
+  // Nothing pinned (the common case): the blocks go away right here,
+  // keeping DROP's storage release prompt. Pinned shards stay parked
+  // until a later sweep.
+  CollectGarbage();
   return Status::OK();
+}
+
+Status Cluster::CommitStaged(StagedWrite* staged) {
+  for (StagedWrite::Pending& p : staged->pending_) {
+    SDW_RETURN_IF_ERROR(p.shard->Install(p.base, p.next));
+  }
+  staged->pending_.clear();
+  staged->committed_ = true;
+  return Status::OK();
+}
+
+void Cluster::AbortStaged(StagedWrite* staged) {
+  for (StagedWrite::Pending& p : staged->pending_) {
+    std::vector<storage::BlockId> removed =
+        p.shard->DiscardPrepared(*p.base, *p.next);
+    if (replication_) {
+      for (storage::BlockId id : removed) replication_->Remove(id);
+    }
+  }
+  staged->pending_.clear();
+}
+
+Cluster::GcStats Cluster::CollectGarbage() {
+  static obs::Counter* deferred_metric =
+      obs::Registry::Global().counter("sdw_mvcc_gc_deferred");
+  GcStats stats;
+  std::vector<storage::BlockId> reclaimed;
+
+  // Retired versions of live shards (VACUUM rewrites, rollbacks).
+  for (const std::string& table : catalog_.TableNames()) {
+    for (int s = 0; s < total_slices(); ++s) {
+      auto ref = shard_ref(s, table);
+      if (!ref.ok()) continue;
+      stats.versions_reclaimed += (*ref)->CollectGarbage(&reclaimed);
+      stats.versions_deferred += (*ref)->retired_versions();
+    }
+  }
+
+  // Dropped tables: a shard is reclaimable once nothing outside the
+  // dropped list references it (use_count drops monotonically — new
+  // refs only come from copying existing ones, and the maps no longer
+  // hold one) and its own retired queue has drained.
+  std::vector<DroppedShard> parked;
+  {
+    common::MutexLock lock(mu_);
+    parked.swap(dropped_);
+  }
+  std::vector<DroppedShard> keep;
+  for (DroppedShard& d : parked) {
+    stats.versions_reclaimed += d.shard->CollectGarbage(&reclaimed);
+    if (d.shard.use_count() == 1 && d.shard->retired_versions() == 0) {
+      for (storage::BlockId id : d.shard->AllBlockIds()) {
+        (void)d.store->Delete(id);
+        reclaimed.push_back(id);
+      }
+      ++stats.dropped_shards_reclaimed;
+    } else {
+      stats.versions_deferred += d.shard->retired_versions();
+      ++stats.dropped_shards_deferred;
+      keep.push_back(std::move(d));
+    }
+  }
+  if (!keep.empty()) {
+    common::MutexLock lock(mu_);
+    for (DroppedShard& d : keep) dropped_.push_back(std::move(d));
+  }
+
+  // Reclaimed blocks also lose their secondary copy + placement (else
+  // vacuumed/dropped blocks leak on their replica nodes).
+  if (replication_) {
+    for (storage::BlockId id : reclaimed) replication_->Remove(id);
+  }
+  stats.blocks_reclaimed = reclaimed.size();
+  if (stats.versions_deferred > 0 || stats.dropped_shards_deferred > 0) {
+    deferred_metric->Add();
+  }
+  return stats;
 }
 
 int Cluster::SliceForKey(const Datum& key) const {
@@ -293,7 +419,8 @@ Result<std::vector<uint64_t>> SortOrder(
 }  // namespace
 
 Status Cluster::InsertRows(const std::string& table,
-                           const std::vector<ColumnVector>& columns) {
+                           const std::vector<ColumnVector>& columns,
+                           StagedWrite* staged) {
   if (read_only_) {
     return Status::FailedPrecondition(
         "cluster is read-only (resize in progress)");
@@ -312,11 +439,11 @@ Status Cluster::InsertRows(const std::string& table,
   std::vector<std::vector<uint64_t>> per_slice(slices);
 
   // One insert at a time: the round-robin cursor and the shard appends
-  // must advance together, and TableShard::Append is not itself
-  // thread-safe (shards are slice-private on the query path). Appends
-  // only ever write (store Put), so nothing below re-enters FaultRead
-  // and wants mu_ back. COPY distributes serially — only parsing fans
-  // out — so this serializes nothing that was parallel.
+  // must advance together (writers are additionally serialized by the
+  // warehouse's statement lock). Appends only ever write (store Put),
+  // so nothing below re-enters FaultRead and wants mu_ back. COPY
+  // distributes serially — only parsing fans out — so this serializes
+  // nothing that was parallel.
   common::MutexLock lock(mu_);
 
   switch (schema.dist_style()) {
@@ -373,8 +500,25 @@ Status Cluster::InsertRows(const std::string& table,
     if (!already_sorted) {
       SDW_ASSIGN_OR_RETURN(slice_rows, TakeRows(slice_rows, order));
     }
-    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
-    SDW_RETURN_IF_ERROR(shard_ptr->Append(slice_rows));
+    SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> shard_sp,
+                         shard_ref(s, table));
+    if (staged != nullptr) {
+      // Chain this run onto whatever the statement already staged for
+      // the shard; readers see nothing until CommitStaged.
+      StagedWrite::Pending* pending = staged->Find(shard_sp.get());
+      storage::ShardSnapshot base =
+          pending != nullptr ? pending->next : shard_sp->Snapshot();
+      SDW_ASSIGN_OR_RETURN(storage::ShardSnapshot next,
+                           shard_sp->PrepareAppend(base, slice_rows));
+      if (pending != nullptr) {
+        pending->next = std::move(next);
+      } else {
+        staged->pending_.push_back(
+            {std::move(shard_sp), std::move(base), std::move(next)});
+      }
+    } else {
+      SDW_RETURN_IF_ERROR(shard_sp->Append(slice_rows));
+    }
   }
   return Status::OK();
 }
@@ -387,13 +531,15 @@ Status Cluster::Analyze(const std::string& table) {
   const int slice_count =
       schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
   for (int s = 0; s < slice_count; ++s) {
-    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
-    stats.row_count += shard_ptr->row_count();
-    stats.total_bytes += shard_ptr->encoded_bytes();
+    SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> shard_sp,
+                         shard_ref(s, table));
+    storage::ShardSnapshot version = shard_sp->Snapshot();
+    stats.row_count += version->row_count;
+    stats.total_bytes += version->encoded_bytes;
     std::vector<int> all_cols(schema.num_columns());
     std::iota(all_cols.begin(), all_cols.end(), 0);
     SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
-                         shard_ptr->ReadAll(all_cols));
+                         shard_sp->ReadAll(*version, all_cols));
     for (size_t c = 0; c < data.size(); ++c) {
       ColumnStats& cs = stats.columns[c];
       for (size_t i = 0; i < data[c].size(); ++i) {
@@ -416,7 +562,8 @@ Status Cluster::Analyze(const std::string& table) {
   return Status::OK();
 }
 
-Result<uint64_t> Cluster::Vacuum(const std::string& table) {
+Result<uint64_t> Cluster::Vacuum(const std::string& table,
+                                 StagedWrite* staged) {
   if (read_only_) {
     return Status::FailedPrecondition("cluster is read-only");
   }
@@ -425,31 +572,33 @@ Result<uint64_t> Cluster::Vacuum(const std::string& table) {
   std::iota(all_cols.begin(), all_cols.end(), 0);
   uint64_t blocks_rewritten = 0;
   for (int s = 0; s < total_slices(); ++s) {
-    SDW_ASSIGN_OR_RETURN(storage::TableShard * old_shard, shard(s, table));
-    if (old_shard->row_count() == 0) continue;
-    // Read everything, re-sort as one run, rewrite the shard.
+    SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> shard_sp,
+                         shard_ref(s, table));
+    storage::ShardSnapshot base = shard_sp->Snapshot();
+    if (base->row_count == 0) continue;
+    // Read everything (as of `base`), re-sort as one run, and stage a
+    // full replacement version. The old blocks become the retired
+    // version's delete set at install time.
     SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
-                         old_shard->ReadAll(all_cols));
+                         shard_sp->ReadAll(*base, all_cols));
     SDW_ASSIGN_OR_RETURN(std::vector<uint64_t> order,
-                         SortOrder(old_shard->schema(), data));
+                         SortOrder(shard_sp->schema(), data));
     SDW_ASSIGN_OR_RETURN(data, TakeRows(data, order));
-    ComputeNode* node = NodeOfSlice(s);
-    // Drop the old blocks, then rebuild through a fresh shard (keeping
-    // any analyzer-assigned encodings).
-    TableSchema shard_schema = old_shard->schema();
-    for (storage::BlockId id : old_shard->AllBlockIds()) {
-      (void)node->store()->Delete(id);
-      // Also drop the secondary copy and the placement record, or
-      // vacuumed blocks would leak on their replica nodes.
-      if (replication_) replication_->Remove(id);
-      ++blocks_rewritten;
+    SDW_ASSIGN_OR_RETURN(storage::ShardSnapshot next,
+                         shard_sp->PrepareRewrite(base, data));
+    for (const auto& chain : base->chains) {
+      blocks_rewritten += chain.size();
     }
-    auto fresh = std::make_unique<storage::TableShard>(
-        shard_schema, config_.storage, node->store());
-    SDW_RETURN_IF_ERROR(fresh->Append(data));
-    SDW_RETURN_IF_ERROR(node->ReplaceShard(LocalSlice(s), table,
-                                           std::move(fresh)));
+    if (staged != nullptr) {
+      staged->pending_.push_back(
+          {std::move(shard_sp), std::move(base), std::move(next)});
+    } else {
+      SDW_RETURN_IF_ERROR(shard_sp->Install(base, std::move(next)));
+    }
   }
+  // Unstaged VACUUM (direct cluster callers) reclaims eagerly so the
+  // rewrite frees storage right away when nothing is pinned.
+  if (staged == nullptr) CollectGarbage();
   return blocks_rewritten;
 }
 
@@ -459,8 +608,9 @@ Result<uint64_t> Cluster::TotalRows(const std::string& table) {
   const int slice_count =
       schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
   for (int s = 0; s < slice_count; ++s) {
-    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
-    total += shard_ptr->row_count();
+    SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> shard_sp,
+                         shard_ref(s, table));
+    total += shard_sp->row_count();
   }
   return total;
 }
@@ -499,10 +649,12 @@ Result<std::unique_ptr<Cluster>> Cluster::Resize(
     const int slice_count =
         schema.dist_style() == DistStyle::kAll ? 1 : total_slices();
     for (int s = 0; s < slice_count; ++s) {
-      SDW_ASSIGN_OR_RETURN(storage::TableShard * shard_ptr, shard(s, table));
-      if (shard_ptr->row_count() == 0) continue;
+      SDW_ASSIGN_OR_RETURN(std::shared_ptr<storage::TableShard> shard_sp,
+                           shard_ref(s, table));
+      storage::ShardSnapshot version = shard_sp->Snapshot();
+      if (version->row_count == 0) continue;
       SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> data,
-                           shard_ptr->ReadAll(all_cols));
+                           shard_sp->ReadAll(*version, all_cols));
       bytes_moved += EstimateBytes(data);
       SDW_RETURN_IF_ERROR(target->InsertRows(table, data));
     }

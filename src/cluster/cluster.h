@@ -19,6 +19,8 @@
 
 namespace sdw::cluster {
 
+class Cluster;
+
 /// Cluster topology and storage knobs.
 struct ClusterConfig {
   int num_nodes = 2;
@@ -40,7 +42,9 @@ struct ClusterConfig {
 };
 
 /// A compute node: one block device shared by its slices, one table
-/// shard per (slice, table).
+/// shard per (slice, table). The slice maps are internally locked so
+/// snapshot readers can resolve shards while DDL runs on another
+/// thread; the shards themselves version their chains (MVCC).
 class ComputeNode {
  public:
   ComputeNode(int node_id, int num_slices, storage::StorageOptions options);
@@ -52,22 +56,83 @@ class ComputeNode {
   storage::BlockStore* store() { return &store_; }
 
   /// Creates the per-slice shards for a new table.
-  Status CreateShards(const TableSchema& schema);
-  Status DropShards(const std::string& table);
+  Status CreateShards(const TableSchema& schema) SDW_EXCLUDES(mu_);
 
-  /// The shard of `table` on local slice `slice`.
-  Result<storage::TableShard*> shard(int slice, const std::string& table);
+  /// Unlinks the table's shards from the slices and hands them to the
+  /// caller. Blocks are NOT deleted here — a snapshot reader may still
+  /// be scanning them; the cluster parks the shards on its dropped
+  /// list until garbage collection proves them unpinned.
+  Status DropShards(const std::string& table,
+                    std::vector<std::shared_ptr<storage::TableShard>>* removed)
+      SDW_EXCLUDES(mu_);
 
-  /// Swaps in a rebuilt shard (VACUUM's atomic switch-over).
-  Status ReplaceShard(int slice, const std::string& table,
-                      std::unique_ptr<storage::TableShard> replacement);
+  /// The shard of `table` on local slice `slice`. The raw pointer is
+  /// valid while the table exists; concurrent readers should take
+  /// shard_ref instead.
+  Result<storage::TableShard*> shard(int slice, const std::string& table)
+      SDW_EXCLUDES(mu_);
+  Result<std::shared_ptr<storage::TableShard>> shard_ref(
+      int slice, const std::string& table) SDW_EXCLUDES(mu_);
 
  private:
   int node_id_;
   storage::StorageOptions options_;
   storage::BlockStore store_;
-  std::vector<std::map<std::string, std::unique_ptr<storage::TableShard>>>
-      slices_;
+  mutable common::Mutex mu_;
+  std::vector<std::map<std::string, std::shared_ptr<storage::TableShard>>>
+      slices_ SDW_GUARDED_BY(mu_);
+};
+
+/// The tables a statement reads, pinned at one point in time: for each
+/// table, one ShardRef per global slice. Scans resolve their shard and
+/// version from here instead of the live maps, so a concurrent
+/// DROP/COPY/VACUUM can neither change what the statement sees nor
+/// reclaim the blocks under it.
+///
+/// Pinning itself is not atomic against concurrent installs — the
+/// warehouse takes its data lock in shared mode around PinTables while
+/// writers install under the exclusive mode, which is what makes the
+/// pinned view statement-consistent.
+struct ReadSnapshot {
+  std::map<std::string, std::vector<storage::ShardRef>> tables;
+
+  /// The pinned ref of (table, global slice), or nullptr if the table
+  /// was not pinned (e.g. dropped before the pin).
+  const storage::ShardRef* Find(const std::string& table, int slice) const;
+};
+
+/// Chain versions built off to the side by one mutating statement
+/// (INSERT/COPY/VACUUM). Blocks are written to the stores at prepare
+/// time, but no reader can see them until Cluster::CommitStaged
+/// installs every pending head — the statement becomes visible
+/// atomically. Destroying an uncommitted StagedWrite aborts it: the
+/// prepared blocks are deleted again.
+class StagedWrite {
+ public:
+  explicit StagedWrite(Cluster* cluster) : cluster_(cluster) {}
+  ~StagedWrite();
+  StagedWrite(const StagedWrite&) = delete;
+  StagedWrite& operator=(const StagedWrite&) = delete;
+
+  bool empty() const { return pending_.empty(); }
+  bool committed() const { return committed_; }
+
+ private:
+  friend class Cluster;
+
+  struct Pending {
+    std::shared_ptr<storage::TableShard> shard;
+    /// The head the statement built on — Install's expected version.
+    storage::ShardSnapshot base;
+    /// The staged replacement (chains appends across multiple runs).
+    storage::ShardSnapshot next;
+  };
+
+  Pending* Find(const storage::TableShard* shard);
+
+  Cluster* cluster_;
+  std::vector<Pending> pending_;
+  bool committed_ = false;
 };
 
 /// The data plane of one warehouse: a leader-side catalog plus compute
@@ -103,17 +168,28 @@ class Cluster {
   /// The shard of `table` on global slice `slice`.
   Result<storage::TableShard*> shard(int global_slice,
                                      const std::string& table);
+  Result<std::shared_ptr<storage::TableShard>> shard_ref(
+      int global_slice, const std::string& table);
 
-  /// DDL.
+  /// Pins the current version of every slice shard of `tables` into
+  /// `out`. Tables missing from the catalog are skipped (the planner
+  /// reports them). See ReadSnapshot for the atomicity contract.
+  Status PinTables(const std::vector<std::string>& tables, ReadSnapshot* out);
+
+  /// DDL. DropTable unlinks the table immediately but defers block
+  /// deletion to CollectGarbage so pinned snapshot readers finish
+  /// their scans.
   Status CreateTable(const TableSchema& schema);
   Status DropTable(const std::string& table);
 
   /// Distributes one run of rows across slices per the table's
   /// DISTSTYLE, sorts each slice's portion per its SORTKEY, and appends.
-  /// Rejected while the cluster is read-only (resize source, §3.1).
+  /// With `staged` the new blocks stay invisible until CommitStaged;
+  /// without it each shard installs immediately (single-threaded
+  /// callers). Rejected while the cluster is read-only (§3.1).
   Status InsertRows(const std::string& table,
-                    const std::vector<ColumnVector>& columns)
-      SDW_EXCLUDES(mu_);
+                    const std::vector<ColumnVector>& columns,
+                    StagedWrite* staged = nullptr) SDW_EXCLUDES(mu_);
 
   /// Recomputes table statistics (row count, min/max, NDV estimate)
   /// from the stored data — the ANALYZE that COPY runs implicitly.
@@ -124,8 +200,34 @@ class Cluster {
   /// sorted runs whose zone maps prune poorly; VACUUM merges them back
   /// into one fully-sorted region (the paper's §3.2 future work makes
   /// this self-triggering; here it is the classic user-initiated op).
-  /// Returns the number of blocks rewritten.
-  Result<uint64_t> Vacuum(const std::string& table);
+  /// With `staged` the rewrite is prepared but not installed; without
+  /// it the new chains install immediately and unpinned old versions
+  /// are reclaimed. Returns the number of blocks rewritten.
+  Result<uint64_t> Vacuum(const std::string& table,
+                          StagedWrite* staged = nullptr);
+
+  /// Installs every shard head a staged statement prepared. The caller
+  /// serializes writers and brackets this with its snapshot-coherence
+  /// lock so readers pin either all of the statement or none of it.
+  Status CommitStaged(StagedWrite* staged);
+
+  /// Deletes the blocks a staged statement prepared (statement failed
+  /// or was abandoned). Also runs from StagedWrite's destructor.
+  void AbortStaged(StagedWrite* staged);
+
+  /// Reclaims storage no snapshot can reach anymore: retired shard
+  /// versions (VACUUM rewrites, rollbacks) and dropped tables whose
+  /// readers have drained. Replication placements of reclaimed blocks
+  /// are removed with them.
+  struct GcStats {
+    uint64_t versions_reclaimed = 0;
+    uint64_t blocks_reclaimed = 0;
+    /// Retired versions still pinned by a snapshot after the sweep.
+    uint64_t versions_deferred = 0;
+    uint64_t dropped_shards_reclaimed = 0;
+    uint64_t dropped_shards_deferred = 0;
+  };
+  GcStats CollectGarbage() SDW_EXCLUDES(mu_);
 
   /// Total rows of a table across all slices.
   Result<uint64_t> TotalRows(const std::string& table);
@@ -218,6 +320,13 @@ class Cluster {
   /// table.
   int SliceForKey(const Datum& key) const;
 
+  /// A dropped table's shard awaiting its last reader before its
+  /// blocks leave `store`.
+  struct DroppedShard {
+    std::shared_ptr<storage::TableShard> shard;
+    storage::BlockStore* store;
+  };
+
   ClusterConfig config_;
   Catalog catalog_;
   std::vector<std::unique_ptr<ComputeNode>> nodes_;
@@ -225,16 +334,16 @@ class Cluster {
   std::unique_ptr<replication::ReplicationManager> replication_;
   /// Guards the cluster's mutable routing state — the per-table
   /// round-robin cursors and the page-fault handler (installed after
-  /// construction, read by fault handlers on any worker) — and
-  /// serializes InsertRows end to end: cursor advance and shard
-  /// appends commit together, because TableShard::Append is
-  /// slice-private on the query path, not thread-safe. The append loop
+  /// construction, read by fault handlers on any worker) — plus the
+  /// dropped-shard GC list, and serializes InsertRows end to end:
+  /// cursor advance and shard appends commit together. The append loop
   /// only writes (store Put), so it cannot re-enter FaultRead and
   /// deadlock. FaultRead copies the handler out before invoking it —
   /// it reaches S3 / other stores and must not run under mu_.
   mutable common::Mutex mu_;
   storage::BlockStore::FaultHandler page_fault_ SDW_GUARDED_BY(mu_);
   std::map<std::string, uint64_t> round_robin_ SDW_GUARDED_BY(mu_);
+  std::vector<DroppedShard> dropped_ SDW_GUARDED_BY(mu_);
   std::atomic<bool> read_only_{false};
   std::atomic<uint64_t> network_bytes_{0};
   std::atomic<uint64_t> masked_reads_{0};

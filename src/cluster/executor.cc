@@ -24,12 +24,15 @@ uint64_t RowKeyHash(const exec::Batch& batch, const std::vector<int>& keys,
   return h;
 }
 
-/// Builds the scan (+ residual filter) operator for one slice.
-Result<exec::OperatorPtr> BuildScan(Cluster* cluster, int slice,
+/// Builds the scan (+ residual filter) operator for one slice over the
+/// statement's pinned snapshot.
+Result<exec::OperatorPtr> BuildScan(const ReadSnapshot& snapshot, int slice,
                                     const plan::ScanSpec& spec) {
-  SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
-                       cluster->shard(slice, spec.table));
-  exec::OperatorPtr op = exec::ShardScan(shard, spec.columns, spec.predicates);
+  const storage::ShardRef* ref = snapshot.Find(spec.table, slice);
+  if (ref == nullptr) {
+    return Status::NotFound("no shard for table '" + spec.table + "'");
+  }
+  exec::OperatorPtr op = exec::ShardScan(*ref, spec.columns, spec.predicates);
   if (spec.filter) {
     op = exec::Filter(std::move(op), spec.filter);
   }
@@ -62,7 +65,9 @@ uint64_t SumBlocksDecoded(Cluster* cluster) {
   uint64_t total = 0;
   for (const std::string& table : cluster->catalog()->TableNames()) {
     for (int s = 0; s < cluster->total_slices(); ++s) {
-      auto shard = cluster->shard(s, table);
+      // shard_ref: holding the shared_ptr keeps the shard alive even if
+      // a concurrent DROP gets it garbage-collected mid-iteration.
+      auto shard = cluster->shard_ref(s, table);
       if (shard.ok()) total += (*shard)->blocks_decoded();
     }
   }
@@ -72,7 +77,7 @@ uint64_t SumBlocksDecoded(Cluster* cluster) {
 void ResetBlockCounters(Cluster* cluster) {
   for (const std::string& table : cluster->catalog()->TableNames()) {
     for (int s = 0; s < cluster->total_slices(); ++s) {
-      auto shard = cluster->shard(s, table);
+      auto shard = cluster->shard_ref(s, table);
       if (shard.ok()) (*shard)->ResetCounters();
     }
   }
@@ -91,8 +96,8 @@ exec::Batch CopyBatch(const exec::Batch& batch) {
 }  // namespace
 
 Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
-    const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
-    obs::Span* root) {
+    const plan::PhysicalQuery& query, const ReadSnapshot& snapshot,
+    ExecStats* stats, obs::Trace* trace, obs::Span* root) {
   const int slices = cluster_->total_slices();
   SDW_ASSIGN_OR_RETURN(int probe_slices,
                        ScanSliceCount(cluster_, query.scan.table));
@@ -135,7 +140,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
             sim::Stopwatch timer;
             obs::ScopedSpan scoped(bspans[s]);
             SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                                 BuildScan(cluster_, s, join.build));
+                                 BuildScan(snapshot, s, join.build));
             SDW_ASSIGN_OR_RETURN(parts[s], exec::Collect(op.get()));
             part_seconds[s] = timer.Seconds();
             if (bspans[s]) {
@@ -191,7 +196,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
               sim::Stopwatch timer;
               obs::ScopedSpan scoped(sspans[s]);
               SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                                   BuildScan(cluster_, s, spec));
+                                   BuildScan(snapshot, s, spec));
               std::vector<exec::Batch>& mine = local[s];
               mine.reserve(slices);
               for (int t = 0; t < slices; ++t) {
@@ -285,7 +290,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                                     query.join->probe_keys,
                                     query.join->build_keys);
         } else {
-          SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(cluster_, s, query.scan));
+          SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(snapshot, s, query.scan));
           if (query.join.has_value()) {
             const plan::JoinSpec& join = *query.join;
             exec::OperatorPtr build;
@@ -294,7 +299,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
               one.push_back(CopyBatch(broadcast_build));
               build = exec::MemoryScan(build_types, std::move(one));
             } else {  // co-located
-              SDW_ASSIGN_OR_RETURN(build, BuildScan(cluster_, s, join.build));
+              SDW_ASSIGN_OR_RETURN(build, BuildScan(snapshot, s, join.build));
             }
             pipeline = exec::HashJoin(std::move(pipeline), std::move(build),
                                       join.probe_keys, join.build_keys);
@@ -324,8 +329,8 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
 }
 
 Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
-    const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
-    obs::Span* root) {
+    const plan::PhysicalQuery& query, const ReadSnapshot& snapshot,
+    ExecStats* stats, obs::Trace* trace, obs::Span* root) {
   if (query.join.has_value()) {
     return Status::NotSupported(
         "interpreted mode supports scan/filter/aggregate pipelines");
@@ -388,9 +393,11 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
   SDW_RETURN_IF_ERROR(pool()->ParallelFor(probe_slices, [&](int s) -> Status {
     sim::Stopwatch timer;
     obs::ScopedSpan scoped(pspans[s]);
-    SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
-                         cluster_->shard(s, query.scan.table));
-    exec::RowOperatorPtr pipe = exec::RowScan(shard, query.scan.columns);
+    const storage::ShardRef* ref = snapshot.Find(query.scan.table, s);
+    if (ref == nullptr) {
+      return Status::NotFound("no shard for table '" + query.scan.table + "'");
+    }
+    exec::RowOperatorPtr pipe = exec::RowScan(*ref, query.scan.columns);
     if (query.scan.filter) {
       pipe = exec::RowFilter(std::move(pipe), query.scan.filter);
     }
@@ -425,6 +432,16 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
     trace = result.trace.get();
     root = trace->AddSpan("query", -1, 0);
   }
+  // Pin the statement's snapshot if the caller (the warehouse) did not
+  // hand one in: one consistent version per table across all slices.
+  std::shared_ptr<const ReadSnapshot> snapshot = options_.snapshot;
+  if (snapshot == nullptr) {
+    std::vector<std::string> tables = {query.scan.table};
+    if (query.join.has_value()) tables.push_back(query.join->build.table);
+    auto pinned = std::make_shared<ReadSnapshot>();
+    SDW_RETURN_IF_ERROR(cluster_->PinTables(tables, pinned.get()));
+    snapshot = std::move(pinned);
+  }
   ResetBlockCounters(cluster_);
   // Masking counters are cumulative and cluster-wide, so the delta
   // double-counts when two executors interleave on one cluster. It is
@@ -445,10 +462,12 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
 
   std::vector<exec::Batch> slice_outputs;
   if (options_.mode == ExecutionMode::kCompiled) {
-    SDW_ASSIGN_OR_RETURN(slice_outputs, RunSlices(query, &stats, trace, root));
-  } else {
     SDW_ASSIGN_OR_RETURN(slice_outputs,
-                         RunSlicesInterpreted(query, &stats, trace, root));
+                         RunSlices(query, *snapshot, &stats, trace, root));
+  } else {
+    SDW_ASSIGN_OR_RETURN(
+        slice_outputs,
+        RunSlicesInterpreted(query, *snapshot, &stats, trace, root));
   }
 
   // --- Leader finalization. ---

@@ -39,6 +39,11 @@ struct ExecOptions {
   /// per-query compile_seconds charge is skipped (the segments already
   /// exist) and the trace records a zero-cost "compile (cached)" span.
   bool segment_cache_hit = false;
+  /// The MVCC snapshot the scans read as of (the warehouse pins it at
+  /// admission, under its snapshot-coherence lock). Null: Execute pins
+  /// the current version of the query's tables itself, so even direct
+  /// executor users get one consistent version across all slices.
+  std::shared_ptr<const ReadSnapshot> snapshot;
 };
 
 /// Per-query execution telemetry.
@@ -118,17 +123,19 @@ class QueryExecutor {
     return own_pool_ ? own_pool_.get() : cluster_->pool();
   }
 
-  /// Builds the per-slice pipeline output batches for every slice.
-  /// `trace`/`root` may be null (tracing disabled).
+  /// Builds the per-slice pipeline output batches for every slice,
+  /// scanning the pinned `snapshot`. `trace`/`root` may be null
+  /// (tracing disabled).
   Result<std::vector<exec::Batch>> RunSlices(const plan::PhysicalQuery& query,
+                                             const ReadSnapshot& snapshot,
                                              ExecStats* stats,
                                              obs::Trace* trace,
                                              obs::Span* root);
 
   /// kInterpreted per-slice pipeline (scan/filter/agg only).
   Result<std::vector<exec::Batch>> RunSlicesInterpreted(
-      const plan::PhysicalQuery& query, ExecStats* stats, obs::Trace* trace,
-      obs::Span* root);
+      const plan::PhysicalQuery& query, const ReadSnapshot& snapshot,
+      ExecStats* stats, obs::Trace* trace, obs::Span* root);
 
   Cluster* cluster_;
   ExecOptions options_;

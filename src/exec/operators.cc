@@ -90,18 +90,20 @@ class MemoryScanOp : public Operator {
 
 class ShardScanOp : public Operator {
  public:
-  ShardScanOp(storage::TableShard* shard, std::vector<int> columns,
+  ShardScanOp(storage::ShardRef ref, std::vector<int> columns,
               std::vector<storage::RangePredicate> predicates,
               ScanOptions options)
-      : shard_(shard),
+      : ref_(std::move(ref)),
         columns_(std::move(columns)),
         options_(options),
-        ranges_(shard->CandidateRanges(predicates)) {}
+        ranges_(ref_.shard->CandidateRanges(*ref_.version, predicates)) {}
 
   std::vector<TypeId> OutputTypes() const override {
     std::vector<TypeId> types;
     types.reserve(columns_.size());
-    for (int c : columns_) types.push_back(shard_->schema().column(c).type);
+    for (int c : columns_) {
+      types.push_back(ref_.shard->schema().column(c).type);
+    }
     return types;
   }
 
@@ -117,8 +119,9 @@ class ShardScanOp : public Operator {
       const uint64_t end =
           std::min<uint64_t>(range.end, begin + options_.batch_rows);
       offset_ += end - begin;
-      SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> cols,
-                           shard_->ReadRange(columns_, {begin, end}));
+      SDW_ASSIGN_OR_RETURN(
+          std::vector<ColumnVector> cols,
+          ref_.shard->ReadRange(*ref_.version, columns_, {begin, end}));
       Batch batch;
       batch.columns = std::move(cols);
       return std::optional<Batch>(std::move(batch));
@@ -127,7 +130,7 @@ class ShardScanOp : public Operator {
   }
 
  private:
-  storage::TableShard* shard_;
+  storage::ShardRef ref_;
   std::vector<int> columns_;
   ScanOptions options_;
   std::vector<storage::RowRange> ranges_;
@@ -728,11 +731,24 @@ OperatorPtr MemoryScan(std::vector<TypeId> types, std::vector<Batch> batches) {
   return std::make_unique<MemoryScanOp>(std::move(types), std::move(batches));
 }
 
+OperatorPtr ShardScan(storage::ShardRef ref, std::vector<int> columns,
+                      std::vector<storage::RangePredicate> predicates,
+                      ScanOptions options) {
+  return std::make_unique<ShardScanOp>(std::move(ref), std::move(columns),
+                                       std::move(predicates), options);
+}
+
 OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
                       std::vector<storage::RangePredicate> predicates,
                       ScanOptions options) {
-  return std::make_unique<ShardScanOp>(shard, std::move(columns),
-                                       std::move(predicates), options);
+  // Non-owning convenience for single-threaded callers (tests, tools):
+  // pins whatever the head version is right now.
+  storage::ShardRef ref;
+  ref.shard = std::shared_ptr<storage::TableShard>(
+      shard, [](storage::TableShard*) {});
+  ref.version = shard->Snapshot();
+  return ShardScan(std::move(ref), std::move(columns), std::move(predicates),
+                   options);
 }
 
 OperatorPtr Filter(OperatorPtr input, ExprPtr predicate) {

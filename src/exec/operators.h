@@ -39,6 +39,11 @@ OperatorPtr MemoryScan(std::vector<TypeId> types, std::vector<Batch> batches);
 struct ScanOptions {
   size_t batch_rows = 4096;
 };
+OperatorPtr ShardScan(storage::ShardRef ref, std::vector<int> columns,
+                      std::vector<storage::RangePredicate> predicates = {},
+                      ScanOptions options = {});
+/// Non-owning form: pins the shard's current head version (tests and
+/// other single-threaded callers; concurrent readers pass a ShardRef).
 OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
                       std::vector<storage::RangePredicate> predicates = {},
                       ScanOptions options = {});

@@ -12,16 +12,17 @@ namespace {
 
 class RowScanOp : public RowOperator {
  public:
-  RowScanOp(storage::TableShard* shard, std::vector<int> columns)
-      : shard_(shard), columns_(std::move(columns)) {}
+  RowScanOp(storage::ShardRef ref, std::vector<int> columns)
+      : ref_(std::move(ref)), columns_(std::move(columns)) {}
 
   Result<std::optional<Row>> Next() override {
     if (row_in_batch_ >= batch_.num_rows()) {
-      if (next_row_ >= shard_->row_count()) return std::optional<Row>();
-      const uint64_t end =
-          std::min<uint64_t>(shard_->row_count(), next_row_ + 4096);
-      SDW_ASSIGN_OR_RETURN(std::vector<ColumnVector> cols,
-                           shard_->ReadRange(columns_, {next_row_, end}));
+      const uint64_t rows = ref_.version->row_count;
+      if (next_row_ >= rows) return std::optional<Row>();
+      const uint64_t end = std::min<uint64_t>(rows, next_row_ + 4096);
+      SDW_ASSIGN_OR_RETURN(
+          std::vector<ColumnVector> cols,
+          ref_.shard->ReadRange(*ref_.version, columns_, {next_row_, end}));
       batch_.columns = std::move(cols);
       next_row_ = end;
       row_in_batch_ = 0;
@@ -30,7 +31,7 @@ class RowScanOp : public RowOperator {
   }
 
  private:
-  storage::TableShard* shard_;
+  storage::ShardRef ref_;
   std::vector<int> columns_;
   Batch batch_;
   uint64_t next_row_ = 0;
@@ -209,8 +210,16 @@ class RowAggregateOp : public RowOperator {
 
 }  // namespace
 
+RowOperatorPtr RowScan(storage::ShardRef ref, std::vector<int> columns) {
+  return std::make_unique<RowScanOp>(std::move(ref), std::move(columns));
+}
+
 RowOperatorPtr RowScan(storage::TableShard* shard, std::vector<int> columns) {
-  return std::make_unique<RowScanOp>(shard, std::move(columns));
+  storage::ShardRef ref;
+  ref.shard = std::shared_ptr<storage::TableShard>(
+      shard, [](storage::TableShard*) {});
+  ref.version = shard->Snapshot();
+  return RowScan(std::move(ref), std::move(columns));
 }
 
 RowOperatorPtr RowFilter(RowOperatorPtr input, ExprPtr predicate) {

@@ -30,6 +30,8 @@ using RowOperatorPtr = std::unique_ptr<RowOperator>;
 /// Scans a shard row by row (blocks are still decoded in bulk — the
 /// interpretation overhead under test is operator/expression dispatch,
 /// not storage access).
+RowOperatorPtr RowScan(storage::ShardRef ref, std::vector<int> columns);
+/// Non-owning form: pins the shard's current head version.
 RowOperatorPtr RowScan(storage::TableShard* shard, std::vector<int> columns);
 
 /// Keeps rows where the predicate evaluates to TRUE.

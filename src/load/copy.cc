@@ -36,21 +36,26 @@ Status CopyExecutor::MaybeRunAnalyzer(const std::string& table,
                                       CopyStats* stats) {
   SDW_ASSIGN_OR_RETURN(uint64_t existing, cluster_->TotalRows(table));
   if (existing > 0) return Status::OK();  // first load only
-  SDW_ASSIGN_OR_RETURN(TableSchema* schema,
-                       cluster_->catalog()->GetTableMutable(table));
-  for (size_t c = 0; c < schema->num_columns(); ++c) {
-    if (schema->column(c).encoding != ColumnEncoding::kAuto) continue;
+  SDW_ASSIGN_OR_RETURN(TableSchema schema,
+                       cluster_->catalog()->GetTable(table));
+  bool changed = false;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).encoding != ColumnEncoding::kAuto) continue;
     if (sample[c].size() == 0) continue;
     SDW_ASSIGN_OR_RETURN(compress::AnalysisResult analysis,
                          compress::AnalyzeColumn(sample[c]));
-    schema->SetColumnEncoding(c, analysis.encoding);
-    stats->chosen_encodings[schema->column(c).name] = analysis.encoding;
+    schema.SetColumnEncoding(c, analysis.encoding);
+    changed = true;
+    stats->chosen_encodings[schema.column(c).name] = analysis.encoding;
     // Propagate to every shard so appended blocks use the encoding.
     for (int s = 0; s < cluster_->total_slices(); ++s) {
       SDW_ASSIGN_OR_RETURN(storage::TableShard * shard,
                            cluster_->shard(s, table));
       shard->SetColumnEncoding(c, analysis.encoding);
     }
+  }
+  if (changed) {
+    SDW_RETURN_IF_ERROR(cluster_->catalog()->UpdateTable(table, schema));
   }
   return Status::OK();
 }
@@ -92,7 +97,7 @@ Result<CopyStats> CopyExecutor::CopyFromPayloads(
       SDW_RETURN_IF_ERROR(MaybeRunAnalyzer(table, columns, &stats));
       analyzer_ran = true;
     }
-    SDW_RETURN_IF_ERROR(cluster_->InsertRows(table, columns));
+    SDW_RETURN_IF_ERROR(cluster_->InsertRows(table, columns, options.staging));
     stats.rows_loaded += columns[0].size();
   }
   if (options.statupdate && stats.rows_loaded > 0) {

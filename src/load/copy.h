@@ -34,6 +34,11 @@ struct CopyOptions {
   /// failed load; an outage longer than the budget still surfaces as
   /// kUnavailable.
   common::RetryPolicy retry;
+  /// MVCC staging: when set, every InsertRows run is accumulated on
+  /// this StagedWrite instead of installed per-file, so the warehouse
+  /// can commit the whole COPY as one atomic version bump (readers see
+  /// all files or none). Null keeps the legacy install-per-run path.
+  cluster::StagedWrite* staging = nullptr;
 };
 
 struct CopyStats {

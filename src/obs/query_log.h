@@ -21,6 +21,10 @@ struct QueryRecord {
   uint64_t start_tick = 0;
   uint64_t end_tick = 0;
   uint64_t result_rows = 0;
+  /// The MVCC snapshot the query read: "table@version ..." for every
+  /// pinned table, empty for non-SELECT statements and cache hits that
+  /// never pinned one.
+  std::string snapshot;
   SpanCounters counters;
   std::shared_ptr<Trace> trace;  // null when tracing was disabled
 

@@ -71,14 +71,37 @@ Result<Key256> HsmKeyProvider::GetMasterKey() {
 KeyHierarchy::KeyHierarchy(MasterKeyProvider* provider, uint64_t seed)
     : provider_(provider), rng_(seed) {}
 
+KeyHierarchy::KeyHierarchy(KeyHierarchy&& other) noexcept
+    : provider_(other.provider_),
+      rng_(other.rng_),
+      repudiated_(other.repudiated_),
+      wrapped_cluster_key_(std::move(other.wrapped_cluster_key_)),
+      cluster_key_nonce_(other.cluster_key_nonce_),
+      wrapped_block_keys_(std::move(other.wrapped_block_keys_)),
+      rewrap_operations_(other.rewrap_operations_) {}
+
+KeyHierarchy& KeyHierarchy::operator=(KeyHierarchy&& other) noexcept {
+  provider_ = other.provider_;
+  rng_ = other.rng_;
+  repudiated_ = other.repudiated_;
+  wrapped_cluster_key_ = std::move(other.wrapped_cluster_key_);
+  cluster_key_nonce_ = other.cluster_key_nonce_;
+  wrapped_block_keys_ = std::move(other.wrapped_block_keys_);
+  rewrap_operations_ = other.rewrap_operations_;
+  return *this;
+}
+
 Result<KeyHierarchy> KeyHierarchy::Create(MasterKeyProvider* provider,
                                           uint64_t seed) {
   KeyHierarchy hierarchy(provider, seed);
   SDW_ASSIGN_OR_RETURN(Key256 master, provider->GetMasterKey());
-  Key256 cluster_key = hierarchy.GenerateKey();
-  hierarchy.cluster_key_nonce_ = NonceFromRng(&hierarchy.rng_);
-  hierarchy.wrapped_cluster_key_ =
-      WrapKey(master, hierarchy.cluster_key_nonce_, cluster_key);
+  {
+    common::MutexLock lock(hierarchy.mu_);
+    Key256 cluster_key = hierarchy.GenerateKey();
+    hierarchy.cluster_key_nonce_ = NonceFromRng(&hierarchy.rng_);
+    hierarchy.wrapped_cluster_key_ =
+        WrapKey(master, hierarchy.cluster_key_nonce_, cluster_key);
+  }
   return hierarchy;
 }
 
@@ -94,6 +117,7 @@ Result<Key256> KeyHierarchy::UnwrapClusterKey() {
 
 Result<Bytes> KeyHierarchy::EncryptBlock(storage::BlockId id,
                                          Bytes plaintext) {
+  common::MutexLock lock(mu_);
   if (wrapped_block_keys_.count(id)) {
     return Status::AlreadyExists("block already has a key");
   }
@@ -115,6 +139,7 @@ Result<Bytes> KeyHierarchy::EncryptBlock(storage::BlockId id,
 
 Result<Bytes> KeyHierarchy::DecryptBlock(storage::BlockId id,
                                          Bytes ciphertext) {
+  common::MutexLock lock(mu_);
   auto it = wrapped_block_keys_.find(id);
   if (it == wrapped_block_keys_.end()) {
     return Status::NotFound("no key for block " + std::to_string(id));
@@ -133,6 +158,7 @@ Result<Bytes> KeyHierarchy::DecryptBlock(storage::BlockId id,
 }
 
 Status KeyHierarchy::RotateClusterKey() {
+  common::MutexLock lock(mu_);
   SDW_ASSIGN_OR_RETURN(Key256 old_cluster_key, UnwrapClusterKey());
   Key256 new_cluster_key = GenerateKey();
   for (auto& [id, wrapped] : wrapped_block_keys_) {
@@ -151,6 +177,7 @@ Status KeyHierarchy::RotateClusterKey() {
 }
 
 Status KeyHierarchy::RotateMasterKey(MasterKeyProvider* new_provider) {
+  common::MutexLock lock(mu_);
   SDW_ASSIGN_OR_RETURN(Key256 cluster_key, UnwrapClusterKey());
   SDW_ASSIGN_OR_RETURN(Key256 new_master, new_provider->GetMasterKey());
   cluster_key_nonce_ = NonceFromRng(&rng_);
@@ -161,6 +188,7 @@ Status KeyHierarchy::RotateMasterKey(MasterKeyProvider* new_provider) {
 }
 
 void KeyHierarchy::Repudiate() {
+  common::MutexLock lock(mu_);
   repudiated_ = true;
   wrapped_cluster_key_.clear();
 }

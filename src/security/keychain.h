@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "security/chacha20.h"
 #include "storage/block_store.h"
 
@@ -53,12 +54,26 @@ class HsmKeyProvider : public MasterKeyProvider {
 /// cross-block injection) wrapped by a cluster key (prevents
 /// cross-cluster injection) wrapped by the master key. Rotation
 /// re-encrypts keys, never data; repudiation = losing the keys.
+///
+/// Thread-safe: with MVCC snapshot reads, concurrent SELECTs decrypt
+/// blocks while a COPY encrypts new ones, so all hierarchy state is
+/// guarded by an internal mutex. Rotation must observe a stable key
+/// map, so one mutex over the whole hierarchy keeps the invariants
+/// simple; block payloads are small enough that holding it across the
+/// ChaCha pass is not a contention concern in this model.
 class KeyHierarchy {
  public:
   /// Creates a hierarchy with a fresh cluster key wrapped by the
   /// provider's master key.
   static Result<KeyHierarchy> Create(MasterKeyProvider* provider,
                                      uint64_t seed = 1);
+
+  /// Movable so Create can return by value. Moves happen before the
+  /// hierarchy is published to other threads; the moved-from object
+  /// must not be used again.
+  KeyHierarchy(KeyHierarchy&& other) noexcept SDW_NO_THREAD_SAFETY_ANALYSIS;
+  KeyHierarchy& operator=(KeyHierarchy&& other) noexcept
+      SDW_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Encrypts a block: generates its block key, wraps it with the
   /// cluster key, returns ciphertext (wrapped key is kept internally).
@@ -78,28 +93,36 @@ class KeyHierarchy {
   /// block permanently undecryptable.
   void Repudiate();
 
-  size_t num_block_keys() const { return wrapped_block_keys_.size(); }
-  uint64_t rewrap_operations() const { return rewrap_operations_; }
+  size_t num_block_keys() const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return wrapped_block_keys_.size();
+  }
+  uint64_t rewrap_operations() const SDW_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    return rewrap_operations_;
+  }
 
  private:
   KeyHierarchy(MasterKeyProvider* provider, uint64_t seed);
 
-  Result<Key256> UnwrapClusterKey();
-  Key256 GenerateKey();
+  Result<Key256> UnwrapClusterKey() SDW_REQUIRES(mu_);
+  Key256 GenerateKey() SDW_REQUIRES(mu_);
 
-  MasterKeyProvider* provider_;
-  Rng rng_;
-  bool repudiated_ = false;
+  mutable common::Mutex mu_;
+  MasterKeyProvider* provider_ SDW_GUARDED_BY(mu_);
+  Rng rng_ SDW_GUARDED_BY(mu_);
+  bool repudiated_ SDW_GUARDED_BY(mu_) = false;
   /// Cluster key encrypted under the master key.
-  Bytes wrapped_cluster_key_;
-  Nonce96 cluster_key_nonce_;
+  Bytes wrapped_cluster_key_ SDW_GUARDED_BY(mu_);
+  Nonce96 cluster_key_nonce_ SDW_GUARDED_BY(mu_);
   /// Block keys encrypted under the cluster key.
   struct WrappedKey {
     Bytes wrapped;
     Nonce96 nonce;
   };
-  std::map<storage::BlockId, WrappedKey> wrapped_block_keys_;
-  uint64_t rewrap_operations_ = 0;
+  std::map<storage::BlockId, WrappedKey> wrapped_block_keys_
+      SDW_GUARDED_BY(mu_);
+  uint64_t rewrap_operations_ SDW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sdw::security

@@ -1,6 +1,8 @@
 #include "storage/table_shard.h"
 
 #include <algorithm>
+#include <set>
+#include <utility>
 
 #include "compress/codec.h"
 #include "obs/registry.h"
@@ -8,10 +10,39 @@
 
 namespace sdw::storage {
 
+namespace {
+
+/// Blocks reachable from `from` but not from `to` — what becomes
+/// deletable once no pinned snapshot can still reach `from`.
+std::vector<BlockId> DiffBlocks(const ShardVersion& from,
+                                const ShardVersion& to) {
+  std::set<BlockId> kept;
+  for (const auto& chain : to.chains) {
+    for (const BlockMeta& block : chain) kept.insert(block.id);
+  }
+  std::vector<BlockId> garbage;
+  for (const auto& chain : from.chains) {
+    for (const BlockMeta& block : chain) {
+      if (kept.count(block.id) == 0) garbage.push_back(block.id);
+    }
+  }
+  return garbage;
+}
+
+}  // namespace
+
 TableShard::TableShard(TableSchema schema, StorageOptions options,
                        BlockStore* store)
     : schema_(std::move(schema)), options_(options), store_(store) {
-  chains_.resize(schema_.num_columns());
+  auto head = std::make_shared<ShardVersion>();
+  head->chains.resize(schema_.num_columns());
+  common::MutexLock lock(head_mu_);
+  head_ = std::move(head);
+}
+
+ShardSnapshot TableShard::Snapshot() const {
+  common::MutexLock lock(head_mu_);
+  return head_;
 }
 
 size_t TableShard::EstimateWidth(const ColumnVector& values) {
@@ -26,6 +57,17 @@ size_t TableShard::EstimateWidth(const ColumnVector& values) {
 }
 
 Status TableShard::Append(const std::vector<ColumnVector>& columns) {
+  ShardSnapshot base = Snapshot();
+  SDW_ASSIGN_OR_RETURN(ShardSnapshot next, PrepareAppend(base, columns));
+  if (next == base) return Status::OK();  // empty run, nothing staged
+  return Install(base, std::move(next));
+}
+
+Result<ShardSnapshot> TableShard::PrepareAppend(
+    const ShardSnapshot& base, const std::vector<ColumnVector>& columns) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("PrepareAppend without a base version");
+  }
   if (columns.size() != schema_.num_columns()) {
     return Status::InvalidArgument("append column count != schema");
   }
@@ -39,17 +81,106 @@ Status TableShard::Append(const std::vector<ColumnVector>& columns) {
                                      schema_.column(c).name);
     }
   }
-  if (n == 0) return Status::OK();
-  const uint64_t first_row = row_count_;
+  if (n == 0) return base;  // no new version needed
+
+  auto next = std::make_shared<ShardVersion>();
+  next->version = base->version + 1;
+  next->chains = base->chains;
+  next->row_count = base->row_count;
+  next->encoded_bytes = base->encoded_bytes;
+  const uint64_t first_row = base->row_count;
   for (size_t c = 0; c < columns.size(); ++c) {
-    SDW_RETURN_IF_ERROR(AppendColumn(c, columns[c], first_row));
+    SDW_RETURN_IF_ERROR(AppendColumnTo(&next->chains[c], c, columns[c],
+                                       first_row, &next->encoded_bytes));
   }
-  row_count_ += n;
+  next->row_count += n;
+  return ShardSnapshot(std::move(next));
+}
+
+Result<ShardSnapshot> TableShard::PrepareRewrite(
+    const ShardSnapshot& base, const std::vector<ColumnVector>& columns) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("PrepareRewrite without a base version");
+  }
+  if (columns.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("rewrite column count != schema");
+  }
+  const size_t n = columns.empty() ? 0 : columns[0].size();
+  auto next = std::make_shared<ShardVersion>();
+  next->version = base->version + 1;
+  next->chains.resize(schema_.num_columns());
+  if (n > 0) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (columns[c].size() != n) {
+        return Status::InvalidArgument("ragged rewrite run");
+      }
+      SDW_RETURN_IF_ERROR(AppendColumnTo(&next->chains[c], c, columns[c],
+                                         /*first_row=*/0,
+                                         &next->encoded_bytes));
+    }
+    next->row_count = n;
+  }
+  return ShardSnapshot(std::move(next));
+}
+
+Status TableShard::Install(const ShardSnapshot& expected, ShardSnapshot next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("Install of a null version");
+  }
+  static obs::Counter* installed =
+      obs::Registry::Global().counter("sdw_mvcc_versions_installed");
+  common::MutexLock lock(head_mu_);
+  if (head_ != expected) {
+    return Status::FailedPrecondition(
+        "shard head moved under a staged write (writers must serialize)");
+  }
+  // Every retired head enters the FIFO queue, even with an empty delete
+  // set: delete sets are cumulative along the chain, so a pin on this
+  // version must also block reclamation of every later retiree.
+  retired_.push_back({head_, DiffBlocks(*head_, *next)});
+  head_ = std::move(next);
+  installed->Add();
   return Status::OK();
 }
 
-Status TableShard::AppendColumn(size_t column, const ColumnVector& values,
-                                uint64_t first_row) {
+std::vector<BlockId> TableShard::DiscardPrepared(const ShardVersion& base,
+                                                 const ShardVersion& next) {
+  std::vector<BlockId> removed = DiffBlocks(next, base);
+  for (BlockId id : removed) (void)store_->Delete(id);
+  return removed;
+}
+
+uint64_t TableShard::CollectGarbage(std::vector<BlockId>* reclaimed) {
+  static obs::Counter* versions_metric =
+      obs::Registry::Global().counter("sdw_mvcc_versions_reclaimed");
+  static obs::Counter* blocks_metric =
+      obs::Registry::Global().counter("sdw_mvcc_blocks_reclaimed");
+  common::MutexLock lock(head_mu_);
+  uint64_t versions = 0;
+  // use_count() == 1 means only the queue itself holds the snapshot:
+  // new pins are only ever created by copying an existing reference, so
+  // the count cannot concurrently rise back above one.
+  while (!retired_.empty() && retired_.front().version.use_count() == 1) {
+    for (BlockId id : retired_.front().garbage) {
+      (void)store_->Delete(id);
+      if (reclaimed != nullptr) reclaimed->push_back(id);
+      blocks_metric->Add();
+    }
+    retired_.pop_front();
+    ++versions;
+    versions_metric->Add();
+  }
+  return versions;
+}
+
+size_t TableShard::retired_versions() const {
+  common::MutexLock lock(head_mu_);
+  return retired_.size();
+}
+
+Status TableShard::AppendColumnTo(std::vector<BlockMeta>* chain, size_t column,
+                                  const ColumnVector& values,
+                                  uint64_t first_row, uint64_t* bytes) {
   ColumnEncoding encoding = schema_.column(column).encoding;
   if (encoding == ColumnEncoding::kAuto) encoding = ColumnEncoding::kRaw;
 
@@ -76,26 +207,27 @@ Status TableShard::AppendColumn(size_t column, const ColumnVector& values,
     meta.zone.UpdateAll(chunk);
     SDW_RETURN_IF_ERROR(store_->Put(meta.id, std::move(encoded)));
 
-    encoded_bytes_ += meta.encoded_bytes;
-    chains_[column].push_back(std::move(meta));
+    *bytes += meta.encoded_bytes;
+    chain->push_back(std::move(meta));
     offset += count;
   }
   return Status::OK();
 }
 
 std::vector<RowRange> TableShard::CandidateRanges(
+    const ShardVersion& version,
     const std::vector<RangePredicate>& predicates) const {
-  std::vector<RowRange> candidates = {{0, row_count_}};
-  if (row_count_ == 0) return {};
+  std::vector<RowRange> candidates = {{0, version.row_count}};
+  if (version.row_count == 0) return {};
 
   for (const RangePredicate& pred : predicates) {
     if (pred.column < 0 ||
-        static_cast<size_t>(pred.column) >= chains_.size()) {
+        static_cast<size_t>(pred.column) >= version.chains.size()) {
       continue;
     }
     // Row ranges of blocks in this column that may match.
     std::vector<RowRange> passing;
-    for (const BlockMeta& block : chains_[pred.column]) {
+    for (const BlockMeta& block : version.chains[pred.column]) {
       if (!block.zone.MayOverlap(pred.lo, pred.hi)) continue;
       if (!passing.empty() &&
           passing.back().end == block.first_row) {
@@ -126,19 +258,20 @@ std::vector<RowRange> TableShard::CandidateRanges(
 }
 
 Result<std::vector<ColumnVector>> TableShard::ReadRange(
-    const std::vector<int>& columns, const RowRange& range) {
-  if (range.end > row_count_ || range.begin > range.end) {
+    const ShardVersion& version, const std::vector<int>& columns,
+    const RowRange& range) {
+  if (range.end > version.row_count || range.begin > range.end) {
     return Status::OutOfRange("ReadRange outside shard");
   }
   std::vector<ColumnVector> out;
   out.reserve(columns.size());
   for (int c : columns) {
-    if (c < 0 || static_cast<size_t>(c) >= chains_.size()) {
+    if (c < 0 || static_cast<size_t>(c) >= version.chains.size()) {
       return Status::InvalidArgument("bad column index");
     }
     ColumnVector result(schema_.column(c).type);
     result.Reserve(range.size());
-    for (const BlockMeta& block : chains_[c]) {
+    for (const BlockMeta& block : version.chains[c]) {
       const uint64_t block_end = block.first_row + block.row_count;
       if (block_end <= range.begin || block.first_row >= range.end) continue;
       SDW_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnVector> decoded,
@@ -157,8 +290,8 @@ Result<std::vector<ColumnVector>> TableShard::ReadRange(
 }
 
 Result<std::vector<ColumnVector>> TableShard::ReadAll(
-    const std::vector<int>& columns) {
-  return ReadRange(columns, {0, row_count_});
+    const ShardVersion& version, const std::vector<int>& columns) {
+  return ReadRange(version, columns, {0, version.row_count});
 }
 
 Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
@@ -189,39 +322,55 @@ Result<std::shared_ptr<const ColumnVector>> TableShard::DecodeBlock(
   return shared;
 }
 
-Status TableShard::LoadChains(std::vector<std::vector<BlockMeta>> chains) {
-  if (row_count_ != 0) {
-    return Status::FailedPrecondition("LoadChains on a non-empty shard");
-  }
-  if (chains.size() != chains_.size()) {
+Result<std::shared_ptr<ShardVersion>> TableShard::BuildVersion(
+    std::vector<std::vector<BlockMeta>> chains, uint64_t version) const {
+  if (chains.size() != schema_.num_columns()) {
     return Status::InvalidArgument("chain count != schema column count");
   }
+  auto built = std::make_shared<ShardVersion>();
+  built->version = version;
   uint64_t rows = 0;
   for (size_t c = 0; c < chains.size(); ++c) {
     uint64_t expected_row = 0;
-    uint64_t bytes = 0;
     for (const BlockMeta& meta : chains[c]) {
       if (meta.first_row != expected_row) {
         return Status::Corruption("chain has a row-range gap");
       }
       expected_row += meta.row_count;
-      bytes += meta.encoded_bytes;
+      built->encoded_bytes += meta.encoded_bytes;
     }
     if (c == 0) {
       rows = expected_row;
     } else if (expected_row != rows) {
       return Status::Corruption("chains disagree on row count");
     }
-    encoded_bytes_ += bytes;
   }
-  chains_ = std::move(chains);
-  row_count_ = rows;
-  return Status::OK();
+  built->chains = std::move(chains);
+  built->row_count = rows;
+  return built;
+}
+
+Status TableShard::LoadChains(std::vector<std::vector<BlockMeta>> chains) {
+  ShardSnapshot base = Snapshot();
+  if (base->row_count != 0 || base->version != 0) {
+    return Status::FailedPrecondition("LoadChains on a non-empty shard");
+  }
+  SDW_ASSIGN_OR_RETURN(std::shared_ptr<ShardVersion> next,
+                       BuildVersion(std::move(chains), base->version + 1));
+  return Install(base, std::move(next));
+}
+
+Status TableShard::InstallChains(std::vector<std::vector<BlockMeta>> chains) {
+  ShardSnapshot base = Snapshot();
+  SDW_ASSIGN_OR_RETURN(std::shared_ptr<ShardVersion> next,
+                       BuildVersion(std::move(chains), base->version + 1));
+  return Install(base, std::move(next));
 }
 
 std::vector<BlockId> TableShard::AllBlockIds() const {
+  ShardSnapshot head = Snapshot();
   std::vector<BlockId> ids;
-  for (const auto& chain : chains_) {
+  for (const auto& chain : head->chains) {
     for (const auto& block : chain) ids.push_back(block.id);
   }
   return ids;

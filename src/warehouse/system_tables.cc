@@ -29,7 +29,7 @@ Result<TableSchema> SchemaFor(const std::string& name) {
                               IntCol("end_tick"), IntCol("elapsed"),
                               IntCol("result_rows"), IntCol("blocks_decoded"),
                               IntCol("network_bytes"), IntCol("masked_reads"),
-                              IntCol("s3_fault_reads")});
+                              IntCol("s3_fault_reads"), StrCol("snapshot")});
   }
   if (name == "stl_span") {
     return TableSchema(name, {IntCol("query_id"), IntCol("span_id"),
@@ -43,7 +43,8 @@ Result<TableSchema> SchemaFor(const std::string& name) {
   if (name == "stv_blocklist") {
     return TableSchema(name, {StrCol("tbl"), IntCol("node"), IntCol("slice"),
                               StrCol("col"), IntCol("blk"), IntCol("rows"),
-                              IntCol("bytes"), StrCol("encoding")});
+                              IntCol("bytes"), StrCol("encoding"),
+                              IntCol("version")});
   }
   if (name == "stv_metrics") {
     return TableSchema(name,
@@ -88,6 +89,7 @@ exec::Batch BuildStlQuery(const obs::QueryLog& log,
     AppendTicks(&b.columns[8], q.counters.bytes_shuffled);
     AppendTicks(&b.columns[9], q.counters.masked_reads);
     AppendTicks(&b.columns[10], q.counters.s3_fault_reads);
+    b.columns[11].AppendString(q.snapshot);
   }
   return b;
 }
@@ -130,11 +132,15 @@ exec::Batch BuildStvBlocklist(cluster::Cluster* cluster,
     if (!schema_or.ok()) continue;
     const TableSchema& tschema = *schema_or;
     for (int s = 0; s < cluster->total_slices(); ++s) {
-      auto shard = cluster->shard(s, table);
+      auto shard = cluster->shard_ref(s, table);
       if (!shard.ok()) continue;
       const int node = cluster->NodeOfSlice(s)->node_id();
-      for (size_t c = 0; c < (*shard)->num_columns(); ++c) {
-        const auto& chain = (*shard)->chain(c);
+      // One consistent version per shard: the listing shows the chains
+      // of the head published at this instant, tagged with its MVCC
+      // version (what a SELECT admitted now would pin).
+      storage::ShardSnapshot head = (*shard)->Snapshot();
+      for (size_t c = 0; c < head->chains.size(); ++c) {
+        const std::vector<storage::BlockMeta>& chain = head->chains[c];
         for (size_t p = 0; p < chain.size(); ++p) {
           b.columns[0].AppendString(table);
           b.columns[1].AppendInt(node);
@@ -144,6 +150,7 @@ exec::Batch BuildStvBlocklist(cluster::Cluster* cluster,
           b.columns[5].AppendInt(static_cast<int64_t>(chain[p].row_count));
           b.columns[6].AppendInt(static_cast<int64_t>(chain[p].encoded_bytes));
           b.columns[7].AppendString(ColumnEncodingName(chain[p].encoding));
+          b.columns[8].AppendInt(static_cast<int64_t>(head->version));
         }
       }
     }

@@ -15,6 +15,17 @@ namespace sdw::warehouse {
 
 namespace {
 
+/// Renders a pinned version set for stl_query's snapshot column:
+/// "fact@3 dim@1".
+std::string FormatVersions(const TableVersions& versions) {
+  std::string out;
+  for (const auto& [table, version] : versions) {
+    if (!out.empty()) out += " ";
+    out += table + "@" + std::to_string(version);
+  }
+  return out;
+}
+
 /// Renders one datum for the text table.
 std::string Cell(const Datum& value) {
   if (value.is_null()) return "NULL";
@@ -113,7 +124,7 @@ std::string StatementResult::ToTable(size_t max_rows) const {
 
 Warehouse::Warehouse(WarehouseOptions options)
     : options_(options),
-      cluster_(std::make_unique<cluster::Cluster>(options.cluster)),
+      cluster_(std::make_shared<cluster::Cluster>(options.cluster)),
       backups_(&s3_, options.region, options.cluster_id),
       admission_(options.wlm),
       segment_cache_(options.cache.segment_cache_entries,
@@ -166,17 +177,50 @@ void Warehouse::BumpVersions(const std::vector<std::string>& tables) {
 void Warehouse::BumpAllVersions() {
   static obs::Counter* invalidations =
       obs::Registry::Global().counter("sdw_cache_invalidations");
+  // Union of everything ever versioned and everything currently in the
+  // catalog: a table this warehouse never touched (e.g. arriving with a
+  // restored snapshot) must still get a counter, or queries against it
+  // would cache at version 0 and survive the next whole-plane swap.
+  // Callers hold writer_mu_, so cluster_ is stable here.
+  std::vector<std::string> known = cluster_->catalog()->TableNames();
   common::MutexLock lock(cache_mu_);
+  for (const std::string& name : known) table_versions_.emplace(name, 0);
   for (auto& [name, version] : table_versions_) {
     ++version;
     invalidations->Add();
   }
 }
 
+Result<Warehouse::PinnedSnapshot> Warehouse::PinSnapshot(
+    const std::vector<std::string>& tables) {
+  // The short shared hold that makes MVCC reads coherent: a writer
+  // installs (bump + CommitStaged) under the exclusive mode, so the
+  // {cluster, versions, chains} triple pinned here is all-before or
+  // all-after any statement, never a mix.
+  common::ReaderMutexLock data_lock(data_mu_);
+  PinnedSnapshot pin;
+  pin.cluster = cluster_;
+  pin.versions = SnapshotVersions(tables);
+  auto snapshot = std::make_shared<cluster::ReadSnapshot>();
+  SDW_RETURN_IF_ERROR(pin.cluster->PinTables(tables, snapshot.get()));
+  pin.snapshot = std::move(snapshot);
+  return pin;
+}
+
+cluster::Cluster::GcStats Warehouse::CollectGarbage() {
+  common::MutexLock statement_lock(writer_mu_);
+  return cluster_->CollectGarbage();
+}
+
 Result<HealthStats> Warehouse::RunHealthSweep() {
-  // Exclusive: the sweep restores nodes and rewires replication while
-  // it runs; queries resume (and mask whatever remains) afterwards.
-  common::WriterMutexLock data_lock(data_mu_);
+  // One sweep at a time, serialized with writers and cluster swaps on
+  // writer_mu_ — but NOT on data_mu_: queries keep running (and keep
+  // masking failed reads) while the sweep diagnoses, re-replicates and
+  // waits out control-plane replacement workflows. Only the per-node
+  // rewire below takes data_mu_ exclusively, and only for an instant.
+  // (This used to hold data_mu_ exclusive across ReplaceNode's modeled
+  // minutes-long workflow, stalling every query behind a sweep.)
+  common::MutexLock statement_lock(writer_mu_);
   replication::ReplicationManager* repl = cluster_->replication();
   if (repl == nullptr) {
     return Status::FailedPrecondition(
@@ -231,11 +275,16 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
   }
 
   for (int n : to_replace) {
+    // The replacement workflow (provision, attach, handshake) is the
+    // slow part — it runs off the data lock, queries unblocked.
     controlplane::OpResult op = control_plane_.ReplaceNode();
     ++stats.escalations;
     stats.control_plane_seconds += op.seconds;
-    // The replacement node comes up empty but healthy; the next sweep's
-    // ReReplicate() refills it.
+    // Rewiring the node in is quick: a brief exclusive hold keeps any
+    // in-flight read from straddling the restore. The replacement node
+    // comes up empty but healthy; the next sweep's ReReplicate()
+    // refills it.
+    common::WriterMutexLock data_lock(data_mu_);
     repl->RestoreNode(n);
     cluster_->ResetNodeReadFailures(n);
     host_managers_[n] = controlplane::HostManager(options_.host_manager);
@@ -276,14 +325,18 @@ Status Warehouse::RotateKeys() {
   if (keys_ == nullptr) {
     return Status::FailedPrecondition("warehouse is not encrypted");
   }
-  // Exclusive: rotation rewraps block keys while reads decrypt through
-  // them. Data and results are untouched — no version bump.
-  common::WriterMutexLock data_lock(data_mu_);
+  // Serialized with writers only: the key hierarchy is internally
+  // locked, so concurrent SELECTs keep decrypting right through the
+  // rewrap. Data and results are untouched — no version bump.
+  common::MutexLock statement_lock(writer_mu_);
   return keys_->RotateClusterKey();
 }
 
 Status Warehouse::Begin() {
-  common::WriterMutexLock data_lock(data_mu_);
+  // writer_mu_ excludes every mutating statement, so the captured
+  // manifest is a statement boundary; readers may keep scanning their
+  // own pinned snapshots throughout.
+  common::MutexLock statement_lock(writer_mu_);
   if (in_transaction()) {
     return Status::FailedPrecondition("already in a transaction");
   }
@@ -293,7 +346,7 @@ Status Warehouse::Begin() {
 }
 
 Status Warehouse::Commit() {
-  common::WriterMutexLock data_lock(data_mu_);
+  common::MutexLock statement_lock(writer_mu_);
   if (!in_transaction()) {
     return Status::FailedPrecondition("no open transaction");
   }
@@ -303,47 +356,57 @@ Status Warehouse::Commit() {
 }
 
 Status Warehouse::Rollback() {
-  common::WriterMutexLock data_lock(data_mu_);
+  common::MutexLock statement_lock(writer_mu_);
   if (!in_transaction()) {
     return Status::FailedPrecondition("no open transaction");
   }
-  // Every table may snap back to its captured chains: invalidate all
-  // cached plans/results before touching anything.
-  BumpAllVersions();
-  // Tables created inside the transaction disappear entirely.
-  std::set<std::string> pre_txn;
-  for (const auto& table : txn_manifest_.tables) {
-    pre_txn.insert(table.schema.name());
-  }
-  for (const std::string& name : cluster_->catalog()->TableNames()) {
-    if (!pre_txn.count(name)) {
-      SDW_RETURN_IF_ERROR(cluster_->DropTable(name));
+  {
+    common::WriterMutexLock data_lock(data_mu_);
+    // Every table may snap back to its captured chains: invalidate all
+    // cached plans/results before touching anything.
+    BumpAllVersions();
+    // Tables created inside the transaction disappear entirely (their
+    // blocks linger until no snapshot pins them; DropTable collects).
+    std::set<std::string> pre_txn;
+    for (const auto& table : txn_manifest_.tables) {
+      pre_txn.insert(table.schema.name());
     }
-  }
-  // Pre-existing tables snap back to their captured chains. Blocks are
-  // immutable and never deleted mid-transaction, so the old chains are
-  // fully intact; blocks appended during the transaction become
-  // garbage on the device (reclaimed by the next VACUUM).
-  for (const auto& table : txn_manifest_.tables) {
-    const std::string& name = table.schema.name();
-    SDW_ASSIGN_OR_RETURN(TableSchema * live,
-                         cluster_->catalog()->GetTableMutable(name));
-    *live = table.schema;  // undo analyzer-assigned encodings etc.
-    for (const auto& shard : table.shards) {
-      cluster::ComputeNode* node = cluster_->NodeOfSlice(shard.global_slice);
-      auto fresh = std::make_unique<storage::TableShard>(
-          table.schema, cluster_->config().storage, node->store());
-      SDW_RETURN_IF_ERROR(fresh->LoadChains(shard.chains));
-      SDW_RETURN_IF_ERROR(node->ReplaceShard(
-          cluster_->LocalSlice(shard.global_slice), name, std::move(fresh)));
+    for (const std::string& name : cluster_->catalog()->TableNames()) {
+      if (!pre_txn.count(name)) {
+        SDW_RETURN_IF_ERROR(cluster_->DropTable(name));
+      }
     }
-    TableStats stats;
-    stats.row_count = table.stats_row_count;
-    stats.columns.resize(table.schema.num_columns());
-    cluster_->catalog()->UpdateStats(name, stats);
+    // Pre-existing tables snap back to their captured chains, installed
+    // as a NEW version on the live shards: blocks are immutable and
+    // never deleted mid-transaction, so the old chains are fully
+    // intact, and a reader pinned mid-transaction keeps its own
+    // version. Blocks appended during the transaction retire with the
+    // replaced heads and are collected below once unpinned.
+    for (const auto& table : txn_manifest_.tables) {
+      const std::string& name = table.schema.name();
+      SDW_RETURN_IF_ERROR(
+          cluster_->catalog()->UpdateTable(name, table.schema));
+      for (const auto& shard : table.shards) {
+        SDW_ASSIGN_OR_RETURN(
+            std::shared_ptr<storage::TableShard> live,
+            cluster_->shard_ref(shard.global_slice, name));
+        // Undo analyzer-assigned encodings column by column: a pinned
+        // reader may be consulting the shard schema's types
+        // concurrently, and those never change.
+        for (size_t c = 0; c < table.schema.num_columns(); ++c) {
+          live->SetColumnEncoding(c, table.schema.column(c).encoding);
+        }
+        SDW_RETURN_IF_ERROR(live->InstallChains(shard.chains));
+      }
+      TableStats stats;
+      stats.row_count = table.stats_row_count;
+      stats.columns.resize(table.schema.num_columns());
+      cluster_->catalog()->UpdateStats(name, stats);
+    }
+    in_txn_.store(false, std::memory_order_relaxed);
+    txn_manifest_ = backup::SnapshotManifest{};
   }
-  in_txn_.store(false, std::memory_order_relaxed);
-  txn_manifest_ = backup::SnapshotManifest{};
+  cluster_->CollectGarbage();
   return Status::OK();
 }
 
@@ -370,11 +433,17 @@ Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
         return Status::NotSupported(
             "EXPLAIN is not supported on system tables");
       }
-      common::ReaderMutexLock data_lock(data_mu_);
+      // Pin the data plane with a short shared hold, then execute off
+      // the lock — every source is internally synchronized.
+      std::shared_ptr<cluster::Cluster> pinned_cluster;
+      {
+        common::ReaderMutexLock data_lock(data_mu_);
+        pinned_cluster = cluster_;
+      }
       SystemTableSources sources;
       sources.query_log = &query_log_;
       sources.event_log = &event_log_;
-      sources.cluster = cluster_.get();
+      sources.cluster = pinned_cluster.get();
       sources.wlm = &admission_;
       sources.segment_cache = &segment_cache_;
       sources.result_cache = &result_cache_;
@@ -404,9 +473,14 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
   StatementResult result;
   if (explain && !explain_analyze) {
     // Plain EXPLAIN plans but does not run, occupy a slot, or touch the
-    // caches.
-    common::ReaderMutexLock data_lock(data_mu_);
-    plan::Planner planner(cluster_->catalog(), options_.planner);
+    // caches. Pin the data plane briefly; planning runs off the lock
+    // against the internally locked catalog.
+    std::shared_ptr<cluster::Cluster> pinned_cluster;
+    {
+      common::ReaderMutexLock data_lock(data_mu_);
+      pinned_cluster = cluster_;
+    }
+    plan::Planner planner(pinned_cluster->catalog(), options_.planner);
     SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery physical, planner.Plan(query));
     result.message = physical.ToString();
     return result;
@@ -418,15 +492,17 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
   if (query.join_table.has_value()) tables.push_back(*query.join_table);
 
   // Result-cache fast path: a repeat query over unchanged tables is
-  // answered from memory without occupying a WLM slot. The shared data
-  // lock pins the version snapshot — a writer bumps versions before
-  // writing, under the exclusive lock, so a hit here can never reflect
-  // pre-write data after the write.
+  // answered from memory without occupying a WLM slot. The short
+  // shared hold pins the version snapshot for the lookup — a writer
+  // bumps versions and installs under the exclusive mode, so a hit
+  // here can never reflect pre-write data after the write.
   if (options_.cache.enable_result_cache && !explain_analyze) {
-    common::ReaderMutexLock data_lock(data_mu_);
-    const TableVersions versions = SnapshotVersions(tables);
-    std::shared_ptr<const CachedResult> hit =
-        result_cache_.Lookup(fingerprint, canonical, versions);
+    std::shared_ptr<const CachedResult> hit;
+    {
+      common::ReaderMutexLock data_lock(data_mu_);
+      const TableVersions versions = SnapshotVersions(tables);
+      hit = result_cache_.Lookup(fingerprint, canonical, versions);
+    }
     if (hit != nullptr) {
       obs::QueryLog::Started started = query_log_.StartQuery();
       obs::QueryRecord record;
@@ -454,22 +530,27 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
                        AdmitOrReport(&admission_, session_id, sql_text));
   WlmReportScope report(&admission_, session_id, sql_text,
                         slot.queued_seconds());
-  common::ReaderMutexLock data_lock(data_mu_);
-  const TableVersions versions = SnapshotVersions(tables);
+  // Pin the MVCC snapshot AFTER admission: a write may have committed
+  // while this statement sat in the WLM queue, and the cache entries
+  // inserted below must be keyed by the versions the scans actually
+  // read — versions and chains are captured as one coherent triple.
+  // Execution itself holds no warehouse lock at all; concurrent
+  // COPY/VACUUM install new chains alongside the pinned ones.
+  SDW_ASSIGN_OR_RETURN(PinnedSnapshot pin, PinSnapshot(tables));
 
   std::shared_ptr<const plan::PhysicalQuery> physical;
   bool segment_hit = false;
   if (options_.cache.enable_segment_cache) {
-    physical = segment_cache_.Lookup(fingerprint, canonical, versions);
+    physical = segment_cache_.Lookup(fingerprint, canonical, pin.versions);
     segment_hit = physical != nullptr;
   }
   if (physical == nullptr) {
-    plan::Planner planner(cluster_->catalog(), options_.planner);
+    plan::Planner planner(pin.cluster->catalog(), options_.planner);
     SDW_ASSIGN_OR_RETURN(plan::PhysicalQuery planned, planner.Plan(query));
     auto owned =
         std::make_shared<const plan::PhysicalQuery>(std::move(planned));
     if (options_.cache.enable_segment_cache) {
-      segment_cache_.Insert(fingerprint, canonical, versions, owned);
+      segment_cache_.Insert(fingerprint, canonical, pin.versions, owned);
     }
     physical = std::move(owned);
   }
@@ -479,9 +560,11 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
   record.query_id = started.query_id;
   record.sql_text = sql_text;
   record.start_tick = started.start_tick;
+  record.snapshot = FormatVersions(pin.versions);
   cluster::ExecOptions exec_options = options_.exec;
   exec_options.segment_cache_hit = segment_hit;
-  cluster::QueryExecutor executor(cluster_.get(), exec_options);
+  exec_options.snapshot = pin.snapshot;
+  cluster::QueryExecutor executor(pin.cluster.get(), exec_options);
   Result<cluster::QueryResult> executed = executor.Execute(*physical);
   if (!executed.ok()) {
     record.status = "error";
@@ -520,7 +603,8 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
     auto cached = std::make_shared<CachedResult>();
     cached->rows = CloneBatch(query_result.rows);
     cached->column_names = query_result.column_names;
-    result_cache_.Insert(fingerprint, canonical, versions, std::move(cached));
+    result_cache_.Insert(fingerprint, canonical, pin.versions,
+                         std::move(cached));
   }
   result.rows = std::move(query_result.rows);
   result.column_names = std::move(query_result.column_names);
@@ -558,16 +642,22 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
         "a transaction");
   }
 
-  // Writes go through the same front door as queries, then take the
-  // data plane exclusively. Versions bump BEFORE any mutation: a write
-  // that fails halfway has still invalidated everything it might have
-  // touched.
+  // Writes go through the same front door as queries, then serialize
+  // on writer_mu_ for the whole statement. The heavy work (fetch,
+  // parse, distribute, sort, encode) runs on staged chains with no
+  // data lock held — concurrent SELECTs read their pinned snapshots
+  // undisturbed. Only the final bump + install takes data_mu_
+  // exclusively, and versions bump BEFORE the install inside that same
+  // hold: a statement that fails halfway has still invalidated
+  // everything it might have touched, and a reader pinning between
+  // statements always sees versions and chains move together.
   SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
                        AdmitOrReport(&admission_, session_id, sql));
   WlmReportScope report(&admission_, session_id, sql, slot.queued_seconds());
-  common::WriterMutexLock data_lock(data_mu_);
+  common::MutexLock statement_lock(writer_mu_);
 
   if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
+    common::WriterMutexLock data_lock(data_mu_);
     BumpVersions({create->schema.name()});
     SDW_RETURN_IF_ERROR(cluster_->CreateTable(create->schema));
     result.message = "CREATE TABLE " + create->schema.name();
@@ -575,23 +665,52 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
     return result;
   }
   if (auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
-    BumpVersions({drop->table});
-    SDW_RETURN_IF_ERROR(cluster_->DropTable(drop->table));
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({drop->table});
+      // Unlinks the table; its shards park on the dropped list until
+      // every pinned snapshot drains (mid-scan readers finish cleanly).
+      SDW_RETURN_IF_ERROR(cluster_->DropTable(drop->table));
+    }
     result.message = "DROP TABLE " + drop->table;
     report.set_state("run");
     return result;
   }
   if (auto* copy = std::get_if<sql::CopyStmt>(&stmt)) {
-    BumpVersions({copy->table});
+    // Conservative invalidation up front: a COPY that aborts mid-load
+    // (S3 outage) must still have invalidated everything it might have
+    // touched. The commit below bumps again so entries cached against
+    // mid-load pins can never serve post-commit.
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({copy->table});
+    }
+    cluster::StagedWrite staged(cluster_.get());
     load::CopyExecutor executor(cluster_.get(), &s3_, options_.region);
     load::CopyOptions copy_options;
     copy_options.format = copy->format == sql::CopyStmt::Format::kCsv
                               ? load::CopyFormat::kCsv
                               : load::CopyFormat::kJson;
     copy_options.compupdate = copy->compupdate;
+    // Stage every file's run off to the side; stats run post-commit on
+    // the installed data instead of mid-load.
+    copy_options.staging = &staged;
+    copy_options.statupdate = false;
     SDW_ASSIGN_OR_RETURN(result.copy_stats,
                          executor.CopyFromUri(copy->table, copy->source_uri,
                                               copy_options));
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({copy->table});
+      // The multi-block, multi-file load becomes visible as ONE version
+      // bump per shard: a snapshot sees the whole COPY or none of it.
+      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+    }
+    if (result.copy_stats.rows_loaded > 0) {
+      SDW_RETURN_IF_ERROR(cluster_->Analyze(copy->table));
+      // Fresh stats change plans; cached segments must re-lower.
+      BumpVersions({copy->table});
+    }
     result.message = "COPY " + std::to_string(result.copy_stats.rows_loaded) +
                      " rows into " + copy->table;
     report.set_state("run");
@@ -612,8 +731,19 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
         SDW_RETURN_IF_ERROR(columns[c].AppendDatum(row[c]));
       }
     }
-    BumpVersions({insert->table});
-    SDW_RETURN_IF_ERROR(cluster_->InsertRows(insert->table, columns));
+    {
+      // Conservative up-front invalidation, same contract as COPY.
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({insert->table});
+    }
+    cluster::StagedWrite staged(cluster_.get());
+    SDW_RETURN_IF_ERROR(
+        cluster_->InsertRows(insert->table, columns, &staged));
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({insert->table});
+      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+    }
     result.message =
         "INSERT " + std::to_string(insert->rows.size()) + " rows";
     report.set_state("run");
@@ -621,6 +751,8 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   }
   if (auto* analyze = std::get_if<sql::AnalyzeStmt>(&stmt)) {
     // Fresh stats change plans, so cached segments must re-lower.
+    // Stats live in the internally locked catalog and never change
+    // results, so no data_mu_ hold is needed around the scan.
     BumpVersions({analyze->table});
     SDW_RETURN_IF_ERROR(cluster_->Analyze(analyze->table));
     result.message = "ANALYZE " + analyze->table;
@@ -629,9 +761,24 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   }
   auto& vacuum = std::get<sql::VacuumStmt>(stmt);
   // Each COPY sorts its own run; VACUUM merges the accumulated runs
-  // back into one fully-sorted region per slice.
-  BumpVersions({vacuum.table});
-  SDW_ASSIGN_OR_RETURN(uint64_t blocks, cluster_->Vacuum(vacuum.table));
+  // back into one fully-sorted region per slice. The merge-sort and
+  // re-encode happen on staged chains — readers scan the old ones —
+  // and the swap is one version bump. Old chains retire and are
+  // reclaimed once no snapshot pins them.
+  {
+    // Conservative up-front invalidation, same contract as COPY.
+    common::WriterMutexLock data_lock(data_mu_);
+    BumpVersions({vacuum.table});
+  }
+  cluster::StagedWrite staged(cluster_.get());
+  SDW_ASSIGN_OR_RETURN(uint64_t blocks,
+                       cluster_->Vacuum(vacuum.table, &staged));
+  {
+    common::WriterMutexLock data_lock(data_mu_);
+    BumpVersions({vacuum.table});
+    SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+  }
+  cluster_->CollectGarbage();
   result.message = "VACUUM " + vacuum.table + " (" + std::to_string(blocks) +
                    " blocks rewritten)";
   report.set_state("run");
@@ -640,40 +787,51 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
 
 Result<backup::BackupManager::BackupStats> Warehouse::Backup(
     bool user_initiated) {
-  // Shared: a backup reads every chain but changes nothing; queries
-  // may keep running around it.
-  common::ReaderMutexLock data_lock(data_mu_);
+  // A backup is a consistent read of every chain: serialize it with
+  // writers on writer_mu_ (no statement commits mid-capture) while
+  // SELECTs keep running — it reads published heads, changes nothing.
+  common::MutexLock statement_lock(writer_mu_);
   return backups_.Backup(cluster_.get(), user_initiated);
 }
 
 Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
                                  backup::BackupManager::RestoreStats* stats) {
-  common::WriterMutexLock data_lock(data_mu_);
+  common::MutexLock statement_lock(writer_mu_);
   if (in_transaction()) {
     return Status::FailedPrecondition("cannot restore inside a transaction");
   }
-  // The whole data plane is about to swap: nothing cached may survive.
-  BumpAllVersions();
+  // Materialize the restored cluster entirely off the data lock:
+  // queries keep answering from the current plane while blocks stream.
   SDW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> restored,
                        backups_.StreamingRestore(snapshot_id, stats));
-  cluster_ = std::move(restored);
   // Page-faulted blocks arrive as stored (encrypted) bytes; reads must
-  // keep unwrapping them.
-  WireEncryption();
+  // unwrap them from the very first query — wire before the swap.
+  WireEncryptionOn(restored.get());
+  {
+    common::WriterMutexLock data_lock(data_mu_);
+    // The whole data plane swaps: nothing cached may survive. Bump on
+    // both sides of the swap so tables that exist only in the old
+    // plane AND tables that arrive with the snapshot are invalidated
+    // (BumpAllVersions folds in the current catalog's names).
+    BumpAllVersions();
+    cluster_ = std::move(restored);
+    BumpAllVersions();
+  }
+  // In-flight SELECTs pinned the old cluster's shared_ptr and finish
+  // on it; it is freed when the last of them drains.
   SyncHostManagers();
   return Status::OK();
 }
 
 Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
-  common::WriterMutexLock data_lock(data_mu_);
+  common::MutexLock statement_lock(writer_mu_);
   if (in_transaction()) {
     return Status::FailedPrecondition("cannot resize inside a transaction");
   }
-  // Same rows on a different topology: results survive semantically but
-  // cached plans are topology-bound, so everything re-derives.
-  BumpAllVersions();
   cluster::Cluster::ResizeStats stats;
-  // The target must encrypt blocks as the parallel copy lands, so its
+  // The parallel copy runs off the data lock — the source serves reads
+  // throughout (it flips read-only, and writer_mu_ already excludes
+  // writers). The target must encrypt blocks as the copy lands, so its
   // stores get the at-rest transforms before any data moves.
   SDW_ASSIGN_OR_RETURN(
       std::unique_ptr<cluster::Cluster> target,
@@ -681,8 +839,15 @@ Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
                        [this](cluster::Cluster* fresh) {
                          WireEncryptionOn(fresh);
                        }));
-  // Move the SQL endpoint and decommission the source (§3.1).
-  cluster_ = std::move(target);
+  {
+    common::WriterMutexLock data_lock(data_mu_);
+    // Same rows on a different topology: results survive semantically
+    // but cached plans are topology-bound, so everything re-derives.
+    BumpAllVersions();
+    // Move the SQL endpoint and decommission the source (§3.1).
+    cluster_ = std::move(target);
+    BumpAllVersions();
+  }
   SyncHostManagers();
   return stats;
 }

@@ -91,11 +91,16 @@ struct HealthStats {
 ///
 /// The front door is thread-safe: concurrent Execute() calls are
 /// admitted into WlmConfig::concurrency_slots live slots (FIFO queue
-/// beyond that, per-statement queue timeout). SELECTs share the data
-/// plane; DDL/DML/COPY/VACUUM and cluster swaps (restore/resize) take
-/// it exclusively, bumping the touched tables' version counters first
-/// so no cache entry computed from pre-write data can ever be served
-/// after the write.
+/// beyond that, per-statement queue timeout). SELECTs run under MVCC:
+/// admission pins a (cluster, table versions, shard snapshot) triple
+/// under a short shared hold of the snapshot-coherence lock and scans
+/// immutable block chains as of that snapshot — never blocking on, or
+/// blocked by, a running COPY/VACUUM. Writers are serialized on
+/// writer_mu_, build their new chains off to the side, and install
+/// them with a version bump under a short exclusive hold of the same
+/// coherence lock, so a snapshot is always all-before or all-after a
+/// statement and no cache entry computed from pre-write data can ever
+/// be served after the write.
 class Warehouse {
  public:
   explicit Warehouse(WarehouseOptions options = {});
@@ -194,7 +199,26 @@ class Warehouse {
   obs::QueryLog* query_log() { return &query_log_; }
   obs::EventLog* event_log() { return &event_log_; }
 
+  /// One MVCC garbage-collection sweep over the data plane: reclaims
+  /// retired chain versions and dropped tables no pinned snapshot can
+  /// reach anymore (VACUUM and DROP also collect inline).
+  cluster::Cluster::GcStats CollectGarbage();
+
  private:
+  /// Everything one SELECT needs pinned at admission: the data plane it
+  /// runs on (restore/resize swap the pointer; pinned readers keep the
+  /// old one alive), the cache key, and the shard snapshot the scans
+  /// read. All three are captured under one shared hold of data_mu_, so
+  /// the triple is coherent: the versions describe exactly the chains
+  /// the snapshot pinned.
+  struct PinnedSnapshot {
+    std::shared_ptr<cluster::Cluster> cluster;
+    TableVersions versions;
+    std::shared_ptr<const cluster::ReadSnapshot> snapshot;
+  };
+  Result<PinnedSnapshot> PinSnapshot(const std::vector<std::string>& tables)
+      SDW_EXCLUDES(data_mu_, cache_mu_);
+
   /// Installs the encrypt/decrypt transforms on every node store of the
   /// current cluster (called at creation, after resize and restore).
   void WireEncryption();
@@ -208,14 +232,17 @@ class Warehouse {
   Result<StatementResult> ExecuteAs(const std::string& sql, int session_id);
 
   /// A user-table SELECT (or EXPLAIN [ANALYZE]) through admission and
-  /// the caches, under a shared data lock.
+  /// the caches; executes against a pinned MVCC snapshot, off every
+  /// warehouse lock.
   Result<StatementResult> RunSelect(const plan::LogicalQuery& query,
                                     bool explain, bool explain_analyze,
                                     const std::string& sql_text,
                                     int session_id);
 
-  /// Every non-SELECT statement: admission, then the exclusive data
-  /// lock, with version bumps before any mutation.
+  /// Every non-SELECT statement: admission, then writer_mu_ for the
+  /// whole statement; heavy work (parse, sort, encode) runs off
+  /// data_mu_ on staged chains, and only the version-bump + install
+  /// takes data_mu_ exclusively.
   Result<StatementResult> RunStatement(sql::Statement stmt,
                                        const std::string& sql,
                                        int session_id);
@@ -228,8 +255,11 @@ class Warehouse {
   /// servable against the possibly-changed data.
   void BumpVersions(const std::vector<std::string>& tables)
       SDW_EXCLUDES(cache_mu_);
-  /// Bumps every known counter (restore/resize/rollback swap the whole
-  /// data plane).
+  /// Bumps every counter the warehouse has ever seen PLUS every table
+  /// currently in the catalog (restore/resize/rollback swap the whole
+  /// data plane, and a restored snapshot may contain tables this
+  /// warehouse never read — those must enter the map too, or their
+  /// first post-restore cache entries would be keyed version 0 forever).
   void BumpAllVersions() SDW_EXCLUDES(cache_mu_);
 
   WarehouseOptions options_;
@@ -237,7 +267,9 @@ class Warehouse {
   std::unique_ptr<security::KeyHierarchy> keys_;
   std::atomic<bool> in_txn_{false};
   backup::SnapshotManifest txn_manifest_;
-  std::unique_ptr<cluster::Cluster> cluster_;
+  /// The data plane. shared_ptr: restore/resize swap it while pinned
+  /// readers finish on the old one (it dies when the last drains).
+  std::shared_ptr<cluster::Cluster> cluster_;
   backup::S3 s3_;
   backup::BackupManager backups_;
   sim::Engine health_engine_;
@@ -246,12 +278,24 @@ class Warehouse {
   obs::QueryLog query_log_;
   obs::EventLog event_log_;
 
-  /// Lock order: admission slot -> data_mu_ -> cache_mu_ (and the
-  /// caches' internal locks, leaf-level). data_mu_ is the data-plane
-  /// lock: SELECTs hold it shared, every mutating statement and cluster
-  /// swap holds it exclusively. cluster_ / txn_manifest_ /
-  /// host_managers_ are deliberately not annotated — single-threaded
-  /// tooling (data_plane(), benches) reads them lock-free by design.
+  /// Lock order: admission slot -> writer_mu_ -> data_mu_ -> cache_mu_
+  /// (then the caches' and data plane's internal locks, leaf-level).
+  ///
+  /// writer_mu_ serializes whole mutating statements (DDL/DML/COPY/
+  /// VACUUM), transactions, backups, cluster swaps and health sweeps —
+  /// it is never taken by SELECTs, so writers exclude each other
+  /// without blocking readers.
+  ///
+  /// data_mu_ is the snapshot-coherence lock, held only for moments:
+  /// readers take it shared to pin {cluster_, versions, shard
+  /// snapshot} as one coherent triple; writers take it exclusive just
+  /// to bump versions and install already-prepared chains (or swap
+  /// cluster_). No I/O, parsing, sorting or encoding ever happens
+  /// under it. txn_manifest_ / host_managers_ are guarded by
+  /// writer_mu_ in spirit but deliberately not annotated —
+  /// single-threaded tooling (data_plane(), benches) reads them
+  /// lock-free by design.
+  mutable common::Mutex writer_mu_;
   mutable common::SharedMutex data_mu_;
   mutable common::Mutex cache_mu_;
   std::map<std::string, uint64_t> table_versions_ SDW_GUARDED_BY(cache_mu_);

@@ -159,14 +159,16 @@ TEST(CatalogTest, StatsLifecycle) {
   EXPECT_EQ(cat.GetStats("clicks").columns[0].max, Datum::Int64(99));
 }
 
-TEST(CatalogTest, MutableSchemaForAnalyzer) {
+TEST(CatalogTest, UpdateTableForAnalyzer) {
   Catalog cat;
   ASSERT_TRUE(cat.CreateTable(ClicksSchema()).ok());
-  auto t = cat.GetTableMutable("clicks");
+  auto t = cat.GetTable("clicks");
   ASSERT_TRUE(t.ok());
-  (*t)->SetColumnEncoding(0, ColumnEncoding::kDelta);
+  t->SetColumnEncoding(0, ColumnEncoding::kDelta);
+  ASSERT_TRUE(cat.UpdateTable("clicks", *t).ok());
   EXPECT_EQ(cat.GetTable("clicks")->column(0).encoding,
             ColumnEncoding::kDelta);
+  EXPECT_EQ(cat.UpdateTable("missing", *t).code(), StatusCode::kNotFound);
 }
 
 }  // namespace

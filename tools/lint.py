@@ -25,6 +25,12 @@ see (DESIGN.md section 4f):
                  rule covers MakeCacheMetrics("...") prefixes — they
                  expand to <prefix>_hits / _misses / ... counters, so a
                  bad prefix pollutes the namespace four times over.
+  mvcc-versions  References to the warehouse's table_versions_ map
+                 outside src/warehouse/warehouse.{h,cc}. The map is the
+                 MVCC snapshot bookkeeping behind PinSnapshot /
+                 BumpVersions; touching it anywhere else bypasses the
+                 data_mu_ coherence protocol (readers must capture
+                 cluster + versions + chain pins as one triple).
 
 Suppression: append `// lint:allow(<rule>)` to the offending line.
 
@@ -70,6 +76,12 @@ METRIC_NAME_RE = re.compile(r"^sdw_[a-z0-9]+(?:_[a-z0-9]+)+$")
 CACHE_METRICS_CALL_RE = re.compile(
     r"MakeCacheMetrics\s*\(\s*\"([^\"]*)\"", re.DOTALL
 )
+
+MVCC_VERSIONS_RE = re.compile(r"\btable_versions_\b")
+MVCC_VERSIONS_OWNERS = {
+    "src/warehouse/warehouse.h",
+    "src/warehouse/warehouse.cc",
+}
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -218,6 +230,27 @@ def check_metric_names(path, text, lines, scoped):
     return out
 
 
+def check_mvcc_versions(path, lines, scoped):
+    """mvcc-versions: only warehouse.{h,cc} may touch table_versions_."""
+    p = rel(path)
+    if scoped and (not p.startswith("src/") or p in MVCC_VERSIONS_OWNERS):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        m = MVCC_VERSIONS_RE.search(code)
+        if m and not line_allows(lines, i, "mvcc-versions"):
+            out.append(
+                Violation(
+                    p, i, "mvcc-versions",
+                    "table_versions_ outside src/warehouse/warehouse.{h,cc} "
+                    "— go through PinSnapshot / BumpVersions so the "
+                    "snapshot-coherence lock stays honest",
+                )
+            )
+    return out
+
+
 def check_file(path, scoped=True):
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
@@ -226,6 +259,7 @@ def check_file(path, scoped=True):
     violations += check_naked_thread(path, lines, scoped)
     violations += check_log_under_lock(path, lines, scoped)
     violations += check_metric_names(path, text, lines, scoped)
+    violations += check_mvcc_versions(path, lines, scoped)
     return violations
 
 
