@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/hash.h"
+
 namespace sdw::backup {
 
 BackupManager::BackupManager(S3* s3, std::string region,
@@ -11,7 +13,14 @@ BackupManager::BackupManager(S3* s3, std::string region,
     : s3_(s3),
       region_(std::move(region)),
       cluster_id_(std::move(cluster_id)),
-      cost_model_(cost_model) {}
+      cost_model_(cost_model) {
+  // Seed the id counter from what the region already holds: a manager
+  // re-created over existing snapshots (the post-crash recovery path)
+  // must not reuse ids and silently overwrite old manifests.
+  for (uint64_t id : ListSnapshots()) {
+    next_snapshot_id_ = std::max(next_snapshot_id_, id + 1);
+  }
+}
 
 std::string BackupManager::BlockKey(storage::BlockId id) const {
   return cluster_id_ + "/blocks/" + std::to_string(id);
@@ -25,11 +34,12 @@ std::string BackupManager::ManifestKey(uint64_t snapshot_id) const {
 }
 
 Result<BackupManager::BackupStats> BackupManager::Backup(
-    cluster::Cluster* cluster, bool user_initiated) {
+    cluster::Cluster* cluster, bool user_initiated, uint64_t durable_lsn) {
   S3Region* region = s3_->region(region_);
   SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, CaptureManifest(cluster));
   manifest.snapshot_id = next_snapshot_id_++;
   manifest.user_initiated = user_initiated;
+  manifest.durable_lsn = durable_lsn;
 
   BackupStats stats;
   stats.snapshot_id = manifest.snapshot_id;
@@ -99,15 +109,55 @@ Result<SnapshotManifest> BackupManager::GetManifest(uint64_t snapshot_id) {
   return DeserializeManifest(data);
 }
 
+Result<uint64_t> BackupManager::RecoveryBaseSnapshot() {
+  // Shared layout with src/durability/commit_log.cc: a checksummed
+  // fixed64 at <cluster_id>/wal-meta/base, written only by CommitLog.
+  const std::string key = cluster_id_ + "/wal-meta/base";
+  S3Region* region = s3_->region(region_);
+  if (!region->HasObject(key)) return static_cast<uint64_t>(0);
+  common::Retry retry(retry_policy_);
+  SDW_ASSIGN_OR_RETURN(Bytes data, retry.Call<Bytes>([&] {
+    return region->GetObject(key);
+  }));
+  if (data.size() != 12 ||
+      GetFixed32(data.data() + 8) != Crc32c(data.data(), 8)) {
+    return Status::Corruption("wal-meta/base checksum mismatch");
+  }
+  return GetFixed64(data.data());
+}
+
+Result<uint64_t> BackupManager::MinimumWatermark() {
+  uint64_t minimum = 0;
+  bool any = false;
+  for (uint64_t id : ListSnapshots()) {
+    SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, GetManifest(id));
+    minimum = any ? std::min(minimum, manifest.durable_lsn)
+                  : manifest.durable_lsn;
+    any = true;
+  }
+  return minimum;
+}
+
 Status BackupManager::DeleteSnapshot(uint64_t snapshot_id) {
+  SDW_ASSIGN_OR_RETURN(uint64_t base, RecoveryBaseSnapshot());
+  if (base != 0 && base == snapshot_id) {
+    return Status::FailedPrecondition(
+        "snapshot " + std::to_string(snapshot_id) +
+        " is the recovery base of the live commit-log tail; take a new "
+        "backup (which advances the base) before deleting it");
+  }
   return s3_->region(region_)->DeleteObject(ManifestKey(snapshot_id));
 }
 
 Result<int> BackupManager::AgeSystemBackups(int keep_latest) {
+  SDW_ASSIGN_OR_RETURN(uint64_t base, RecoveryBaseSnapshot());
   std::vector<uint64_t> ids = ListSnapshots();
-  // Partition into system/user; ids ascend (oldest first).
+  // Partition into system/user; ids ascend (oldest first). The
+  // recovery base ages like a user snapshot: the live log tail depends
+  // on it until a newer backup advances the pointer.
   std::vector<uint64_t> system_ids;
   for (uint64_t id : ids) {
+    if (base != 0 && id == base) continue;
     SDW_ASSIGN_OR_RETURN(SnapshotManifest manifest, GetManifest(id));
     if (!manifest.user_initiated) system_ids.push_back(id);
   }
@@ -176,6 +226,8 @@ Result<std::unique_ptr<cluster::Cluster>> BackupManager::RestoreInternal(
     table_stats.row_count = table.stats_row_count;
     table_stats.columns.resize(table.schema.num_columns());
     cluster->catalog()->UpdateStats(table.schema.name(), table_stats);
+    cluster->set_round_robin_cursor(table.schema.name(),
+                                    table.round_robin_cursor);
     for (const ShardManifest& shard : table.shards) {
       SDW_ASSIGN_OR_RETURN(
           storage::TableShard * target,

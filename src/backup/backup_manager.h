@@ -37,17 +37,37 @@ class BackupManager {
   };
 
   /// Takes a snapshot. System backups are auto-aged; user backups are
-  /// kept until explicitly deleted.
+  /// kept until explicitly deleted. `durable_lsn` is the commit-log
+  /// watermark recorded in the manifest: every log record at or below
+  /// it is contained in this snapshot (0 when commit logging is off).
   Result<BackupStats> Backup(cluster::Cluster* cluster,
-                             bool user_initiated = false);
+                             bool user_initiated = false,
+                             uint64_t durable_lsn = 0);
 
   std::vector<uint64_t> ListSnapshots();
   Result<SnapshotManifest> GetManifest(uint64_t snapshot_id);
+
+  /// Deletes a snapshot. Refused (kFailedPrecondition) when the
+  /// snapshot is the commit log's recovery base: the live log tail
+  /// replays on top of it, so deleting it would orphan every commit
+  /// since — back up again (advancing the base) first.
   Status DeleteSnapshot(uint64_t snapshot_id);
 
   /// Deletes system snapshots beyond the most recent `keep_latest`,
-  /// never touching user snapshots. Returns snapshots removed.
+  /// never touching user snapshots or the commit log's recovery base.
+  /// Returns snapshots removed.
   Result<int> AgeSystemBackups(int keep_latest);
+
+  /// The commit log's recovery-base snapshot id, read from the shared
+  /// `<cluster_id>/wal-meta/base` object src/durability owns (0 when no
+  /// commit log exists — then the delete/age guards are inert).
+  Result<uint64_t> RecoveryBaseSnapshot();
+
+  /// The smallest durable_lsn watermark across remaining snapshots —
+  /// the point the commit log can truncate through: records at or
+  /// below it are contained in every snapshot that could still serve
+  /// as a recovery base. 0 when no snapshots exist.
+  Result<uint64_t> MinimumWatermark();
 
   /// Deletes blocks no remaining snapshot references. Returns bytes
   /// reclaimed.

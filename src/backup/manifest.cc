@@ -220,10 +220,12 @@ void SerializeManifest(const SnapshotManifest& manifest, Bytes* out) {
   out->push_back(manifest.config.replicate ? 1 : 0);
   PutVarint64(out, manifest.config.replication.cohort_size);
   PutVarint64(out, manifest.config.replication_seed);
+  PutVarint64(out, manifest.durable_lsn);
   PutVarint64(out, manifest.tables.size());
   for (const TableManifest& table : manifest.tables) {
     SerializeSchema(table.schema, out);
     PutVarint64(out, table.stats_row_count);
+    PutVarint64(out, table.round_robin_cursor);
     PutVarint64(out, table.shards.size());
     for (const ShardManifest& shard : table.shards) {
       PutVarint64(out, shard.global_slice);
@@ -253,11 +255,14 @@ Result<SnapshotManifest> DeserializeManifest(const Bytes& data) {
   }
   if (pos >= data.size()) return Status::Corruption("manifest");
   manifest.config.replicate = data[pos++] != 0;
+  uint64_t durable_lsn = 0;
   if (!GetVarint64(data, &pos, &cohort) ||
       !GetVarint64(data, &pos, &repl_seed) ||
+      !GetVarint64(data, &pos, &durable_lsn) ||
       !GetVarint64(data, &pos, &ntables)) {
     return Status::Corruption("manifest header truncated");
   }
+  manifest.durable_lsn = durable_lsn;
   manifest.config.num_nodes = static_cast<int>(nodes);
   manifest.config.slices_per_node = static_cast<int>(slices);
   manifest.config.storage.block_bytes = block_bytes;
@@ -267,12 +272,14 @@ Result<SnapshotManifest> DeserializeManifest(const Bytes& data) {
   for (uint64_t t = 0; t < ntables; ++t) {
     TableManifest table;
     SDW_ASSIGN_OR_RETURN(table.schema, DeserializeSchema(data, &pos));
-    uint64_t stats_rows = 0, nshards = 0;
+    uint64_t stats_rows = 0, rr_cursor = 0, nshards = 0;
     if (!GetVarint64(data, &pos, &stats_rows) ||
+        !GetVarint64(data, &pos, &rr_cursor) ||
         !GetVarint64(data, &pos, &nshards)) {
       return Status::Corruption("table manifest truncated");
     }
     table.stats_row_count = stats_rows;
+    table.round_robin_cursor = rr_cursor;
     for (uint64_t s = 0; s < nshards; ++s) {
       ShardManifest shard;
       uint64_t slice = 0, nchains = 0;
@@ -311,6 +318,7 @@ Result<SnapshotManifest> CaptureManifest(cluster::Cluster* cluster) {
     TableManifest table;
     table.schema = schema;
     table.stats_row_count = cluster->catalog()->GetStats(name).row_count;
+    table.round_robin_cursor = cluster->round_robin_cursor(name);
     for (int s = 0; s < cluster->total_slices(); ++s) {
       SDW_ASSIGN_OR_RETURN(storage::TableShard * shard, cluster->shard(s, name));
       ShardManifest sm;

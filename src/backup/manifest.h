@@ -22,6 +22,11 @@ struct ShardManifest {
 struct TableManifest {
   TableSchema schema;
   uint64_t stats_row_count = 0;
+  /// The EVEN-distribution round-robin cursor at capture time. Restored
+  /// so replaying the commit-log tail lands every row on the same slice
+  /// the original execution chose — recovery must be byte-identical,
+  /// and slice placement is part of that determinism.
+  uint64_t round_robin_cursor = 0;
   std::vector<ShardManifest> shards;
 };
 
@@ -31,6 +36,11 @@ struct TableManifest {
 struct SnapshotManifest {
   uint64_t snapshot_id = 0;
   bool user_initiated = false;  // user backups are kept until deleted
+  /// Commit-log watermark: every log record with lsn <= durable_lsn is
+  /// contained in this snapshot. Recovery restores the snapshot and
+  /// replays only the records after it — the snapshot + log tail form
+  /// one complete recovery chain.
+  uint64_t durable_lsn = 0;
   cluster::ClusterConfig config;
   std::vector<TableManifest> tables;
 

@@ -274,6 +274,14 @@ Status Cluster::DropTable(const std::string& table) {
       dropped_.push_back({std::move(shard_sp), node->store()});
     }
   }
+  {
+    // Forget the EVEN-placement cursor with the table: a re-created
+    // table starts placing from slice 0, exactly like one arriving via
+    // snapshot restore (manifests only capture live tables' cursors) —
+    // keeps replayed history byte-identical to the original run.
+    common::MutexLock lock(mu_);
+    round_robin_.erase(table);
+  }
   // Nothing pinned (the common case): the blocks go away right here,
   // keeping DROP's storage release prompt. Pinned shards stay parked
   // until a later sweep.
@@ -281,11 +289,27 @@ Status Cluster::DropTable(const std::string& table) {
   return Status::OK();
 }
 
-Status Cluster::CommitStaged(StagedWrite* staged) {
+Status Cluster::CommitStaged(StagedWrite* staged,
+                             const std::function<Status(size_t)>& barrier) {
+  size_t installed = 0;
+  Status status = Status::OK();
   for (StagedWrite::Pending& p : staged->pending_) {
-    SDW_RETURN_IF_ERROR(p.shard->Install(p.base, p.next));
+    status = p.shard->Install(p.base, p.next);
+    if (!status.ok()) break;
+    ++installed;
+    if (barrier != nullptr) {
+      status = barrier(installed);
+      if (!status.ok()) break;
+    }
   }
-  staged->pending_.clear();
+  // Heads installed before a failure are live — a reader may already
+  // have pinned them — so the abort path must not discard their blocks.
+  // Drop them from pending_ and let the destructor abort only the
+  // never-installed suffix.
+  staged->pending_.erase(
+      staged->pending_.begin(),
+      staged->pending_.begin() + static_cast<long>(installed));
+  SDW_RETURN_IF_ERROR(status);
   staged->committed_ = true;
   return Status::OK();
 }
@@ -356,6 +380,34 @@ Cluster::GcStats Cluster::CollectGarbage() {
     deferred_metric->Add();
   }
   return stats;
+}
+
+uint64_t Cluster::PendingGarbage() {
+  uint64_t pending = 0;
+  for (const std::string& table : catalog_.TableNames()) {
+    for (int s = 0; s < total_slices(); ++s) {
+      auto ref = shard_ref(s, table);
+      if (!ref.ok()) continue;
+      pending += (*ref)->retired_versions();
+    }
+  }
+  common::MutexLock lock(mu_);
+  for (const DroppedShard& d : dropped_) {
+    pending += 1 + d.shard->retired_versions();
+  }
+  return pending;
+}
+
+uint64_t Cluster::round_robin_cursor(const std::string& table) const {
+  common::MutexLock lock(mu_);
+  auto it = round_robin_.find(table);
+  return it == round_robin_.end() ? 0 : it->second;
+}
+
+void Cluster::set_round_robin_cursor(const std::string& table,
+                                     uint64_t cursor) {
+  common::MutexLock lock(mu_);
+  round_robin_[table] = cursor;
 }
 
 int Cluster::SliceForKey(const Datum& key) const {

@@ -209,7 +209,14 @@ class Cluster {
   /// Installs every shard head a staged statement prepared. The caller
   /// serializes writers and brackets this with its snapshot-coherence
   /// lock so readers pin either all of the statement or none of it.
-  Status CommitStaged(StagedWrite* staged);
+  /// `barrier`, if set, runs after each head installs (with the count
+  /// installed so far) and aborts the rest of the commit on error —
+  /// the chaos layer's mid-multi-shard-install crash point. Heads
+  /// already installed are live (readers may pin them) and are NOT
+  /// rolled back on an aborted commit: recovery replays the whole
+  /// statement from the commit log.
+  Status CommitStaged(StagedWrite* staged,
+                      const std::function<Status(size_t)>& barrier = nullptr);
 
   /// Deletes the blocks a staged statement prepared (statement failed
   /// or was abandoned). Also runs from StagedWrite's destructor.
@@ -228,6 +235,21 @@ class Cluster {
     uint64_t dropped_shards_deferred = 0;
   };
   GcStats CollectGarbage() SDW_EXCLUDES(mu_);
+
+  /// How much reclaimable-but-unreclaimed storage has accumulated:
+  /// retired chain versions on live and dropped shards plus parked
+  /// dropped shards. The health sweep thresholds on this to make GC
+  /// self-triggering instead of relying on explicit calls.
+  uint64_t PendingGarbage() SDW_EXCLUDES(mu_);
+
+  /// The EVEN-distribution round-robin cursor of a table (0 when the
+  /// table never inserted). Captured into backup manifests and restored
+  /// before a commit-log replay so re-executed inserts land on the same
+  /// slices the original run chose.
+  uint64_t round_robin_cursor(const std::string& table) const
+      SDW_EXCLUDES(mu_);
+  void set_round_robin_cursor(const std::string& table, uint64_t cursor)
+      SDW_EXCLUDES(mu_);
 
   /// Total rows of a table across all slices.
   Result<uint64_t> TotalRows(const std::string& table);

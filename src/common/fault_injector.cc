@@ -87,6 +87,65 @@ void FaultPoint::Reset() {
   triggers_.clear();
 }
 
+void CrashController::ArmCrash(const std::string& site) {
+  common::MutexLock lock(mu_);
+  armed_ = site;
+}
+
+Status CrashController::AtSite(const std::string& site) {
+  static obs::Counter* crashes =
+      obs::Registry::Global().counter("sdw_chaos_crashes");
+  common::MutexLock lock(mu_);
+  if (crashed_) {
+    return Status::Aborted("process is down (crashed at '" + crash_site_ +
+                           "')");
+  }
+  if (!armed_.empty() && armed_ == site) {
+    crashed_ = true;
+    crash_site_ = site;
+    armed_.clear();
+    crashes->Add();
+    return Status::Aborted("crash injected at '" + site + "'");
+  }
+  return Status::OK();
+}
+
+bool CrashController::CrashNow(const std::string& site) {
+  static obs::Counter* crashes =
+      obs::Registry::Global().counter("sdw_chaos_crashes");
+  common::MutexLock lock(mu_);
+  if (crashed_ || armed_.empty() || armed_ != site) return false;
+  crashed_ = true;
+  crash_site_ = site;
+  armed_.clear();
+  crashes->Add();
+  return true;
+}
+
+Status CrashController::Down() const {
+  common::MutexLock lock(mu_);
+  if (!crashed_) return Status::OK();
+  return Status::Aborted("process is down (crashed at '" + crash_site_ +
+                         "')");
+}
+
+bool CrashController::crashed() const {
+  common::MutexLock lock(mu_);
+  return crashed_;
+}
+
+std::string CrashController::crash_site() const {
+  common::MutexLock lock(mu_);
+  return crash_site_;
+}
+
+void CrashController::Reset() {
+  common::MutexLock lock(mu_);
+  armed_.clear();
+  crash_site_.clear();
+  crashed_ = false;
+}
+
 FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
 
 FaultPoint* FaultInjector::point(const std::string& site) {

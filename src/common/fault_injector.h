@@ -82,6 +82,48 @@ class FaultPoint {
   std::vector<Trigger> triggers_ SDW_GUARDED_BY(mu_);
 };
 
+/// Deterministic whole-process crash injection for the durability
+/// harness. A FaultPoint fails one *operation*; a crash point kills the
+/// *process*: once a crash fires, every subsequent site check fails too
+/// — the in-memory state is dead and nothing after the crash point may
+/// reach the object store. The warehouse instruments named sites along
+/// its commit path (pre-log, post-log-pre-install, mid-install,
+/// post-install-pre-ack); a test arms exactly one, drives a statement
+/// into it, and then "restarts the process" by building a fresh
+/// warehouse over the surviving S3 and calling Recover().
+///
+/// Thread-safe; AtSite/CrashNow take only the controller's own leaf
+/// lock, so sites may be checked under any warehouse lock.
+class CrashController {
+ public:
+  /// Arms a one-shot crash at the named site (replaces any armed site).
+  void ArmCrash(const std::string& site) SDW_EXCLUDES(mu_);
+
+  /// The instrumented site calls this. Returns kAborted when the
+  /// process just crashed here (site armed) or is already down.
+  Status AtSite(const std::string& site) SDW_EXCLUDES(mu_);
+
+  /// True iff `site` is armed and not yet fired: consumes the arm and
+  /// records the crash. For sites that must do partial work on the way
+  /// down (a torn log append writes half a record first).
+  bool CrashNow(const std::string& site) SDW_EXCLUDES(mu_);
+
+  /// The "process is down" status every post-crash call fails with.
+  Status Down() const SDW_EXCLUDES(mu_);
+
+  bool crashed() const SDW_EXCLUDES(mu_);
+  std::string crash_site() const SDW_EXCLUDES(mu_);
+
+  /// Clears the crash and any armed site (a fresh process start).
+  void Reset() SDW_EXCLUDES(mu_);
+
+ private:
+  mutable common::Mutex mu_;
+  std::string armed_ SDW_GUARDED_BY(mu_);
+  std::string crash_site_ SDW_GUARDED_BY(mu_);
+  bool crashed_ SDW_GUARDED_BY(mu_) = false;
+};
+
 /// Named registry of fault points so a test can reach every
 /// instrumented site of a warehouse through one object. Points are
 /// created on first use, each seeded deterministically from the

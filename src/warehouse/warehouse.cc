@@ -125,7 +125,9 @@ std::string StatementResult::ToTable(size_t max_rows) const {
 Warehouse::Warehouse(WarehouseOptions options)
     : options_(options),
       cluster_(std::make_shared<cluster::Cluster>(options.cluster)),
-      backups_(&s3_, options.region, options.cluster_id),
+      s3_(options.shared_s3 != nullptr ? options.shared_s3 : &owned_s3_),
+      backups_(s3_, options.region, options.cluster_id),
+      commit_log_(s3_, options.region, options.cluster_id),
       admission_(options.wlm),
       segment_cache_(options.cache.segment_cache_entries,
                      MakeCacheMetrics("sdw_cache_segment")),
@@ -141,11 +143,47 @@ Warehouse::Warehouse(WarehouseOptions options)
     WireEncryption();
   }
   control_plane_.set_event_log(&event_log_);
+  commit_log_.set_retry_policy(options_.durability.retry);
+  commit_log_.set_crash_controller(&crash_);
   SyncHostManagers();
 }
 
 Warehouse::Session Warehouse::CreateSession() {
   return Session(this, next_session_id_.fetch_add(1));
+}
+
+Status Warehouse::CrashPoint(const char* site) {
+  if (replaying_.load(std::memory_order_relaxed)) return Status::OK();
+  return crash_.AtSite(site);
+}
+
+Status Warehouse::LogBeforeInstall(const std::string& sql, int session_id) {
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreLog));
+  if (options_.durability.log_commits &&
+      !replaying_.load(std::memory_order_relaxed)) {
+    if (in_transaction()) {
+      // Durability happens at COMMIT: the whole batch becomes one
+      // atomic kTransaction record (a crash before then rolls back
+      // everything, logged or not — nothing was logged).
+      txn_statements_.push_back(sql);
+    } else {
+      durability::LogRecord record;
+      record.kind = durability::LogRecord::Kind::kStatement;
+      record.session_id = session_id;
+      record.statements.push_back(sql);
+      SDW_ASSIGN_OR_RETURN(uint64_t lsn,
+                           commit_log_.Append(std::move(record)));
+      applied_lsn_.store(lsn, std::memory_order_relaxed);
+    }
+  }
+  return CrashPoint(durability::kCrashPostLogPreInstall);
+}
+
+std::function<Status(size_t)> Warehouse::MidInstallBarrier() {
+  return [this](size_t installed) {
+    return installed == 1 ? CrashPoint(durability::kCrashMidInstall)
+                          : Status::OK();
+  };
 }
 
 void Warehouse::SyncHostManagers() {
@@ -209,6 +247,7 @@ Result<Warehouse::PinnedSnapshot> Warehouse::PinSnapshot(
 
 cluster::Cluster::GcStats Warehouse::CollectGarbage() {
   common::MutexLock statement_lock(writer_mu_);
+  if (!crash_.Down().ok()) return {};
   return cluster_->CollectGarbage();
 }
 
@@ -221,6 +260,7 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
   // (This used to hold data_mu_ exclusive across ReplaceNode's modeled
   // minutes-long workflow, stalling every query behind a sweep.)
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   replication::ReplicationManager* repl = cluster_->replication();
   if (repl == nullptr) {
     return Status::FailedPrecondition(
@@ -300,6 +340,25 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
                       static_cast<double>(stats.single_copy_blocks),
                       "blocks at a single copy after sweep");
   }
+
+  // Self-triggering MVCC GC: once retired versions and dropped shards
+  // pile past the threshold, this sweep reclaims them — VACUUM/DROP
+  // already collect inline, but retirees parked behind a since-drained
+  // reader pin otherwise wait for someone to call CollectGarbage() by
+  // hand. A still-pinned snapshot keeps deferring its blocks (GC never
+  // touches pinned chains), so the sweep stays safe under live readers.
+  const uint64_t pending = cluster_->PendingGarbage();
+  if (options_.health_gc_threshold > 0 &&
+      pending >= static_cast<uint64_t>(options_.health_gc_threshold)) {
+    cluster::Cluster::GcStats gc = cluster_->CollectGarbage();
+    stats.gc_triggered = true;
+    stats.gc_versions_reclaimed = gc.versions_reclaimed;
+    stats.gc_blocks_reclaimed = gc.blocks_reclaimed;
+    event_log_.Record("sweep", "gc", -1,
+                      static_cast<double>(gc.blocks_reclaimed),
+                      "self-triggered GC at pending-garbage " +
+                          std::to_string(pending));
+  }
   return stats;
 }
 
@@ -337,26 +396,45 @@ Status Warehouse::Begin() {
   // manifest is a statement boundary; readers may keep scanning their
   // own pinned snapshots throughout.
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   if (in_transaction()) {
     return Status::FailedPrecondition("already in a transaction");
   }
   SDW_ASSIGN_OR_RETURN(txn_manifest_, backup::CaptureManifest(cluster_.get()));
+  txn_statements_.clear();
   in_txn_.store(true, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Warehouse::Commit() {
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   if (!in_transaction()) {
     return Status::FailedPrecondition("no open transaction");
   }
+  // The transaction's durability point: one atomic kTransaction record
+  // for the whole buffered batch. A crash before the append loses the
+  // batch entirely (never acked); after it, recovery replays it whole.
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreLog));
+  if (options_.durability.log_commits &&
+      !replaying_.load(std::memory_order_relaxed) &&
+      !txn_statements_.empty()) {
+    durability::LogRecord record;
+    record.kind = durability::LogRecord::Kind::kTransaction;
+    record.statements = txn_statements_;
+    SDW_ASSIGN_OR_RETURN(uint64_t lsn, commit_log_.Append(std::move(record)));
+    applied_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPostLogPreInstall));
   in_txn_.store(false, std::memory_order_relaxed);
   txn_manifest_ = backup::SnapshotManifest{};
-  return Status::OK();
+  txn_statements_.clear();
+  return CrashPoint(durability::kCrashPreAck);
 }
 
 Status Warehouse::Rollback() {
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   if (!in_transaction()) {
     return Status::FailedPrecondition("no open transaction");
   }
@@ -402,9 +480,15 @@ Status Warehouse::Rollback() {
       stats.row_count = table.stats_row_count;
       stats.columns.resize(table.schema.num_columns());
       cluster_->catalog()->UpdateStats(name, stats);
+      // EVEN-placement cursors snap back too: the rolled-back inserts
+      // must leave no trace, or the next insert's placement (and so
+      // replayed history) would diverge from a run that never had the
+      // transaction.
+      cluster_->set_round_robin_cursor(name, table.round_robin_cursor);
     }
     in_txn_.store(false, std::memory_order_relaxed);
     txn_manifest_ = backup::SnapshotManifest{};
+    txn_statements_.clear();
   }
   cluster_->CollectGarbage();
   return Status::OK();
@@ -416,12 +500,21 @@ Result<StatementResult> Warehouse::Execute(const std::string& sql) {
 
 Result<StatementResult> Warehouse::ExecuteQuery(
     const plan::LogicalQuery& query) {
+  SDW_RETURN_IF_ERROR(crash_.Down());
   return RunSelect(query, /*explain=*/false, /*explain_analyze=*/false,
                    plan::CanonicalText(query), /*session_id=*/0);
 }
 
 Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
                                              int session_id) {
+  // A crashed warehouse is a dead process: every entry point fails
+  // until Recover() brings up "the new one". While recovery replays
+  // the log it owns the front door exclusively.
+  SDW_RETURN_IF_ERROR(crash_.Down());
+  if (recovering_.load(std::memory_order_acquire) &&
+      !replaying_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("warehouse is recovering");
+  }
   SDW_ASSIGN_OR_RETURN(sql::Statement stmt, sql::ParseStatement(sql));
   if (auto* select = std::get_if<sql::SelectStmt>(&stmt)) {
     if (IsSystemTable(select->query.from_table)) {
@@ -657,14 +750,27 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   common::MutexLock statement_lock(writer_mu_);
 
   if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
-    common::WriterMutexLock data_lock(data_mu_);
-    BumpVersions({create->schema.name()});
-    SDW_RETURN_IF_ERROR(cluster_->CreateTable(create->schema));
+    // Validate before logging: only statements that will apply (and so
+    // will replay cleanly) may enter the commit log.
+    if (cluster_->catalog()->GetTable(create->schema.name()).ok()) {
+      return Status::AlreadyExists("table '" + create->schema.name() +
+                                   "' exists");
+    }
+    SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      BumpVersions({create->schema.name()});
+      SDW_RETURN_IF_ERROR(cluster_->CreateTable(create->schema));
+    }
+    SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
     result.message = "CREATE TABLE " + create->schema.name();
     report.set_state("run");
     return result;
   }
   if (auto* drop = std::get_if<sql::DropTableStmt>(&stmt)) {
+    SDW_RETURN_IF_ERROR(
+        cluster_->catalog()->GetTable(drop->table).status());
+    SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
     {
       common::WriterMutexLock data_lock(data_mu_);
       BumpVersions({drop->table});
@@ -672,6 +778,7 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
       // every pinned snapshot drains (mid-scan readers finish cleanly).
       SDW_RETURN_IF_ERROR(cluster_->DropTable(drop->table));
     }
+    SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
     result.message = "DROP TABLE " + drop->table;
     report.set_state("run");
     return result;
@@ -686,7 +793,7 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
       BumpVersions({copy->table});
     }
     cluster::StagedWrite staged(cluster_.get());
-    load::CopyExecutor executor(cluster_.get(), &s3_, options_.region);
+    load::CopyExecutor executor(cluster_.get(), s3_, options_.region);
     load::CopyOptions copy_options;
     copy_options.format = copy->format == sql::CopyStmt::Format::kCsv
                               ? load::CopyFormat::kCsv
@@ -699,18 +806,22 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
     SDW_ASSIGN_OR_RETURN(result.copy_stats,
                          executor.CopyFromUri(copy->table, copy->source_uri,
                                               copy_options));
+    // Log-before-install: staging (the fallible part) is done, so the
+    // logged statement is guaranteed to re-apply on replay.
+    SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
     {
       common::WriterMutexLock data_lock(data_mu_);
       BumpVersions({copy->table});
       // The multi-block, multi-file load becomes visible as ONE version
       // bump per shard: a snapshot sees the whole COPY or none of it.
-      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged, MidInstallBarrier()));
     }
     if (result.copy_stats.rows_loaded > 0) {
       SDW_RETURN_IF_ERROR(cluster_->Analyze(copy->table));
       // Fresh stats change plans; cached segments must re-lower.
       BumpVersions({copy->table});
     }
+    SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
     result.message = "COPY " + std::to_string(result.copy_stats.rows_loaded) +
                      " rows into " + copy->table;
     report.set_state("run");
@@ -739,22 +850,28 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
     cluster::StagedWrite staged(cluster_.get());
     SDW_RETURN_IF_ERROR(
         cluster_->InsertRows(insert->table, columns, &staged));
+    SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
     {
       common::WriterMutexLock data_lock(data_mu_);
       BumpVersions({insert->table});
-      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+      SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged, MidInstallBarrier()));
     }
+    SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
     result.message =
         "INSERT " + std::to_string(insert->rows.size()) + " rows";
     report.set_state("run");
     return result;
   }
   if (auto* analyze = std::get_if<sql::AnalyzeStmt>(&stmt)) {
+    SDW_RETURN_IF_ERROR(
+        cluster_->catalog()->GetTable(analyze->table).status());
+    SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
     // Fresh stats change plans, so cached segments must re-lower.
     // Stats live in the internally locked catalog and never change
     // results, so no data_mu_ hold is needed around the scan.
     BumpVersions({analyze->table});
     SDW_RETURN_IF_ERROR(cluster_->Analyze(analyze->table));
+    SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
     result.message = "ANALYZE " + analyze->table;
     report.set_state("run");
     return result;
@@ -773,12 +890,14 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   cluster::StagedWrite staged(cluster_.get());
   SDW_ASSIGN_OR_RETURN(uint64_t blocks,
                        cluster_->Vacuum(vacuum.table, &staged));
+  SDW_RETURN_IF_ERROR(LogBeforeInstall(sql, session_id));
   {
     common::WriterMutexLock data_lock(data_mu_);
     BumpVersions({vacuum.table});
-    SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged));
+    SDW_RETURN_IF_ERROR(cluster_->CommitStaged(&staged, MidInstallBarrier()));
   }
   cluster_->CollectGarbage();
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
   result.message = "VACUUM " + vacuum.table + " (" + std::to_string(blocks) +
                    " blocks rewritten)";
   report.set_state("run");
@@ -791,12 +910,33 @@ Result<backup::BackupManager::BackupStats> Warehouse::Backup(
   // writers on writer_mu_ (no statement commits mid-capture) while
   // SELECTs keep running — it reads published heads, changes nothing.
   common::MutexLock statement_lock(writer_mu_);
-  return backups_.Backup(cluster_.get(), user_initiated);
+  SDW_RETURN_IF_ERROR(crash_.Down());
+  uint64_t watermark = 0;
+  if (options_.durability.log_commits) {
+    // Under writer_mu_ no commit can land mid-capture, so everything
+    // at or below LastLsn() is contained in this snapshot.
+    SDW_ASSIGN_OR_RETURN(watermark, commit_log_.LastLsn());
+  }
+  SDW_ASSIGN_OR_RETURN(backup::BackupManager::BackupStats stats,
+                       backups_.Backup(cluster_.get(), user_initiated,
+                                       watermark));
+  if (options_.durability.log_commits) {
+    // The fresh snapshot becomes the recovery base; the log keeps only
+    // what some remaining snapshot has not absorbed (an older snapshot
+    // with a lower — or zero — watermark pins the tail it still needs).
+    SDW_RETURN_IF_ERROR(commit_log_.SetRecoveryBase(stats.snapshot_id));
+    SDW_ASSIGN_OR_RETURN(uint64_t keep_after, backups_.MinimumWatermark());
+    if (keep_after > 0) {
+      SDW_RETURN_IF_ERROR(commit_log_.TruncateThrough(keep_after));
+    }
+  }
+  return stats;
 }
 
 Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
                                  backup::BackupManager::RestoreStats* stats) {
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   if (in_transaction()) {
     return Status::FailedPrecondition("cannot restore inside a transaction");
   }
@@ -804,6 +944,20 @@ Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
   // queries keep answering from the current plane while blocks stream.
   SDW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> restored,
                        backups_.StreamingRestore(snapshot_id, stats));
+  // A restore rewinds visible state but must not rewind durable
+  // history: it is itself a logged commit (kRestore), so acknowledged
+  // statements before it stay acknowledged — recovery re-reaches this
+  // exact state by replaying them and then the restore.
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreLog));
+  if (options_.durability.log_commits &&
+      !replaying_.load(std::memory_order_relaxed)) {
+    durability::LogRecord record;
+    record.kind = durability::LogRecord::Kind::kRestore;
+    record.restore_snapshot_id = snapshot_id;
+    SDW_ASSIGN_OR_RETURN(uint64_t lsn, commit_log_.Append(std::move(record)));
+    applied_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPostLogPreInstall));
   // Page-faulted blocks arrive as stored (encrypted) bytes; reads must
   // unwrap them from the very first query — wire before the swap.
   WireEncryptionOn(restored.get());
@@ -820,11 +974,12 @@ Status Warehouse::RestoreInPlace(uint64_t snapshot_id,
   // In-flight SELECTs pinned the old cluster's shared_ptr and finish
   // on it; it is freed when the last of them drains.
   SyncHostManagers();
-  return Status::OK();
+  return CrashPoint(durability::kCrashPreAck);
 }
 
 Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
   common::MutexLock statement_lock(writer_mu_);
+  SDW_RETURN_IF_ERROR(crash_.Down());
   if (in_transaction()) {
     return Status::FailedPrecondition("cannot resize inside a transaction");
   }
@@ -839,6 +994,19 @@ Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
                        [this](cluster::Cluster* fresh) {
                          WireEncryptionOn(fresh);
                        }));
+  // Topology is part of durable state (placement depends on it), so a
+  // resize is a logged commit: the heavy copy above is re-doable, the
+  // swap below is what the kResize record makes durable.
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreLog));
+  if (options_.durability.log_commits &&
+      !replaying_.load(std::memory_order_relaxed)) {
+    durability::LogRecord record;
+    record.kind = durability::LogRecord::Kind::kResize;
+    record.resize_nodes = new_num_nodes;
+    SDW_ASSIGN_OR_RETURN(uint64_t lsn, commit_log_.Append(std::move(record)));
+    applied_lsn_.store(lsn, std::memory_order_relaxed);
+  }
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPostLogPreInstall));
   {
     common::WriterMutexLock data_lock(data_mu_);
     // Same rows on a different topology: results survive semantically
@@ -849,6 +1017,120 @@ Result<cluster::Cluster::ResizeStats> Warehouse::Resize(int new_num_nodes) {
     BumpAllVersions();
   }
   SyncHostManagers();
+  SDW_RETURN_IF_ERROR(CrashPoint(durability::kCrashPreAck));
+  return stats;
+}
+
+Status Warehouse::ApplyLogRecord(const durability::LogRecord& record,
+                                 RecoverStats* stats) {
+  switch (record.kind) {
+    case durability::LogRecord::Kind::kStatement:
+    case durability::LogRecord::Kind::kTransaction:
+      // A kTransaction batch replays as bare statements: its effects
+      // were already atomic in the original run (one log record), and
+      // replay is single-threaded, so no interleaving can observe the
+      // intermediate states.
+      for (const std::string& text : record.statements) {
+        SDW_RETURN_IF_ERROR(ExecuteAs(text, record.session_id).status());
+        ++stats->replayed_statements;
+      }
+      return Status::OK();
+    case durability::LogRecord::Kind::kResize:
+      ++stats->replayed_statements;
+      return Resize(record.resize_nodes).status();
+    case durability::LogRecord::Kind::kRestore:
+      ++stats->replayed_statements;
+      return RestoreInPlace(record.restore_snapshot_id);
+  }
+  return Status::Corruption("unknown log record kind");
+}
+
+Status Warehouse::RecoverInternal(RecoverStats* stats) {
+  uint64_t after = 0;
+  {
+    common::MutexLock statement_lock(writer_mu_);
+    // The crashed process's open transaction (if any) died with it.
+    in_txn_.store(false, std::memory_order_relaxed);
+    txn_manifest_ = backup::SnapshotManifest{};
+    txn_statements_.clear();
+    SDW_ASSIGN_OR_RETURN(uint64_t base, commit_log_.GetRecoveryBase());
+    std::shared_ptr<cluster::Cluster> restored;
+    if (base != 0) {
+      SDW_ASSIGN_OR_RETURN(backup::SnapshotManifest manifest,
+                           backups_.GetManifest(base));
+      after = manifest.durable_lsn;
+      SDW_ASSIGN_OR_RETURN(std::unique_ptr<cluster::Cluster> from_snapshot,
+                           backups_.StreamingRestore(base, &stats->restore));
+      restored = std::move(from_snapshot);
+      stats->base_snapshot_id = base;
+    } else {
+      // Never backed up: start empty and replay the whole log.
+      restored = std::make_shared<cluster::Cluster>(options_.cluster);
+    }
+    WireEncryptionOn(restored.get());
+    {
+      common::WriterMutexLock data_lock(data_mu_);
+      // Both sides of the swap invalidate: no cache entry computed
+      // from pre-crash state may ever serve against recovered data.
+      BumpAllVersions();
+      cluster_ = std::move(restored);
+      BumpAllVersions();
+    }
+    SyncHostManagers();
+    applied_lsn_.store(after, std::memory_order_relaxed);
+  }
+  // Replay runs off writer_mu_: every record re-enters the normal
+  // front door (which takes writer_mu_ per statement), so replayed
+  // history takes exactly the code path the original commits took.
+  replaying_.store(true, std::memory_order_release);
+  SDW_ASSIGN_OR_RETURN(durability::CommitLog::Tail tail,
+                       commit_log_.ReadTail(after));
+  for (const durability::LogRecord& record : tail.records) {
+    // LSN guard: anything the base snapshot already contains is
+    // skipped, so recovery is idempotent (a crash during recovery
+    // just recovers again).
+    if (record.lsn <= applied_lsn_.load(std::memory_order_relaxed)) continue;
+    SDW_RETURN_IF_ERROR(ApplyLogRecord(record, stats));
+    applied_lsn_.store(record.lsn, std::memory_order_relaxed);
+    ++stats->replayed_records;
+  }
+  if (tail.torn_lsn != 0) {
+    // The torn record was mid-append when the process died — by
+    // log-before-install it was never acknowledged, so dropping it is
+    // the correct (and only consistent) choice.
+    SDW_RETURN_IF_ERROR(commit_log_.TruncateFrom(tail.torn_lsn));
+    stats->torn_lsn = tail.torn_lsn;
+  }
+  return Status::OK();
+}
+
+Result<Warehouse::RecoverStats> Warehouse::Recover() {
+  static obs::Counter* recoveries =
+      obs::Registry::Global().counter("sdw_durability_recoveries");
+  static obs::Counter* replayed =
+      obs::Registry::Global().counter("sdw_durability_replayed_records");
+  // Recovery IS the new process: whatever crash poisoned the old one
+  // is history.
+  crash_.Reset();
+  recovering_.store(true, std::memory_order_release);
+  RecoverStats stats;
+  Status status = RecoverInternal(&stats);
+  replaying_.store(false, std::memory_order_release);
+  recovering_.store(false, std::memory_order_release);
+  SDW_RETURN_IF_ERROR(status);
+  recoveries->Add();
+  replayed->Add(stats.replayed_records);
+  event_log_.Record(
+      "durability", "recover", -1,
+      static_cast<double>(stats.replayed_records),
+      "recovered from snapshot " + std::to_string(stats.base_snapshot_id) +
+          ", replayed " + std::to_string(stats.replayed_records) +
+          " log records (" + std::to_string(stats.replayed_statements) +
+          " statements)" +
+          (stats.torn_lsn != 0
+               ? ", truncated torn tail at lsn " +
+                     std::to_string(stats.torn_lsn)
+               : ""));
   return stats;
 }
 

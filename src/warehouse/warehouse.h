@@ -2,6 +2,7 @@
 #define SDW_WAREHOUSE_WAREHOUSE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,9 +13,11 @@
 #include "cluster/cluster.h"
 #include "cluster/executor.h"
 #include "cluster/wlm.h"
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "controlplane/control_plane.h"
+#include "durability/commit_log.h"
 #include "load/copy.h"
 #include "obs/query_log.h"
 #include "plan/planner.h"
@@ -63,6 +66,19 @@ struct WarehouseOptions {
   cluster::WlmConfig wlm;
   /// Compiled-segment and result caches keyed by plan fingerprint.
   CacheConfig cache;
+  /// When set, the warehouse reads and writes this external object
+  /// store instead of owning one. This is how crash recovery is
+  /// modeled: S3 survives the "process", so a fresh Warehouse over the
+  /// same S3 plus Recover() is a restart of the same cluster.
+  backup::S3* shared_s3 = nullptr;
+  /// Commit-log durability (§2.2: "commits... are logged to S3").
+  /// On by default: every acknowledged mutating statement is in the
+  /// log (or in a snapshot at or above its LSN) before it is acked.
+  durability::DurabilityOptions durability;
+  /// RunHealthSweep() triggers an MVCC garbage-collection pass when
+  /// the data plane's pending-garbage count (retired chain versions +
+  /// dropped shards) reaches this threshold. 0 disables self-GC.
+  int health_gc_threshold = 64;
 };
 
 /// Outcome of one health sweep (§2.2: host managers restart, the
@@ -82,6 +98,11 @@ struct HealthStats {
   uint64_t lost_blocks = 0;
   /// Simulated seconds spent in control-plane replacement workflows.
   double control_plane_seconds = 0;
+  /// The sweep self-triggered an MVCC GC pass (pending garbage crossed
+  /// WarehouseOptions::health_gc_threshold).
+  bool gc_triggered = false;
+  uint64_t gc_versions_reclaimed = 0;
+  uint64_t gc_blocks_reclaimed = 0;
 };
 
 /// The customer-facing endpoint: a SQL-speaking, fully-managed
@@ -137,8 +158,37 @@ class Warehouse {
 
   /// Direct-API access for tooling and benches.
   cluster::Cluster* data_plane() { return cluster_.get(); }
-  backup::S3* s3() { return &s3_; }
+  backup::S3* s3() { return s3_; }
   backup::BackupManager* backups() { return &backups_; }
+
+  /// The durable commit log (LSN-sequenced records in the object
+  /// store) and the crash-point controller the tests arm. Once a crash
+  /// fires, every entry point returns kAborted until Recover().
+  durability::CommitLog* commit_log() { return &commit_log_; }
+  chaos::CrashController* crash_points() { return &crash_; }
+  bool crashed() const { return crash_.crashed(); }
+
+  struct RecoverStats {
+    /// Snapshot the recovered state was based on (0: none existed —
+    /// the whole log replayed onto an empty cluster).
+    uint64_t base_snapshot_id = 0;
+    /// Commit-log records replayed on top of the base snapshot.
+    uint64_t replayed_records = 0;
+    /// Statements those records re-executed.
+    uint64_t replayed_statements = 0;
+    /// First LSN of a torn tail that was truncated (0: tail was clean).
+    uint64_t torn_lsn = 0;
+    backup::BackupManager::RestoreStats restore;
+  };
+
+  /// Crash recovery: resets the crash controller ("new process"),
+  /// streaming-restores the commit log's recovery-base snapshot (or
+  /// starts empty when none exists) and idempotently replays the log
+  /// tail above the snapshot's durable-LSN watermark through the
+  /// normal statement path. A torn final record (append died mid-
+  /// write) is truncated — it was never acknowledged. Single-caller:
+  /// run recovery to completion before serving traffic.
+  Result<RecoverStats> Recover();
 
   /// The live admission controller (slot occupancy, queue, stl_wlm).
   cluster::AdmissionController* wlm() { return &admission_; }
@@ -247,6 +297,22 @@ class Warehouse {
                                        const std::string& sql,
                                        int session_id);
 
+  /// An injectable crash site; no-op while replaying the log (the
+  /// crash already happened — recovery must run to completion).
+  Status CrashPoint(const char* site);
+  /// The durability point of every auto-commit statement: appends one
+  /// kStatement record (or buffers the text when inside a transaction
+  /// — COMMIT logs the batch) before the caller installs. Acked =>
+  /// logged; crashed before the append => atomically absent.
+  Status LogBeforeInstall(const std::string& sql, int session_id);
+  /// Install barrier for multi-shard CommitStaged calls: fires the
+  /// mid-install crash site after the first shard's head swings.
+  std::function<Status(size_t)> MidInstallBarrier();
+  /// Re-executes one log record through the normal front door.
+  Status ApplyLogRecord(const durability::LogRecord& record,
+                        RecoverStats* stats);
+  Status RecoverInternal(RecoverStats* stats);
+
   /// Current version counters of `tables` (unseen tables read as 0).
   TableVersions SnapshotVersions(const std::vector<std::string>& tables)
       SDW_EXCLUDES(cache_mu_);
@@ -267,11 +333,28 @@ class Warehouse {
   std::unique_ptr<security::KeyHierarchy> keys_;
   std::atomic<bool> in_txn_{false};
   backup::SnapshotManifest txn_manifest_;
+  /// Statement texts buffered inside the open transaction; COMMIT
+  /// appends them as one atomic kTransaction log record. Guarded by
+  /// writer_mu_ in spirit (same regime as txn_manifest_).
+  std::vector<std::string> txn_statements_;
   /// The data plane. shared_ptr: restore/resize swap it while pinned
   /// readers finish on the old one (it dies when the last drains).
   std::shared_ptr<cluster::Cluster> cluster_;
-  backup::S3 s3_;
+  /// The object store: owned by default, external when
+  /// WarehouseOptions::shared_s3 points at one (crash-recovery tests
+  /// restart "the process" as a fresh Warehouse over the same S3).
+  backup::S3 owned_s3_;
+  backup::S3* const s3_;
   backup::BackupManager backups_;
+  durability::CommitLog commit_log_;
+  chaos::CrashController crash_;
+  /// Recovery in progress: the front door returns kUnavailable to
+  /// everyone except the replay path itself.
+  std::atomic<bool> recovering_{false};
+  std::atomic<bool> replaying_{false};
+  /// Highest LSN whose effects are in the live data plane — the
+  /// idempotency guard replay skips through.
+  std::atomic<uint64_t> applied_lsn_{0};
   sim::Engine health_engine_;
   controlplane::ControlPlane control_plane_{&health_engine_};
   std::vector<controlplane::HostManager> host_managers_;

@@ -70,6 +70,21 @@ void BadCachePrefixes() {
   warehouse::MakeCacheMetrics("sdw_cache_result");  // fine: two segments
 }
 
+class RogueS3Writer {
+ public:
+  // Mutating S3 objects outside src/backup/ + src/durability/ can
+  // clobber the recovery chain or strand objects that commit-log
+  // truncation and backup GC never learn about.
+  void Scribble(backup::S3Region* region) {
+    region->PutObject("simpledw/wal/rogue", {});  // lint:expect(s3-writes)
+    region->DeleteObject("simpledw/wal/00000001");  // lint:expect(s3-writes)
+  }
+
+  void ScribbleByValue(backup::S3Region& region) {
+    region.PutObject("simpledw/backup/rogue", {});  // lint:expect(s3-writes)
+  }
+};
+
 class SnapshotBypass {
  public:
   // Reading the version map directly skips the snapshot-coherence

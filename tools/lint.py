@@ -31,6 +31,13 @@ see (DESIGN.md section 4f):
                  BumpVersions; touching it anywhere else bypasses the
                  data_mu_ coherence protocol (readers must capture
                  cluster + versions + chain pins as one triple).
+  s3-writes      Direct S3 object mutation (PutObject / DeleteObject)
+                 outside src/backup/ and src/durability/. Those two
+                 modules own the durability contract — blocks +
+                 manifests (backup) and the commit log (durability);
+                 an S3 write anywhere else can clobber the recovery
+                 chain or leave objects the commit-log truncation and
+                 backup GC do not know about.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line.
 
@@ -52,8 +59,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 SOURCE_SUFFIXES = {".cc", ".h"}
 
-ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
-EXPECT_RE = re.compile(r"//\s*lint:expect\(([a-z-]+)\)")
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z0-9-]+)\)")
+EXPECT_RE = re.compile(r"//\s*lint:expect\(([a-z0-9-]+)\)")
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
@@ -82,6 +89,9 @@ MVCC_VERSIONS_OWNERS = {
     "src/warehouse/warehouse.h",
     "src/warehouse/warehouse.cc",
 }
+
+S3_WRITE_RE = re.compile(r"(?:->|\.)\s*(?:PutObject|DeleteObject)\s*\(")
+S3_WRITE_OWNER_PREFIXES = ("src/backup/", "src/durability/")
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -251,6 +261,31 @@ def check_mvcc_versions(path, lines, scoped):
     return out
 
 
+def check_s3_writes(path, lines, scoped):
+    """s3-writes: only backup/ and durability/ may mutate S3 objects."""
+    p = rel(path)
+    if scoped and (
+        not p.startswith("src/")
+        or any(p.startswith(pre) for pre in S3_WRITE_OWNER_PREFIXES)
+    ):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        m = S3_WRITE_RE.search(code)
+        if m and not line_allows(lines, i, "s3-writes"):
+            out.append(
+                Violation(
+                    p, i, "s3-writes",
+                    "direct S3 object write outside src/backup/ and "
+                    "src/durability/ — route mutations through "
+                    "BackupManager or CommitLog so the recovery chain "
+                    "and log truncation stay coherent",
+                )
+            )
+    return out
+
+
 def check_file(path, scoped=True):
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
@@ -260,6 +295,7 @@ def check_file(path, scoped=True):
     violations += check_log_under_lock(path, lines, scoped)
     violations += check_metric_names(path, text, lines, scoped)
     violations += check_mvcc_versions(path, lines, scoped)
+    violations += check_s3_writes(path, lines, scoped)
     return violations
 
 
