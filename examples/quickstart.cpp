@@ -108,8 +108,9 @@ int main() {
       "EXPLAIN ANALYZE SELECT url, COUNT(*) AS hits FROM pageviews "
       "GROUP BY url ORDER BY hits DESC LIMIT 5");
   Run(&wh,
-      "SELECT query_id, status, elapsed, result_rows, blocks_decoded "
-      "FROM stl_query ORDER BY elapsed DESC LIMIT 5");
+      "SELECT query_id, status, exec_seconds, result_rows, "
+      "blocks_decoded FROM stl_query ORDER BY exec_seconds DESC "
+      "LIMIT 5");
   Run(&wh,
       "SELECT tbl, COUNT(*) AS blocks, SUM(rows) AS stored_rows "
       "FROM stv_blocklist GROUP BY tbl ORDER BY tbl");

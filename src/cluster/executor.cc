@@ -25,18 +25,77 @@ uint64_t RowKeyHash(const exec::Batch& batch, const std::vector<int>& keys,
 }
 
 /// Builds the scan (+ residual filter) operator for one slice over the
-/// statement's pinned snapshot.
+/// statement's pinned snapshot. `telemetry` (when non-null) receives
+/// this slice's scan counts; a CountRows cap above the filter records
+/// the post-filter cardinality.
 Result<exec::OperatorPtr> BuildScan(const ReadSnapshot& snapshot, int slice,
-                                    const plan::ScanSpec& spec) {
+                                    const plan::ScanSpec& spec,
+                                    exec::ScanTelemetry* telemetry = nullptr,
+                                    obs::QueryProgress* progress = nullptr) {
   const storage::ShardRef* ref = snapshot.Find(spec.table, slice);
   if (ref == nullptr) {
     return Status::NotFound("no shard for table '" + spec.table + "'");
   }
-  exec::OperatorPtr op = exec::ShardScan(*ref, spec.columns, spec.predicates);
+  exec::ScanOptions scan_options;
+  scan_options.telemetry = telemetry;
+  scan_options.progress = progress;
+  exec::OperatorPtr op =
+      exec::ShardScan(*ref, spec.columns, spec.predicates, scan_options);
   if (spec.filter) {
     op = exec::Filter(std::move(op), spec.filter);
   }
+  if (telemetry != nullptr) {
+    op = exec::CountRows(std::move(op), &telemetry->rows_out);
+  }
   return op;
+}
+
+/// Canonical text of a scan's pushed-down range predicates plus its
+/// residual filter: "k >= 3 and k <= 9, filter(v > 100)". Stable across
+/// runs (catalog column names + Datum::ToString), so it is safe to log
+/// into the byte-identity-checked stl_scan history.
+std::string RenderPredicates(Cluster* cluster, const plan::ScanSpec& spec) {
+  std::string out;
+  auto schema = cluster->catalog()->GetTable(spec.table);
+  for (const storage::RangePredicate& p : spec.predicates) {
+    std::string name =
+        schema.ok() && p.column >= 0 &&
+                static_cast<size_t>(p.column) < schema->num_columns()
+            ? schema->column(p.column).name
+            : "col" + std::to_string(p.column);
+    if (!p.lo.is_null()) {
+      if (!out.empty()) out += " and ";
+      out += name + " >= " + p.lo.ToString();
+    }
+    if (!p.hi.is_null()) {
+      if (!out.empty()) out += " and ";
+      out += name + " <= " + p.hi.ToString();
+    }
+  }
+  if (spec.filter) {
+    if (!out.empty()) out += ", ";
+    out += "filter(" + spec.filter->ToString() + ")";
+  }
+  return out;
+}
+
+/// Sums one scan site's per-slice telemetry into a ScanProfile on
+/// ExecStats (leader thread, after the site's fan-out joined).
+void AddScanProfile(ExecStats* stats, Cluster* cluster, const char* site,
+                    const plan::ScanSpec& spec,
+                    const std::vector<exec::ScanTelemetry>& slices) {
+  ScanProfile profile;
+  profile.site = site;
+  profile.table = spec.table;
+  profile.predicates = RenderPredicates(cluster, spec);
+  for (const exec::ScanTelemetry& t : slices) {
+    profile.rows_scanned += t.rows_scanned;
+    profile.rows_out += t.rows_out;
+    profile.blocks_read += t.blocks_read;
+    profile.blocks_skipped += t.blocks_skipped;
+    profile.bytes_decoded += t.bytes_decoded;
+  }
+  stats->scans.push_back(std::move(profile));
 }
 
 /// Number of slices that scan `table` (ALL tables are scanned on a
@@ -102,6 +161,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
   SDW_ASSIGN_OR_RETURN(int probe_slices,
                        ScanSliceCount(cluster_, query.scan.table));
   stats->slice_seconds.assign(slices, 0.0);
+  obs::QueryProgress* progress = options_.progress;
 
   // --- Pre-passes for join strategies that move data. ---
   // Each pre-pass fans its per-slice scans out on the pool; every task
@@ -124,6 +184,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                            ScanOutputTypes(cluster_, join.build));
       std::vector<exec::Batch> parts(build_slices);
       std::vector<double> part_seconds(build_slices, 0.0);
+      // Per-slice telemetry slots, like part_seconds: each worker fills
+      // only its own, the leader sums after the join.
+      std::vector<exec::ScanTelemetry> btel;
+      if (options_.scan_telemetry) btel.assign(build_slices, {});
       // Spans are created on the leader thread before the fan-out;
       // workers only write their own span's counters (deque gives
       // pointer stability), which keeps this TSan-clean.
@@ -139,8 +203,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
           build_slices, [&](int s) -> Status {
             sim::Stopwatch timer;
             obs::ScopedSpan scoped(bspans[s]);
-            SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                                 BuildScan(snapshot, s, join.build));
+            SDW_ASSIGN_OR_RETURN(
+                exec::OperatorPtr op,
+                BuildScan(snapshot, s, join.build,
+                          btel.empty() ? nullptr : &btel[s], progress));
             SDW_ASSIGN_OR_RETURN(parts[s], exec::Collect(op.get()));
             part_seconds[s] = timer.Seconds();
             if (bspans[s]) {
@@ -149,6 +215,9 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
             }
             return Status::OK();
           }));
+      if (!btel.empty()) {
+        AddScanProfile(stats, cluster_, "build", join.build, btel);
+      }
       exec::Batch collected = exec::MakeBatch(build_types);
       for (int s = 0; s < build_slices; ++s) {
         stats->slice_seconds[s] += part_seconds[s];
@@ -172,7 +241,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
       auto shuffle = [&](const plan::ScanSpec& spec,
                          const std::vector<int>& keys,
                          std::vector<exec::Batch>* buckets,
-                         const char* label) -> Status {
+                         const char* label, const char* site) -> Status {
         SDW_ASSIGN_OR_RETURN(int side_slices,
                              ScanSliceCount(cluster_, spec.table));
         SDW_ASSIGN_OR_RETURN(std::vector<TypeId> types,
@@ -183,6 +252,8 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         std::vector<std::vector<exec::Batch>> local(side_slices);
         std::vector<double> secs(side_slices, 0.0);
         std::vector<uint64_t> net(side_slices, 0);
+        std::vector<exec::ScanTelemetry> stel;
+        if (options_.scan_telemetry) stel.assign(side_slices, {});
         obs::Span* sparent =
             trace ? trace->AddSpan(label, root->span_id, 1) : nullptr;
         std::vector<obs::Span*> sspans(side_slices, nullptr);
@@ -195,8 +266,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
             side_slices, [&](int s) -> Status {
               sim::Stopwatch timer;
               obs::ScopedSpan scoped(sspans[s]);
-              SDW_ASSIGN_OR_RETURN(exec::OperatorPtr op,
-                                   BuildScan(snapshot, s, spec));
+              SDW_ASSIGN_OR_RETURN(
+                  exec::OperatorPtr op,
+                  BuildScan(snapshot, s, spec,
+                            stel.empty() ? nullptr : &stel[s], progress));
               std::vector<exec::Batch>& mine = local[s];
               mine.reserve(slices);
               for (int t = 0; t < slices; ++t) {
@@ -235,6 +308,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
               }
               return Status::OK();
             }));
+        if (!stel.empty()) AddScanProfile(stats, cluster_, site, spec, stel);
         buckets->clear();
         for (int t = 0; t < slices; ++t) {
           buckets->push_back(exec::MakeBatch(types));
@@ -252,17 +326,29 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
         return Status::OK();
       };
       SDW_RETURN_IF_ERROR(shuffle(query.scan, query.join->probe_keys,
-                                  &probe_buckets, "shuffle probe"));
+                                  &probe_buckets, "shuffle probe", "probe"));
       SDW_RETURN_IF_ERROR(shuffle(query.join->build, query.join->build_keys,
-                                  &build_buckets, "shuffle build"));
+                                  &build_buckets, "shuffle build", "build"));
     }
   }
 
   // --- Per-slice pipelines, one pool task per slice. ---
   const int pipeline_slices = use_buckets ? slices : probe_slices;
+  if (progress != nullptr) progress->set_slices_total(pipeline_slices);
   std::vector<exec::Batch> outputs(pipeline_slices);
   std::vector<double> secs(pipeline_slices, 0.0);
   std::vector<uint64_t> net(pipeline_slices, 0);
+  // kShuffle pipelines read the shuffle buckets (already profiled by
+  // the pre-pass); only direct shard scans get telemetry slots here.
+  std::vector<exec::ScanTelemetry> ptel;
+  std::vector<exec::ScanTelemetry> ctel;  // co-located build
+  const bool colocated_build =
+      !use_buckets && query.join.has_value() &&
+      query.join->strategy == plan::JoinStrategy::kCoLocated;
+  if (options_.scan_telemetry && !use_buckets) {
+    ptel.assign(pipeline_slices, {});
+    if (colocated_build) ctel.assign(pipeline_slices, {});
+  }
   obs::Span* pparent =
       trace ? trace->AddSpan("pipeline", root->span_id, 2) : nullptr;
   std::vector<obs::Span*> pspans(pipeline_slices, nullptr);
@@ -290,7 +376,9 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
                                     query.join->probe_keys,
                                     query.join->build_keys);
         } else {
-          SDW_ASSIGN_OR_RETURN(pipeline, BuildScan(snapshot, s, query.scan));
+          SDW_ASSIGN_OR_RETURN(
+              pipeline, BuildScan(snapshot, s, query.scan,
+                                  ptel.empty() ? nullptr : &ptel[s], progress));
           if (query.join.has_value()) {
             const plan::JoinSpec& join = *query.join;
             exec::OperatorPtr build;
@@ -299,7 +387,10 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
               one.push_back(CopyBatch(broadcast_build));
               build = exec::MemoryScan(build_types, std::move(one));
             } else {  // co-located
-              SDW_ASSIGN_OR_RETURN(build, BuildScan(snapshot, s, join.build));
+              SDW_ASSIGN_OR_RETURN(
+                  build,
+                  BuildScan(snapshot, s, join.build,
+                            ctel.empty() ? nullptr : &ctel[s], progress));
             }
             pipeline = exec::HashJoin(std::move(pipeline), std::move(build),
                                       join.probe_keys, join.build_keys);
@@ -319,8 +410,15 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlices(
           pspans[s]->counters.bytes_shuffled = net[s];
           pspans[s]->real_seconds = secs[s];
         }
+        if (progress != nullptr) progress->SliceDone();
         return Status::OK();
       }));
+  if (!ptel.empty()) {
+    AddScanProfile(stats, cluster_, "probe", query.scan, ptel);
+  }
+  if (!ctel.empty()) {
+    AddScanProfile(stats, cluster_, "build", query.join->build, ctel);
+  }
   for (int s = 0; s < pipeline_slices; ++s) {
     stats->slice_seconds[s] += secs[s];
     stats->network_bytes += net[s];
@@ -379,6 +477,12 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
     out_types = scan_types;
   }
 
+  // Interpreted mode keeps live slice progress but records no scan
+  // profiles: RowScan has no zone-map/block accounting (stl_scan only
+  // covers the compiled production path).
+  if (options_.progress != nullptr) {
+    options_.progress->set_slices_total(probe_slices);
+  }
   std::vector<exec::Batch> outputs(probe_slices);
   std::vector<double> secs(probe_slices, 0.0);
   std::vector<uint64_t> net(probe_slices, 0);
@@ -413,6 +517,7 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
       pspans[s]->counters.bytes_shuffled = net[s];
       pspans[s]->real_seconds = secs[s];
     }
+    if (options_.progress != nullptr) options_.progress->SliceDone();
     return Status::OK();
   }));
   for (int s = 0; s < probe_slices; ++s) {
@@ -425,6 +530,9 @@ Result<std::vector<exec::Batch>> QueryExecutor::RunSlicesInterpreted(
 Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   QueryResult result;
   ExecStats& stats = result.stats;
+  if (options_.progress != nullptr) {
+    options_.progress->set_phase(obs::QueryPhase::kExec);
+  }
   obs::Trace* trace = nullptr;
   obs::Span* root = nullptr;
   if (options_.trace) {
@@ -471,6 +579,9 @@ Result<QueryResult> QueryExecutor::Execute(const plan::PhysicalQuery& query) {
   }
 
   // --- Leader finalization. ---
+  if (options_.progress != nullptr) {
+    options_.progress->set_phase(obs::QueryPhase::kFinalize);
+  }
   sim::Stopwatch leader_timer;
   obs::Span* finalize =
       trace ? trace->AddSpan("finalize", root->span_id, 3) : nullptr;

@@ -8,6 +8,7 @@
 #include "cluster/cluster.h"
 #include "cluster/cost_model.h"
 #include "exec/batch.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "plan/physical.h"
 
@@ -44,6 +45,28 @@ struct ExecOptions {
   /// the current version of the query's tables itself, so even direct
   /// executor users get one consistent version across all slices.
   std::shared_ptr<const ReadSnapshot> snapshot;
+  /// Record per-scan-site telemetry (ExecStats::scans → stl_scan). On
+  /// by default; the bench's baseline arm turns the whole workload-
+  /// intelligence layer off to measure its overhead.
+  bool scan_telemetry = true;
+  /// Live progress counters for stv_inflight (owned by the warehouse's
+  /// in-flight registry); null when nobody is watching.
+  obs::QueryProgress* progress = nullptr;
+};
+
+/// Telemetry for one scan site of the plan, summed over its slices —
+/// the raw material for stl_scan. All fields are deterministic
+/// (metadata-derived counts, canonical predicate text), so serial and
+/// pooled runs produce identical profiles.
+struct ScanProfile {
+  std::string site;  // "probe" | "build"
+  std::string table;
+  std::string predicates;  // canonical text; empty for a full scan
+  uint64_t rows_scanned = 0;
+  uint64_t rows_out = 0;
+  uint64_t blocks_read = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_decoded = 0;
 };
 
 /// Per-query execution telemetry.
@@ -68,6 +91,10 @@ struct ExecStats {
   /// Block reads that fell through to the S3 page-fault path (§2.3
   /// streaming restore / both copies gone).
   uint64_t s3_fault_reads = 0;
+  /// Per-scan-site telemetry in deterministic plan order (build
+  /// pre-passes before pipeline scans). Empty when
+  /// ExecOptions::scan_telemetry is off or in interpreted mode.
+  std::vector<ScanProfile> scans;
 
   double MaxSliceSeconds() const {
     double m = 0;

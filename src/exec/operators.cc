@@ -8,6 +8,7 @@
 #include "common/hash.h"
 #include "exec/hll.h"
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace sdw::exec {
 
@@ -96,7 +97,9 @@ class ShardScanOp : public Operator {
       : ref_(std::move(ref)),
         columns_(std::move(columns)),
         options_(options),
-        ranges_(ref_.shard->CandidateRanges(*ref_.version, predicates)) {}
+        ranges_(ref_.shard->CandidateRanges(*ref_.version, predicates)) {
+    if (options_.telemetry != nullptr) RecordStaticTelemetry();
+  }
 
   std::vector<TypeId> OutputTypes() const override {
     std::vector<TypeId> types;
@@ -122,6 +125,12 @@ class ShardScanOp : public Operator {
       SDW_ASSIGN_OR_RETURN(
           std::vector<ColumnVector> cols,
           ref_.shard->ReadRange(*ref_.version, columns_, {begin, end}));
+      if (options_.telemetry != nullptr) {
+        options_.telemetry->rows_scanned += end - begin;
+      }
+      if (options_.progress != nullptr) {
+        options_.progress->AddRowsScanned(end - begin);
+      }
       Batch batch;
       batch.columns = std::move(cols);
       return std::optional<Batch>(std::move(batch));
@@ -130,12 +139,63 @@ class ShardScanOp : public Operator {
   }
 
  private:
+  // Counts, per projected column chain, the blocks overlapping a
+  // candidate range (they will be decoded) vs the rest (zone-map
+  // skipped). Pure metadata walk over the immutable version — the same
+  // numbers on every run, whatever the decode cache holds.
+  void RecordStaticTelemetry() {
+    ScanTelemetry* t = options_.telemetry;
+    for (int c : columns_) {
+      const auto& chain = ref_.version->chains[c];
+      size_t range_index = 0;
+      for (const storage::BlockMeta& block : chain) {
+        const uint64_t block_end = block.first_row + block.row_count;
+        while (range_index < ranges_.size() &&
+               ranges_[range_index].end <= block.first_row) {
+          ++range_index;
+        }
+        const bool overlaps = range_index < ranges_.size() &&
+                              ranges_[range_index].begin < block_end;
+        if (overlaps) {
+          t->blocks_read++;
+          t->bytes_decoded += block.encoded_bytes;
+        } else {
+          t->blocks_skipped++;
+        }
+      }
+    }
+  }
+
   storage::ShardRef ref_;
   std::vector<int> columns_;
   ScanOptions options_;
   std::vector<storage::RowRange> ranges_;
   size_t range_index_ = 0;
   uint64_t offset_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// CountRows
+// ---------------------------------------------------------------------------
+
+class CountRowsOp : public Operator {
+ public:
+  CountRowsOp(OperatorPtr input, uint64_t* counter)
+      : input_(std::move(input)), counter_(counter) {}
+
+  std::vector<TypeId> OutputTypes() const override {
+    return input_->OutputTypes();
+  }
+
+  Result<std::optional<Batch>> Next() override {
+    SDW_ASSIGN_OR_RETURN(std::optional<Batch> batch, input_->Next());
+    if (batch.has_value()) *counter_ += batch->num_rows();
+    return batch;
+  }
+
+ private:
+  OperatorPtr input_;
+  uint64_t* counter_;
 };
 
 // ---------------------------------------------------------------------------
@@ -753,6 +813,10 @@ OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
 
 OperatorPtr Filter(OperatorPtr input, ExprPtr predicate) {
   return std::make_unique<FilterOp>(std::move(input), std::move(predicate));
+}
+
+OperatorPtr CountRows(OperatorPtr input, uint64_t* counter) {
+  return std::make_unique<CountRowsOp>(std::move(input), counter);
 }
 
 OperatorPtr Project(OperatorPtr input, std::vector<ExprPtr> exprs) {

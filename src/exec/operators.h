@@ -9,6 +9,10 @@
 #include "exec/expr.h"
 #include "storage/table_shard.h"
 
+namespace sdw::obs {
+class QueryProgress;
+}  // namespace sdw::obs
+
 namespace sdw::exec {
 
 /// A pull-based batch operator (vectorized Volcano). Next() yields
@@ -33,11 +37,30 @@ Result<Batch> Collect(Operator* op);
 /// queues, ALL-distributed dimension tables).
 OperatorPtr MemoryScan(std::vector<TypeId> types, std::vector<Batch> batches);
 
+/// Per-scan telemetry filled by ShardScan (and CountRows for rows_out).
+/// Block and byte counts are computed statically at operator
+/// construction from the pinned version's chain metadata and the
+/// zone-map candidate ranges — deterministic regardless of decode-cache
+/// state or scheduling; rows_scanned accumulates as batches decode.
+struct ScanTelemetry {
+  uint64_t rows_scanned = 0;
+  uint64_t rows_out = 0;
+  uint64_t blocks_read = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t bytes_decoded = 0;
+};
+
 /// Scans a table shard: zone-map pruning from the range predicates,
 /// then batch-wise decode of the surviving row ranges. `columns` picks
 /// and orders the projected columns.
 struct ScanOptions {
   size_t batch_rows = 4096;
+  /// Optional telemetry sink; must outlive the operator. Each slice's
+  /// scan gets its own struct (no cross-thread writes).
+  ScanTelemetry* telemetry = nullptr;
+  /// Optional live progress counters (stv_inflight); bumped with
+  /// relaxed atomics per batch, shared across slices.
+  obs::QueryProgress* progress = nullptr;
 };
 OperatorPtr ShardScan(storage::ShardRef ref, std::vector<int> columns,
                       std::vector<storage::RangePredicate> predicates = {},
@@ -50,6 +73,12 @@ OperatorPtr ShardScan(storage::TableShard* shard, std::vector<int> columns,
 
 /// Keeps rows where `predicate` evaluates to TRUE (NULL drops).
 OperatorPtr Filter(OperatorPtr input, ExprPtr predicate);
+
+/// Transparent pass-through that adds every batch's row count to
+/// `*counter`. Placed above a scan's filter to record post-filter
+/// cardinality (stl_scan's rows_out). `counter` must outlive the
+/// operator and be written from one thread only.
+OperatorPtr CountRows(OperatorPtr input, uint64_t* counter);
 
 /// Computes one output column per expression.
 OperatorPtr Project(OperatorPtr input, std::vector<ExprPtr> exprs);

@@ -99,6 +99,9 @@ Result<CopyStats> CopyExecutor::CopyFromPayloads(
     }
     SDW_RETURN_IF_ERROR(cluster_->InsertRows(table, columns, options.staging));
     stats.rows_loaded += columns[0].size();
+    if (options.progress != nullptr) {
+      options.progress->AddRowsScanned(columns[0].size());
+    }
   }
   if (options.statupdate && stats.rows_loaded > 0) {
     SDW_RETURN_IF_ERROR(cluster_->Analyze(table));

@@ -11,6 +11,7 @@
 #include "cluster/cost_model.h"
 #include "common/result.h"
 #include "common/retry.h"
+#include "obs/profiler.h"
 
 namespace sdw::load {
 
@@ -39,6 +40,9 @@ struct CopyOptions {
   /// can commit the whole COPY as one atomic version bump (readers see
   /// all files or none). Null keeps the legacy install-per-run path.
   cluster::StagedWrite* staging = nullptr;
+  /// Live progress counters for stv_inflight: rows_scanned counts rows
+  /// loaded so far (a COPY "scans" its input). Null when unwatched.
+  obs::QueryProgress* progress = nullptr;
 };
 
 struct CopyStats {

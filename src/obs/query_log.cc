@@ -7,7 +7,7 @@ QueryLog::Started QueryLog::StartQuery() {
   return {next_query_id_++, clock_};
 }
 
-void QueryLog::FinishQuery(QueryRecord record) {
+uint64_t QueryLog::FinishQuery(QueryRecord record) {
   common::MutexLock lock(mu_);
   if (record.trace) {
     record.trace->AssignVirtualTimes(record.start_tick);
@@ -16,7 +16,9 @@ void QueryLog::FinishQuery(QueryRecord record) {
     record.end_tick = record.start_tick + 1;
   }
   clock_ = std::max(clock_, record.end_tick);
+  uint64_t end_tick = record.end_tick;
   records_.push_back(std::move(record));
+  return end_tick;
 }
 
 std::vector<QueryRecord> QueryLog::Snapshot() const {

@@ -21,6 +21,11 @@ struct QueryRecord {
   uint64_t start_tick = 0;
   uint64_t end_tick = 0;
   uint64_t result_rows = 0;
+  /// Measured admission wait vs execution time (the stl_query timing
+  /// split). Real seconds, not virtual ticks — they never feed the
+  /// deterministic byte-identity comparisons.
+  double queue_seconds = 0;
+  double exec_seconds = 0;
   /// The MVCC snapshot the query read: "table@version ..." for every
   /// pinned table, empty for non-SELECT statements and cache hits that
   /// never pinned one.
@@ -45,8 +50,9 @@ class QueryLog {
 
   /// Records a finished query: assigns virtual times to its trace
   /// (if any), advances the warehouse clock past the query's end, and
-  /// appends the record.
-  void FinishQuery(QueryRecord record) SDW_EXCLUDES(mu_);
+  /// appends the record. Returns the query's end tick (callers stamp
+  /// follow-on records like alerts with it).
+  uint64_t FinishQuery(QueryRecord record) SDW_EXCLUDES(mu_);
 
   std::vector<QueryRecord> Snapshot() const SDW_EXCLUDES(mu_);
   uint64_t now() const SDW_EXCLUDES(mu_);

@@ -29,6 +29,16 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Monotonic nanosecond timestamp for cross-thread elapsed-time
+/// bookkeeping. A Stopwatch is single-owner (Restart() races with
+/// Seconds()); code that publishes a start time to concurrent readers
+/// stores this value in a std::atomic<int64_t> instead.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace sdw::sim
 
 #endif  // SDW_SIM_STOPWATCH_H_

@@ -64,6 +64,10 @@ class LruQueryCache {
   LruQueryCache(size_t capacity, CacheMetrics metrics)
       : capacity_(capacity < 1 ? 1 : capacity), metrics_(metrics) {}
 
+  /// The cache's registry counters (gauge sampling reads hit rates off
+  /// them; note the counters are process-global per prefix).
+  const CacheMetrics& metrics() const { return metrics_; }
+
   std::shared_ptr<const V> Lookup(uint64_t fingerprint,
                                   const std::string& canonical_text,
                                   const TableVersions& versions)

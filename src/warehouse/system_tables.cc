@@ -24,10 +24,14 @@ ColumnDef DblCol(const std::string& name) {
 
 Result<TableSchema> SchemaFor(const std::string& name) {
   if (name == "stl_query") {
+    // queue_seconds/exec_seconds are measured real time (the WLM split
+    // of the old `elapsed` tick delta, which stays derivable from the
+    // tick columns) — deterministic comparisons must project them out.
     return TableSchema(name, {IntCol("query_id"), StrCol("sql_text"),
                               StrCol("status"), IntCol("start_tick"),
-                              IntCol("end_tick"), IntCol("elapsed"),
-                              IntCol("result_rows"), IntCol("blocks_decoded"),
+                              IntCol("end_tick"), DblCol("queue_seconds"),
+                              DblCol("exec_seconds"), IntCol("result_rows"),
+                              IntCol("blocks_decoded"),
                               IntCol("network_bytes"), IntCol("masked_reads"),
                               IntCol("s3_fault_reads"), StrCol("snapshot")});
   }
@@ -66,6 +70,37 @@ Result<TableSchema> SchemaFor(const std::string& name) {
                               StrCol("tables"), IntCol("hits"),
                               IntCol("entry_rows"), IntCol("live")});
   }
+  if (name == "stl_scan") {
+    return TableSchema(name, {IntCol("scan_id"), IntCol("query_id"),
+                              StrCol("tbl"), StrCol("site"),
+                              StrCol("predicates"), IntCol("rows_scanned"),
+                              IntCol("rows_out"), IntCol("blocks_read"),
+                              IntCol("blocks_skipped"),
+                              IntCol("bytes_decoded")});
+  }
+  if (name == "stv_inflight") {
+    return TableSchema(name, {IntCol("inflight_id"), IntCol("session_id"),
+                              StrCol("statement"), StrCol("phase"),
+                              IntCol("rows_scanned"), IntCol("slices_done"),
+                              IntCol("slices_total"),
+                              DblCol("queued_seconds"),
+                              DblCol("exec_seconds")});
+  }
+  if (name == "stv_gauge_history") {
+    return TableSchema(name, {IntCol("seq"), IntCol("tick"),
+                              IntCol("wlm_queued"), IntCol("wlm_running"),
+                              IntCol("wlm_max_in_flight"),
+                              DblCol("result_cache_hit_rate"),
+                              DblCol("segment_cache_hit_rate"),
+                              IntCol("gc_backlog"),
+                              IntCol("degraded_blocks")});
+  }
+  if (name == "stl_alert_event_log") {
+    return TableSchema(name, {IntCol("alert_id"), IntCol("query_id"),
+                              IntCol("tick"), StrCol("rule"), StrCol("tbl"),
+                              DblCol("evidence"), StrCol("detail"),
+                              StrCol("action")});
+  }
   return Status::NotFound("unknown system table '" + name + "'");
 }
 
@@ -83,13 +118,14 @@ exec::Batch BuildStlQuery(const obs::QueryLog& log,
     b.columns[2].AppendString(q.status);
     AppendTicks(&b.columns[3], q.start_tick);
     AppendTicks(&b.columns[4], q.end_tick);
-    AppendTicks(&b.columns[5], q.elapsed());
-    AppendTicks(&b.columns[6], q.result_rows);
-    AppendTicks(&b.columns[7], q.counters.blocks_decoded);
-    AppendTicks(&b.columns[8], q.counters.bytes_shuffled);
-    AppendTicks(&b.columns[9], q.counters.masked_reads);
-    AppendTicks(&b.columns[10], q.counters.s3_fault_reads);
-    b.columns[11].AppendString(q.snapshot);
+    b.columns[5].AppendDouble(q.queue_seconds);
+    b.columns[6].AppendDouble(q.exec_seconds);
+    AppendTicks(&b.columns[7], q.result_rows);
+    AppendTicks(&b.columns[8], q.counters.blocks_decoded);
+    AppendTicks(&b.columns[9], q.counters.bytes_shuffled);
+    AppendTicks(&b.columns[10], q.counters.masked_reads);
+    AppendTicks(&b.columns[11], q.counters.s3_fault_reads);
+    b.columns[12].AppendString(q.snapshot);
   }
   return b;
 }
@@ -245,12 +281,88 @@ exec::Batch BuildStvCache(const SystemTableSources& sources,
   return b;
 }
 
+exec::Batch BuildStlScan(const obs::ScanLog* log, const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  if (log == nullptr) return b;
+  for (const obs::ScanRecord& s : log->Snapshot()) {
+    b.columns[0].AppendInt(s.scan_id);
+    b.columns[1].AppendInt(s.query_id);
+    b.columns[2].AppendString(s.table);
+    b.columns[3].AppendString(s.site);
+    b.columns[4].AppendString(s.predicates);
+    b.columns[5].AppendInt(static_cast<int64_t>(s.rows_scanned));
+    b.columns[6].AppendInt(static_cast<int64_t>(s.rows_out));
+    b.columns[7].AppendInt(static_cast<int64_t>(s.blocks_read));
+    b.columns[8].AppendInt(static_cast<int64_t>(s.blocks_skipped));
+    b.columns[9].AppendInt(static_cast<int64_t>(s.bytes_decoded));
+  }
+  return b;
+}
+
+exec::Batch BuildStvInflight(const obs::InflightRegistry* inflight,
+                             const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  if (inflight == nullptr) return b;
+  for (const obs::InflightEntry& e : inflight->Snapshot()) {
+    b.columns[0].AppendInt(e.inflight_id);
+    b.columns[1].AppendInt(e.session_id);
+    b.columns[2].AppendString(e.statement);
+    b.columns[3].AppendString(e.phase);
+    b.columns[4].AppendInt(static_cast<int64_t>(e.rows_scanned));
+    b.columns[5].AppendInt(e.slices_done);
+    b.columns[6].AppendInt(e.slices_total);
+    b.columns[7].AppendDouble(e.queued_seconds);
+    b.columns[8].AppendDouble(e.exec_seconds);
+  }
+  return b;
+}
+
+exec::Batch BuildStvGaugeHistory(const obs::GaugeHistory* gauges,
+                                 const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  if (gauges == nullptr) return b;
+  for (const obs::GaugeSample& s : gauges->Snapshot()) {
+    b.columns[0].AppendInt(s.seq);
+    AppendTicks(&b.columns[1], s.tick);
+    b.columns[2].AppendInt(s.wlm_queued);
+    b.columns[3].AppendInt(s.wlm_running);
+    b.columns[4].AppendInt(s.wlm_max_in_flight);
+    b.columns[5].AppendDouble(s.result_cache_hit_rate);
+    b.columns[6].AppendDouble(s.segment_cache_hit_rate);
+    b.columns[7].AppendInt(static_cast<int64_t>(s.gc_backlog));
+    b.columns[8].AppendInt(static_cast<int64_t>(s.degraded_blocks));
+  }
+  return b;
+}
+
+exec::Batch BuildStlAlertEventLog(const obs::AlertLog* alerts,
+                                  const TableSchema& schema) {
+  exec::Batch b;
+  for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
+  if (alerts == nullptr) return b;
+  for (const obs::AlertEvent& a : alerts->Snapshot()) {
+    b.columns[0].AppendInt(a.alert_id);
+    b.columns[1].AppendInt(a.query_id);
+    AppendTicks(&b.columns[2], a.tick);
+    b.columns[3].AppendString(a.rule);
+    b.columns[4].AppendString(a.table);
+    b.columns[5].AppendDouble(a.evidence);
+    b.columns[6].AppendString(a.detail);
+    b.columns[7].AppendString(a.action);
+  }
+  return b;
+}
+
 }  // namespace
 
 bool IsSystemTable(const std::string& name) {
   static const std::set<std::string>* tables = new std::set<std::string>{
       "stl_query", "stl_span", "stv_blocklist", "stv_metrics",
-      "stl_health_events", "stl_wlm", "stv_cache"};
+      "stl_health_events", "stl_wlm", "stv_cache", "stl_scan",
+      "stv_inflight", "stv_gauge_history", "stl_alert_event_log"};
   return tables->count(name) > 0;
 }
 
@@ -274,6 +386,14 @@ Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
     data = BuildStlWlm(*sources.wlm, schema);
   } else if (query.from_table == "stv_cache") {
     data = BuildStvCache(sources, schema);
+  } else if (query.from_table == "stl_scan") {
+    data = BuildStlScan(sources.scan_log, schema);
+  } else if (query.from_table == "stv_inflight") {
+    data = BuildStvInflight(sources.inflight, schema);
+  } else if (query.from_table == "stv_gauge_history") {
+    data = BuildStvGaugeHistory(sources.gauges, schema);
+  } else if (query.from_table == "stl_alert_event_log") {
+    data = BuildStlAlertEventLog(sources.alerts, schema);
   } else {
     data = BuildStlHealthEvents(*sources.event_log, schema);
   }
@@ -325,10 +445,23 @@ Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
 }
 
 std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
-                                 const cluster::QueryResult& result) {
+                                 const cluster::QueryResult& result,
+                                 const std::vector<obs::AlertEvent>& alerts) {
   const obs::Trace* trace = result.trace.get();
   const cluster::ExecStats& stats = result.stats;
   auto fmt = [](uint64_t v) { return std::to_string(v); };
+  // Zone-map accounting per plan site, from the scan profiles the
+  // executor recorded (absent in interpreted mode).
+  auto scan_line = [&](const char* site, const std::string& table) {
+    for (const cluster::ScanProfile& p : stats.scans) {
+      if (p.site != site || p.table != table) continue;
+      return "\n     (blocks_read=" + fmt(p.blocks_read) +
+             " blocks_skipped=" + fmt(p.blocks_skipped) +
+             " rows_scanned=" + fmt(p.rows_scanned) +
+             " rows_out=" + fmt(p.rows_out) + ")";
+    }
+    return std::string();
+  };
 
   std::string out = "XN Scan " + query.scan.table + " (cols";
   for (int c : query.scan.columns) out += " " + std::to_string(c);
@@ -341,6 +474,7 @@ std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
   out += "\n     (blocks_decoded=" + fmt(stats.blocks_decoded) +
          " masked_reads=" + fmt(stats.masked_reads) +
          " s3_fault_reads=" + fmt(stats.s3_fault_reads) + ")";
+  out += scan_line("probe", query.scan.table);
 
   if (query.join.has_value()) {
     out += "\n  -> " +
@@ -349,6 +483,7 @@ std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
     if (query.join->build.filter) {
       out += " (build filter " + query.join->build.filter->ToString() + ")";
     }
+    out += scan_line("build", query.join->build.table);
     if (trace) {
       if (query.join->strategy == plan::JoinStrategy::kBroadcastBuild) {
         const obs::SpanCounters scans = trace->SumByName("broadcast scan");
@@ -405,6 +540,11 @@ std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
            fmt(trace->root()->end_tick - trace->root()->start_tick);
   }
   out += ")";
+  for (const obs::AlertEvent& a : alerts) {
+    out += "\nAlert: " + a.rule;
+    if (!a.table.empty()) out += " on " + a.table;
+    out += " — " + a.detail + " (suggested: " + a.action + ")";
+  }
   return out;
 }
 

@@ -11,6 +11,8 @@
 #include "cluster/wlm.h"
 #include "common/result.h"
 #include "exec/batch.h"
+#include "obs/alerts.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "plan/logical.h"
 #include "plan/physical.h"
@@ -20,7 +22,8 @@ namespace sdw::warehouse {
 
 /// True when `name` is one of the Redshift-style observability system
 /// tables: stl_query, stl_span, stv_blocklist, stv_metrics,
-/// stl_health_events, stl_wlm, stv_cache.
+/// stl_health_events, stl_wlm, stv_cache, stl_scan, stv_inflight,
+/// stv_gauge_history, stl_alert_event_log.
 bool IsSystemTable(const std::string& name);
 
 struct SystemQueryResult {
@@ -39,6 +42,10 @@ struct SystemTableSources {
   const cluster::AdmissionController* wlm = nullptr;
   SegmentCache* segment_cache = nullptr;
   ResultCache* result_cache = nullptr;
+  const obs::ScanLog* scan_log = nullptr;
+  const obs::InflightRegistry* inflight = nullptr;
+  const obs::GaugeHistory* gauges = nullptr;
+  const obs::AlertLog* alerts = nullptr;
   std::map<std::string, uint64_t> table_versions;
 };
 
@@ -54,9 +61,13 @@ Result<SystemQueryResult> ExecuteSystemQuery(const plan::LogicalQuery& query,
 
 /// Renders the physical plan annotated with counters from the recorded
 /// trace (EXPLAIN ANALYZE). `trace` may be null (tracing disabled); the
-/// annotation then falls back to ExecStats totals only.
+/// annotation then falls back to ExecStats totals only. Scan lines are
+/// further annotated with per-scan zone-map accounting (blocks read vs
+/// skipped) when the result carries ScanProfiles, and any performance
+/// alerts the query fired are appended at the end.
 std::string RenderExplainAnalyze(const plan::PhysicalQuery& query,
-                                 const cluster::QueryResult& result);
+                                 const cluster::QueryResult& result,
+                                 const std::vector<obs::AlertEvent>& alerts = {});
 
 }  // namespace sdw::warehouse
 

@@ -267,6 +267,36 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
         "health sweep requires a replicated cluster (set "
         "ClusterConfig::replicate with >= 2 nodes)");
   }
+  // Gauge the pre-sweep state first: queue depth, cache hit rates, GC
+  // backlog, degradation — the time series stv_gauge_history serves,
+  // plus the sweep-time threshold alerts.
+  if (options_.workload_intelligence) {
+    auto hit_rate = [](const CacheMetrics& m) {
+      const double hits = static_cast<double>(m.hits->value());
+      const double misses = static_cast<double>(m.misses->value());
+      return hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    };
+    obs::GaugeSample sample;
+    sample.tick = query_log_.now();
+    sample.wlm_queued = static_cast<int>(admission_.queued());
+    sample.wlm_running = admission_.running();
+    sample.wlm_max_in_flight = admission_.max_in_flight();
+    sample.result_cache_hit_rate = hit_rate(result_cache_.metrics());
+    sample.segment_cache_hit_rate = hit_rate(segment_cache_.metrics());
+    sample.gc_backlog = cluster_->PendingGarbage();
+    sample.degraded_blocks = repl->CountSingleCopyBlocks();
+    gauges_.Record(sample);
+    obs::SweepAlertInputs sweep_inputs;
+    sweep_inputs.tick = sample.tick;
+    sweep_inputs.sample = sample;
+    sweep_inputs.wlm_slots = admission_.config().concurrency_slots;
+    sweep_inputs.gc_threshold =
+        options_.health_gc_threshold > 0
+            ? static_cast<uint64_t>(options_.health_gc_threshold)
+            : 0;
+    alerts_.Record(obs::EvaluateSweepAlerts(sweep_inputs));
+  }
+
   HealthStats stats;
   std::vector<int> to_replace;
   for (int n = 0; n < cluster_->num_nodes(); ++n) {
@@ -540,6 +570,10 @@ Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
       sources.wlm = &admission_;
       sources.segment_cache = &segment_cache_;
       sources.result_cache = &result_cache_;
+      sources.scan_log = &scan_log_;
+      sources.inflight = &inflight_;
+      sources.gauges = &gauges_;
+      sources.alerts = &alerts_;
       {
         common::MutexLock versions_lock(cache_mu_);
         sources.table_versions = table_versions_;
@@ -619,10 +653,32 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
     }
   }
 
+  // A miss on a fingerprint this warehouse has executed before is the
+  // result-cache-repeat-miss alert's trigger (the hit path returned
+  // above). First sight of a statement just records it.
+  bool repeat_cache_miss = false;
+  if (options_.workload_intelligence && options_.cache.enable_result_cache &&
+      !explain_analyze) {
+    common::MutexLock cache_lock(cache_mu_);
+    repeat_cache_miss = !seen_fingerprints_.insert(fingerprint).second;
+  }
+
+  // Register with stv_inflight before joining the admission queue so a
+  // queued statement is visible (phase "queued") while it waits.
+  obs::InflightRegistry::Ticket ticket;
+  if (options_.workload_intelligence) {
+    ticket = inflight_.Register(session_id, sql_text);
+  }
+
   SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
                        AdmitOrReport(&admission_, session_id, sql_text));
   WlmReportScope report(&admission_, session_id, sql_text,
                         slot.queued_seconds());
+  if (ticket) {
+    ticket.progress()->set_queued_seconds(slot.queued_seconds());
+    ticket.progress()->set_phase(obs::QueryPhase::kPlan);
+  }
+  sim::Stopwatch exec_timer;
   // Pin the MVCC snapshot AFTER admission: a write may have committed
   // while this statement sat in the WLM queue, and the cache entries
   // inserted below must be keyed by the versions the scans actually
@@ -654,13 +710,17 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
   record.sql_text = sql_text;
   record.start_tick = started.start_tick;
   record.snapshot = FormatVersions(pin.versions);
+  record.queue_seconds = slot.queued_seconds();
   cluster::ExecOptions exec_options = options_.exec;
   exec_options.segment_cache_hit = segment_hit;
   exec_options.snapshot = pin.snapshot;
+  exec_options.scan_telemetry = options_.workload_intelligence;
+  exec_options.progress = ticket ? ticket.progress() : nullptr;
   cluster::QueryExecutor executor(pin.cluster.get(), exec_options);
   Result<cluster::QueryResult> executed = executor.Execute(*physical);
   if (!executed.ok()) {
     record.status = "error";
+    record.exec_seconds = exec_timer.Seconds();
     query_log_.FinishQuery(std::move(record));
     return executed.status();
   }
@@ -683,13 +743,51 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
                                 /*stage=*/-1);
   }
   record.trace = query_result.trace;
+  record.exec_seconds = exec_timer.Seconds();
+  const double queue_seconds = record.queue_seconds;
+  const double exec_seconds = record.exec_seconds;
   // FinishQuery assigns the trace's virtual timestamps, so the EXPLAIN
   // ANALYZE rendering below sees final ticks.
-  query_log_.FinishQuery(std::move(record));
+  const uint64_t end_tick = query_log_.FinishQuery(std::move(record));
   report.set_state("run");
+
+  // Workload intelligence at query finish: log the per-scan telemetry
+  // (stl_scan + block heat) and evaluate the performance-alert rules
+  // over it. Alert ticks are the query's end tick, so serial and
+  // pooled runs log byte-identical alert histories.
+  std::vector<obs::AlertEvent> fired;
+  if (options_.workload_intelligence) {
+    std::vector<obs::ScanRecord> scans;
+    scans.reserve(query_result.stats.scans.size());
+    for (const cluster::ScanProfile& profile : query_result.stats.scans) {
+      obs::ScanRecord scan;
+      scan.query_id = started.query_id;
+      scan.table = profile.table;
+      scan.site = profile.site;
+      scan.predicates = profile.predicates;
+      scan.rows_scanned = profile.rows_scanned;
+      scan.rows_out = profile.rows_out;
+      scan.blocks_read = profile.blocks_read;
+      scan.blocks_skipped = profile.blocks_skipped;
+      scan.bytes_decoded = profile.bytes_decoded;
+      scans.push_back(std::move(scan));
+    }
+    obs::QueryAlertInputs inputs;
+    inputs.query_id = started.query_id;
+    inputs.tick = end_tick;
+    inputs.scans = scans;
+    inputs.masked_reads = query_result.stats.masked_reads;
+    inputs.queue_seconds = queue_seconds;
+    inputs.exec_seconds = exec_seconds;
+    inputs.repeat_cache_miss = repeat_cache_miss;
+    fired = obs::EvaluateQueryAlerts(inputs);
+    alerts_.Record(fired);
+    scan_log_.Append(std::move(scans));
+  }
+
   if (explain_analyze) {
     result.exec_stats = query_result.stats;
-    result.message = RenderExplainAnalyze(*physical, query_result);
+    result.message = RenderExplainAnalyze(*physical, query_result, fired);
     return result;
   }
   if (options_.cache.enable_result_cache) {
@@ -744,9 +842,19 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   // hold: a statement that fails halfway has still invalidated
   // everything it might have touched, and a reader pinning between
   // statements always sees versions and chains move together.
+  // Writes are visible in stv_inflight too — a long COPY is exactly
+  // what an operator polls for from another session.
+  obs::InflightRegistry::Ticket ticket;
+  if (options_.workload_intelligence) {
+    ticket = inflight_.Register(session_id, sql);
+  }
   SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
                        AdmitOrReport(&admission_, session_id, sql));
   WlmReportScope report(&admission_, session_id, sql, slot.queued_seconds());
+  if (ticket) {
+    ticket.progress()->set_queued_seconds(slot.queued_seconds());
+    ticket.progress()->set_phase(obs::QueryPhase::kExec);
+  }
   common::MutexLock statement_lock(writer_mu_);
 
   if (auto* create = std::get_if<sql::CreateTableStmt>(&stmt)) {
@@ -803,6 +911,7 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
     // the installed data instead of mid-load.
     copy_options.staging = &staged;
     copy_options.statupdate = false;
+    copy_options.progress = ticket ? ticket.progress() : nullptr;
     SDW_ASSIGN_OR_RETURN(result.copy_stats,
                          executor.CopyFromUri(copy->table, copy->source_uri,
                                               copy_options));

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "controlplane/control_plane.h"
 #include "durability/commit_log.h"
 #include "load/copy.h"
+#include "obs/alerts.h"
+#include "obs/profiler.h"
 #include "obs/query_log.h"
 #include "plan/planner.h"
 #include "security/keychain.h"
@@ -79,6 +82,12 @@ struct WarehouseOptions {
   /// the data plane's pending-garbage count (retired chain versions +
   /// dropped shards) reaches this threshold. 0 disables self-GC.
   int health_gc_threshold = 64;
+  /// The workload-intelligence layer: stl_scan telemetry, stv_inflight
+  /// progress, gauge sampling, and performance alerts. On by default;
+  /// the A17 bench's baseline arm turns it off to measure its overhead.
+  bool workload_intelligence = true;
+  /// Ring size of stv_gauge_history (one sample per health sweep).
+  size_t gauge_history_capacity = 256;
 };
 
 /// Outcome of one health sweep (§2.2: host managers restart, the
@@ -249,6 +258,15 @@ class Warehouse {
   obs::QueryLog* query_log() { return &query_log_; }
   obs::EventLog* event_log() { return &event_log_; }
 
+  /// Workload intelligence: per-scan telemetry + block heat (stl_scan),
+  /// live statement progress (stv_inflight), sweep gauge samples
+  /// (stv_gauge_history), and performance alerts
+  /// (stl_alert_event_log). All four are queryable through Execute().
+  obs::ScanLog* scan_log() { return &scan_log_; }
+  obs::InflightRegistry* inflight() { return &inflight_; }
+  obs::GaugeHistory* gauges() { return &gauges_; }
+  obs::AlertLog* alerts() { return &alerts_; }
+
   /// One MVCC garbage-collection sweep over the data plane: reclaims
   /// retired chain versions and dropped tables no pinned snapshot can
   /// reach anymore (VACUUM and DROP also collect inline).
@@ -360,6 +378,10 @@ class Warehouse {
   std::vector<controlplane::HostManager> host_managers_;
   obs::QueryLog query_log_;
   obs::EventLog event_log_;
+  obs::ScanLog scan_log_;
+  obs::InflightRegistry inflight_;
+  obs::GaugeHistory gauges_{options_.gauge_history_capacity};
+  obs::AlertLog alerts_;
 
   /// Lock order: admission slot -> writer_mu_ -> data_mu_ -> cache_mu_
   /// (then the caches' and data plane's internal locks, leaf-level).
@@ -382,6 +404,9 @@ class Warehouse {
   mutable common::SharedMutex data_mu_;
   mutable common::Mutex cache_mu_;
   std::map<std::string, uint64_t> table_versions_ SDW_GUARDED_BY(cache_mu_);
+  /// Statement fingerprints already seen by the result cache's miss
+  /// path — the result-cache-repeat-miss alert's memory.
+  std::set<uint64_t> seen_fingerprints_ SDW_GUARDED_BY(cache_mu_);
 
   cluster::AdmissionController admission_;
   SegmentCache segment_cache_;

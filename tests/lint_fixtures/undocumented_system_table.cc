@@ -1,0 +1,17 @@
+// Negative fixture for the system-table-doc rule: serving an stl_/stv_
+// table that DESIGN.md never mentions must trip the linter. Documented
+// names (stl_query here) pass. This file is never compiled.
+
+#include <string>
+
+namespace sdw::fixtures {
+
+std::string UndocumentedSystemTable(const std::string& name) {
+  if (name == "stl_query") return "documented";  // fine: in DESIGN.md
+  if (name == "stv_totally_undocumented") {  // lint:expect(system-table-doc)
+    return "who signed off on this?";
+  }
+  return "";
+}
+
+}  // namespace sdw::fixtures

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
 #include <set>
 #include <string>
 #include <thread>
@@ -213,6 +215,10 @@ void RunWorkload(warehouse::Warehouse* wh) {
   run(insert_d);
   run("ANALYZE f");
   run("ANALYZE d");
+  // A deliberately bad query shape: very selective (20 of 400 rows)
+  // but k=i%20 is unsorted, so zone maps skip nothing — this fires
+  // the selective-filter-no-skip alert deterministically.
+  run("SELECT COUNT(*) AS n FROM f WHERE k = 5");
   run("SELECT name, COUNT(*) AS n, SUM(v) AS s FROM f JOIN d "
       "ON f.k = d.id GROUP BY name ORDER BY name");
   run("SELECT k, COUNT(*) AS n FROM f WHERE k < 10 GROUP BY k ORDER BY k");
@@ -277,22 +283,44 @@ std::string TableDump(warehouse::Warehouse* wh, const std::string& sql) {
 }
 
 TEST(SystemTablesTest, SerialAndPooledRunsLogIdenticalTables) {
-  warehouse::Warehouse serial(ObsOptions(0));
-  warehouse::Warehouse pooled(ObsOptions(4));
-  RunWorkload(&serial);
-  RunWorkload(&pooled);
-
   // Every per-warehouse system table renders identically: virtual
   // ticks come from deterministic work counters, never wall clock.
-  for (const std::string& sql : {
-           std::string("SELECT * FROM stl_query ORDER BY query_id"),
-           std::string("SELECT * FROM stl_span ORDER BY query_id, span_id"),
-           std::string("SELECT tbl, node, slice, col, blk, rows, encoding "
-                       "FROM stv_blocklist ORDER BY tbl, node, slice, col, "
-                       "blk"),
-       }) {
-    EXPECT_EQ(TableDump(&serial, sql), TableDump(&pooled, sql)) << sql;
+  // stl_query projects out queue_seconds/exec_seconds (measured real
+  // time, the one documented nondeterminism in the table), and the
+  // gauge sample's cache hit rates come off process-global counters,
+  // so each arm runs from a clean registry.
+  const std::vector<std::string> sqls = {
+      "SELECT query_id, sql_text, status, start_tick, end_tick, "
+      "result_rows, blocks_decoded, network_bytes, masked_reads, "
+      "s3_fault_reads, snapshot FROM stl_query ORDER BY query_id",
+      "SELECT * FROM stl_span ORDER BY query_id, span_id",
+      "SELECT tbl, node, slice, col, blk, rows, encoding "
+      "FROM stv_blocklist ORDER BY tbl, node, slice, col, blk",
+      "SELECT * FROM stl_scan ORDER BY scan_id",
+      "SELECT * FROM stl_alert_event_log ORDER BY alert_id",
+      "SELECT * FROM stv_gauge_history ORDER BY seq",
+      "SELECT * FROM stv_inflight ORDER BY inflight_id",
+  };
+  std::map<std::string, std::string> dumps[2];
+  for (int arm = 0; arm < 2; ++arm) {
+    obs::Registry::Global().Reset();
+    warehouse::WarehouseOptions options = ObsOptions(arm == 0 ? 0 : 4);
+    options.cluster.replicate = true;  // the sweep gauges need replication
+    warehouse::Warehouse wh(options);
+    RunWorkload(&wh);
+    auto sweep = wh.RunHealthSweep();
+    ASSERT_TRUE(sweep.ok()) << sweep.status();
+    for (const std::string& sql : sqls) dumps[arm][sql] = TableDump(&wh, sql);
   }
+  for (const std::string& sql : sqls) {
+    EXPECT_EQ(dumps[0][sql], dumps[1][sql]) << sql;
+  }
+  // The histories being compared are non-trivial: the workload's bad
+  // query fired at least one alert and logged its scans.
+  EXPECT_NE(dumps[0]["SELECT * FROM stl_scan ORDER BY scan_id"], "");
+  EXPECT_NE(dumps[0]["SELECT * FROM stl_alert_event_log ORDER BY alert_id"]
+                .find("selective-filter-no-skip"),
+            std::string::npos);
 }
 
 TEST(SystemTablesTest, MetricsAccumulateIdenticallySerialVsPooled) {
@@ -321,15 +349,15 @@ TEST(SystemTablesTest, MetricsAccumulateIdenticallySerialVsPooled) {
             std::string::npos);
 }
 
-TEST(SystemTablesTest, StlQueryAnswersTopElapsed) {
+TEST(SystemTablesTest, StlQuerySplitsQueueAndExecSeconds) {
   warehouse::Warehouse wh(ObsOptions(0));
   RunWorkload(&wh);
-  auto r = wh.Execute("SELECT * FROM stl_query ORDER BY elapsed DESC LIMIT 10");
+  auto r = wh.Execute(
+      "SELECT * FROM stl_query ORDER BY exec_seconds DESC LIMIT 10");
   ASSERT_TRUE(r.ok()) << r.status();
   ASSERT_GT(r->rows.num_rows(), 0u);
   ASSERT_LE(r->rows.num_rows(), 10u);
   EXPECT_EQ(r->column_names[0], "query_id");
-  // Descending by elapsed.
   const auto& cols = r->rows.columns;
   auto schema_idx = [&](const std::string& name) {
     for (size_t i = 0; i < r->column_names.size(); ++i) {
@@ -337,16 +365,141 @@ TEST(SystemTablesTest, StlQueryAnswersTopElapsed) {
     }
     return -1;
   };
-  const int elapsed = schema_idx("elapsed");
-  ASSERT_GE(elapsed, 0);
-  for (size_t i = 1; i < r->rows.num_rows(); ++i) {
-    EXPECT_GE(cols[elapsed].IntAt(i - 1), cols[elapsed].IntAt(i));
+  const int queue = schema_idx("queue_seconds");
+  const int exec = schema_idx("exec_seconds");
+  ASSERT_GE(queue, 0);
+  ASSERT_GE(exec, 0);
+  for (size_t i = 0; i < r->rows.num_rows(); ++i) {
+    // Uncontended: no queue wait; every finished query spent real time
+    // executing.
+    EXPECT_GE(cols[queue].DoubleAt(i), 0.0);
+    EXPECT_GT(cols[exec].DoubleAt(i), 0.0);
+    if (i > 0) {
+      EXPECT_GE(cols[exec].DoubleAt(i - 1), cols[exec].DoubleAt(i));
+    }
   }
   // System-table queries are not themselves logged.
   auto again = wh.Execute("SELECT COUNT(*) AS n FROM stl_query");
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(static_cast<size_t>(again->rows.columns[0].IntAt(0)),
             wh.query_log()->Snapshot().size());
+}
+
+TEST(SystemTablesTest, ScanTelemetryFeedsStlScanAndBlockHeat) {
+  warehouse::Warehouse wh(ObsOptions(0));
+  RunWorkload(&wh);
+
+  // The bad query decoded all 400 rows of f, kept 20, and skipped no
+  // blocks — all from immutable version metadata.
+  auto r = wh.Execute(
+      "SELECT scan_id, tbl, predicates, rows_scanned, rows_out, blocks_read, "
+      "blocks_skipped FROM stl_scan WHERE tbl = 'f' ORDER BY scan_id");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->rows.num_rows(), 0u);
+  bool saw_selective = false;
+  for (size_t i = 0; i < r->rows.num_rows(); ++i) {
+    const std::string preds = r->rows.columns[2].StringAt(i);
+    if (preds.find("k >= 5") == std::string::npos) continue;
+    saw_selective = true;
+    EXPECT_NE(preds.find("k <= 5"), std::string::npos) << preds;
+    EXPECT_EQ(r->rows.columns[3].IntAt(i), 400);  // rows_scanned
+    EXPECT_EQ(r->rows.columns[4].IntAt(i), 20);   // rows_out
+    EXPECT_GE(r->rows.columns[5].IntAt(i), 4);    // blocks_read
+    EXPECT_EQ(r->rows.columns[6].IntAt(i), 0);    // blocks_skipped
+  }
+  EXPECT_TRUE(saw_selective);
+
+  // The per-table heat fold agrees with summing the log.
+  auto heat = wh.scan_log()->Heat();
+  ASSERT_TRUE(heat.count("f"));
+  EXPECT_GT(heat["f"].scans, 0u);
+  auto sums = wh.Execute(
+      "SELECT SUM(rows_scanned) AS rs, SUM(blocks_read) AS br "
+      "FROM stl_scan WHERE tbl = 'f'");
+  ASSERT_TRUE(sums.ok()) << sums.status();
+  EXPECT_EQ(static_cast<uint64_t>(sums->rows.columns[0].IntAt(0)),
+            heat["f"].rows_scanned);
+  EXPECT_EQ(static_cast<uint64_t>(sums->rows.columns[1].IntAt(0)),
+            heat["f"].blocks_read);
+}
+
+TEST(SystemTablesTest, SelectiveFilterAlertFiresDeterministically) {
+  warehouse::Warehouse wh(ObsOptions(0));
+  RunWorkload(&wh);
+
+  auto r = wh.Execute(
+      "SELECT query_id, rule, tbl, evidence, action "
+      "FROM stl_alert_event_log WHERE rule = 'selective-filter-no-skip'");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->rows.num_rows(), 0u);
+  EXPECT_GT(r->rows.columns[0].IntAt(0), 0);  // fired by a real query
+  EXPECT_EQ(r->rows.columns[2].StringAt(0), "f");
+  EXPECT_GE(r->rows.columns[3].DoubleAt(0), 4.0);  // blocks read
+  EXPECT_NE(r->rows.columns[4].StringAt(0).find("sort key"),
+            std::string::npos);
+
+  // EXPLAIN ANALYZE of the same shape surfaces the alert inline.
+  auto ea = wh.Execute("EXPLAIN ANALYZE SELECT COUNT(*) AS n FROM f "
+                       "WHERE k = 5");
+  ASSERT_TRUE(ea.ok()) << ea.status();
+  EXPECT_NE(ea->message.find("blocks_read="), std::string::npos)
+      << ea->message;
+  EXPECT_NE(ea->message.find("blocks_skipped="), std::string::npos)
+      << ea->message;
+  EXPECT_NE(ea->message.find("Alert: selective-filter-no-skip"),
+            std::string::npos)
+      << ea->message;
+}
+
+TEST(SystemTablesTest, InflightIsVisibleFromASecondSessionMidCopy) {
+  warehouse::Warehouse wh(ObsOptions(4));
+  warehouse::Warehouse::Session writer_session = wh.CreateSession();
+  warehouse::Warehouse::Session reader_session = wh.CreateSession();
+  auto created =
+      writer_session.Execute("CREATE TABLE logs (ts BIGINT, path VARCHAR)");
+  ASSERT_TRUE(created.ok()) << created.status();
+  std::string csv;
+  for (int i = 0; i < 20000; ++i) {
+    csv += std::to_string(i) + ",/page" + std::to_string(i % 7) + "\n";
+  }
+  ASSERT_TRUE(wh.s3()
+                  ->region("us-east-1")
+                  ->PutObject("bkt/live/part-0", Bytes(csv.begin(), csv.end()))
+                  .ok());
+
+  // The writer keeps COPYing until the reader has caught one mid-
+  // flight (bounded, so a miss fails the test instead of hanging).
+  std::atomic<bool> caught{false};
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 200 && !caught.load(); ++i) {
+      auto copied = writer_session.Execute("COPY logs FROM 's3://bkt/live/'");
+      EXPECT_TRUE(copied.ok()) << copied.status();
+    }
+    writer_done.store(true);
+  });
+  while (!writer_done.load()) {
+    // System-table reads bypass admission, so the probe never queues
+    // behind the COPY it is observing.
+    auto live = reader_session.Execute(
+        "SELECT session_id, statement, phase, rows_scanned "
+        "FROM stv_inflight");
+    ASSERT_TRUE(live.ok()) << live.status();
+    for (size_t i = 0; i < live->rows.num_rows(); ++i) {
+      if (live->rows.columns[1].StringAt(i).find("COPY") ==
+          std::string::npos) {
+        continue;
+      }
+      EXPECT_EQ(live->rows.columns[0].IntAt(i), writer_session.id());
+      caught.store(true);
+    }
+  }
+  writer.join();
+  EXPECT_TRUE(caught.load());
+  // Once everything drained, stv_inflight is empty again.
+  auto after = reader_session.Execute("SELECT COUNT(*) AS n FROM stv_inflight");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows.columns[0].IntAt(0), 0);
 }
 
 TEST(SystemTablesTest, AggregatesAndFiltersOverSystemTables) {
@@ -415,6 +568,22 @@ TEST(SystemTablesTest, HealthEventsAreQueryable) {
     if (events->rows.columns[1].StringAt(i) == "replace") saw_replace = true;
   }
   EXPECT_TRUE(saw_replace);
+
+  // The sweep gauged the pre-sweep state: the failed node left blocks
+  // at a single copy, so the sample shows degradation and the
+  // threshold rule filed a sweep alert (query_id -1).
+  auto gauges = wh.Execute(
+      "SELECT seq, degraded_blocks FROM stv_gauge_history ORDER BY seq");
+  ASSERT_TRUE(gauges.ok()) << gauges.status();
+  ASSERT_GT(gauges->rows.num_rows(), 0u);
+  EXPECT_GT(gauges->rows.columns[1].IntAt(0), 0);
+  auto alerts = wh.Execute(
+      "SELECT query_id, evidence FROM stl_alert_event_log "
+      "WHERE rule = 'replication-degraded'");
+  ASSERT_TRUE(alerts.ok()) << alerts.status();
+  ASSERT_GT(alerts->rows.num_rows(), 0u);
+  EXPECT_EQ(alerts->rows.columns[0].IntAt(0), -1);
+  EXPECT_GT(alerts->rows.columns[1].DoubleAt(0), 0.0);
 }
 
 TEST(SystemTablesTest, ExplainAnalyzeAnnotatesThePlan) {
@@ -427,6 +596,8 @@ TEST(SystemTablesTest, ExplainAnalyzeAnnotatesThePlan) {
   const std::string& msg = r->message;
   EXPECT_NE(msg.find("XN Scan f"), std::string::npos) << msg;
   EXPECT_NE(msg.find("blocks_decoded="), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocks_read="), std::string::npos) << msg;
+  EXPECT_NE(msg.find("blocks_skipped="), std::string::npos) << msg;
   EXPECT_NE(msg.find("SHUFFLE Hash Join"), std::string::npos) << msg;
   EXPECT_NE(msg.find("probe rows="), std::string::npos) << msg;
   EXPECT_NE(msg.find("Slice pipelines"), std::string::npos) << msg;

@@ -38,6 +38,11 @@ see (DESIGN.md section 4f):
                  an S3 write anywhere else can clobber the recovery
                  chain or leave objects the commit-log truncation and
                  backup GC do not know about.
+  system-table-doc
+                 Every stl_/stv_ table name that appears as a string
+                 literal in src/warehouse/system_tables.cc must also
+                 appear in DESIGN.md. System tables are user-facing
+                 API; an undocumented one is a contract nobody signed.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line.
 
@@ -92,6 +97,9 @@ MVCC_VERSIONS_OWNERS = {
 
 S3_WRITE_RE = re.compile(r"(?:->|\.)\s*(?:PutObject|DeleteObject)\s*\(")
 S3_WRITE_OWNER_PREFIXES = ("src/backup/", "src/durability/")
+
+SYSTEM_TABLE_FILE = "src/warehouse/system_tables.cc"
+SYSTEM_TABLE_NAME_RE = re.compile(r'"(st[lv]_[a-z0-9_]+)"')
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -286,6 +294,37 @@ def check_s3_writes(path, lines, scoped):
     return out
 
 
+def check_system_table_doc(path, lines, scoped):
+    """system-table-doc: stl_/stv_ tables served by system_tables.cc
+    must be named in DESIGN.md (the documented system-table catalog)."""
+    p = rel(path)
+    if scoped and p != SYSTEM_TABLE_FILE:
+        return []
+    design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    out = []
+    seen = set()
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        for m in SYSTEM_TABLE_NAME_RE.finditer(code):
+            name = m.group(1)
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in design:
+                continue
+            if line_allows(lines, i, "system-table-doc"):
+                continue
+            out.append(
+                Violation(
+                    p, i, "system-table-doc",
+                    f"system table '{name}' is not documented in "
+                    "DESIGN.md — add it to the system-table catalog "
+                    "before shipping it",
+                )
+            )
+    return out
+
+
 def check_file(path, scoped=True):
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
@@ -296,6 +335,7 @@ def check_file(path, scoped=True):
     violations += check_metric_names(path, text, lines, scoped)
     violations += check_mvcc_versions(path, lines, scoped)
     violations += check_s3_writes(path, lines, scoped)
+    violations += check_system_table_doc(path, lines, scoped)
     return violations
 
 
