@@ -80,7 +80,7 @@ class S3Region {
   Status CheckAvailable() const;
 
   std::string name_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kS3Region};
   std::map<std::string, Bytes> objects_ SDW_GUARDED_BY(mu_);
   std::atomic<bool> available_{true};
   uint64_t total_bytes_ SDW_GUARDED_BY(mu_) = 0;
@@ -108,7 +108,7 @@ class S3 {
   /// Guards the region directory only; object calls go through the
   /// regions' own locks (region() hands out stable pointers —
   /// std::map nodes don't move).
-  common::Mutex mu_;
+  common::Mutex mu_{common::LockRank::kS3Directory};
   std::map<std::string, S3Region> regions_ SDW_GUARDED_BY(mu_);
 };
 

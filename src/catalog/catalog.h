@@ -55,7 +55,7 @@ class Catalog {
   }
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kCatalog};
   std::map<std::string, TableSchema> tables_ SDW_GUARDED_BY(mu_);
   std::map<std::string, TableStats> stats_ SDW_GUARDED_BY(mu_);
 };

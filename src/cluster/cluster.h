@@ -78,7 +78,7 @@ class ComputeNode {
   int node_id_;
   storage::StorageOptions options_;
   storage::BlockStore store_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kComputeNode};
   std::vector<std::map<std::string, std::shared_ptr<storage::TableShard>>>
       slices_ SDW_GUARDED_BY(mu_);
 };
@@ -362,7 +362,7 @@ class Cluster {
   /// only writes (store Put), so it cannot re-enter FaultRead and
   /// deadlock. FaultRead copies the handler out before invoking it —
   /// it reaches S3 / other stores and must not run under mu_.
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kClusterRouting};
   storage::BlockStore::FaultHandler page_fault_ SDW_GUARDED_BY(mu_);
   std::map<std::string, uint64_t> round_robin_ SDW_GUARDED_BY(mu_);
   std::vector<DroppedShard> dropped_ SDW_GUARDED_BY(mu_);

@@ -116,7 +116,7 @@ class AdmissionController {
   void Release() SDW_EXCLUDES(mu_);
 
   const WlmConfig config_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kWlmAdmission};
   common::CondVar slot_free_;
   uint64_t next_ticket_ SDW_GUARDED_BY(mu_) = 0;
   std::deque<uint64_t> queue_ SDW_GUARDED_BY(mu_);

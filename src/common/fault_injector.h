@@ -70,7 +70,7 @@ class FaultPoint {
     std::function<void()> fn;
   };
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kFaultPoint};
   /// Immutable after construction (site identity).
   std::string site_;
   Rng rng_ SDW_GUARDED_BY(mu_);
@@ -118,7 +118,7 @@ class CrashController {
   void Reset() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kCrashController};
   std::string armed_ SDW_GUARDED_BY(mu_);
   std::string crash_site_ SDW_GUARDED_BY(mu_);
   bool crashed_ SDW_GUARDED_BY(mu_) = false;
@@ -143,7 +143,7 @@ class FaultInjector {
   std::vector<std::string> sites() const SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kFaultInjector};
   /// Immutable after construction.
   uint64_t seed_;
   std::map<std::string, std::unique_ptr<FaultPoint>> points_

@@ -13,7 +13,7 @@ namespace sdw {
 /// mirroring arrow::Result / absl::StatusOr. Accessing the value of an
 /// errored Result aborts the process (we do not use exceptions).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status so call sites read naturally:
   ///   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }

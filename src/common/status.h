@@ -31,7 +31,12 @@ const char* StatusCodeName(StatusCode code);
 
 /// A Status is either OK (cheap, no allocation) or an error code plus a
 /// message describing what went wrong. Statuses are copyable values.
-class Status {
+///
+/// [[nodiscard]] on the class: a dropped Status is a silently swallowed
+/// error, so every call site must consume the value — handle it,
+/// propagate it (SDW_RETURN_IF_ERROR), or discard it explicitly with a
+/// `(void)` cast and a reason the next reader can check.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -7,6 +7,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/lock_rank.h"
+
 /// Clang thread-safety (capability) annotations for SimpleDW.
 ///
 /// Every lock-protected member in the concurrent core is declared with
@@ -85,14 +87,21 @@
   SDW_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
 
 /// Documented lock-order edge: this lock is acquired before `...`.
+/// Clang accepts (but does not yet enforce) these, so they carry the
+/// same-class edges of the hierarchy for the reader and the analyzer;
+/// the *enforced* ordering — including every cross-class edge — is the
+/// LockRank each mutex is constructed with (common/lock_rank.h), which
+/// the runtime validator checks on every acquisition when enabled.
 #define SDW_ACQUIRED_BEFORE(...) \
   SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
 #define SDW_ACQUIRED_AFTER(...) \
   SDW_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
 
 /// Escape hatch: turns the analysis off for one function. Every use
-/// MUST carry a comment explaining why the analysis cannot see the
-/// invariant (tools/lint.py flags bare uses in review).
+/// MUST carry a why-comment on the preceding lines explaining why the
+/// analysis cannot see the invariant (tools/lint.py rule
+/// `bare-no-thread-safety-analysis` and tools/analyze.py both fail
+/// uses without one).
 #define SDW_NO_THREAD_SAFETY_ANALYSIS \
   SDW_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
 
@@ -100,18 +109,42 @@ namespace sdw::common {
 
 /// An annotated std::mutex. BasicLockable (lowercase lock/unlock) so a
 /// CondVar can wait on it directly; use MutexLock for scopes.
+///
+/// Every mutex in the concurrent core is constructed with its LockRank
+/// (common/lock_rank.h); when rank checks are enabled, lock() verifies
+/// the acquisition respects the hierarchy before blocking, so a rank
+/// inversion is reported (with both acquisition stacks) even on runs
+/// where the interleaving never actually deadlocks. A default-ranked
+/// (kUnranked) mutex is exempt — that is for test-local locks only.
 class SDW_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() SDW_ACQUIRE() { mu_.lock(); }
-  void unlock() SDW_RELEASE() { mu_.unlock(); }
-  bool try_lock() SDW_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() SDW_ACQUIRE() {
+    internal::OnLockAcquire(this, rank_, /*check_order=*/true);
+    mu_.lock();
+  }
+  void unlock() SDW_RELEASE() {
+    internal::OnLockRelease(this, rank_);
+    mu_.unlock();
+  }
+  bool try_lock() SDW_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    // A successful try_lock is recorded but not order-checked: it
+    // cannot block, so it cannot deadlock — but later blocking
+    // acquisitions must still see it on the held stack.
+    if (acquired) internal::OnLockAcquire(this, rank_, /*check_order=*/false);
+    return acquired;
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::mutex mu_;
+  const LockRank rank_ = LockRank::kUnranked;
 };
 
 /// RAII lock scope over a Mutex — the annotated replacement for
@@ -164,20 +197,38 @@ class CondVar {
 };
 
 /// An annotated std::shared_mutex: many concurrent readers or one
-/// writer. Use ReaderMutexLock / WriterMutexLock for scopes.
+/// writer. Use ReaderMutexLock / WriterMutexLock for scopes. Ranked
+/// like Mutex; shared and exclusive acquisitions obey the same rank
+/// (a reader holding data_mu_ nests inner locks exactly like a writer).
 class SDW_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void lock() SDW_ACQUIRE() { mu_.lock(); }
-  void unlock() SDW_RELEASE() { mu_.unlock(); }
-  void lock_shared() SDW_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void unlock_shared() SDW_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void lock() SDW_ACQUIRE() {
+    internal::OnLockAcquire(this, rank_, /*check_order=*/true);
+    mu_.lock();
+  }
+  void unlock() SDW_RELEASE() {
+    internal::OnLockRelease(this, rank_);
+    mu_.unlock();
+  }
+  void lock_shared() SDW_ACQUIRE_SHARED() {
+    internal::OnLockAcquire(this, rank_, /*check_order=*/true);
+    mu_.lock_shared();
+  }
+  void unlock_shared() SDW_RELEASE_SHARED() {
+    internal::OnLockRelease(this, rank_);
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
 
  private:
   std::shared_mutex mu_;
+  const LockRank rank_ = LockRank::kUnranked;
 };
 
 /// RAII exclusive (writer) scope over a SharedMutex.

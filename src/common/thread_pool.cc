@@ -66,7 +66,7 @@ Status ThreadPool::ParallelFor(int n, const std::function<Status(int)>& fn) {
   // Per-call join state so concurrent ParallelFor callers sharing this
   // pool only wait for their own tasks.
   struct JoinState {
-    Mutex mu;
+    Mutex mu{LockRank::kPoolJoin};
     CondVar done;
     int remaining SDW_GUARDED_BY(mu) = 0;
   };

@@ -45,7 +45,7 @@ class ThreadPool {
  private:
   void WorkerLoop() SDW_EXCLUDES(mu_);
 
-  Mutex mu_;
+  Mutex mu_{LockRank::kThreadPool};
   CondVar work_ready_;
   std::deque<std::function<void()>> queue_ SDW_GUARDED_BY(mu_);
   bool shutting_down_ SDW_GUARDED_BY(mu_) = false;

@@ -146,7 +146,7 @@ class CommitLog {
   common::RetryPolicy retry_policy_;
   chaos::CrashController* crash_ = nullptr;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kCommitLog};
   bool loaded_ SDW_GUARDED_BY(mu_) = false;
   uint64_t next_lsn_ SDW_GUARDED_BY(mu_) = 1;
   uint64_t truncated_through_ SDW_GUARDED_BY(mu_) = 0;

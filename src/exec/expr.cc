@@ -200,7 +200,7 @@ class BoolExpr : public Expr {
     ColumnVector out(TypeId::kBool);
     out.Reserve(l.size());
     for (size_t i = 0; i < l.size(); ++i) {
-      out.AppendDatum(Combine(l.DatumAt(i), r.DatumAt(i)));
+      SDW_RETURN_IF_ERROR(out.AppendDatum(Combine(l.DatumAt(i), r.DatumAt(i))));
     }
     return out;
   }

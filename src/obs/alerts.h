@@ -34,7 +34,7 @@ class AlertLog {
   void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kAlertLog};
   int next_alert_id_ SDW_GUARDED_BY(mu_) = 1;
   std::vector<AlertEvent> events_ SDW_GUARDED_BY(mu_);
 };

@@ -62,7 +62,7 @@ class ScanLog {
   void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kScanLog};
   int next_scan_id_ SDW_GUARDED_BY(mu_) = 1;
   std::vector<ScanRecord> records_ SDW_GUARDED_BY(mu_);
   std::map<std::string, TableHeat> heat_ SDW_GUARDED_BY(mu_);
@@ -180,7 +180,7 @@ class InflightRegistry {
 
   void Unregister(int id) SDW_EXCLUDES(mu_);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kInflightRegistry};
   int next_id_ SDW_GUARDED_BY(mu_) = 1;
   std::vector<Slot> slots_ SDW_GUARDED_BY(mu_);
 };
@@ -214,7 +214,7 @@ class GaugeHistory {
 
  private:
   const size_t capacity_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kGaugeHistory};
   int next_seq_ SDW_GUARDED_BY(mu_) = 1;
   std::deque<GaugeSample> ring_ SDW_GUARDED_BY(mu_);
 };

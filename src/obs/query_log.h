@@ -59,7 +59,7 @@ class QueryLog {
   void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kQueryLog};
   int next_query_id_ SDW_GUARDED_BY(mu_) = 1;
   uint64_t clock_ SDW_GUARDED_BY(mu_) = 0;
   std::vector<QueryRecord> records_ SDW_GUARDED_BY(mu_);
@@ -86,7 +86,7 @@ class EventLog {
   void Clear() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kEventLog};
   int next_event_id_ SDW_GUARDED_BY(mu_) = 1;
   uint64_t tick_ SDW_GUARDED_BY(mu_) = 0;
   std::vector<HealthEvent> events_ SDW_GUARDED_BY(mu_);

@@ -98,7 +98,10 @@ class Registry {
   void Reset() SDW_EXCLUDES(mu_);
 
  private:
-  mutable common::Mutex mu_;
+  /// Near-leaf rank: metric registration happens on first use, which
+  /// may be under any other lock in the tree (static-local counters in
+  /// locked sections).
+  mutable common::Mutex mu_{common::LockRank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       SDW_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ SDW_GUARDED_BY(mu_);

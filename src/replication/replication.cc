@@ -252,8 +252,26 @@ Result<int> ReplicationManager::ReReplicate() {
       }
     }
     if (target < 0) continue;
-    SDW_ASSIGN_OR_RETURN(Bytes data, stores_[survivor]->GetStored(id));
-    SDW_RETURN_IF_ERROR(stores_[target]->PutRaw(id, std::move(data)));
+    // One block failing to copy (transient device fault on either end)
+    // must not abort the whole healing pass: skip it — it stays
+    // degraded and the next sweep retries — and keep restoring the
+    // rest. Aborting here used to leave every later block single-copy
+    // AND propagate the error into the health sweep, which then skipped
+    // node replacement and GC too.
+    Result<Bytes> data = stores_[survivor]->GetStored(id);
+    Status copied =
+        data.ok() ? stores_[target]->PutRaw(id, *std::move(data))
+                  : data.status();
+    if (!copied.ok()) {
+      SDW_LOG(Warning) << "re-replication of block " << id << " from node "
+                       << survivor << " to node " << target
+                       << " failed (will retry next sweep): "
+                       << copied.ToString();
+      static obs::Counter* skipped =
+          obs::Registry::Global().counter("sdw_repl_rereplicate_skipped");
+      skipped->Add();
+      continue;
+    }
     {
       common::MutexLock lock(mu_);
       auto it = placements_.find(id);

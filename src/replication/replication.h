@@ -95,7 +95,10 @@ class ReplicationManager {
 
   /// Restores two-copy redundancy for every under-replicated block by
   /// copying from the surviving replica to another cohort peer.
-  /// Returns the number of blocks re-replicated.
+  /// Returns the number of blocks re-replicated. A block whose copy
+  /// fails (transient device fault) is skipped — logged, counted in
+  /// sdw_repl_rereplicate_skipped, retried by the next sweep — so one
+  /// bad block never aborts healing of the rest.
   Result<int> ReReplicate() SDW_EXCLUDES(mu_);
 
   /// Drops every live copy of a block and forgets its placement
@@ -153,7 +156,7 @@ class ReplicationManager {
   std::vector<storage::BlockStore*> stores_;
   ReplicationConfig config_;
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kReplication};
   Rng rng_ SDW_GUARDED_BY(mu_);
   std::map<storage::BlockId, Placement> placements_ SDW_GUARDED_BY(mu_);
   std::vector<uint64_t> rr_counter_ SDW_GUARDED_BY(mu_);

@@ -108,7 +108,7 @@ class KeyHierarchy {
   Result<Key256> UnwrapClusterKey() SDW_REQUIRES(mu_);
   Key256 GenerateKey() SDW_REQUIRES(mu_);
 
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kKeychain};
   MasterKeyProvider* provider_ SDW_GUARDED_BY(mu_);
   Rng rng_ SDW_GUARDED_BY(mu_);
   bool repudiated_ SDW_GUARDED_BY(mu_) = false;

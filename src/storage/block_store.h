@@ -52,7 +52,7 @@ class BlockStore {
   /// Reserves a fresh block id. Ids are unique across every BlockStore
   /// in the process so replication and S3 backup can key replicas of
   /// the same block identically on different devices.
-  static BlockId Allocate();
+  [[nodiscard]] static BlockId Allocate();
 
   /// Stores a block. Fails if the id is already present (blocks are
   /// immutable).
@@ -186,7 +186,7 @@ class BlockStore {
   /// may reach other BlockStores, and holding our lock across that
   /// would order locks between stores (ABBA deadlock). Operations copy
   /// the hook out under the lock first, so setters stay race-free.
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kBlockStore};
   std::map<BlockId, Stored> blocks_ SDW_GUARDED_BY(mu_);
   std::map<BlockId, std::shared_ptr<Inflight>> inflight_ SDW_GUARDED_BY(mu_);
   uint64_t total_bytes_ SDW_GUARDED_BY(mu_) = 0;

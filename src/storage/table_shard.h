@@ -101,8 +101,9 @@ class TableShard {
 
   const TableSchema& schema() const { return schema_; }
 
-  /// Pins the current head version.
-  ShardSnapshot Snapshot() const SDW_EXCLUDES(head_mu_);
+  /// Pins the current head version. [[nodiscard]]: a dropped pin is a
+  /// no-op that reads like a consistency guarantee.
+  [[nodiscard]] ShardSnapshot Snapshot() const SDW_EXCLUDES(head_mu_);
 
   /// Rows / bytes / chain metadata of the current head (backup,
   /// replication, system tables and benches walk these; scans should
@@ -265,7 +266,7 @@ class TableShard {
   /// never take it beyond the initial Snapshot() pin. Lock order is
   /// head_mu_ -> store mu_ (GC deletes under head_mu_; the store never
   /// calls back into shards).
-  mutable common::Mutex head_mu_;
+  mutable common::Mutex head_mu_{common::LockRank::kShardHead};
   ShardSnapshot head_ SDW_GUARDED_BY(head_mu_);
   std::deque<Retired> retired_ SDW_GUARDED_BY(head_mu_);
 
@@ -278,7 +279,7 @@ class TableShard {
   /// store mu_ (BlockStore never calls back into shards), so the
   /// nesting cannot invert.
   std::atomic<uint64_t> blocks_decoded_{0};
-  mutable common::Mutex cache_mu_;
+  mutable common::Mutex cache_mu_{common::LockRank::kShardDecodeCache};
   std::map<BlockId, std::shared_ptr<const ColumnVector>> decode_cache_
       SDW_GUARDED_BY(cache_mu_);
   std::vector<BlockId> cache_order_ SDW_GUARDED_BY(cache_mu_);

@@ -159,7 +159,7 @@ class LruQueryCache {
 
   const size_t capacity_;
   CacheMetrics metrics_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{common::LockRank::kQueryCache};
   /// Least recently used at the front. std::map keeps Entries() ordered.
   std::list<uint64_t> lru_ SDW_GUARDED_BY(mu_);
   std::map<uint64_t, Entry> entries_ SDW_GUARDED_BY(mu_);

@@ -284,7 +284,8 @@ class Warehouse {
     TableVersions versions;
     std::shared_ptr<const cluster::ReadSnapshot> snapshot;
   };
-  Result<PinnedSnapshot> PinSnapshot(const std::vector<std::string>& tables)
+  [[nodiscard]] Result<PinnedSnapshot> PinSnapshot(
+      const std::vector<std::string>& tables)
       SDW_EXCLUDES(data_mu_, cache_mu_);
 
   /// Installs the encrypt/decrypt transforms on every node store of the
@@ -400,9 +401,12 @@ class Warehouse {
   /// writer_mu_ in spirit but deliberately not annotated —
   /// single-threaded tooling (data_plane(), benches) reads them
   /// lock-free by design.
-  mutable common::Mutex writer_mu_;
-  mutable common::SharedMutex data_mu_;
-  mutable common::Mutex cache_mu_;
+  mutable common::Mutex writer_mu_ SDW_ACQUIRED_BEFORE(data_mu_){
+      common::LockRank::kWarehouseWriter};
+  mutable common::SharedMutex data_mu_ SDW_ACQUIRED_BEFORE(cache_mu_){
+      common::LockRank::kWarehouseData};
+  mutable common::Mutex cache_mu_ SDW_ACQUIRED_AFTER(data_mu_){
+      common::LockRank::kWarehouseVersions};
   std::map<std::string, uint64_t> table_versions_ SDW_GUARDED_BY(cache_mu_);
   /// Statement fingerprints already seen by the result cache's miss
   /// path — the result-cache-repeat-miss alert's memory.

@@ -1,0 +1,93 @@
+// Negative fixtures for tools/analyze.py: every line tagged with
+// analyze:expect(<rule>) MUST trip that check when the analyzer parses
+// this file standalone, and nothing else may fire.
+// `python3 tools/analyze.py --check-fixtures` (the analyze_fixtures
+// ctest) fails if the analyzer ever stops catching these. The file
+// must stay parseable with `-std=c++20 -I src`; it is never compiled
+// into a binary.
+
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
+
+namespace sdw::fixtures {
+
+/// A helper that owns its own lock: a mutable member of this type in
+/// another class is internally synchronized and needs no guard.
+class InternallySynced {
+ public:
+  void Bump() {
+    common::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  common::Mutex mu_;
+  int count_ SDW_GUARDED_BY(mu_) = 0;
+};
+
+class Hazards {
+ public:
+  using Callback = std::function<void(int)>;
+
+  void LogUnderLock() {
+    common::MutexLock lock(mu_);
+    ++hits_;
+    SDW_LOG(Info) << "under the lock";  // analyze:expect(log-under-lock)
+  }
+
+  void LogAfterRelease() {
+    int copy;
+    {
+      common::MutexLock lock(mu_);
+      copy = ++hits_;
+    }
+    SDW_LOG(Info) << "after release: " << copy;  // fine: lock released
+  }
+
+  void CallbackUnderLock() {
+    common::MutexLock lock(mu_);
+    if (callback_) callback_(42);  // analyze:expect(callback-under-lock)
+  }
+
+  void CallbackCopiedOut() {
+    Callback cb;
+    {
+      common::MutexLock lock(mu_);
+      cb = callback_;
+    }
+    if (cb) cb(7);  // fine: invoked after release
+  }
+
+  void set_callback(Callback cb) {
+    common::MutexLock lock(mu_);
+    callback_ = std::move(cb);
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  mutable int hits_ SDW_GUARDED_BY(mu_) = 0;  // fine: guarded
+  mutable int misses_ = 0;  // analyze:expect(unguarded-mutable-member)
+  mutable InternallySynced stats_;  // fine: internally synchronized
+  Callback callback_ SDW_GUARDED_BY(mu_);
+};
+
+class EscapeHatch {
+ public:
+  int padding_so_no_full_line_comment_sits_in_the_window = 0;
+  int more_padding = 0;
+  int yet_more_padding = 0;
+
+  void Bare() SDW_NO_THREAD_SAFETY_ANALYSIS {}  // analyze:expect(bare-no-thread-safety-analysis)
+
+  /// Why-comment: this fixture cannot express the invariant the
+  /// analysis would need, which is exactly when the hatch is legal.
+  void Explained() SDW_NO_THREAD_SAFETY_ANALYSIS {}
+
+ private:
+  common::Mutex mu_;
+};
+
+}  // namespace sdw::fixtures

@@ -12,14 +12,20 @@
 //  3. ReplicationManager degraded writes: the warning log moved outside
 //     the placement lock; the degradation accounting it sits next to
 //     must still be exact.
+//  4. ReReplicate skip-and-continue: the [[nodiscard]] sweep surfaced
+//     that one failed block copy aborted the whole healing pass (and
+//     the enclosing health sweep); failures are now skipped, counted,
+//     and retried by the next sweep.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/fault_injector.h"
 #include "replication/replication.h"
 #include "storage/block_store.h"
 
@@ -154,6 +160,54 @@ TEST(ReplicationDegradedWrite, AccountingExactWithLoggingOutsideLock) {
   EXPECT_EQ(placement->secondary, -1);
   // The primary copy still serves reads.
   EXPECT_TRUE(repl.Read(*degraded_id).ok());
+}
+
+TEST(ReReplicateSkip, OneFailedCopyDoesNotAbortHealingTheRest) {
+  // Regression for the ignored-Status bug the [[nodiscard]] sweep
+  // surfaced: ReReplicate() used to SDW_RETURN_IF_ERROR out of its
+  // healing loop on the first failed block copy, so one transient
+  // device fault left every later degraded block single-copy — and the
+  // health sweep that called it then skipped node replacement and GC
+  // for that cycle too.
+  std::vector<std::unique_ptr<storage::BlockStore>> owned;
+  std::vector<storage::BlockStore*> stores;
+  for (int i = 0; i < 4; ++i) {
+    owned.push_back(std::make_unique<storage::BlockStore>());
+    stores.push_back(owned.back().get());
+  }
+  replication::ReplicationManager repl(stores, {2});
+
+  std::vector<storage::BlockId> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto id = repl.Write(0, Payload(static_cast<uint8_t>(i)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // Primary 0's cohort is {0, 1}, so every secondary landed on node 1;
+  // failing it degrades all six blocks with node 0 as sole survivor.
+  repl.FailNode(1);
+  ASSERT_EQ(repl.CountSingleCopyBlocks(), 6);
+
+  // Re-replication falls back past the exhausted cohort to node 2 for
+  // every block. Script exactly one device write failure there.
+  chaos::FaultPoint write_fault("node2:write");
+  write_fault.FailNext(1);
+  stores[2]->set_write_fault(&write_fault);
+
+  auto restored = repl.ReReplicate();
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  // The faulted block is skipped, the other five heal (pre-fix: error
+  // returned, zero healed).
+  EXPECT_EQ(*restored, 5);
+  EXPECT_EQ(repl.CountSingleCopyBlocks(), 1);
+
+  // The skipped block is picked up by the next sweep once the fault
+  // clears.
+  auto retry = repl.ReReplicate();
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(*retry, 1);
+  EXPECT_EQ(repl.CountSingleCopyBlocks(), 0);
+  for (storage::BlockId id : ids) EXPECT_EQ(repl.ReplicaCount(id), 2);
 }
 
 }  // namespace

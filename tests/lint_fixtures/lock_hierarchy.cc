@@ -1,0 +1,33 @@
+// Negative fixtures for the lock-hierarchy rules: a bare
+// SDW_NO_THREAD_SAFETY_ANALYSIS (no why-comment above it) and a
+// LockRank enumerator DESIGN.md's section-4f rank table never
+// mentions must both trip tools/lint.py. This file is never compiled.
+
+#include "common/thread_annotations.h"
+
+namespace sdw::fixtures {
+
+class Sneaky {
+ public:
+  Sneaky() = default;
+
+  int padding_so_the_header_comment_is_out_of_window = 0;
+
+  void Unexplained() SDW_NO_THREAD_SAFETY_ANALYSIS;  // lint:expect(bare-no-thread-safety-analysis)
+
+  /// Why-comment: the moved-from object is never used again, so the
+  /// analysis cannot see that mu_ needs no hold here.
+  void Explained() SDW_NO_THREAD_SAFETY_ANALYSIS;  // fine: comment above
+
+ private:
+  common::Mutex mu_;
+};
+
+/// A shadow LockRank enum exercising lock-rank-doc: kBlockStore is in
+/// DESIGN.md's rank table; the 999 rank is a constraint nobody signed.
+enum class LockRank {
+  kBlockStore = 550,  // fine: documented
+  kTotallyUndocumentedRank = 999,  // lint:expect(lock-rank-doc)
+};
+
+}  // namespace sdw::fixtures

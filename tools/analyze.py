@@ -1,0 +1,584 @@
+#!/usr/bin/env python3
+"""AST-based concurrency analyzer for SimpleDW.
+
+Where tools/lint.py does fast textual sweeps, this tool parses the real
+AST through libclang over the exported compile database, so its checks
+see scopes, types and declarations instead of regex approximations
+(DESIGN.md section 4f):
+
+  log-under-lock A statement expanding SDW_LOG inside a scope where a
+                 RAII lock guard (common::MutexLock / ReaderMutexLock /
+                 WriterMutexLock / std::lock_guard / unique_lock /
+                 scoped_lock) is live. Same contract as the lint rule,
+                 but with true compound-statement scoping instead of
+                 brace counting.
+  callback-under-lock
+                 Invoking a std::function (member, local or parameter)
+                 while a RAII lock is live — the section-4f callback
+                 rule: hooks are copied out under a short lock and
+                 called after release, never invoked under it.
+  unguarded-mutable-member
+                 A class that owns a mutex (common::Mutex /
+                 SharedMutex / std::mutex) declaring a `mutable` member
+                 with no SDW_GUARDED_BY / SDW_PT_GUARDED_BY annotation.
+                 `mutable` means "written from const methods", which
+                 under concurrency means "needs a guard". Exempt:
+                 mutexes and condition variables themselves,
+                 std::atomic members, and members whose own class owns
+                 a mutex (internally synchronized, e.g. FaultPoint).
+  bare-no-thread-safety-analysis
+                 SDW_NO_THREAD_SAFETY_ANALYSIS on a declaration with
+                 neither an attached doc comment nor a // comment on
+                 the preceding lines — the AST view of the lint rule.
+
+Suppression: append `// analyze:allow(<rule>)` to the offending line.
+
+Fixture mode (--check-fixtures) parses tests/analyze_fixtures/
+standalone and demands every `// analyze:expect(<rule>)` line produces
+exactly that violation and nothing else fires — the negative test that
+proves each check still works.
+
+libclang is pinned to clang 14 (the version the clang-analysis CI job
+installs): the loader tries the versioned library names first and only
+falls back to an unversioned libclang with a warning. Without any
+usable libclang the tool prints SKIPPED and exits 0 so laptops without
+the toolchain stay green; CI passes --strict, which turns SKIPPED (and
+parse errors) into failures.
+
+Exit status: 0 clean or skipped, 1 violations / fixture expectations
+unmet, 2 analysis unavailable or broken under --strict.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "analyze_fixtures"
+
+ALLOW_RE = re.compile(r"//\s*analyze:allow\(([a-z0-9-]+)\)")
+EXPECT_RE = re.compile(r"//\s*analyze:expect\(([a-z0-9-]+)\)")
+
+# Versioned names first: the pin. An unversioned fallback loads with a
+# warning so a newer local LLVM still works for ad-hoc runs.
+PINNED_LIBCLANG_CANDIDATES = [
+    "libclang-14.so.1",
+    "libclang-14.so",
+    "libclang.so.14",
+    "/usr/lib/llvm-14/lib/libclang.so.1",
+    "/usr/lib/llvm-14/lib/libclang-14.so.1",
+]
+def _discovered_libclangs():
+    """Versioned sonames installed on this machine (fallback pool):
+    distros ship only libclang-<N>.so.1, so a fixed name list cannot
+    cover every runner image."""
+    import glob
+
+    found = []
+    for pattern in (
+        "/usr/lib/llvm-*/lib/libclang.so.1",
+        "/usr/lib/llvm-*/lib/libclang-*.so.1",
+        "/usr/lib/*-linux-gnu/libclang-*.so.1",
+        "/usr/lib/*-linux-gnu/libclang.so.1",
+    ):
+        found.extend(sorted(glob.glob(pattern), reverse=True))
+    return found
+
+
+FALLBACK_LIBCLANG_CANDIDATES = ["libclang.so.1", "libclang.so"]
+
+RAII_LOCK_TYPES = (
+    "MutexLock",
+    "ReaderMutexLock",
+    "WriterMutexLock",
+    "lock_guard",
+    "unique_lock",
+    "scoped_lock",
+)
+
+MUTEX_TYPE_SUFFIXES = (
+    "::Mutex",
+    "::SharedMutex",
+    "std::mutex",
+    "std::shared_mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+)
+
+NO_TSA_DEFINITION_FILE = "src/common/thread_annotations.h"
+NO_TSA_COMMENT_WINDOW = 6
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rel(path):
+    try:
+        return str(pathlib.Path(path).resolve().relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def load_cindex(explicit_path=None):
+    """Returns (cindex_module, index, note) or (None, None, reason)."""
+    try:
+        from clang import cindex
+    except ImportError as e:
+        return None, None, f"python clang bindings not importable ({e})"
+    candidates = []
+    if explicit_path:
+        candidates = [explicit_path]
+    else:
+        candidates = [None]  # default search first
+        candidates += PINNED_LIBCLANG_CANDIDATES
+        candidates += FALLBACK_LIBCLANG_CANDIDATES
+        candidates += [
+            c for c in _discovered_libclangs() if c not in candidates
+        ]
+    last_error = "no candidates tried"
+    for candidate in candidates:
+        try:
+            if candidate is not None:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(candidate)
+            index = cindex.Index.create()
+            note = None
+            if candidate is not None and "14" not in candidate:
+                note = (
+                    f"warning: using unpinned {candidate} — results may "
+                    "differ from the pinned libclang-14"
+                )
+            return cindex, index, note
+        except Exception as e:  # LibclangError, OSError, ...
+            last_error = str(e).splitlines()[0] if str(e) else repr(e)
+            continue
+    return None, None, f"no usable libclang ({last_error})"
+
+
+class Analyzer:
+    """Runs the four checks over parsed translation units, deduping
+    findings across TUs (headers are parsed once per includer)."""
+
+    def __init__(self, cindex, allowed_roots):
+        self.cindex = cindex
+        self.CursorKind = cindex.CursorKind
+        self.TokenKind = cindex.TokenKind
+        # Only locations under these directories are reported.
+        self.allowed_roots = [pathlib.Path(r).resolve() for r in allowed_roots]
+        self.violations = {}
+        self._file_lines = {}
+        self._seen_classes = set()
+        self._seen_decls = set()
+
+    # ---------- shared helpers ----------
+
+    def _in_scope(self, location):
+        if location.file is None:
+            return False
+        p = pathlib.Path(location.file.name).resolve()
+        return any(
+            root == p or root in p.parents for root in self.allowed_roots
+        )
+
+    def _lines(self, filename):
+        if filename not in self._file_lines:
+            try:
+                text = pathlib.Path(filename).read_text(encoding="utf-8")
+                self._file_lines[filename] = text.splitlines()
+            except OSError:
+                self._file_lines[filename] = []
+        return self._file_lines[filename]
+
+    def _allowed(self, filename, lineno, rule):
+        lines = self._lines(filename)
+        if 1 <= lineno <= len(lines):
+            m = ALLOW_RE.search(lines[lineno - 1])
+            return bool(m and m.group(1) == rule)
+        return False
+
+    def _report(self, location, rule, message):
+        if not self._in_scope(location):
+            return
+        filename = location.file.name
+        if self._allowed(filename, location.line, rule):
+            return
+        v = Violation(rel(filename), location.line, rule, message)
+        self.violations[v.key()] = v
+
+    # ---------- per-TU driver ----------
+
+    def analyze_tu(self, tu):
+        self._walk(tu.cursor)
+
+    def _walk(self, cursor):
+        CK = self.CursorKind
+        for child in cursor.get_children():
+            # Prune whole subtrees outside the reporting scope (system
+            # headers, third-party code): reports are scope-limited
+            # anyway, and cross-file type lookups (field types, e.g.
+            # FaultPoint) go through get_declaration(), not this walk.
+            if not self._in_scope(child.location):
+                continue
+            kind = child.kind
+            if kind in (CK.NAMESPACE, CK.UNEXPOSED_DECL, CK.LINKAGE_SPEC):
+                self._walk(child)
+            elif kind in (CK.CLASS_DECL, CK.STRUCT_DECL, CK.CLASS_TEMPLATE):
+                if child.is_definition() and self._in_scope(child.location):
+                    self._check_class(child)
+                self._walk(child)  # nested classes, methods with bodies
+            elif kind in (
+                CK.CXX_METHOD,
+                CK.FUNCTION_DECL,
+                CK.CONSTRUCTOR,
+                CK.DESTRUCTOR,
+                CK.FUNCTION_TEMPLATE,
+            ):
+                if self._in_scope(child.location):
+                    self._check_function(child)
+
+    # ---------- checks 1 & 2: held-lock regions ----------
+
+    def _lock_regions(self, node, regions):
+        """Collects (file, first_line, last_line) spans where a RAII
+        lock declared in a compound statement is live (decl line to the
+        end of its enclosing compound)."""
+        CK = self.CursorKind
+        if node.kind == CK.COMPOUND_STMT:
+            end_line = node.extent.end.line
+            for child in node.get_children():
+                if child.kind == CK.DECL_STMT:
+                    for d in child.get_children():
+                        if d.kind == CK.VAR_DECL and any(
+                            t in d.type.spelling for t in RAII_LOCK_TYPES
+                        ):
+                            if d.location.file is not None:
+                                regions.append(
+                                    (
+                                        d.location.file.name,
+                                        d.location.line,
+                                        end_line,
+                                    )
+                                )
+                self._lock_regions(child, regions)
+        else:
+            for child in node.get_children():
+                self._lock_regions(child, regions)
+
+    @staticmethod
+    def _in_region(location, regions):
+        if location.file is None:
+            return False
+        return any(
+            location.file.name == f and start <= location.line <= end
+            for f, start, end in regions
+        )
+
+    def _check_function(self, cursor):
+        key = (str(cursor.location.file), cursor.location.line,
+               cursor.spelling)
+        if key in self._seen_decls:
+            return
+        self._seen_decls.add(key)
+        self._check_bare_no_tsa(cursor)
+        body = None
+        for child in cursor.get_children():
+            if child.kind == self.CursorKind.COMPOUND_STMT:
+                body = child
+        if body is None:
+            return
+        regions = []
+        self._lock_regions(body, regions)
+        if not regions:
+            return
+        # Token pass: SDW_LOG sites are macro usages, visible only in
+        # the pre-expansion token stream.
+        for tok in body.get_tokens():
+            if (
+                tok.kind == self.TokenKind.IDENTIFIER
+                and tok.spelling == "SDW_LOG"
+                and self._in_region(tok.location, regions)
+            ):
+                self._report(
+                    tok.location, "log-under-lock",
+                    "SDW_LOG while a RAII lock is live in this scope — "
+                    "copy state out, release, then log",
+                )
+        self._check_calls(body, regions)
+
+    def _check_calls(self, node, regions):
+        CK = self.CursorKind
+        if (
+            node.kind == CK.CALL_EXPR
+            and node.spelling == "operator()"
+            and self._in_region(node.location, regions)
+        ):
+            callee = next(iter(node.get_children()), None)
+            if callee is not None:
+                canonical = callee.type.get_canonical().spelling
+                if "function<" in canonical:
+                    self._report(
+                        node.location, "callback-under-lock",
+                        "std::function invoked while a RAII lock is "
+                        "live — copy the hook out under the lock and "
+                        "call it after release (section-4f callback "
+                        "rule)",
+                    )
+        for child in node.get_children():
+            self._check_calls(child, regions)
+
+    # ---------- check 3: unguarded mutable members ----------
+
+    @staticmethod
+    def _is_mutex_type(canonical_spelling):
+        s = canonical_spelling.replace("const ", "").strip()
+        return s.endswith(MUTEX_TYPE_SUFFIXES) or s in (
+            "Mutex", "SharedMutex"
+        )
+
+    def _class_owns_mutex(self, class_cursor):
+        CK = self.CursorKind
+        for child in class_cursor.get_children():
+            if child.kind == CK.FIELD_DECL and self._is_mutex_type(
+                child.type.get_canonical().spelling
+            ):
+                return True
+        return False
+
+    def _field_tokens(self, field):
+        return [
+            t.spelling
+            for t in field.get_tokens()
+            if t.kind in (self.TokenKind.IDENTIFIER, self.TokenKind.KEYWORD)
+        ]
+
+    def _check_class(self, cursor):
+        key = (str(cursor.location.file), cursor.location.line)
+        if key in self._seen_classes:
+            return
+        self._seen_classes.add(key)
+        if not self._class_owns_mutex(cursor):
+            return
+        CK = self.CursorKind
+        for field in cursor.get_children():
+            if field.kind != CK.FIELD_DECL:
+                continue
+            tokens = self._field_tokens(field)
+            if "mutable" not in tokens:
+                continue
+            canonical = field.type.get_canonical().spelling
+            if self._is_mutex_type(canonical):
+                continue
+            if "CondVar" in canonical or "condition_variable" in canonical:
+                continue
+            if "atomic<" in canonical:
+                continue
+            if "SDW_GUARDED_BY" in tokens or "SDW_PT_GUARDED_BY" in tokens:
+                continue
+            decl = field.type.get_declaration()
+            if decl is not None and decl.kind in (
+                CK.CLASS_DECL, CK.STRUCT_DECL
+            ):
+                if self._class_owns_mutex(decl):
+                    continue  # internally synchronized (e.g. FaultPoint)
+            self._report(
+                field.location, "unguarded-mutable-member",
+                f"mutable member '{field.spelling}' in a mutex-owning "
+                "class has no SDW_GUARDED_BY — mutable means written "
+                "from const methods, which needs a guard",
+            )
+
+    # ---------- check 4: bare SDW_NO_THREAD_SAFETY_ANALYSIS ----------
+
+    def _check_bare_no_tsa(self, cursor):
+        if cursor.location.file is None:
+            return
+        filename = cursor.location.file.name
+        if rel(filename) == NO_TSA_DEFINITION_FILE:
+            return
+        has_macro = any(
+            t.kind == self.TokenKind.IDENTIFIER
+            and t.spelling == "SDW_NO_THREAD_SAFETY_ANALYSIS"
+            for t in cursor.get_tokens()
+        )
+        if not has_macro:
+            return
+        if cursor.raw_comment:
+            return  # attached doc comment is the why-comment
+        lines = self._lines(filename)
+        lineno = cursor.location.line
+        lo = max(0, lineno - 1 - NO_TSA_COMMENT_WINDOW)
+        window = lines[lo : lineno - 1]
+        if any(w.lstrip().startswith("//") for w in window):
+            return
+        self._report(
+            cursor.location, "bare-no-thread-safety-analysis",
+            "SDW_NO_THREAD_SAFETY_ANALYSIS without a why-comment — say "
+            "which invariant the analysis cannot see, or annotate "
+            "properly instead",
+        )
+
+
+def tu_parse_args(command):
+    """Compiler args for reparsing one compile-db entry: keep includes,
+    defines, standards and warnings; drop the compiler, -c/-o and the
+    source file itself."""
+    raw = list(command.arguments)
+    args = []
+    skip_next = False
+    for a in raw[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if a == "-c" or a == command.filename:
+            continue
+        if a.endswith((".cc", ".cpp", ".cxx")):
+            continue
+        args.append(a)
+    return args
+
+
+def parse_errors(tu):
+    return [
+        f"{d.location.file}:{d.location.line}: {d.spelling}"
+        for d in tu.diagnostics
+        if d.severity >= 3  # Error or Fatal
+    ]
+
+
+def run_repo(cindex, index, build_dir, strict):
+    db_dir = pathlib.Path(build_dir)
+    if not (db_dir / "compile_commands.json").is_file():
+        msg = f"analyze: no compile_commands.json under {db_dir}"
+        print(msg, file=sys.stderr)
+        return 2 if strict else 0
+    db = cindex.CompilationDatabase.fromDirectory(str(db_dir))
+    analyzer = Analyzer(cindex, [REPO_ROOT / "src"])
+    parsed = 0
+    failures = []
+    for command in db.getAllCompileCommands():
+        source = pathlib.Path(command.filename)
+        try:
+            source_rel = source.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if not str(source_rel).startswith("src/"):
+            continue
+        tu = index.parse(str(source), args=tu_parse_args(command))
+        errors = parse_errors(tu)
+        if errors:
+            failures.append(f"{source_rel}: {errors[0]}")
+            continue
+        analyzer.analyze_tu(tu)
+        parsed += 1
+    for msg in failures:
+        print(f"analyze: parse failure: {msg}", file=sys.stderr)
+    if failures and strict:
+        return 2
+    violations = sorted(analyzer.violations.values(), key=Violation.key)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"analyze: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"analyze: clean ({parsed} translation unit(s))")
+    return 0
+
+
+def run_fixtures(cindex, index, strict):
+    fixture_args = ["-xc++", "-std=c++20", f"-I{REPO_ROOT / 'src'}"]
+    failures = []
+    checked = 0
+    for path in sorted(FIXTURE_DIR.glob("*.cc")):
+        checked += 1
+        tu = index.parse(str(path), args=fixture_args)
+        errors = parse_errors(tu)
+        if errors:
+            failures.append(f"{rel(path)}: parse failure: {errors[0]}")
+            continue
+        analyzer = Analyzer(cindex, [FIXTURE_DIR])
+        analyzer.analyze_tu(tu)
+        got = {
+            (v.line, v.rule): v for v in analyzer.violations.values()
+        }
+        expected = set()
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            for m in EXPECT_RE.finditer(line):
+                expected.add((i, m.group(1)))
+        for key in sorted(expected):
+            if key not in got:
+                failures.append(
+                    f"{rel(path)}:{key[0]}: expected [{key[1]}] did not fire"
+                )
+        for key in sorted(got):
+            if key not in expected:
+                failures.append(
+                    f"{rel(path)}:{key[0]}: unexpected [{key[1]}] "
+                    f"({got[key].message})"
+                )
+    if checked == 0:
+        failures.append(f"no fixtures found under {rel(FIXTURE_DIR)}")
+    for f in failures:
+        print(f)
+    if failures:
+        print(f"analyze fixtures: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"analyze fixtures: {checked} file(s) behave as expected")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--compile-db", default=str(REPO_ROOT / "build"),
+        help="directory containing compile_commands.json (default: build/)",
+    )
+    parser.add_argument(
+        "--check-fixtures", action="store_true",
+        help="verify tests/analyze_fixtures/ trip the checks they claim to",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 2) instead of skipping when libclang is missing "
+        "or a translation unit cannot be parsed — what CI uses",
+    )
+    parser.add_argument(
+        "--libclang", default=None,
+        help="explicit libclang shared-library path (overrides the pin)",
+    )
+    args = parser.parse_args()
+
+    cindex, index, note = load_cindex(args.libclang)
+    if cindex is None:
+        print(f"analyze: SKIPPED — {note}", file=sys.stderr)
+        print(
+            "analyze: install clang 14's python bindings to run locally "
+            "(CI runs this with --strict)",
+            file=sys.stderr,
+        )
+        return 2 if args.strict else 0
+    if note:
+        print(f"analyze: {note}", file=sys.stderr)
+
+    if args.check_fixtures:
+        return run_fixtures(cindex, index, args.strict)
+    return run_repo(cindex, index, args.compile_db, args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

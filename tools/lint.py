@@ -43,6 +43,18 @@ see (DESIGN.md section 4f):
                  literal in src/warehouse/system_tables.cc must also
                  appear in DESIGN.md. System tables are user-facing
                  API; an undocumented one is a contract nobody signed.
+  bare-no-thread-safety-analysis
+                 SDW_NO_THREAD_SAFETY_ANALYSIS without a why-comment
+                 on the immediately preceding lines. The escape hatch
+                 turns the analysis off for a whole function; the
+                 comment must say which invariant the analysis cannot
+                 see (the macro's own definition in
+                 common/thread_annotations.h is exempt).
+  lock-rank-doc  Every LockRank enumerator declared in
+                 src/common/lock_rank.h must appear in DESIGN.md's
+                 lock-rank table (section 4f). The rank order IS the
+                 documented lock hierarchy; an undocumented rank is an
+                 ordering constraint nobody can review.
 
 Suppression: append `// lint:allow(<rule>)` to the offending line.
 
@@ -100,6 +112,16 @@ S3_WRITE_OWNER_PREFIXES = ("src/backup/", "src/durability/")
 
 SYSTEM_TABLE_FILE = "src/warehouse/system_tables.cc"
 SYSTEM_TABLE_NAME_RE = re.compile(r'"(st[lv]_[a-z0-9_]+)"')
+
+NO_TSA_RE = re.compile(r"\bSDW_NO_THREAD_SAFETY_ANALYSIS\b")
+NO_TSA_DEFINITION_FILE = "src/common/thread_annotations.h"
+# How far above a use the why-comment may sit (a multi-line declaration
+# plus its doc block).
+NO_TSA_COMMENT_WINDOW = 6
+
+LOCK_RANK_FILE = "src/common/lock_rank.h"
+LOCK_RANK_ENUM_RE = re.compile(r"\benum\s+class\s+LockRank\b")
+LOCK_RANK_ENUMERATOR_RE = re.compile(r"^\s*(k[A-Za-z0-9]+)\s*=")
 
 COMMENT_RE = re.compile(r"//.*$")
 
@@ -325,6 +347,78 @@ def check_system_table_doc(path, lines, scoped):
     return out
 
 
+def check_bare_no_tsa(path, lines, scoped):
+    """bare-no-thread-safety-analysis: the escape hatch needs a
+    why-comment on the preceding lines (DESIGN.md 4f's last-resort
+    rule — common/thread_annotations.h promises this is enforced)."""
+    p = rel(path)
+    if scoped and (not p.startswith("src/") or p == NO_TSA_DEFINITION_FILE):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        if not NO_TSA_RE.search(code):
+            continue
+        if "#define" in code:  # the macro's definition, not a use
+            continue
+        if line_allows(lines, i, "bare-no-thread-safety-analysis"):
+            continue
+        lo = max(0, i - 1 - NO_TSA_COMMENT_WINDOW)
+        window = lines[lo : i - 1]
+        if any(w.lstrip().startswith("//") for w in window):
+            continue
+        out.append(
+            Violation(
+                p, i, "bare-no-thread-safety-analysis",
+                "SDW_NO_THREAD_SAFETY_ANALYSIS without a why-comment "
+                "above it — say which invariant the analysis cannot "
+                "see, or annotate properly instead",
+            )
+        )
+    return out
+
+
+def check_lock_rank_doc(path, lines, scoped):
+    """lock-rank-doc: every LockRank enumerator must appear in
+    DESIGN.md's rank table, the same contract system-table-doc
+    enforces for stl_/stv_ names."""
+    p = rel(path)
+    if scoped and p != LOCK_RANK_FILE:
+        return []
+    if not any(LOCK_RANK_ENUM_RE.search(line) for line in lines):
+        return []
+    design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    out = []
+    in_enum = False
+    for i, line in enumerate(lines, 1):
+        code = strip_comment(line)
+        if LOCK_RANK_ENUM_RE.search(code):
+            in_enum = True
+            continue
+        if in_enum and "}" in code:
+            in_enum = False
+            continue
+        if not in_enum:
+            continue
+        m = LOCK_RANK_ENUMERATOR_RE.match(code)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in design:
+            continue
+        if line_allows(lines, i, "lock-rank-doc"):
+            continue
+        out.append(
+            Violation(
+                p, i, "lock-rank-doc",
+                f"lock rank '{name}' is not documented in DESIGN.md — "
+                "add it to the section-4f rank table (rank, module, "
+                "acquired-before edges) before wiring it into a mutex",
+            )
+        )
+    return out
+
+
 def check_file(path, scoped=True):
     text = path.read_text(encoding="utf-8")
     lines = text.splitlines()
@@ -336,6 +430,8 @@ def check_file(path, scoped=True):
     violations += check_mvcc_versions(path, lines, scoped)
     violations += check_s3_writes(path, lines, scoped)
     violations += check_system_table_doc(path, lines, scoped)
+    violations += check_bare_no_tsa(path, lines, scoped)
+    violations += check_lock_rank_doc(path, lines, scoped)
     return violations
 
 
