@@ -44,6 +44,17 @@ struct CostModel {
     return static_cast<double>(bytes) /
            (node_s3_bytes_per_sec * (nodes < 1 ? 1 : nodes));
   }
+
+  /// Estimated execution seconds of a scan query over `bytes` of table
+  /// data spread across `slices` parallel slices — the signal the WLM's
+  /// short-query fast lane admits on (DESIGN.md §4k). Deliberately
+  /// compile-cost-free: SQA ranks the scan work itself, and the
+  /// estimate must stay comparable across exec configurations.
+  double ScanEstimateSeconds(uint64_t bytes, int slices) const {
+    if (bytes == 0) return 0.0;
+    return static_cast<double>(bytes) /
+           (slice_scan_bytes_per_sec * (slices < 1 ? 1 : slices));
+  }
 };
 
 }  // namespace sdw::cluster

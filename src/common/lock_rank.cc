@@ -80,6 +80,7 @@ void DefaultHandler(const LockRankViolation& violation) {
 const char* LockRankName(LockRank rank) {
   switch (rank) {
     case LockRank::kUnranked: return "kUnranked";
+    case LockRank::kWorkloadReplay: return "kWorkloadReplay";
     case LockRank::kWarehouseWriter: return "kWarehouseWriter";
     case LockRank::kWarehouseData: return "kWarehouseData";
     case LockRank::kWarehouseVersions: return "kWarehouseVersions";

@@ -24,6 +24,9 @@ enum class LockRank : int {
   /// the concurrent core). Never use for a mutex in src/.
   kUnranked = 0,
 
+  // ---- client side (outside the warehouse entirely) ----
+  kWorkloadReplay = 50,  // workload::Replayer dispatch queue mutex
+
   // ---- warehouse front door (outermost) ----
   kWarehouseWriter = 100,    // Warehouse::writer_mu_
   kWarehouseData = 150,      // Warehouse::data_mu_

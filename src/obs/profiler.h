@@ -190,6 +190,9 @@ class InflightRegistry {
 // ---------------------------------------------------------------------------
 
 /// One gauge sample, taken by RunHealthSweep on the virtual clock.
+/// The wlm_* fields aggregate over every queue; `queues` breaks the
+/// same occupancy down per WLM queue (declaration order, "sqa" last)
+/// so stv_gauge_history can chart the fleet per class.
 struct GaugeSample {
   int seq = 0;
   uint64_t tick = 0;
@@ -200,6 +203,14 @@ struct GaugeSample {
   double segment_cache_hit_rate = 0;
   uint64_t gc_backlog = 0;       // MVCC versions awaiting collection
   uint64_t degraded_blocks = 0;  // replicated blocks down to one copy
+  struct QueueGauge {
+    std::string name;
+    int slots = 0;
+    int queued = 0;
+    int running = 0;
+    int max_in_flight = 0;
+  };
+  std::vector<QueueGauge> queues;
 };
 
 /// Fixed-capacity ring of gauge samples; the oldest sample falls off

@@ -61,9 +61,10 @@ Result<TableSchema> SchemaFor(const std::string& name) {
   }
   if (name == "stl_wlm") {
     return TableSchema(name, {IntCol("seq"), IntCol("session_id"),
-                              StrCol("state"), StrCol("statement"),
+                              StrCol("state"), StrCol("queue"),
+                              StrCol("statement"),
                               DblCol("queued_seconds"),
-                              DblCol("exec_seconds")});
+                              DblCol("exec_seconds"), IntCol("hops")});
   }
   if (name == "stv_cache") {
     return TableSchema(name, {StrCol("cache"), StrCol("fingerprint"),
@@ -87,7 +88,7 @@ Result<TableSchema> SchemaFor(const std::string& name) {
                               DblCol("exec_seconds")});
   }
   if (name == "stv_gauge_history") {
-    return TableSchema(name, {IntCol("seq"), IntCol("tick"),
+    return TableSchema(name, {IntCol("seq"), IntCol("tick"), StrCol("queue"),
                               IntCol("wlm_queued"), IntCol("wlm_running"),
                               IntCol("wlm_max_in_flight"),
                               DblCol("result_cache_hit_rate"),
@@ -229,9 +230,11 @@ exec::Batch BuildStlWlm(const cluster::AdmissionController& wlm,
     b.columns[0].AppendInt(static_cast<int64_t>(r.seq));
     b.columns[1].AppendInt(r.session_id);
     b.columns[2].AppendString(r.state);
-    b.columns[3].AppendString(r.statement);
-    b.columns[4].AppendDouble(r.queued_seconds);
-    b.columns[5].AppendDouble(r.exec_seconds);
+    b.columns[3].AppendString(r.queue);
+    b.columns[4].AppendString(r.statement);
+    b.columns[5].AppendDouble(r.queued_seconds);
+    b.columns[6].AppendDouble(r.exec_seconds);
+    b.columns[7].AppendInt(r.hops);
   }
   return b;
 }
@@ -324,16 +327,29 @@ exec::Batch BuildStvGaugeHistory(const obs::GaugeHistory* gauges,
   exec::Batch b;
   for (const ColumnDef& c : schema.columns()) b.columns.emplace_back(c.type);
   if (gauges == nullptr) return b;
+  // Each sample renders as an aggregate "total" row followed by one row
+  // per WLM queue. The warehouse-global gauges (cache hit rates, GC
+  // backlog, degradation) repeat on every row of the sample so a
+  // per-queue filter still sees them; filter queue = 'total' to chart
+  // fleet-wide occupancy without double counting.
   for (const obs::GaugeSample& s : gauges->Snapshot()) {
-    b.columns[0].AppendInt(s.seq);
-    AppendTicks(&b.columns[1], s.tick);
-    b.columns[2].AppendInt(s.wlm_queued);
-    b.columns[3].AppendInt(s.wlm_running);
-    b.columns[4].AppendInt(s.wlm_max_in_flight);
-    b.columns[5].AppendDouble(s.result_cache_hit_rate);
-    b.columns[6].AppendDouble(s.segment_cache_hit_rate);
-    b.columns[7].AppendInt(static_cast<int64_t>(s.gc_backlog));
-    b.columns[8].AppendInt(static_cast<int64_t>(s.degraded_blocks));
+    auto append_row = [&b, &s](const std::string& queue, int queued,
+                               int running, int max_in_flight) {
+      b.columns[0].AppendInt(s.seq);
+      AppendTicks(&b.columns[1], s.tick);
+      b.columns[2].AppendString(queue);
+      b.columns[3].AppendInt(queued);
+      b.columns[4].AppendInt(running);
+      b.columns[5].AppendInt(max_in_flight);
+      b.columns[6].AppendDouble(s.result_cache_hit_rate);
+      b.columns[7].AppendDouble(s.segment_cache_hit_rate);
+      b.columns[8].AppendInt(static_cast<int64_t>(s.gc_backlog));
+      b.columns[9].AppendInt(static_cast<int64_t>(s.degraded_blocks));
+    };
+    append_row("total", s.wlm_queued, s.wlm_running, s.wlm_max_in_flight);
+    for (const obs::GaugeSample::QueueGauge& q : s.queues) {
+      append_row(q.name, q.queued, q.running, q.max_in_flight);
+    }
   }
   return b;
 }

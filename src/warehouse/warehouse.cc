@@ -34,18 +34,17 @@ std::string Cell(const Datum& value) {
 }
 
 /// Admits, or records a "timeout" stl_wlm row when admission fails so
-/// cancelled statements show up in the history too.
+/// cancelled statements show up in the history too. The controller
+/// fills the timeout report itself — the accrued queued_seconds across
+/// every queue the caller hopped through, not the configured timeout.
 Result<cluster::AdmissionController::Slot> AdmitOrReport(
-    cluster::AdmissionController* admission, int session_id,
-    const std::string& statement) {
-  Result<cluster::AdmissionController::Slot> slot = admission->Admit();
-  if (!slot.ok()) {
-    cluster::AdmissionController::Report report;
-    report.session_id = session_id;
-    report.state = "timeout";
-    report.statement = statement;
-    report.queued_seconds = admission->config().queue_timeout_seconds;
-    admission->Record(std::move(report));
+    cluster::AdmissionController* admission,
+    const cluster::AdmitRequest& request) {
+  cluster::AdmissionController::Report timeout_report;
+  Result<cluster::AdmissionController::Slot> slot =
+      admission->Admit(request, &timeout_report);
+  if (!slot.ok() && !timeout_report.state.empty()) {
+    admission->Record(std::move(timeout_report));
   }
   return slot;
 }
@@ -56,12 +55,15 @@ Result<cluster::AdmissionController::Slot> AdmitOrReport(
 class WlmReportScope {
  public:
   WlmReportScope(cluster::AdmissionController* admission, int session_id,
-                 std::string statement, double queued_seconds)
+                 std::string statement,
+                 const cluster::AdmissionController::Slot& slot)
       : admission_(admission) {
     report_.session_id = session_id;
     report_.statement = std::move(statement);
     report_.state = "error";
-    report_.queued_seconds = queued_seconds;
+    report_.queued_seconds = slot.queued_seconds();
+    report_.queue = slot.queue();
+    report_.hops = slot.hops();
   }
   ~WlmReportScope() {
     report_.exec_seconds = timer_.Seconds();
@@ -148,8 +150,8 @@ Warehouse::Warehouse(WarehouseOptions options)
   SyncHostManagers();
 }
 
-Warehouse::Session Warehouse::CreateSession() {
-  return Session(this, next_session_id_.fetch_add(1));
+Warehouse::Session Warehouse::CreateSession(std::string user_group) {
+  return Session(this, next_session_id_.fetch_add(1), std::move(user_group));
 }
 
 Status Warehouse::CrashPoint(const char* site) {
@@ -285,6 +287,16 @@ Result<HealthStats> Warehouse::RunHealthSweep() {
     sample.segment_cache_hit_rate = hit_rate(segment_cache_.metrics());
     sample.gc_backlog = cluster_->PendingGarbage();
     sample.degraded_blocks = repl->CountSingleCopyBlocks();
+    for (const cluster::AdmissionController::QueueStats& queue :
+         admission_.queue_stats()) {
+      obs::GaugeSample::QueueGauge gauge;
+      gauge.name = queue.name;
+      gauge.slots = queue.slots;
+      gauge.queued = static_cast<int>(queue.queued);
+      gauge.running = queue.running;
+      gauge.max_in_flight = queue.max_in_flight;
+      sample.queues.push_back(std::move(gauge));
+    }
     gauges_.Record(sample);
     obs::SweepAlertInputs sweep_inputs;
     sweep_inputs.tick = sample.tick;
@@ -532,11 +544,13 @@ Result<StatementResult> Warehouse::ExecuteQuery(
     const plan::LogicalQuery& query) {
   SDW_RETURN_IF_ERROR(crash_.Down());
   return RunSelect(query, /*explain=*/false, /*explain_analyze=*/false,
-                   plan::CanonicalText(query), /*session_id=*/0);
+                   plan::CanonicalText(query), /*session_id=*/0,
+                   /*user_group=*/"");
 }
 
 Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
-                                             int session_id) {
+                                             int session_id,
+                                             const std::string& user_group) {
   // A crashed warehouse is a dead process: every entry point fails
   // until Recover() brings up "the new one". While recovery replays
   // the log it owns the front door exclusively.
@@ -587,16 +601,40 @@ Result<StatementResult> Warehouse::ExecuteAs(const std::string& sql,
       return result;
     }
     return RunSelect(select->query, select->explain, select->explain_analyze,
-                     sql, session_id);
+                     sql, session_id, user_group);
   }
-  return RunStatement(std::move(stmt), sql, session_id);
+  return RunStatement(std::move(stmt), sql, session_id, user_group);
+}
+
+double Warehouse::EstimateSelectSeconds(
+    const std::vector<std::string>& tables) {
+  if (!admission_.config().enable_sqa) return -1;
+  std::shared_ptr<cluster::Cluster> pinned_cluster;
+  {
+    common::ReaderMutexLock data_lock(data_mu_);
+    pinned_cluster = cluster_;
+  }
+  uint64_t bytes = 0;
+  for (const std::string& table : tables) {
+    const TableStats stats = pinned_cluster->catalog()->GetStats(table);
+    if (stats.total_bytes == 0 && stats.row_count == 0) {
+      // Never analyzed: no basis for a short-query promise.
+      return -1;
+    }
+    // ANALYZE fills total_bytes; a stats row from INSERT bookkeeping
+    // may only carry row_count — assume narrow rows rather than refuse.
+    bytes += stats.total_bytes > 0 ? stats.total_bytes : stats.row_count * 8;
+  }
+  return options_.cost_model.ScanEstimateSeconds(
+      bytes, pinned_cluster->total_slices());
 }
 
 Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
                                              bool explain,
                                              bool explain_analyze,
                                              const std::string& sql_text,
-                                             int session_id) {
+                                             int session_id,
+                                             const std::string& user_group) {
   StatementResult result;
   if (explain && !explain_analyze) {
     // Plain EXPLAIN plans but does not run, occupy a slot, or touch the
@@ -643,6 +681,7 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
       cluster::AdmissionController::Report report;
       report.session_id = session_id;
       report.state = "result_cache";
+      report.queue = "none";  // served from memory, no slot occupied
       report.statement = sql_text;
       admission_.Record(std::move(report));
       result.rows = CloneBatch(hit->rows);
@@ -670,10 +709,15 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
     ticket = inflight_.Register(session_id, sql_text);
   }
 
+  cluster::AdmitRequest admit_request;
+  admit_request.session_id = session_id;
+  admit_request.user_group = user_group;
+  admit_request.query_class = "select";
+  admit_request.estimated_seconds = EstimateSelectSeconds(tables);
+  admit_request.statement = sql_text;
   SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
-                       AdmitOrReport(&admission_, session_id, sql_text));
-  WlmReportScope report(&admission_, session_id, sql_text,
-                        slot.queued_seconds());
+                       AdmitOrReport(&admission_, admit_request));
+  WlmReportScope report(&admission_, session_id, sql_text, slot);
   if (ticket) {
     ticket.progress()->set_queued_seconds(slot.queued_seconds());
     ticket.progress()->set_phase(obs::QueryPhase::kPlan);
@@ -806,7 +850,8 @@ Result<StatementResult> Warehouse::RunSelect(const plan::LogicalQuery& query,
 
 Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
                                                 const std::string& sql,
-                                                int session_id) {
+                                                int session_id,
+                                                const std::string& user_group) {
   StatementResult result;
   if (auto* txn = std::get_if<sql::TxnStmt>(&stmt)) {
     // Transaction control is leader metadata work: no slot, no queue.
@@ -848,9 +893,22 @@ Result<StatementResult> Warehouse::RunStatement(sql::Statement stmt,
   if (options_.workload_intelligence) {
     ticket = inflight_.Register(session_id, sql);
   }
+  cluster::AdmitRequest admit_request;
+  admit_request.session_id = session_id;
+  admit_request.user_group = user_group;
+  if (std::holds_alternative<sql::CopyStmt>(stmt)) {
+    admit_request.query_class = "copy";
+  } else if (std::holds_alternative<sql::InsertStmt>(stmt)) {
+    admit_request.query_class = "insert";
+  } else if (std::holds_alternative<sql::VacuumStmt>(stmt)) {
+    admit_request.query_class = "vacuum";
+  } else {
+    admit_request.query_class = "ddl";
+  }
+  admit_request.statement = sql;
   SDW_ASSIGN_OR_RETURN(cluster::AdmissionController::Slot slot,
-                       AdmitOrReport(&admission_, session_id, sql));
-  WlmReportScope report(&admission_, session_id, sql, slot.queued_seconds());
+                       AdmitOrReport(&admission_, admit_request));
+  WlmReportScope report(&admission_, session_id, sql, slot);
   if (ticket) {
     ticket.progress()->set_queued_seconds(slot.queued_seconds());
     ticket.progress()->set_phase(obs::QueryPhase::kExec);

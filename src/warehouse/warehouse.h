@@ -12,6 +12,7 @@
 #include "backup/backup_manager.h"
 #include "backup/s3sim.h"
 #include "cluster/cluster.h"
+#include "cluster/cost_model.h"
 #include "cluster/executor.h"
 #include "cluster/wlm.h"
 #include "common/fault_injector.h"
@@ -67,6 +68,9 @@ struct WarehouseOptions {
   /// Live admission control for concurrent Execute() calls (§4:
   /// resources "distributed across many concurrent queries").
   cluster::WlmConfig wlm;
+  /// Cost model behind the WLM's short-query-acceleration estimate
+  /// (stats bytes over scan throughput — DESIGN.md §4k).
+  cluster::CostModel cost_model;
   /// Compiled-segment and result caches keyed by plan fingerprint.
   CacheConfig cache;
   /// When set, the warehouse reads and writes this external object
@@ -138,25 +142,31 @@ class Warehouse {
   /// A lightweight client connection. Statements executed through a
   /// session are tagged with its id in stl_wlm; sessions share the
   /// warehouse front door and each may be driven from its own thread.
+  /// The user group feeds the WLM classifier (DESIGN.md §4k).
   class Session {
    public:
     Session() = default;
 
     int id() const { return id_; }
+    const std::string& user_group() const { return user_group_; }
     Result<StatementResult> Execute(const std::string& sql) {
-      return warehouse_->ExecuteAs(sql, id_);
+      return warehouse_->ExecuteAs(sql, id_, user_group_);
     }
 
    private:
     friend class Warehouse;
-    Session(Warehouse* warehouse, int id)
-        : warehouse_(warehouse), id_(id) {}
+    Session(Warehouse* warehouse, int id, std::string user_group)
+        : warehouse_(warehouse),
+          id_(id),
+          user_group_(std::move(user_group)) {}
     Warehouse* warehouse_ = nullptr;
     int id_ = 0;
+    std::string user_group_;
   };
 
-  /// Opens a new session (thread-safe).
-  Session CreateSession();
+  /// Opens a new session (thread-safe). The user group routes the
+  /// session's statements through the WLM classifier's group rules.
+  Session CreateSession(std::string user_group = "");
 
   /// Executes one SQL statement (as the default session 0).
   Result<StatementResult> Execute(const std::string& sql);
@@ -298,7 +308,8 @@ class Warehouse {
   void SyncHostManagers();
 
   /// The session-tagged front door behind Execute()/Session::Execute().
-  Result<StatementResult> ExecuteAs(const std::string& sql, int session_id);
+  Result<StatementResult> ExecuteAs(const std::string& sql, int session_id,
+                                    const std::string& user_group = "");
 
   /// A user-table SELECT (or EXPLAIN [ANALYZE]) through admission and
   /// the caches; executes against a pinned MVCC snapshot, off every
@@ -306,7 +317,8 @@ class Warehouse {
   Result<StatementResult> RunSelect(const plan::LogicalQuery& query,
                                     bool explain, bool explain_analyze,
                                     const std::string& sql_text,
-                                    int session_id);
+                                    int session_id,
+                                    const std::string& user_group);
 
   /// Every non-SELECT statement: admission, then writer_mu_ for the
   /// whole statement; heavy work (parse, sort, encode) runs off
@@ -314,7 +326,14 @@ class Warehouse {
   /// takes data_mu_ exclusively.
   Result<StatementResult> RunStatement(sql::Statement stmt,
                                        const std::string& sql,
-                                       int session_id);
+                                       int session_id,
+                                       const std::string& user_group);
+
+  /// Cost-model scan estimate for the short-query fast lane: stats
+  /// bytes of the referenced tables over per-slice scan throughput.
+  /// Returns -1 (never SQA-eligible) when SQA is off or no stats exist.
+  double EstimateSelectSeconds(const std::vector<std::string>& tables)
+      SDW_EXCLUDES(data_mu_);
 
   /// An injectable crash site; no-op while replaying the log (the
   /// crash already happened — recovery must run to completion).

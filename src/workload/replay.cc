@@ -1,0 +1,200 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+
+#include "backup/s3sim.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "sim/stopwatch.h"
+
+namespace sdw::workload {
+
+namespace {
+
+/// One statement's measured outcome; slot-per-statement, written by
+/// exactly one worker, read only after the pool joins.
+struct Outcome {
+  double latency_seconds = 0;
+  bool error = false;
+  bool timeout = false;
+  bool cache_hit = false;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+std::string RenderOutput(const Result<warehouse::StatementResult>& r) {
+  if (!r.ok()) return "ERROR " + r.status().message();
+  return r->rows.num_columns() > 0 ? r->ToTable(100000) : r->message;
+}
+
+}  // namespace
+
+Status Replayer::Provision(const Trace& trace) {
+  backup::S3Region* region = warehouse_->s3()->region(options_.region);
+  for (const Fixture& f : trace.fixtures) {
+    // Staged ingest input under the dedicated workload/ bucket — client
+    // data the trace's own COPY statements consume, never the backup or
+    // commit-log prefixes, so the recovery chain cannot be clobbered.
+    SDW_RETURN_IF_ERROR(region->PutObject(  // lint:allow(s3-writes)
+        f.key, Bytes(f.csv.begin(), f.csv.end())));
+  }
+  for (const std::string& sql : trace.setup_sql) {
+    auto r = warehouse_->Execute(sql);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+Result<ReplayResult> Replayer::Replay(const Trace& trace) {
+  const int n = static_cast<int>(trace.statements.size());
+  ReplayResult result;
+  if (options_.capture_results) result.outputs.resize(n);
+  if (n == 0) return result;
+
+  std::vector<warehouse::Warehouse::Session> sessions;
+  sessions.reserve(trace.sessions.size());
+  for (const SessionSpec& spec : trace.sessions) {
+    sessions.push_back(warehouse_->CreateSession(spec.user_group));
+  }
+  for (const TimedStatement& ts : trace.statements) {
+    if (ts.session < 0 || ts.session >= static_cast<int>(sessions.size())) {
+      return Status::InvalidArgument("trace statement references session " +
+                                     std::to_string(ts.session) +
+                                     " but the trace declares only " +
+                                     std::to_string(sessions.size()));
+    }
+  }
+
+  std::vector<Outcome> outcomes(n);
+  /// Dispatch timestamps on the shared replay clock; written by the
+  /// dispatcher before the index is published, read by the worker that
+  /// pops it (the queue mutex orders the two).
+  std::vector<double> dispatched(n, 0);
+  sim::Stopwatch clock;
+
+  auto execute_one = [&](int i) {
+    const TimedStatement& ts = trace.statements[i];
+    auto r = sessions[ts.session].Execute(ts.sql);
+    Outcome& o = outcomes[i];
+    o.latency_seconds = clock.Seconds() - dispatched[i];
+    if (!r.ok()) {
+      o.error = true;
+      o.timeout = r.status().code() == StatusCode::kDeadlineExceeded;
+    } else {
+      o.cache_hit = r->from_result_cache;
+    }
+    if (options_.capture_results) result.outputs[i] = RenderOutput(r);
+  };
+
+  if (options_.workers <= 0) {
+    // Reference arm: exact trace order, one statement at a time. Pacing
+    // still applies (a paced serial replay is a valid baseline), via
+    // the same timed-wait primitive the concurrent dispatcher uses.
+    common::Mutex mu(common::LockRank::kWorkloadReplay);
+    common::CondVar idle;
+    for (int i = 0; i < n; ++i) {
+      if (options_.time_scale > 0) {
+        const double due = trace.statements[i].at_seconds / options_.time_scale;
+        common::MutexLock lock(mu);
+        while (clock.Seconds() < due) {
+          idle.WaitFor(mu, std::chrono::duration<double>(due - clock.Seconds()),
+                       [] { return false; });
+        }
+      }
+      dispatched[i] = clock.Seconds();
+      execute_one(i);
+    }
+  } else {
+    // Concurrent arm: task 0 is the pacing dispatcher, tasks 1..workers
+    // are client threads draining the ready queue. The queue mutex is
+    // kWorkloadReplay — ranked below every warehouse lock, and never
+    // held across Execute(), so the harness can never participate in a
+    // warehouse deadlock cycle.
+    common::Mutex mu(common::LockRank::kWorkloadReplay);
+    common::CondVar cv;
+    std::deque<int> ready;
+    bool done = false;
+
+    common::ThreadPool pool(options_.workers + 1);
+    Status pool_status = pool.ParallelFor(
+        options_.workers + 1, [&](int task) -> Status {
+          if (task == 0) {
+            for (int i = 0; i < n; ++i) {
+              if (options_.time_scale > 0) {
+                const double due =
+                    trace.statements[i].at_seconds / options_.time_scale;
+                common::MutexLock lock(mu);
+                while (clock.Seconds() < due) {
+                  cv.WaitFor(mu,
+                             std::chrono::duration<double>(due -
+                                                           clock.Seconds()),
+                             [] { return false; });
+                }
+              }
+              {
+                common::MutexLock lock(mu);
+                dispatched[i] = clock.Seconds();
+                ready.push_back(i);
+              }
+              cv.NotifyAll();
+            }
+            {
+              common::MutexLock lock(mu);
+              done = true;
+            }
+            cv.NotifyAll();
+            return Status::OK();
+          }
+          for (;;) {
+            int index = -1;
+            {
+              common::MutexLock lock(mu);
+              cv.Wait(mu, [&] { return !ready.empty() || done; });
+              if (ready.empty()) return Status::OK();
+              index = ready.front();
+              ready.pop_front();
+            }
+            execute_one(index);
+          }
+        });
+    if (!pool_status.ok()) return pool_status;
+  }
+
+  // Fold the per-statement slots into per-class aggregates.
+  std::map<std::string, std::vector<double>> latencies;
+  for (int i = 0; i < n; ++i) {
+    const TimedStatement& ts = trace.statements[i];
+    const Outcome& o = outcomes[i];
+    ClassStats& cs = result.by_class[ts.klass];
+    ++cs.statements;
+    if (o.error) {
+      ++cs.errors;
+      ++result.errors;
+    }
+    if (o.timeout) {
+      ++cs.timeouts;
+      ++result.timeouts;
+    }
+    if (o.cache_hit) ++cs.cache_hits;
+    latencies[ts.klass].push_back(o.latency_seconds);
+  }
+  for (auto& [klass, lats] : latencies) {
+    std::sort(lats.begin(), lats.end());
+    ClassStats& cs = result.by_class[klass];
+    double sum = 0;
+    for (double l : lats) sum += l;
+    cs.mean_seconds = sum / static_cast<double>(lats.size());
+    cs.p50_seconds = Percentile(lats, 0.50);
+    cs.p99_seconds = Percentile(lats, 0.99);
+    cs.max_seconds = lats.back();
+  }
+  return result;
+}
+
+}  // namespace sdw::workload

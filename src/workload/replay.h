@@ -1,0 +1,82 @@
+#ifndef SDW_WORKLOAD_REPLAY_H_
+#define SDW_WORKLOAD_REPLAY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "warehouse/warehouse.h"
+#include "workload/synth.h"
+
+namespace sdw::workload {
+
+struct ReplayOptions {
+  /// Concurrent client threads. 0 replays serially on the calling
+  /// thread, in exact trace order — the reference arm the differential
+  /// tests compare concurrent replays against.
+  int workers = 0;
+  /// Trace seconds per real second (a pacing speedup factor): the
+  /// dispatcher releases a statement stamped @t at real time
+  /// t / time_scale. <= 0 releases everything immediately (closed-loop
+  /// saturation — the benches' stress mode).
+  double time_scale = 0;
+  /// Capture each statement's rendered output (trace order) for
+  /// byte-identity comparisons. Off by default: rendering large result
+  /// sets distorts latency runs.
+  bool capture_results = false;
+  /// Region the COPY fixtures are staged in.
+  std::string region = "us-east-1";
+};
+
+/// Per-class latency/outcome aggregate over one replay.
+struct ClassStats {
+  int statements = 0;
+  int errors = 0;    // failed statements (timeouts included)
+  int timeouts = 0;  // WLM queue-timeout cancellations specifically
+  int cache_hits = 0;
+  double mean_seconds = 0;
+  double p50_seconds = 0;
+  double p99_seconds = 0;
+  double max_seconds = 0;
+};
+
+struct ReplayResult {
+  std::map<std::string, ClassStats> by_class;
+  /// Rendered per-statement outputs in trace order; empty unless
+  /// ReplayOptions::capture_results.
+  std::vector<std::string> outputs;
+  int errors = 0;
+  int timeouts = 0;
+};
+
+/// Drives a synthesized Trace against a live Warehouse: Provision()
+/// stages the COPY fixtures and runs the setup script serially, then
+/// Replay() opens one session per SessionSpec and plays the timed
+/// statement stream — serially, or from a worker pool fed by a pacing
+/// dispatcher. Latency is measured dispatch-to-completion, so queue
+/// time inside the WLM counts (that is the thing the A18 bench is
+/// about).
+class Replayer {
+ public:
+  explicit Replayer(warehouse::Warehouse* warehouse, ReplayOptions options = {})
+      : warehouse_(warehouse), options_(options) {}
+
+  /// Uploads the staged fixtures and executes the setup SQL, in order,
+  /// on the calling thread. Run once per warehouse before Replay().
+  Status Provision(const Trace& trace);
+
+  /// Plays the trace. Statement-level failures do not abort the replay
+  /// — they are counted per class (a timed-out query is an outcome,
+  /// not a harness error); only harness-level failures (e.g. a session
+  /// pool that cannot start) surface as a non-OK status.
+  Result<ReplayResult> Replay(const Trace& trace);
+
+ private:
+  warehouse::Warehouse* warehouse_;
+  ReplayOptions options_;
+};
+
+}  // namespace sdw::workload
+
+#endif  // SDW_WORKLOAD_REPLAY_H_

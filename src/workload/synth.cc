@@ -1,0 +1,248 @@
+#include "workload/synth.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/random.h"
+
+namespace sdw::workload {
+
+namespace {
+
+/// SplitMix64 finalizer — decorrelates per-purpose Rng streams derived
+/// from one user-facing seed, so adding a session (or reordering the
+/// generation loops) never perturbs any other stream.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng StreamRng(uint64_t seed, uint64_t stream) {
+  return Rng(Mix(seed ^ Mix(stream)));
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
+}
+
+/// The fixed dashboard query pool. Literals are frozen here, so every
+/// later draw of template i is the byte-identical statement — the
+/// repeats the result cache (and the repeat-rate test) feed on. Each
+/// template folds its index into a literal, so all pool entries are
+/// distinct texts (distinct fingerprints) by construction.
+std::vector<std::string> BuildDashboardTemplates(const SynthConfig& config) {
+  Rng rng = StreamRng(config.seed, /*stream=*/1);
+  std::vector<std::string> templates;
+  templates.reserve(static_cast<size_t>(config.dashboard_templates));
+  for (int i = 0; i < config.dashboard_templates; ++i) {
+    switch (i % 3) {
+      case 0: {
+        int64_t lo = rng.UniformRange(0, 400000);
+        int64_t hi = lo + rng.UniformRange(100000, 400000);
+        templates.push_back(
+            "SELECT k, COUNT(*) AS n, SUM(v) AS sv FROM sales WHERE v BETWEEN " +
+            std::to_string(lo) + " AND " + std::to_string(hi) +
+            " GROUP BY k ORDER BY k LIMIT " + std::to_string(20 + i));
+        break;
+      }
+      case 1: {
+        int64_t x = rng.UniformRange(0, 50);
+        templates.push_back(
+            "SELECT k, SUM(v) AS total FROM sales WHERE k >= " +
+            std::to_string(x) + " GROUP BY k ORDER BY total DESC LIMIT " +
+            std::to_string(5 + i));
+        break;
+      }
+      default: {
+        int64_t x = 100000 + 1000 * static_cast<int64_t>(i) +
+                    rng.UniformRange(0, 999);
+        templates.push_back("SELECT COUNT(*) AS n FROM sales WHERE v > " +
+                            std::to_string(x));
+        break;
+      }
+    }
+  }
+  return templates;
+}
+
+/// CREATE + chunked INSERTs + ANALYZE for one base table.
+void EmitTableSetup(const std::string& table, uint64_t rows, Rng* rng,
+                    std::vector<std::string>* setup) {
+  setup->push_back("CREATE TABLE " + table +
+                   " (k BIGINT, v BIGINT) DISTKEY(k) SORTKEY(k)");
+  constexpr uint64_t kChunk = 512;
+  for (uint64_t done = 0; done < rows; done += kChunk) {
+    uint64_t n = std::min(kChunk, rows - done);
+    std::string insert = "INSERT INTO " + table + " VALUES ";
+    for (uint64_t r = 0; r < n; ++r) {
+      if (r) insert += ", ";
+      insert += "(" + std::to_string(rng->UniformRange(0, 100)) + ", " +
+                std::to_string(rng->UniformRange(0, 1000000)) + ")";
+    }
+    setup->push_back(std::move(insert));
+  }
+  setup->push_back("ANALYZE " + table);
+}
+
+struct RawStatement {
+  double at = 0;
+  int session = 0;
+  int seq = 0;  // per-session emission order (total-order tiebreak)
+  std::string klass;
+  std::string sql;
+};
+
+}  // namespace
+
+Trace Synthesize(const SynthConfig& config) {
+  Trace trace;
+  trace.config = config;
+
+  // Base data: one stream for all setup rows (stream 0).
+  Rng setup_rng = StreamRng(config.seed, /*stream=*/0);
+  EmitTableSetup("sales", config.sales_rows, &setup_rng, &trace.setup_sql);
+  EmitTableSetup("events", config.events_rows, &setup_rng, &trace.setup_sql);
+  trace.setup_sql.push_back(
+      "CREATE TABLE etl_events (k BIGINT, v BIGINT) DISTKEY(k) SORTKEY(k)");
+
+  const std::vector<std::string> templates = BuildDashboardTemplates(config);
+
+  std::vector<RawStatement> raw;
+  int next_session = 0;
+  // Streams 2.. are per-session: stream id = 2 + session index, so the
+  // mix knobs (how many of each class) never shift another session's
+  // randomness.
+  auto session_rng = [&config](int session) {
+    return StreamRng(config.seed, 2 + static_cast<uint64_t>(session));
+  };
+
+  // Dashboards: exponential think times over the skewed template pool.
+  for (int d = 0; d < config.dashboard_sessions; ++d) {
+    const int session = next_session++;
+    trace.sessions.push_back({session, "dashboard", "dashboard"});
+    Rng rng = session_rng(session);
+    int seq = 0;
+    double t = rng.Exponential(config.dashboard_think_seconds);
+    while (t < config.duration_seconds && !templates.empty()) {
+      size_t pick = static_cast<size_t>(
+          rng.Zipf(templates.size(), config.dashboard_zipf_theta));
+      raw.push_back({t, session, seq++, "dashboard", templates[pick]});
+      t += rng.Exponential(config.dashboard_think_seconds);
+    }
+  }
+
+  // ETL: bursts of staged files, one COPY per burst over the burst's
+  // whole prefix. Fixture bytes come from the same per-session stream,
+  // in emission order, so the staged data is as reproducible as the
+  // statements that load it.
+  for (int e = 0; e < config.etl_sessions; ++e) {
+    const int session = next_session++;
+    trace.sessions.push_back({session, "etl", "etl"});
+    Rng rng = session_rng(session);
+    int seq = 0;
+    int burst = 0;
+    double t = rng.Exponential(config.etl_burst_interval_seconds);
+    while (t < config.duration_seconds) {
+      const std::string prefix = "workload/etl/s" + std::to_string(session) +
+                                 "-b" + std::to_string(burst) + "/";
+      for (int f = 0; f < config.etl_files_per_burst; ++f) {
+        Fixture fixture;
+        fixture.key = prefix + "part-" + std::to_string(f);
+        for (int r = 0; r < config.etl_rows_per_file; ++r) {
+          fixture.csv += std::to_string(rng.UniformRange(0, 100)) + "," +
+                         std::to_string(rng.UniformRange(0, 1000000)) + "\n";
+        }
+        trace.fixtures.push_back(std::move(fixture));
+      }
+      raw.push_back({t, session, seq++, "etl",
+                     "COPY etl_events FROM 's3://" + prefix + "' FORMAT CSV"});
+      ++burst;
+      t += rng.Exponential(config.etl_burst_interval_seconds);
+    }
+  }
+
+  // Ad-hoc analysts: heavy scans over the big table with fresh literals
+  // every time — no cache help, honestly expensive under the cost model.
+  for (int a = 0; a < config.adhoc_sessions; ++a) {
+    const int session = next_session++;
+    trace.sessions.push_back({session, "adhoc", "analyst"});
+    Rng rng = session_rng(session);
+    int seq = 0;
+    double t = rng.Exponential(config.adhoc_think_seconds);
+    while (t < config.duration_seconds) {
+      int64_t lo = rng.UniformRange(0, 800000);
+      int64_t hi = lo + rng.UniformRange(50000, 200000);
+      raw.push_back(
+          {t, session, seq++, "adhoc",
+           "SELECT k, COUNT(*) AS n, SUM(v) AS sv FROM events WHERE v BETWEEN " +
+               std::to_string(lo) + " AND " + std::to_string(hi) +
+               " GROUP BY k ORDER BY sv DESC LIMIT 10"});
+      t += rng.Exponential(config.adhoc_think_seconds);
+    }
+  }
+
+  // Merge into one totally ordered stream: by arrival, ties broken by
+  // (session, per-session seq) so equal timestamps still sort stably.
+  std::sort(raw.begin(), raw.end(),
+            [](const RawStatement& a, const RawStatement& b) {
+              return std::tie(a.at, a.session, a.seq) <
+                     std::tie(b.at, b.session, b.seq);
+            });
+
+  std::unordered_set<uint64_t> seen;
+  trace.statements.reserve(raw.size());
+  for (RawStatement& r : raw) {
+    TimedStatement ts;
+    ts.at_seconds = r.at;
+    ts.session = r.session;
+    ts.klass = std::move(r.klass);
+    ts.fingerprint = Hash64(std::string_view(r.sql));
+    ts.repeat = !seen.insert(ts.fingerprint).second;
+    ts.sql = std::move(r.sql);
+    ++trace.stats.statements;
+    if (ts.repeat) ++trace.stats.repeats;
+    ++trace.stats.by_class[ts.klass];
+    trace.statements.push_back(std::move(ts));
+  }
+  return trace;
+}
+
+std::string TraceToScript(const Trace& trace) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "# workload trace seed=%" PRIu64
+                " duration=%s statements=%d repeats=%d\n",
+                trace.config.seed,
+                FormatSeconds(trace.config.duration_seconds).c_str(),
+                trace.stats.statements, trace.stats.repeats);
+  out += buf;
+  for (const SessionSpec& s : trace.sessions) {
+    out += "session " + std::to_string(s.index) + " " + s.klass + " group=" +
+           s.user_group + "\n";
+  }
+  for (const std::string& sql : trace.setup_sql) {
+    out += "setup " + sql + "\n";
+  }
+  for (const Fixture& f : trace.fixtures) {
+    std::snprintf(buf, sizeof(buf), " bytes=%zu hash=%016" PRIx64 "\n",
+                  f.csv.size(), Hash64(std::string_view(f.csv)));
+    out += "fixture " + f.key + buf;
+  }
+  for (const TimedStatement& ts : trace.statements) {
+    out += "@" + FormatSeconds(ts.at_seconds) + " s" +
+           std::to_string(ts.session) + " " + ts.klass +
+           (ts.repeat ? " repeat " : " ") + ts.sql + "\n";
+  }
+  return out;
+}
+
+}  // namespace sdw::workload

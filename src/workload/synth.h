@@ -1,0 +1,117 @@
+#ifndef SDW_WORKLOAD_SYNTH_H_
+#define SDW_WORKLOAD_SYNTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sdw::workload {
+
+/// Knobs for the trace synthesizer. The defaults describe a small but
+/// shape-faithful serving mix: many chatty dashboard sessions hammering
+/// a small table with a skewed set of repeated queries (result-cache
+/// territory), a couple of ETL sessions COPYing bursts of staged files,
+/// and a couple of ad-hoc analysts running heavy one-off scans over a
+/// large table. Everything downstream of the seed is deterministic.
+struct SynthConfig {
+  uint64_t seed = 42;
+  /// Virtual trace horizon: arrival timestamps land in [0, duration).
+  double duration_seconds = 1.0;
+
+  // ---- dashboard sessions ("dashboard" user group) ----
+  int dashboard_sessions = 8;
+  /// Mean exponential think time between a session's queries.
+  double dashboard_think_seconds = 0.02;
+  /// Size of the global template pool dashboards draw from. Templates
+  /// are fixed SQL texts (literals frozen at synthesis), so two picks
+  /// of the same template are byte-identical statements — the repeats
+  /// that make result caches earn their keep.
+  int dashboard_templates = 12;
+  /// Zipf exponent of template popularity (0 = uniform; higher = a few
+  /// hot dashboards dominate, like real fleets).
+  double dashboard_zipf_theta = 0.9;
+
+  // ---- ETL sessions ("etl" user group) ----
+  int etl_sessions = 2;
+  /// Mean exponential gap between one session's COPY bursts.
+  double etl_burst_interval_seconds = 0.25;
+  /// Staged files per burst (one COPY ingests the whole prefix).
+  int etl_files_per_burst = 3;
+  int etl_rows_per_file = 200;
+
+  // ---- ad-hoc sessions ("analyst" user group) ----
+  int adhoc_sessions = 2;
+  double adhoc_think_seconds = 0.1;
+
+  // ---- base data the setup script materializes ----
+  /// Small dashboard fact table (estimates stay under any sane SQA
+  /// threshold).
+  uint64_t sales_rows = 512;
+  /// Large ad-hoc table (estimates exceed a tight SQA threshold
+  /// honestly, via stats bytes — no artificial tagging).
+  uint64_t events_rows = 20000;
+};
+
+/// One synthesized client connection.
+struct SessionSpec {
+  int index = 0;
+  /// "dashboard" | "etl" | "adhoc" — also the reporting class.
+  std::string klass;
+  /// WLM classifier group the session connects as.
+  std::string user_group;
+};
+
+/// A staged S3 object a COPY statement in the trace ingests.
+struct Fixture {
+  std::string key;  // bucket/prefix/part-N (no s3:// scheme)
+  std::string csv;
+};
+
+/// One timestamped statement of the trace.
+struct TimedStatement {
+  double at_seconds = 0;
+  int session = 0;
+  std::string klass;
+  std::string sql;
+  /// Hash64 of the SQL text — the statement fingerprint.
+  uint64_t fingerprint = 0;
+  /// The same fingerprint appeared earlier in the trace (in trace
+  /// order): a result-cache opportunity.
+  bool repeat = false;
+};
+
+struct TraceStats {
+  int statements = 0;
+  int repeats = 0;
+  std::map<std::string, int> by_class;
+};
+
+/// A fully materialized workload: sessions, the setup DDL/DML that
+/// builds the base tables, the staged COPY fixtures, and the merged
+/// timestamped statement stream (sorted by arrival time; ties broken
+/// by session then per-session order, so the stream is totally ordered
+/// and reproducible).
+struct Trace {
+  SynthConfig config;
+  std::vector<SessionSpec> sessions;
+  std::vector<std::string> setup_sql;
+  std::vector<Fixture> fixtures;
+  std::vector<TimedStatement> statements;
+  TraceStats stats;
+};
+
+/// Synthesizes the trace for `config`. Pure function of the config:
+/// same config (seed included) => identical Trace, independent of
+/// platform, thread count, or how often it is called.
+Trace Synthesize(const SynthConfig& config);
+
+/// Renders the whole trace as one canonical text script (sessions,
+/// setup, fixture digests, then every timed statement). Two traces are
+/// equal iff their scripts are byte-identical — the determinism tests
+/// compare this rendering.
+std::string TraceToScript(const Trace& trace);
+
+}  // namespace sdw::workload
+
+#endif  // SDW_WORKLOAD_SYNTH_H_

@@ -14,6 +14,8 @@
 #include "common/random.h"
 #include "plan/planner.h"
 #include "warehouse/warehouse.h"
+#include "workload/replay.h"
+#include "workload/synth.h"
 
 namespace sdw {
 namespace {
@@ -309,6 +311,50 @@ TEST_P(DifferentialTest, CacheArmsAgree) {
   // The warm arm really did serve from its caches.
   EXPECT_GT(warm->result_cache()->size(), 0u);
   EXPECT_GT(warm->segment_cache()->size(), 0u);
+}
+
+// The serving-harness axis: a synthesized trace at a fixed seed must
+// replay byte-identically whether it runs serially in trace order,
+// through a concurrent session pool, or against warm caches. The trace
+// is read-only after provisioning (no ETL sessions), so statement
+// interleaving is a performance knob, never an answer knob.
+TEST(WorkloadTraceDifferential, SynthesizedTraceReplaysIdentically) {
+  workload::SynthConfig config;
+  config.seed = 13;
+  config.duration_seconds = 0.25;
+  config.dashboard_sessions = 3;
+  config.dashboard_think_seconds = 0.02;
+  config.etl_sessions = 0;  // read-only replay: order-independent answers
+  config.adhoc_sessions = 2;
+  config.adhoc_think_seconds = 0.05;
+  config.sales_rows = 200;
+  config.events_rows = 1500;
+  const workload::Trace trace = workload::Synthesize(config);
+  ASSERT_FALSE(trace.statements.empty());
+
+  auto run = [&trace](int workers, bool warm) {
+    warehouse::Warehouse wh;
+    workload::ReplayOptions opts;
+    opts.workers = workers;
+    opts.capture_results = true;
+    workload::Replayer replayer(&wh, opts);
+    SDW_CHECK_OK(replayer.Provision(trace));
+    if (warm) {
+      auto priming = replayer.Replay(trace);  // fill result/segment caches
+      SDW_CHECK_OK(priming.status());
+    }
+    auto result = replayer.Replay(trace);
+    SDW_CHECK_OK(result.status());
+    EXPECT_EQ(result->errors, 0);
+    return result->outputs;
+  };
+
+  const std::vector<std::string> serial = run(0, false);
+  const std::vector<std::string> pooled = run(4, false);
+  const std::vector<std::string> cache_warm = run(0, true);
+  ASSERT_EQ(serial.size(), trace.statements.size());
+  EXPECT_EQ(serial, pooled) << "pooled replay must be byte-identical";
+  EXPECT_EQ(serial, cache_warm) << "cache-warm replay must be byte-identical";
 }
 
 }  // namespace

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -190,6 +194,258 @@ TEST(WlmTest, AdmissionQueueTimeoutFires) {
   EXPECT_TRUE(starved.status().IsDeadlineExceeded()) << starved.status();
   EXPECT_EQ(controller.timeouts(), 1u);
   EXPECT_EQ(controller.queued(), 0u) << "timed-out waiters leave the queue";
+}
+
+// ---------------------------------------------------------------------------
+// Multi-queue WLM: classifier, hopping, SQA, sanitization.
+// ---------------------------------------------------------------------------
+
+WlmQueueConfig Queue(std::string name, int slots,
+                     std::vector<std::string> query_classes = {},
+                     std::vector<std::string> user_groups = {}) {
+  WlmQueueConfig queue;
+  queue.name = std::move(name);
+  queue.slots = slots;
+  queue.query_classes = std::move(query_classes);
+  queue.user_groups = std::move(user_groups);
+  return queue;
+}
+
+/// Spins until `pred` holds (tests only — the live controller runs on
+/// real time, so cross-thread sequencing points need a poll).
+bool WaitUntil(const std::function<bool()>& pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(WlmMultiQueueTest, SanitizeClampsQueueShares) {
+  WlmConfig config = Slots(2);
+  config.queues.push_back(Queue("etl", 0, {"copy"}));
+  config.queues.push_back(Queue("adhoc", -3));
+  config.queues[0].hop_on_timeout = "nowhere";  // dangling
+  config.queues[1].hop_on_timeout = "adhoc";    // self
+  config.queues[1].queue_timeout_seconds = -5;
+
+  WlmConfig clean = SanitizeWlmConfig(config);
+  ASSERT_EQ(clean.queues.size(), 3u) << "catch-all default must be appended";
+  EXPECT_EQ(clean.queues[0].slots, 1) << "zero share clamps to 1";
+  EXPECT_EQ(clean.queues[1].slots, 1) << "negative share clamps to 1";
+  EXPECT_EQ(clean.queues[2].name, "default");
+  EXPECT_EQ(clean.queues[2].slots, 1);
+  // Shares (1 + 1 + 1) exceeded concurrency_slots=2: the total grows so
+  // no named queue silently starves.
+  EXPECT_EQ(clean.concurrency_slots, 3);
+  EXPECT_TRUE(clean.queues[0].hop_on_timeout.empty()) << "dangling hop cleared";
+  EXPECT_TRUE(clean.queues[1].hop_on_timeout.empty()) << "self hop cleared";
+  EXPECT_EQ(clean.queues[1].queue_timeout_seconds, 0) << "negative -> inherit";
+
+  WlmConfig sqa = Slots(2);
+  sqa.enable_sqa = true;
+  sqa.sqa_slots = 0;
+  sqa.sqa_max_estimated_seconds = -1;
+  sqa.sqa_demote_exec_seconds = 0;
+  WlmConfig sqa_clean = SanitizeWlmConfig(sqa);
+  EXPECT_EQ(sqa_clean.sqa_slots, 1);
+  EXPECT_GT(sqa_clean.sqa_max_estimated_seconds, 0);
+  EXPECT_GT(sqa_clean.sqa_demote_exec_seconds, 0);
+}
+
+TEST(WlmMultiQueueTest, ClassifierPrecedence) {
+  WlmConfig config = Slots(8);
+  config.queues.push_back(Queue("etl", 2, {"copy"}, {"analyst"}));
+  config.queues.push_back(Queue("etl2", 2, {"copy"}));
+  config.queues.push_back(Queue("dash", 2, {}, {"dashboard"}));
+  AdmissionController controller(config);
+
+  auto admitted_queue = [&controller](const std::string& group,
+                                      const std::string& klass) {
+    AdmitRequest request;
+    request.user_group = group;
+    request.query_class = klass;
+    auto slot = controller.Admit(request);
+    EXPECT_TRUE(slot.ok()) << slot.status();
+    return slot.ok() ? slot->queue() : std::string();
+  };
+
+  // Query-class rules beat user-group rules.
+  EXPECT_EQ(admitted_queue("dashboard", "copy"), "etl");
+  // Within a pass, declaration order wins ("etl" before "etl2").
+  EXPECT_EQ(admitted_queue("", "copy"), "etl");
+  // Group pass runs when no class rule matches.
+  EXPECT_EQ(admitted_queue("dashboard", "select"), "dash");
+  // "analyst" is a group rule on etl, not a class rule: still group pass.
+  EXPECT_EQ(admitted_queue("analyst", "select"), "etl");
+  // Nothing matches: the catch-all.
+  EXPECT_EQ(admitted_queue("unknown", "vacuum"), "default");
+}
+
+TEST(WlmMultiQueueTest, HopLandsInTargetFifoOrder) {
+  WlmConfig config = Slots(2);
+  config.queue_timeout_seconds = 10.0;
+  config.queues.push_back(Queue("a", 1, {"qa"}));
+  config.queues.back().hop_on_timeout = "b";
+  config.queues.back().queue_timeout_seconds = 0.03;
+  config.queues.push_back(Queue("b", 1, {"qb"}));
+  AdmissionController controller(config);
+
+  AdmitRequest in_a;
+  in_a.query_class = "qa";
+  AdmitRequest in_b;
+  in_b.query_class = "qb";
+
+  auto hold_a = controller.Admit(in_a);
+  ASSERT_TRUE(hold_a.ok()) << hold_a.status();
+  EXPECT_EQ(hold_a->queue(), "a");
+  auto hold_b = controller.Admit(in_b);
+  ASSERT_TRUE(hold_b.ok()) << hold_b.status();
+  EXPECT_EQ(hold_b->queue(), "b");
+
+  // Admission order recorder: each waiter notes its turn, then releases
+  // its slot (Slot destructor) so the next head can go.
+  std::atomic<int> turn{0};
+  std::atomic<int> w1_turn{-1}, hopper_turn{-1}, w2_turn{-1};
+  std::atomic<int> hopper_hops{-1};
+  std::string hopper_queue;
+
+  std::thread w1([&] {
+    auto slot = controller.Admit(in_b);
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    w1_turn = turn.fetch_add(1);
+  });
+  ASSERT_TRUE(WaitUntil([&] { return controller.queued() == 1; }));
+
+  std::thread hopper([&] {
+    auto slot = controller.Admit(in_a);
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    hopper_turn = turn.fetch_add(1);
+    hopper_hops = slot->hops();
+    hopper_queue = slot->queue();
+  });
+  // The hopper waits 0.03s in "a", then re-enqueues at b's tail.
+  ASSERT_TRUE(WaitUntil([&] { return controller.hops() == 1; }));
+
+  std::thread w2([&] {
+    auto slot = controller.Admit(in_b);
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    w2_turn = turn.fetch_add(1);
+  });
+  ASSERT_TRUE(WaitUntil([&] { return controller.queued() == 3; }));
+
+  // Free b's slot: the three waiters drain in b's FIFO order.
+  hold_b = AdmissionController::Slot();
+  w1.join();
+  hopper.join();
+  w2.join();
+
+  EXPECT_EQ(w1_turn.load(), 0) << "b's original waiter was enqueued first";
+  EXPECT_EQ(hopper_turn.load(), 1) << "the hop lands at b's tail, not head";
+  EXPECT_EQ(w2_turn.load(), 2) << "arrivals after the hop queue behind it";
+  EXPECT_EQ(hopper_queue, "b");
+  EXPECT_EQ(hopper_hops.load(), 1);
+  EXPECT_EQ(controller.timeouts(), 0u) << "a hop is not a cancellation";
+  const std::vector<AdmissionController::QueueStats> stats =
+      controller.queue_stats();
+  ASSERT_EQ(stats.size(), 3u);  // a, b, default
+  EXPECT_EQ(stats[0].name, "a");
+  EXPECT_EQ(stats[0].hops_out, 1u);
+  EXPECT_EQ(stats[0].timeouts, 0u);
+}
+
+TEST(WlmMultiQueueTest, TimeoutReportCarriesAccruedWaitAcrossHops) {
+  // The regression this pins down: a queued statement that hops and then
+  // times out must report the wait summed over *every* queue it visited
+  // — not just the final residence, and never the configured timeout
+  // constant.
+  WlmConfig config = Slots(2);
+  config.queues.push_back(Queue("a", 1, {"qa"}));
+  config.queues.back().hop_on_timeout = "b";
+  config.queues.back().queue_timeout_seconds = 0.04;
+  config.queues.push_back(Queue("b", 1, {"qb"}));
+  config.queues.back().queue_timeout_seconds = 0.04;
+  AdmissionController controller(config);
+
+  AdmitRequest in_a;
+  in_a.query_class = "qa";
+  AdmitRequest in_b;
+  in_b.query_class = "qb";
+  auto hold_a = controller.Admit(in_a);
+  ASSERT_TRUE(hold_a.ok()) << hold_a.status();
+  auto hold_b = controller.Admit(in_b);
+  ASSERT_TRUE(hold_b.ok()) << hold_b.status();
+
+  AdmitRequest starved;
+  starved.query_class = "qa";
+  starved.session_id = 7;
+  starved.statement = "SELECT 1";
+  AdmissionController::Report report;
+  auto denied = controller.Admit(starved, &report);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.status().IsDeadlineExceeded()) << denied.status();
+
+  EXPECT_EQ(report.state, "timeout");
+  EXPECT_EQ(report.queue, "b") << "cancelled from the queue it died in";
+  EXPECT_EQ(report.hops, 1);
+  EXPECT_EQ(report.session_id, 7);
+  EXPECT_EQ(report.statement, "SELECT 1");
+  // 0.04s accrued in "a" plus 0.04s in "b". The pre-fix behavior
+  // reported only the last queue's wait (~0.04): assert the sum.
+  EXPECT_GE(report.queued_seconds, 0.079);
+  EXPECT_EQ(controller.timeouts(), 1u);
+  EXPECT_EQ(controller.hops(), 1u);
+}
+
+TEST(WlmMultiQueueTest, SqaMisestimateDemotedNotWedged) {
+  WlmConfig config = Slots(1);
+  config.enable_sqa = true;
+  config.sqa_slots = 1;
+  config.sqa_max_estimated_seconds = 0.25;
+  config.sqa_demote_exec_seconds = 0.01;
+  AdmissionController controller(config);
+
+  AdmitRequest cheap;
+  cheap.query_class = "select";
+  cheap.estimated_seconds = 0.001;
+  auto overstayer = controller.Admit(cheap);
+  ASSERT_TRUE(overstayer.ok()) << overstayer.status();
+  EXPECT_EQ(overstayer->queue(), "sqa");
+
+  // The "short" query is still holding its fast-lane slot well past the
+  // demotion threshold. A genuinely short follow-up must not be wedged
+  // behind it: waiters poll, demote the overstayer's accounting to its
+  // home queue, and take the freed fast-lane slot.
+  auto follow_up = controller.Admit(cheap);
+  ASSERT_TRUE(follow_up.ok()) << follow_up.status();
+  EXPECT_EQ(follow_up->queue(), "sqa");
+  EXPECT_GE(controller.sqa_demotions(), 1u);
+  // The demoted statement was not cancelled — it finishes normally.
+  EXPECT_EQ(controller.timeouts(), 0u);
+  EXPECT_EQ(controller.running(), 2);
+
+  // Let both finish (the demoted overstayer now counts against the
+  // default queue, so its release frees that slot for the next check).
+  *overstayer = AdmissionController::Slot();
+  *follow_up = AdmissionController::Slot();
+  ASSERT_TRUE(WaitUntil([&] { return controller.running() == 0; }));
+
+  // Estimates above the threshold (or unknown) never enter the lane.
+  AdmitRequest heavy;
+  heavy.query_class = "select";
+  heavy.estimated_seconds = 10.0;
+  {
+    auto slot = controller.Admit(heavy);
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    EXPECT_EQ(slot->queue(), "default");
+  }
+  AdmitRequest unknown;
+  unknown.estimated_seconds = -1;
+  {
+    auto slot = controller.Admit(unknown);
+    ASSERT_TRUE(slot.ok()) << slot.status();
+    EXPECT_EQ(slot->queue(), "default");
+  }
 }
 
 }  // namespace

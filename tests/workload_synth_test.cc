@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workload/replay.h"
+#include "workload/synth.h"
+
+namespace sdw::workload {
+namespace {
+
+SynthConfig SmallConfig() {
+  SynthConfig config;
+  config.seed = 7;
+  config.duration_seconds = 0.5;
+  config.dashboard_sessions = 4;
+  config.dashboard_think_seconds = 0.02;
+  config.dashboard_templates = 8;
+  config.etl_sessions = 1;
+  config.etl_burst_interval_seconds = 0.2;
+  config.etl_files_per_burst = 2;
+  config.etl_rows_per_file = 50;
+  config.adhoc_sessions = 2;
+  config.adhoc_think_seconds = 0.1;
+  config.sales_rows = 256;
+  config.events_rows = 2000;
+  return config;
+}
+
+TEST(WorkloadSynthTest, SameSeedIsByteIdentical) {
+  const SynthConfig config = SmallConfig();
+  const std::string first = TraceToScript(Synthesize(config));
+  const std::string second = TraceToScript(Synthesize(config));
+  EXPECT_EQ(first, second) << "a seed must pin the whole trace";
+  ASSERT_FALSE(first.empty());
+
+  SynthConfig other = config;
+  other.seed = 8;
+  EXPECT_NE(TraceToScript(Synthesize(other)), first)
+      << "a different seed must produce a different trace";
+}
+
+TEST(WorkloadSynthTest, MixKnobsDoNotPerturbOtherStreams) {
+  // Removing the ETL sessions must not change what the dashboard and
+  // ad-hoc sessions do — each session draws from its own seeded stream.
+  SynthConfig with_etl = SmallConfig();
+  SynthConfig without_etl = SmallConfig();
+  without_etl.etl_sessions = 0;
+  const Trace a = Synthesize(with_etl);
+  const Trace b = Synthesize(without_etl);
+  auto dashboard_sql = [](const Trace& trace) {
+    std::vector<std::string> sql;
+    for (const TimedStatement& ts : trace.statements) {
+      if (ts.klass == "dashboard") sql.push_back(ts.sql);
+    }
+    return sql;
+  };
+  EXPECT_EQ(dashboard_sql(a), dashboard_sql(b));
+  EXPECT_TRUE(b.fixtures.empty());
+}
+
+TEST(WorkloadSynthTest, ArrivalProcessShape) {
+  SynthConfig config = SmallConfig();
+  config.duration_seconds = 2.0;
+  const Trace trace = Synthesize(config);
+
+  ASSERT_FALSE(trace.statements.empty());
+  double prev = 0;
+  for (const TimedStatement& ts : trace.statements) {
+    EXPECT_GE(ts.at_seconds, prev) << "stream must be time-sorted";
+    EXPECT_LT(ts.at_seconds, config.duration_seconds);
+    prev = ts.at_seconds;
+  }
+
+  // Exponential arrivals: each dashboard session emits roughly
+  // duration / think statements. Bound loosely (2x either way) — this
+  // is a shape check, not a distribution test.
+  const double expected_per_session =
+      config.duration_seconds / config.dashboard_think_seconds;
+  const int dash = trace.stats.by_class.at("dashboard");
+  EXPECT_GT(dash, config.dashboard_sessions * expected_per_session / 2);
+  EXPECT_LT(dash, config.dashboard_sessions * expected_per_session * 2);
+  EXPECT_GT(trace.stats.by_class.at("adhoc"), 0);
+  EXPECT_GT(trace.stats.by_class.at("etl"), 0);
+  // Every COPY statement's prefix has its fixtures staged.
+  EXPECT_EQ(trace.fixtures.size(),
+            static_cast<size_t>(trace.stats.by_class.at("etl") *
+                                config.etl_files_per_burst));
+}
+
+TEST(WorkloadSynthTest, RepeatRateMatchesDashboardMix) {
+  SynthConfig config = SmallConfig();
+  config.duration_seconds = 2.0;
+  config.etl_sessions = 0;
+  const Trace trace = Synthesize(config);
+
+  int dash = 0;
+  int dash_repeats = 0;
+  std::set<uint64_t> dash_fingerprints;
+  for (const TimedStatement& ts : trace.statements) {
+    if (ts.klass != "dashboard") continue;
+    ++dash;
+    if (ts.repeat) ++dash_repeats;
+    dash_fingerprints.insert(ts.fingerprint);
+  }
+  // Dashboards draw from a fixed template pool: at most
+  // dashboard_templates distinct statements, everything else repeats.
+  EXPECT_LE(dash_fingerprints.size(),
+            static_cast<size_t>(config.dashboard_templates));
+  EXPECT_GE(dash_repeats, dash - config.dashboard_templates);
+  ASSERT_GT(dash, config.dashboard_templates * 4)
+      << "config must draw enough statements to exercise repeats";
+  // Zipf-skewed template popularity: the bulk of dashboard traffic is
+  // repeats (the result-cache feed the mix is designed around).
+  EXPECT_GT(static_cast<double>(dash_repeats) / dash, 0.5);
+  // Ad-hoc scans use fresh literals: they contribute (almost) no
+  // repeats, so total repeats stay dominated by the dashboard class.
+  EXPECT_LE(trace.stats.repeats, dash_repeats + 2);
+}
+
+TEST(WorkloadSynthTest, SerialReplaySmoke) {
+  SynthConfig config = SmallConfig();
+  config.duration_seconds = 0.2;
+  const Trace trace = Synthesize(config);
+  ASSERT_FALSE(trace.statements.empty());
+
+  warehouse::Warehouse wh;
+  Replayer replayer(&wh);
+  auto provisioned = replayer.Provision(trace);
+  ASSERT_TRUE(provisioned.ok()) << provisioned;
+  auto result = replayer.Replay(trace);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->errors, 0);
+  EXPECT_EQ(result->timeouts, 0);
+  int statements = 0;
+  for (const auto& [klass, stats] : result->by_class) {
+    statements += stats.statements;
+  }
+  EXPECT_EQ(statements, trace.stats.statements);
+  // The repeated dashboard templates hit the result cache.
+  const auto dash = result->by_class.find("dashboard");
+  ASSERT_NE(dash, result->by_class.end());
+  EXPECT_GT(dash->second.cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace sdw::workload
